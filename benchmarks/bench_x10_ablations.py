@@ -1,0 +1,192 @@
+"""X10 - ablations of this implementation's design choices.
+
+Quantifies the decisions DESIGN.md calls out:
+
+* lazy (telescoped) clock valuations vs the paper's strict run
+  semantics - identical answers on reduced sequences, and the match
+  counts they produce on raw sequences;
+* screening depth 0 / 1 / 2 - candidate and automaton-start counts;
+* the propagation-derived horizon - events scanned per anchor.
+"""
+
+import pytest
+
+from repro.automata import TagMatcher, build_tag
+from repro.mining import (
+    EventDiscoveryProblem,
+    discover,
+    reduce_sequence,
+)
+
+
+@pytest.fixture(scope="module")
+def problem(figure_1a):
+    return EventDiscoveryProblem(
+        figure_1a,
+        min_confidence=0.8,
+        reference_type="IBM-rise",
+        candidates={"X3": frozenset(["IBM-fall"])},
+    )
+
+
+@pytest.mark.parametrize("depth", [0, 1, 2])
+def test_x10_screening_depth(benchmark, system, problem, stock_workload, depth):
+    sequence, _ = stock_workload
+    outcome = benchmark.pedantic(
+        discover,
+        args=(problem, sequence, system),
+        kwargs={"screen_depth": depth},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        "\nX10 screen_depth=%d: %d candidates, %d automaton starts, "
+        "%d solutions"
+        % (
+            depth,
+            outcome.candidates_evaluated,
+            outcome.automaton_starts,
+            len(outcome.solutions),
+        )
+    )
+    assert len(outcome.solutions) == 1  # answers never change
+
+
+def test_x10_lazy_vs_strict_clocks(benchmark, system, example1_cet, stock_workload):
+    """Strict vs lazy clock semantics - the Theorem 3 errata, measured.
+
+    Under the paper's literal run definition, a run dies whenever ANY
+    clock granularity fails to cover an event's timestamp - even an
+    event whose own TCGs never mention that granularity (e.g. an
+    IBM-fall on a Saturday, legal for its week/hour constraints, kills
+    the b-day clocks).  So strict matching under-counts genuine complex
+    events; the lazy telescoped semantics recognises exactly the
+    binding semantics.  The two agree on sequences every clock
+    granularity covers.
+    """
+    sequence, _ = stock_workload
+    structure = example1_cet.structure
+    allowed = {v: None for v in structure.variables}
+    reduced = reduce_sequence(structure, sequence, allowed)
+    granularities = structure.granularities()
+    fully_covered = sequence.filtered(
+        lambda e: all(t.tick_of(e.time) is not None for t in granularities)
+    )
+    lazy = TagMatcher(build_tag(example1_cet), strict=False)
+    strict = TagMatcher(build_tag(example1_cet), strict=True)
+
+    def run():
+        return (
+            lazy.count_occurrences(sequence),
+            strict.count_occurrences(sequence),
+            lazy.count_occurrences(reduced),
+            strict.count_occurrences(fully_covered),
+            lazy.count_occurrences(fully_covered),
+        )
+
+    lazy_raw, strict_raw, lazy_red, strict_cov, lazy_cov = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        "\nX10 matches - raw: lazy %d / strict %d; reduced lazy %d; "
+        "fully-covered: lazy %d / strict %d"
+        % (lazy_raw, strict_raw, lazy_red, lazy_cov, strict_cov)
+    )
+    assert strict_raw <= lazy_raw  # strict only loses matches
+    assert lazy_red == lazy_raw  # reduction never changes lazy answers
+    assert strict_cov == lazy_cov  # equality once coverage is total
+
+
+def test_x10_streaming_vs_batch(benchmark, system, example1_cet, stock_workload):
+    """One streaming pass equals per-anchor batch matching, cheaper."""
+    from repro.automata import StreamingMatcher
+
+    sequence, _ = stock_workload
+    batch = TagMatcher(build_tag(example1_cet))
+    expected = {
+        sequence[i].time for i in batch.matching_roots(sequence)
+    }
+
+    def run():
+        streaming = StreamingMatcher(
+            build_tag(example1_cet), horizon_seconds=14 * 86400
+        )
+        return {
+            d.anchor_time for d in streaming.feed_sequence(sequence)
+        }
+
+    detected = benchmark.pedantic(run, rounds=2, iterations=1)
+    print(
+        "\nX10 streaming detections %d == batch matches %d"
+        % (len(detected), len(expected))
+    )
+    assert detected == expected
+
+
+def test_x10_conversion_mode_ablation(benchmark, figure_1a):
+    """Direct boundary-scan conversions vs the paper's Figure 3 tables:
+    tightness of the derived root-to-leaf windows (which drive both the
+    matcher horizon and the screening windows)."""
+    from repro.constraints import propagate
+    from repro.granularity import second, standard_system
+
+    def run():
+        rows = {}
+        for mode in ("direct", "figure3"):
+            system = standard_system(conversion_mode=mode)
+            result = propagate(
+                figure_1a, system, extra_granularities=[second()]
+            )
+            rows[mode] = result.interval("X0", "X3", "second")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    direct_lo, direct_hi = rows["direct"]
+    table_lo, table_hi = rows["figure3"]
+    print(
+        "\nX10 root window (seconds): direct [%d, %d] vs figure3 "
+        "[%d, %d] (%.1f%% tighter span)"
+        % (
+            direct_lo,
+            direct_hi,
+            table_lo,
+            table_hi,
+            100.0 * (1 - (direct_hi - direct_lo) / (table_hi - table_lo)),
+        )
+    )
+    # Both sound; direct never looser.
+    assert table_lo <= direct_lo
+    assert table_hi >= direct_hi
+
+
+def test_x10_horizon_ablation(benchmark, system, example1_cet, stock_workload):
+    sequence, _ = stock_workload
+    from repro.core import compile_pattern
+
+    with_horizon = compile_pattern(
+        example1_cet.structure, example1_cet.assignment, system
+    )
+    without = TagMatcher(build_tag(example1_cet))
+
+    def run():
+        scanned_with = scanned_without = 0
+        for index in sequence.occurrence_indices("IBM-rise"):
+            scanned_with += with_horizon.match_from(sequence, index).events_scanned
+            scanned_without += without.match_from(sequence, index).events_scanned
+        return scanned_with, scanned_without
+
+    scanned_with, scanned_without = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        "\nX10 events scanned: horizon %d vs no horizon %d (%.1fx)"
+        % (
+            scanned_with,
+            scanned_without,
+            scanned_without / max(1, scanned_with),
+        )
+    )
+    assert scanned_with <= scanned_without
+    assert with_horizon.count_occurrences(sequence) == without.count_occurrences(
+        sequence
+    )

@@ -1,0 +1,58 @@
+"""X2 - Figure 1(b): the disjunction hidden in multiple granularities.
+
+Regenerates the paper's argument that the month/year gadget forces the
+X0..X2 distance to be *either 0 or 12 months*: sound propagation keeps
+the convex hull [0, 12] (incompleteness, as Theorem 1 predicts), while
+the exact exponential analysis recovers exactly {0, 12}.
+"""
+
+from repro.constraints import (
+    check_consistency_exact,
+    distance_values,
+    propagate,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+THREE_YEARS = 3 * 366 * SECONDS_PER_DAY
+
+
+def test_x2_propagation_keeps_convex_hull(benchmark, figure_1b, system):
+    result = benchmark(propagate, figure_1b, system)
+    assert result.consistent  # sound: must not refute a satisfiable gadget
+    hull = result.interval("X0", "X2", "month")
+    print("\nX2 propagation X0->X2 month interval: %s (paper: [0, 12])" % (hull,))
+    assert hull == (0, 12)
+
+
+def test_x2_exact_distances_are_0_or_12(benchmark, figure_1b, system):
+    values = benchmark.pedantic(
+        distance_values,
+        args=(figure_1b, system, "X0", "X2", "month", THREE_YEARS),
+        rounds=3,
+        iterations=1,
+    )
+    print("\nX2 exact realisable month distances: %s (paper: {0, 12})" % values)
+    assert values == [0, 12]
+
+
+def test_x2_exact_consistency_with_witness(benchmark, figure_1b, system):
+    report = benchmark.pedantic(
+        check_consistency_exact,
+        args=(figure_1b, system),
+        kwargs={"window_seconds": THREE_YEARS},
+        rounds=3,
+        iterations=1,
+    )
+    assert report.completed and report.consistent
+    assert figure_1b.is_satisfied_by(report.witness)
+    month = system.get("month")
+    for variable in ("X0", "X2"):
+        # Both events land in a January (the first month of a year).
+        assert month.tick_of(report.witness[variable]) % 12 == 0
+    print(
+        "\nX2 witness months: %s"
+        % {
+            v: month.tick_of(t)
+            for v, t in sorted(report.witness.items())
+        }
+    )

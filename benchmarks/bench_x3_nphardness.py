@@ -1,0 +1,117 @@
+"""X3 - Theorem 1: NP-hardness via the SUBSET SUM reduction.
+
+Regenerates the reduction empirically: gadget consistency decides
+(CRT-compatible) SUBSET SUM, decoded witnesses are valid subsets, and
+the exact checker's node counts exhibit the exponential blow-up on
+unsatisfiable instances that the theorem predicts - while the DP
+oracle and the polynomial propagation stay cheap.
+
+Includes the reproduction's errata case: (2, 3, 4) target 9 is subset-
+sum-solvable but the published gadget is inconsistent (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.constraints import propagate
+from repro.hardness import (
+    SubsetSumInstance,
+    crt_compatible_subset_exists,
+    decide_via_reduction,
+    has_subset_sum,
+    reduction_structure,
+)
+
+#: Pairwise-coprime instance sweep: (numbers, target, solvable).
+COPRIME_INSTANCES = [
+    ((3,), 3, True),
+    ((3,), 2, False),
+    ((3, 5), 8, True),
+    ((3, 5), 7, False),
+    ((3, 5, 7), 12, True),
+    ((3, 5, 7), 11, False),
+]
+
+
+@pytest.mark.parametrize("numbers,target,solvable", COPRIME_INSTANCES)
+def test_x3_reduction_decides_coprime_instances(
+    benchmark, system, numbers, target, solvable
+):
+    instance = SubsetSumInstance(numbers, target)
+    outcome = benchmark.pedantic(
+        decide_via_reduction, args=(instance, system), rounds=1, iterations=1
+    )
+    print(
+        "\nX3 %s target %d: consistent=%s nodes=%d (oracle: %s)"
+        % (numbers, target, outcome.consistent, outcome.nodes_explored, solvable)
+    )
+    assert outcome.completed
+    assert outcome.consistent == solvable == has_subset_sum(instance)
+    if outcome.consistent:
+        assert sum(numbers[i] for i in outcome.witness_subset) == target
+
+
+def test_x3_unsat_explores_more_nodes(benchmark, system):
+    """The exponential signature: refutation costs far more search."""
+    sat = decide_via_reduction(SubsetSumInstance((3, 5, 7), 12), system)
+    unsat = benchmark.pedantic(
+        decide_via_reduction,
+        args=(SubsetSumInstance((3, 5, 7), 11), system),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        "\nX3 nodes: satisfiable=%d unsatisfiable=%d (ratio %.0fx)"
+        % (
+            sat.nodes_explored,
+            unsat.nodes_explored,
+            unsat.nodes_explored / max(1, sat.nodes_explored),
+        )
+    )
+    assert unsat.nodes_explored > sat.nodes_explored
+
+
+def test_x3_exponential_scaling_curve(benchmark, system):
+    """Refutation nodes vs instance size k - the Theorem 1 curve."""
+
+    def run():
+        rows = []
+        for numbers, target in [((3,), 2), ((3, 5), 7), ((3, 5, 7), 11)]:
+            outcome = decide_via_reduction(
+                SubsetSumInstance(numbers, target), system
+            )
+            assert outcome.completed and not outcome.consistent
+            rows.append((len(numbers), outcome.nodes_explored))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nX3 refutation nodes by k: %s" % rows)
+    nodes = [n for _, n in rows]
+    # Superlinear growth: each step multiplies the work severalfold.
+    assert nodes[1] > 2 * nodes[0] or nodes[2] > 2 * nodes[1]
+    assert nodes[2] > 10 * nodes[0]
+
+
+def test_x3_propagation_is_cheap_on_gadgets(benchmark, system):
+    """Theorem 2's polynomial filter cannot decide these instances but
+    runs orders of magnitude faster than the exact search."""
+    structure = reduction_structure(SubsetSumInstance((3, 5, 7), 11), system)
+    result = benchmark(propagate, structure, system)
+    # Approximate propagation does not refute the (unsatisfiable)
+    # gadget: completeness would contradict Theorem 1.
+    assert result.consistent
+
+
+def test_x3_errata_counterexample(benchmark, system):
+    """(2,3,4)/9: solvable SUBSET SUM, inconsistent gadget - the
+    completeness gap this reproduction found in the published proof."""
+    instance = SubsetSumInstance((2, 3, 4), 9)
+    outcome = benchmark.pedantic(
+        decide_via_reduction, args=(instance, system), rounds=1, iterations=1
+    )
+    assert has_subset_sum(instance)
+    assert not crt_compatible_subset_exists(instance)
+    assert outcome.completed and not outcome.consistent
+    print(
+        "\nX3 errata: (2,3,4)/9 subset-sum-solvable=True, gadget "
+        "consistent=False (CRT-incompatible residues)"
+    )

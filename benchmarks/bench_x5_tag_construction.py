@@ -1,0 +1,78 @@
+"""X5 - Figure 2 / Theorem 3: TAG construction from complex event types.
+
+Regenerates the TAG of the paper's Figure 2 (the Example 1 automaton:
+two chains, 6 reachable product states, chain-local granularity clocks,
+ANY self-loops) and verifies the polynomial-time construction claim on
+a structure-size sweep.
+"""
+
+import pytest
+
+from repro.automata import build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+
+
+def test_x5_figure2_automaton(benchmark, example1_cet):
+    build = benchmark(build_tag, example1_cet)
+    tag = build.tag
+    print(
+        "\nX5 Figure 2 TAG: %d states, %d transitions, clocks %s, "
+        "%d chains"
+        % (
+            len(tag.states),
+            len(tag.transitions),
+            sorted(tag.clocks),
+            len(build.chains),
+        )
+    )
+    assert len(build.chains) == 2  # the paper's p = 2 decomposition
+    assert len(tag.states) == 6  # S0S0, S1S1, S1S2, S2S1, S2S2, S3S3
+    assert len(tag.clocks) == 4  # b-day+week and b-day+hour per chain
+    # Every state carries the Figure 2 "ANY" self-loop.
+    for state in tag.states:
+        assert any(
+            t.symbol == "*" and t.target == state
+            for t in tag.transitions_from(state)
+        )
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16, 32])
+def test_x5_construction_scales_with_chain_length(benchmark, system, length):
+    hour = system.get("hour")
+    names = ["V%d" % i for i in range(length)]
+    constraints = {
+        (names[i - 1], names[i]): [TCG(0, 3, hour)]
+        for i in range(1, length)
+    }
+    structure = EventStructure(names, constraints)
+    cet = ComplexEventType(structure, {v: "e%s" % v for v in names})
+    build = benchmark(build_tag, cet)
+    assert len(build.tag.states) == length + 1
+    print(
+        "\nX5 chain length %d -> %d states, %d transitions"
+        % (length, len(build.tag.states), len(build.tag.transitions))
+    )
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_x5_construction_scales_with_chain_count(benchmark, system, width):
+    """Fan-out/fan-in diamonds: p parallel chains of length 3."""
+    hour = system.get("hour")
+    day = system.get("day")
+    names = ["mid%d" % i for i in range(width)]
+    constraints = {}
+    for name in names:
+        constraints[("root", name)] = [TCG(0, 6, hour)]
+        constraints[(name, "sink")] = [TCG(0, 1, day)]
+    structure = EventStructure(["root"] + names + ["sink"], constraints)
+    assignment = {v: "e_%s" % v for v in structure.variables}
+    cet = ComplexEventType(structure, assignment)
+    build = benchmark(build_tag, cet)
+    # Reachable product states: root/sink synchronise all chains, the
+    # middles advance independently -> 2^width + 2 states.
+    assert len(build.chains) == width
+    assert len(build.tag.states) == 2 ** width + 2
+    print(
+        "\nX5 p=%d chains -> %d states (2^p + 2)"
+        % (width, len(build.tag.states))
+    )

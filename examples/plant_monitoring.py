@@ -1,0 +1,140 @@
+"""Industrial-plant monitoring: consistency checking before mining.
+
+The paper stresses that inconsistent event structures "should be
+discarded even before the data mining process starts" (Section 3.1) and
+that consistency checking is NP-hard (Theorem 1) while the approximate
+propagation is a sound polynomial filter (Theorem 2).
+
+This example plays a plant engineer authoring malfunction-precursor
+patterns:
+
+* one pattern is subtly inconsistent across granularities and is
+  rejected by propagation instantly;
+* one hides a disjunction (the Figure 1(b) effect) that propagation
+  cannot see but the exact checker exposes;
+* the remaining sound pattern is mined from a synthetic plant log.
+
+Run with:  python examples/plant_monitoring.py
+"""
+
+import random
+
+from repro import TCG, EventSequence, EventStructure, standard_system
+from repro.constraints import (
+    ComplexEventType,
+    check_consistency_exact,
+    distance_values,
+    propagate,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+from repro.mining import EventDiscoveryProblem, discover, planted_sequence
+
+D = SECONDS_PER_DAY
+
+
+def main():
+    system = standard_system()
+    hour = system.get("hour")
+    day = system.get("day")
+    week = system.get("week")
+    month = system.get("month")
+    year = system.get("year")
+
+    # -- Pattern A: cross-granularity contradiction ------------------
+    # "overheat and shutdown in the same hour, but 2-5 days apart".
+    bad = EventStructure(
+        ["overheat", "shutdown"],
+        {
+            ("overheat", "shutdown"): [TCG(0, 0, hour), TCG(2, 5, day)],
+        },
+    )
+    result = propagate(bad, system)
+    print("Pattern A consistent?", result.consistent, "(refuted in",
+          result.iterations, "propagation iterations)")
+
+    # -- Pattern B: a hidden disjunction ------------------------------
+    # Both maintenance audits happen in the first month of a year, at
+    # most a year of months apart: their true distance is 0 or 12.
+    audit = EventStructure(
+        ["a1", "marker1", "a2", "marker2"],
+        {
+            ("a1", "marker1"): [TCG(11, 11, month), TCG(0, 0, year)],
+            ("a1", "a2"): [TCG(0, 12, month)],
+            ("a2", "marker2"): [TCG(11, 11, month), TCG(0, 0, year)],
+        },
+    )
+    print("\nPattern B (audit gadget):")
+    print("  propagation keeps the convex interval:",
+          propagate(audit, system).interval("a1", "a2", "month"))
+    exact = distance_values(
+        audit, system, "a1", "a2", month, window_seconds=3 * 366 * D
+    )
+    print("  exact realisable month distances   :", exact)
+    report = check_consistency_exact(audit, system, window_seconds=3 * 366 * D)
+    print("  exact consistency:", report.consistent,
+          "(%d search nodes)" % report.nodes_explored)
+
+    # -- Pattern C: mine malfunction precursors -----------------------
+    # overheat -> pressure-drop within 12 hours, malfunction the next
+    # calendar day, all inside one week.
+    precursor = EventStructure(
+        ["overheat", "drop", "malfunction"],
+        {
+            ("overheat", "drop"): [TCG(0, 12, hour)],
+            ("overheat", "malfunction"): [TCG(1, 1, day), TCG(0, 0, week)],
+        },
+    )
+    target = ComplexEventType(
+        precursor,
+        {
+            "overheat": "sensor-overheat",
+            "drop": "pressure-drop",
+            "malfunction": "malfunction",
+        },
+    )
+    rng = random.Random(7)
+    sequence, planted = planted_sequence(
+        target,
+        system,
+        n_roots=25,
+        confidence=0.8,
+        rng=rng,
+        noise_types=["valve-open", "pressure-drop", "shutdown"],
+        noise_events_per_root=6,
+        root_spacing_seconds=9 * D,
+    )
+    print(
+        "\nPattern C: mining %d events (%d precursor chains planted)"
+        % (len(sequence), planted)
+    )
+    problem = EventDiscoveryProblem(
+        precursor,
+        min_confidence=0.6,
+        reference_type="sensor-overheat",
+        candidates={"malfunction": frozenset(["malfunction"])},
+    )
+    outcome = discover(problem, sequence, system)
+    for cet in outcome.solutions:
+        print(
+            "  %.0f%%  overheat -> %s (<=12h) with %s next day, same week"
+            % (
+                100 * outcome.frequencies[cet],
+                cet.assignment["drop"],
+                cet.assignment["malfunction"],
+            )
+        )
+    print(
+        "  pipeline: %d -> %d events, %d -> %d anchors, %d candidate "
+        "patterns scanned"
+        % (
+            outcome.stats.sequence_events_before,
+            outcome.stats.sequence_events_after,
+            outcome.stats.roots_before,
+            outcome.stats.roots_after,
+            outcome.candidates_evaluated,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Quickstart: multi-granularity constraints in five minutes.
+
+Walks through the library's core loop:
+
+1. build a granularity system (business calendar included);
+2. express a temporal pattern as an event structure with TCGs;
+3. check consistency and inspect derived constraints;
+4. compile the pattern to a timed automaton with granularities (TAG);
+5. match it against an event sequence.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    TCG,
+    EventSequence,
+    EventStructure,
+    check_consistency,
+    compile_pattern,
+    pattern_frequency,
+    standard_system,
+)
+from repro.constraints import propagate
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def main():
+    # 1. A granularity system: second .. year plus business types.
+    system = standard_system()
+    print("Granularities:", ", ".join(system.labels()))
+
+    # 2. A pattern: a server alert acknowledged the NEXT business day,
+    #    and escalated within 4 hours of the acknowledgement but still
+    #    in the same week as the alert.
+    bday = system.get("b-day")
+    hour = system.get("hour")
+    week = system.get("week")
+    structure = EventStructure(
+        ["alert", "ack", "escalation"],
+        {
+            ("alert", "ack"): [TCG(1, 1, bday)],
+            ("ack", "escalation"): [TCG(0, 4, hour)],
+            ("alert", "escalation"): [TCG(0, 0, week)],
+        },
+    )
+
+    # 3. Consistency + derived constraints (sound, polynomial).
+    print("\nConsistent?", check_consistency(structure, system))
+    result = propagate(structure, system)
+    print("Derived alert->escalation intervals:")
+    for label, interval in sorted(result.intervals("alert", "escalation").items()):
+        print("   [%d, %d] %s" % (interval[0], interval[1], label))
+
+    # 4. Compile to a TAG matcher (phi maps variables to event types).
+    matcher = compile_pattern(
+        structure,
+        {"alert": "ALERT", "ack": "ACK", "escalation": "PAGE"},
+        system,
+    )
+    print(
+        "\nTAG: %d states, %d clocks, scan horizon %s seconds"
+        % (
+            len(matcher.tag.states),
+            len(matcher.tag.clocks),
+            matcher.horizon_seconds,
+        )
+    )
+
+    # 5. Match. Day 0 of the timeline is a Monday.
+    sequence = EventSequence(
+        [
+            ("ALERT", 0 * D + 10 * H),  # Monday 10:00
+            ("NOISE", 0 * D + 15 * H),
+            ("ACK", 1 * D + 9 * H),     # Tuesday 09:00 (next b-day)
+            ("PAGE", 1 * D + 11 * H),   # Tuesday 11:00 (2h later, same week)
+            ("ALERT", 4 * D + 16 * H),  # Friday 16:00
+            ("ACK", 7 * D + 9 * H),     # next Monday (next b-day) ...
+            ("PAGE", 7 * D + 10 * H),   # ... but no longer the same week!
+        ]
+    )
+    for index in sequence.occurrence_indices("ALERT"):
+        outcome = matcher.match_from(sequence, index)
+        stamp = sequence[index].time
+        print(
+            "ALERT at t=%-7d -> %s"
+            % (stamp, "MATCH %r" % outcome.bindings if outcome.matched else "no match")
+        )
+    print("Pattern frequency: %.2f" % pattern_frequency(matcher, sequence))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Regenerate the paper's figures as Graphviz DOT files.
+
+Writes Figure 1(a), Figure 1(b) and Figure 2 (the Example 1 TAG) into
+``docs/figures/``; render with ``dot -Tpng <file>`` if Graphviz is
+installed.
+
+Run with:  python examples/render_figures.py
+"""
+
+import os
+
+from repro import TCG, EventStructure, standard_system
+from repro.constraints import ComplexEventType
+from repro.automata import build_tag
+from repro.io import structure_to_dot, tag_to_dot
+
+OUTPUT_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs",
+    "figures",
+)
+
+
+def main():
+    system = standard_system()
+    bday = system.get("b-day")
+    hour = system.get("hour")
+    week = system.get("week")
+    month = system.get("month")
+    year = system.get("year")
+
+    figure_1a = EventStructure(
+        ["X0", "X1", "X2", "X3"],
+        {
+            ("X0", "X1"): [TCG(1, 1, bday)],
+            ("X1", "X3"): [TCG(0, 1, week)],
+            ("X0", "X2"): [TCG(0, 5, bday)],
+            ("X2", "X3"): [TCG(0, 8, hour)],
+        },
+    )
+    figure_1b = EventStructure(
+        ["X0", "X1", "X2", "X3"],
+        {
+            ("X0", "X1"): [TCG(11, 11, month), TCG(0, 0, year)],
+            ("X0", "X2"): [TCG(0, 12, month)],
+            ("X2", "X3"): [TCG(11, 11, month), TCG(0, 0, year)],
+        },
+    )
+    figure_2 = build_tag(
+        ComplexEventType(
+            figure_1a,
+            {
+                "X0": "ibm-rise",
+                "X1": "ibm-rep",
+                "X2": "hp-rise",
+                "X3": "ibm-fall",
+            },
+        )
+    ).tag
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    outputs = {
+        "figure_1a.dot": structure_to_dot(figure_1a, name="figure_1a"),
+        "figure_1b.dot": structure_to_dot(figure_1b, name="figure_1b"),
+        "figure_2_tag.dot": tag_to_dot(figure_2, name="figure_2"),
+    }
+    for filename, content in outputs.items():
+        path = os.path.join(OUTPUT_DIR, filename)
+        with open(path, "w") as handle:
+            handle.write(content)
+        print("wrote %s (%d lines)" % (path, content.count("\n")))
+
+
+if __name__ == "__main__":
+    main()

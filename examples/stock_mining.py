@@ -1,0 +1,134 @@
+"""Stock-market mining: the paper's Examples 1 and 2, end to end.
+
+Builds the Figure 1(a) event structure (IBM rise -> earnings report the
+next business day -> fall within the same-or-next week; HP rise within
+5 business days of the IBM rise and within 8 hours before the fall),
+plants it into a synthetic stock feed at 90% confidence, and runs the
+event-discovery problem of Example 2 with both the naive and the
+optimised algorithms, reporting the work each performed.
+
+Run with:  python examples/stock_mining.py
+"""
+
+import random
+import time
+
+from repro import TCG, EventStructure, standard_system
+from repro.constraints import ComplexEventType
+from repro.mining import (
+    EventDiscoveryProblem,
+    discover,
+    naive_discover,
+    planted_sequence,
+)
+
+
+def figure_1a(system):
+    bday = system.get("b-day")
+    hour = system.get("hour")
+    week = system.get("week")
+    return EventStructure(
+        ["X0", "X1", "X2", "X3"],
+        {
+            ("X0", "X1"): [TCG(1, 1, bday)],
+            ("X1", "X3"): [TCG(0, 1, week)],
+            ("X0", "X2"): [TCG(0, 5, bday)],
+            ("X2", "X3"): [TCG(0, 8, hour)],
+        },
+    )
+
+
+def main():
+    system = standard_system()
+    structure = figure_1a(system)
+    target = ComplexEventType(
+        structure,
+        {
+            "X0": "IBM-rise",
+            "X1": "IBM-earnings-report",
+            "X2": "HP-rise",
+            "X3": "IBM-fall",
+        },
+    )
+
+    rng = random.Random(1996)  # the year of the paper
+    sequence, planted = planted_sequence(
+        target,
+        system,
+        n_roots=40,
+        confidence=0.9,
+        rng=rng,
+        noise_types=["HP-fall", "DEC-rise", "DEC-fall", "SUN-rise"],
+        noise_events_per_root=8,
+    )
+    print(
+        "Synthetic feed: %d events, %d IBM-rise anchors, %d planted "
+        "complex events" % (len(sequence), sequence.count("IBM-rise"), planted)
+    )
+
+    # Example 2: (S, 0.8, IBM-rise, psi) with psi(X3) = {IBM-fall}.
+    problem = EventDiscoveryProblem(
+        structure,
+        min_confidence=0.8,
+        reference_type="IBM-rise",
+        candidates={"X3": frozenset(["IBM-fall"])},
+    )
+
+    print("\n-- naive algorithm (all candidates x all anchors) --")
+    start = time.perf_counter()
+    naive = naive_discover(problem, sequence, system)
+    naive_time = time.perf_counter() - start
+    print(
+        "candidates: %d   automaton starts: %d   time: %.2fs"
+        % (naive.candidates_evaluated, naive.automaton_starts, naive_time)
+    )
+
+    print("\n-- optimised pipeline (Section 5 steps 1-5) --")
+    start = time.perf_counter()
+    optimised = discover(problem, sequence, system)
+    optimised_time = time.perf_counter() - start
+    stats = optimised.stats
+    print(
+        "sequence: %d -> %d events   anchors: %d -> %d"
+        % (
+            stats.sequence_events_before,
+            stats.sequence_events_after,
+            stats.roots_before,
+            stats.roots_after,
+        )
+    )
+    print(
+        "candidates per variable: %s -> %s"
+        % (stats.candidates_before, stats.candidates_after_depth1)
+    )
+    print(
+        "candidates: %d   automaton starts: %d   time: %.2fs"
+        % (
+            optimised.candidates_evaluated,
+            optimised.automaton_starts,
+            optimised_time,
+        )
+    )
+
+    print("\n-- solutions (both algorithms agree) --")
+    for cet in optimised.solutions:
+        frequency = optimised.frequencies[cet]
+        pattern = ", ".join(
+            "%s=%s" % (v, cet.assignment[v]) for v in structure.variables
+        )
+        print("  %.0f%%  %s" % (100 * frequency, pattern))
+    assert sorted(map(str, naive.solution_assignments())) == sorted(
+        map(str, optimised.solution_assignments())
+    )
+    if naive_time > 0:
+        print(
+            "\nSpeed-up: %.0fx fewer automaton starts, %.0fx wall time"
+            % (
+                naive.automaton_starts / max(1, optimised.automaton_starts),
+                naive_time / max(1e-9, optimised_time),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Section 6 extensions in action: calendars as events, repetition,
+reference sets and type constraints.
+
+Scenario: an operations team wants to know
+
+1. "what happens in most weeks?"  - using *week boundaries* as the
+   reference (the paper: the reference "can be the event type, say,
+   'the beginning of a week'");
+2. whether the backup/verify pair repeats on THREE consecutive business
+   days (bounded repetition via structure unrolling);
+3. which follow-up reliably trails *either* kind of incident
+   (reference-type sets), requiring the two follow-up slots to be
+   handled by different teams (distinct-type constraint).
+
+Run with:  python examples/weekly_report.py
+"""
+
+import random
+
+from repro import TCG, EventSequence, EventStructure, standard_system
+from repro.automata import TagMatcher, build_tag
+from repro.constraints import ComplexEventType
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import (
+    Event,
+    EventDiscoveryProblem,
+    TypeConstraint,
+    discover,
+    discover_any_reference,
+    unroll,
+    unrolled_assignment,
+    with_anchors,
+)
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def what_happens_in_most_weeks(system):
+    print("1. What happens in most weeks?")
+    day = system.get("day")
+    week = system.get("week")
+    structure = EventStructure(
+        ["W", "E"],
+        {("W", "E"): [TCG(0, 0, week), TCG(0, 4, day)]},
+    )
+    rng = random.Random(3)
+    events = []
+    for week_index in range(12):
+        base = week_index * 7 * D
+        events.append(Event("deploy", base + D + 14 * H))  # Tuesdays
+        if week_index % 3 != 0:
+            events.append(Event("oncall-page", base + 2 * D + 3 * H))
+        events.append(Event("retro", base + 4 * D + 15 * H))  # Fridays
+        events.append(
+            Event("lunch", base + rng.randrange(0, 5) * D + 12 * H)
+        )
+    sequence = with_anchors(EventSequence(events), week)
+    problem = EventDiscoveryProblem(structure, 0.9, "@week")
+    outcome = discover(problem, sequence, system)
+    for cet in outcome.solutions:
+        print(
+            "   %3.0f%% of weeks contain a %s"
+            % (100 * outcome.frequencies[cet], cet.assignment["E"])
+        )
+
+
+def backup_repeats_three_days(system):
+    print("\n2. Does backup->verify repeat on 3 consecutive business days?")
+    bday = system.get("b-day")
+    hour = system.get("hour")
+    base = EventStructure(
+        ["B", "V"], {("B", "V"): [TCG(0, 1, hour)]}
+    )
+    chain = unroll(base, 3, [TCG(1, 1, bday)])
+    cet = ComplexEventType(
+        chain, unrolled_assignment({"B": "backup", "V": "verify"}, 3)
+    )
+    matcher = TagMatcher(build_tag(cet))
+    good = EventSequence(
+        [
+            ("backup", 1 * D + 2 * H), ("verify", 1 * D + 2 * H + 1800),
+            ("backup", 2 * D + 2 * H), ("verify", 2 * D + 3 * H - 60),
+            ("backup", 3 * D + 2 * H), ("verify", 3 * D + 2 * H + 900),
+        ]
+    )
+    # The "bad" week skips the middle verification.
+    bad = EventSequence(
+        [
+            ("backup", 8 * D + 2 * H), ("verify", 8 * D + 2 * H + 1800),
+            ("backup", 9 * D + 2 * H),
+            ("backup", 10 * D + 2 * H), ("verify", 10 * D + 3 * H - 60),
+        ]
+    )
+    print("   healthy week :", matcher.occurs_at(good, 0))
+    print("   broken week  :", matcher.occurs_at(bad, 0))
+
+
+def incident_followups(system):
+    print("\n3. What reliably follows either kind of incident?")
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["I", "F"], {("I", "F"): [TCG(0, 3, hour)]}
+    )
+    events = []
+    for i in range(10):
+        base = i * 2 * D
+        incident = "outage" if i % 2 else "degradation"
+        events.append(Event(incident, base + 10 * H))
+        events.append(Event("statuspage-update", base + 11 * H))
+        if i % 3 == 0:
+            events.append(Event("rollback", base + 12 * H))
+    sequence = EventSequence(events)
+    results = discover_any_reference(
+        structure,
+        0.8,
+        ["outage", "degradation"],
+        sequence,
+        system,
+    )
+    for assignment, frequency in sorted(results.items()):
+        print(
+            "   %3.0f%%  incident -> %s"
+            % (100 * frequency, dict(assignment)["F"])
+        )
+
+    print("\n   ... and who handles the two follow-up slots? (distinct teams)")
+    two_slot = EventStructure(
+        ["I", "F1", "F2"],
+        {
+            ("I", "F1"): [TCG(0, 3, hour)],
+            ("I", "F2"): [TCG(0, 3, hour)],
+        },
+    )
+    problem = EventDiscoveryProblem(
+        two_slot,
+        0.2,
+        "outage",
+        type_constraints=(TypeConstraint("distinct", ["F1", "F2"]),),
+    )
+    outcome = discover(problem, sequence, system)
+    for cet in outcome.solutions:
+        print(
+            "   %3.0f%%  outage -> {%s, %s}"
+            % (
+                100 * outcome.frequencies[cet],
+                cet.assignment["F1"],
+                cet.assignment["F2"],
+            )
+        )
+
+
+def main():
+    system = standard_system()
+    what_happens_in_most_weeks(system)
+    backup_repeats_three_days(system)
+    incident_followups(system)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro: multi-granularity temporal constraints, TAGs, and event mining.
+
+A from-scratch reproduction of Bettini, Wang & Jajodia, *Testing Complex
+Temporal Relationships Involving Multiple Granularities and Its
+Application to Data Mining* (PODS 1996).
+
+Layers (each importable on its own):
+
+* :mod:`repro.granularity` - temporal types over a discrete timeline,
+  calendar/business calendars, size tables, constraint conversion;
+* :mod:`repro.constraints` - TCGs, event structures, STP solving,
+  approximate propagation (Theorem 2), exact consistency;
+* :mod:`repro.automata` - timed automata with granularities (TAGs),
+  construction from complex event types (Theorem 3), online matching
+  (Theorem 4), and the exact reference matcher;
+* :mod:`repro.mining` - event-discovery problems, the naive and the
+  optimised five-step solver, the MTV95-style baseline, generators;
+* :mod:`repro.hardness` - the Theorem 1 SUBSET SUM reduction;
+* :mod:`repro.core` - a small facade for the common path.
+"""
+
+from .automata import StreamingMatcher, TagMatcher, build_tag
+from .constraints import (
+    TCG,
+    ComplexEventType,
+    EventStructure,
+    StructureBuilder,
+    propagate,
+)
+from .core import (
+    check_consistency,
+    compile_pattern,
+    count_pattern,
+    mine,
+    pattern_frequency,
+    stream_pattern,
+)
+from .granularity import GranularitySystem, TemporalType, standard_system
+from .mining import Event, EventDiscoveryProblem, EventSequence, discover
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TCG",
+    "EventStructure",
+    "ComplexEventType",
+    "propagate",
+    "TemporalType",
+    "GranularitySystem",
+    "standard_system",
+    "build_tag",
+    "TagMatcher",
+    "StreamingMatcher",
+    "StructureBuilder",
+    "Event",
+    "EventSequence",
+    "EventDiscoveryProblem",
+    "discover",
+    "check_consistency",
+    "compile_pattern",
+    "count_pattern",
+    "pattern_frequency",
+    "mine",
+    "stream_pattern",
+]

@@ -1,0 +1,188 @@
+"""Clocks with granularities and clock-constraint formulas.
+
+A TAG clock is named and "ticks" in a specific temporal type: its value
+after a run prefix is the tick distance (in its granularity) between the
+current event's timestamp and the timestamp at which the clock was last
+reset.  A clock constraint is a boolean combination of threshold atoms
+``k <= x`` / ``x <= k`` (the paper's Phi(C)); an atom over an *undefined*
+clock value (timestamp in a granularity gap) is unsatisfied, matching the
+paper's requirement that the tick conversions along a run be defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..granularity.base import TemporalType
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A named clock ticking in a granularity."""
+
+    name: str
+    granularity: TemporalType
+
+    def value(self, reset_time: int, now: int) -> Optional[int]:
+        """Clock reading at ``now`` given the last reset timestamp.
+
+        The paper's per-step update ``t + ceil(t_i) - ceil(t_{i-1})``
+        telescopes to ``ceil(now) - ceil(reset_time)``; None when either
+        timestamp is uncovered by the clock's granularity.
+        """
+        return self.granularity.distance(reset_time, now)
+
+    def __str__(self) -> str:
+        return "%s[%s]" % (self.name, self.granularity.label)
+
+
+class ClockConstraint:
+    """Base class of clock-constraint formulas (the paper's Phi(C))."""
+
+    def evaluate(self, values: Mapping[str, Optional[int]]) -> bool:
+        """Truth under a (possibly partially undefined) clock valuation."""
+        raise NotImplementedError
+
+    def clocks(self) -> FrozenSet[str]:
+        """Names of the clocks the formula mentions."""
+        raise NotImplementedError
+
+    # Convenient combinators.
+    def __and__(self, other: "ClockConstraint") -> "ClockConstraint":
+        return And((self, other))
+
+    def __or__(self, other: "ClockConstraint") -> "ClockConstraint":
+        return Or((self, other))
+
+    def __invert__(self) -> "ClockConstraint":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueConstraint(ClockConstraint):
+    """The trivially true guard."""
+
+    def evaluate(self, values: Mapping[str, Optional[int]]) -> bool:
+        return True
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Atom(ClockConstraint):
+    """Threshold atom: ``clock <= k`` (op "le") or ``k <= clock`` ("ge").
+
+    An undefined clock value falsifies the atom: the run-step conversion
+    the value stands for is undefined, so the transition cannot fire.
+    """
+
+    clock: str
+    op: str
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("le", "ge"):
+            raise ValueError("op must be 'le' or 'ge', got %r" % (self.op,))
+        if self.k < 0:
+            raise ValueError("threshold must be a non-negative integer")
+
+    def evaluate(self, values: Mapping[str, Optional[int]]) -> bool:
+        value = values.get(self.clock)
+        if value is None:
+            return False
+        if self.op == "le":
+            return value <= self.k
+        return value >= self.k
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset([self.clock])
+
+    def __str__(self) -> str:
+        if self.op == "le":
+            return "%s<=%d" % (self.clock, self.k)
+        return "%d<=%s" % (self.k, self.clock)
+
+
+@dataclass(frozen=True)
+class And(ClockConstraint):
+    """Conjunction of sub-formulas."""
+
+    parts: Tuple[ClockConstraint, ...]
+
+    def __init__(self, parts):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def evaluate(self, values: Mapping[str, Optional[int]]) -> bool:
+        return all(part.evaluate(values) for part in self.parts)
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.clocks() for p in self.parts)) \
+            if self.parts else frozenset()
+
+    def __str__(self) -> str:
+        return " & ".join("(%s)" % p for p in self.parts) or "true"
+
+
+@dataclass(frozen=True)
+class Or(ClockConstraint):
+    """Disjunction of sub-formulas."""
+
+    parts: Tuple[ClockConstraint, ...]
+
+    def __init__(self, parts):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def evaluate(self, values: Mapping[str, Optional[int]]) -> bool:
+        return any(part.evaluate(values) for part in self.parts)
+
+    def clocks(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.clocks() for p in self.parts)) \
+            if self.parts else frozenset()
+
+    def __str__(self) -> str:
+        return " | ".join("(%s)" % p for p in self.parts) or "false"
+
+
+@dataclass(frozen=True)
+class Not(ClockConstraint):
+    """Negation of a sub-formula.
+
+    Note: negation is evaluated classically over the three-valued atom
+    semantics, i.e. ``Not(Atom)`` is *true* when the clock value is
+    undefined.  TAGs generated from complex event types never use
+    negation; it exists because the paper's Phi(C) closes formulas under
+    arbitrary boolean combinations.
+    """
+
+    part: ClockConstraint
+
+    def evaluate(self, values: Mapping[str, Optional[int]]) -> bool:
+        return not self.part.evaluate(values)
+
+    def clocks(self) -> FrozenSet[str]:
+        return self.part.clocks()
+
+    def __str__(self) -> str:
+        return "!(%s)" % (self.part,)
+
+
+def within(clock: str, m: int, n: int) -> ClockConstraint:
+    """The guard a TCG ``[m, n]`` induces on a clock: ``m <= x <= n``."""
+    return And((Atom(clock, "ge", m), Atom(clock, "le", n)))
+
+
+def evaluate_clocks(
+    clocks: Mapping[str, Clock],
+    reset_times: Mapping[str, int],
+    now: int,
+) -> Dict[str, Optional[int]]:
+    """Valuation of every clock at ``now`` given per-clock reset times."""
+    return {
+        name: clock.value(reset_times[name], now)
+        for name, clock in clocks.items()
+    }

@@ -1,0 +1,265 @@
+"""Online TAG matching over event sequences (Theorem 4).
+
+The matcher follows the paper's NDFA simulation: it maintains the set of
+reachable configurations (state + clock valuation), feeding one event at
+a time.  Configuration count is bounded by
+``min(|sigma|, (|V| K)^p)`` per the theorem; deduplication by
+``(state, reset times)`` and an optional time horizon keep the set small
+in practice.
+
+``strict=True`` reproduces the letter of the paper's run definition:
+any event whose timestamp is uncovered by some clock granularity kills
+every run - *including* events whose own constraints never mention
+that granularity, so strict matching under-counts genuine complex
+events (a measured errata of Theorem 3's equivalence claim; see
+experiment X10).  The default lazy semantics only requires coverage at
+the events a guard actually inspects and recognises exactly the
+paper's binding semantics; the two coincide on sequences whose events
+are covered by every clock granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from .builder import TagBuild
+from .tag import ANY, Configuration
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..mining.events import EventSequence
+
+
+class _LazyValuation:
+    """Mapping-like clock valuation computed on demand.
+
+    Guards typically mention a couple of the automaton's clocks; this
+    avoids evaluating every clock for every configuration and event
+    (the matcher's hottest loop).
+    """
+
+    __slots__ = ("clocks", "reset_times", "now", "_cache")
+
+    def __init__(self, clocks, reset_times, now):
+        self.clocks = clocks
+        self.reset_times = reset_times
+        self.now = now
+        self._cache = {}
+
+    def get(self, name, default=None):
+        if name in self._cache:
+            return self._cache[name]
+        clock = self.clocks.get(name)
+        if clock is None:
+            return default
+        value = clock.granularity.distance(self.reset_times[name], self.now)
+        self._cache[name] = value
+        return value
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one root occurrence.
+
+    ``bindings`` maps variables to the timestamps of the events that
+    realised them in some accepting run (None when not matched).
+    """
+
+    matched: bool
+    bindings: Optional[Dict[str, int]]
+    events_scanned: int
+    peak_configurations: int
+
+
+class TagMatcher:
+    """Run a built TAG against event sequences.
+
+    Parameters
+    ----------
+    build:
+        The result of :func:`repro.automata.builder.build_tag`.
+    strict:
+        Use the paper's strict run semantics (see module docstring).
+    horizon_seconds:
+        If set, matching started at root time ``t0`` stops scanning
+        events after ``t0 + horizon_seconds``; sound when the value is
+        an upper bound on the root-to-anything distance in seconds (the
+        mining layer derives one from constraint propagation).
+    max_configurations:
+        Safety valve on the configuration set size.
+    """
+
+    def __init__(
+        self,
+        build: TagBuild,
+        strict: bool = False,
+        horizon_seconds: Optional[int] = None,
+        max_configurations: int = 100_000,
+    ):
+        self.build = build
+        self.tag = build.tag
+        self.strict = strict
+        self.horizon_seconds = horizon_seconds
+        self.max_configurations = max_configurations
+
+    # ------------------------------------------------------------------
+    # Anchored matching (the mining primitive)
+    # ------------------------------------------------------------------
+    def match_from(
+        self, sequence: "EventSequence", root_index: int
+    ) -> MatchResult:
+        """Match with the root variable bound to ``sequence[root_index]``.
+
+        The first step *must* consume the anchored event via a root
+        transition, which is the paper's "start one copy of the TAG at
+        every occurrence of E0".
+        """
+        root_event = sequence[root_index]
+        if root_event.etype != self.build.root_symbol:
+            return MatchResult(False, None, 0, 0)
+        start_config = Configuration(
+            state=next(iter(self.tag.start_states)),
+            reset_times={
+                name: root_event.time for name in self.tag.clocks
+            },
+            last_time=root_event.time,
+        )
+        root_variable = self.build.structure.root
+        anchored = [
+            config
+            for config in self.tag.step(
+                start_config, root_event.etype, root_event.time, self.strict
+            )
+            if config.bindings and config.bindings[0][0] == root_variable
+        ]
+        if not anchored:
+            return MatchResult(False, None, 1, 0)
+        return self._scan(sequence, root_index + 1, root_event.time, anchored)
+
+    def _scan(
+        self,
+        sequence: "EventSequence",
+        from_index: int,
+        root_time: int,
+        configs: List[Configuration],
+    ) -> MatchResult:
+        events_scanned = 1
+        peak = len(configs)
+        accepted = self._accepting(configs)
+        if accepted is not None:
+            return MatchResult(True, dict(accepted.bindings), 1, peak)
+        deadline = (
+            root_time + self.horizon_seconds
+            if self.horizon_seconds is not None
+            else None
+        )
+        clocks = self.tag.clocks
+        accepting = self.tag.accepting
+        for index in range(from_index, len(sequence)):
+            event = sequence[index]
+            if deadline is not None and event.time > deadline:
+                break
+            events_scanned += 1
+            if self.strict and any(
+                clock.granularity.tick_of(event.time) is None
+                for clock in clocks.values()
+            ):
+                # The paper's literal run definition: an uncovered
+                # timestamp kills every run, skipped or not.
+                configs = []
+                break
+            seen = set()
+            next_configs: List[Configuration] = []
+            accepted: Optional[Configuration] = None
+            for config in configs:
+                # The ANY self-loop: the configuration itself survives
+                # unchanged (reset times are immutable, last_time is
+                # irrelevant to future steps).
+                key = config.frozen_key()
+                if key not in seen:
+                    seen.add(key)
+                    next_configs.append(config)
+                values = None
+                for transition in self.tag.transitions_from(config.state):
+                    if transition.symbol == ANY:
+                        continue
+                    if transition.symbol != event.etype:
+                        continue
+                    if values is None:
+                        values = _LazyValuation(
+                            clocks, config.reset_times, event.time
+                        )
+                    if not transition.guard.evaluate(values):
+                        continue
+                    reset_times = dict(config.reset_times)
+                    for name in transition.resets:
+                        reset_times[name] = event.time
+                    successor = Configuration(
+                        state=transition.target,
+                        reset_times=reset_times,
+                        last_time=event.time,
+                        bindings=config.bindings
+                        + tuple(
+                            (variable, event.time)
+                            for variable in transition.variables
+                        ),
+                    )
+                    if successor.state in accepting:
+                        accepted = successor
+                        break
+                    key = successor.frozen_key()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    next_configs.append(successor)
+                if accepted is not None:
+                    break
+            if accepted is not None:
+                peak = max(peak, len(next_configs) + 1)
+                return MatchResult(
+                    True, dict(accepted.bindings), events_scanned, peak
+                )
+            configs = next_configs
+            peak = max(peak, len(configs))
+            if len(configs) > self.max_configurations:
+                raise RuntimeError(
+                    "configuration set exceeded %d; tighten the horizon"
+                    % self.max_configurations
+                )
+            if not configs:
+                break
+        return MatchResult(False, None, events_scanned, peak)
+
+    def _accepting(
+        self, configs: List[Configuration]
+    ) -> Optional[Configuration]:
+        for config in configs:
+            if config.state in self.tag.accepting:
+                return config
+        return None
+
+    # ------------------------------------------------------------------
+    # Whole-sequence helpers
+    # ------------------------------------------------------------------
+    def occurs_at(self, sequence: "EventSequence", root_index: int) -> bool:
+        """Does the complex event type occur anchored at this index?"""
+        return self.match_from(sequence, root_index).matched
+
+    def matching_roots(self, sequence: "EventSequence") -> Iterator[int]:
+        """Indices of root-type occurrences that anchor a match."""
+        for index in sequence.occurrence_indices(self.build.root_symbol):
+            if self.occurs_at(sequence, index):
+                yield index
+
+    def count_occurrences(self, sequence: "EventSequence") -> int:
+        """Paper-style count: matched root occurrences (each counted once)."""
+        return sum(1 for _ in self.matching_roots(sequence))
+
+    def accepts(self, sequence: "EventSequence") -> bool:
+        """Unanchored acceptance: some suffix anchors an occurrence.
+
+        This corresponds to Theorem 3's statement - the type occurs in
+        the sequence iff the TAG has an accepting run over it (runs may
+        skip any prefix via the start state's self-loop).
+        """
+        return any(True for _ in self.matching_roots(sequence))

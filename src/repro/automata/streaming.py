@@ -1,0 +1,167 @@
+"""Online (streaming) complex-event detection.
+
+The batch :class:`~repro.automata.matching.TagMatcher` answers "does
+the pattern occur anchored at this index" over a stored sequence; real
+monitoring systems instead *consume events as they arrive*.  This
+module provides that mode: a :class:`StreamingMatcher` is fed events in
+timestamp order, maintains one configuration set per live anchor (each
+root-type event opens one - the paper's "start one copy of the TAG at
+every occurrence of E0"), and emits a detection the first time an
+anchor's run reaches acceptance.
+
+Anchors retire when they accept, when their configuration set dies, or
+when the (propagation-derived or user-supplied) horizon passes - so
+memory is bounded by the number of anchors inside one horizon window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .builder import TagBuild
+from .tag import Configuration
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected occurrence: the anchor and its variable bindings."""
+
+    anchor_time: int
+    detected_at: int
+    bindings: Dict[str, int]
+
+
+class _Anchor:
+    __slots__ = ("time", "configs")
+
+    def __init__(self, time: int, configs: List[Configuration]):
+        self.time = time
+        self.configs = configs
+
+
+class StreamingMatcher:
+    """Feed events one at a time; collect detections as they complete.
+
+    Parameters mirror :class:`~repro.automata.matching.TagMatcher`;
+    ``horizon_seconds`` bounds how long an anchor stays live (None
+    keeps anchors until their configuration sets die, which for
+    patterns with bounded constraints happens naturally but may take
+    long on sparse streams - prefer a horizon).
+    """
+
+    def __init__(
+        self,
+        build: TagBuild,
+        strict: bool = False,
+        horizon_seconds: Optional[int] = None,
+        max_live_anchors: int = 10_000,
+    ):
+        self.build = build
+        self.tag = build.tag
+        self.strict = strict
+        self.horizon_seconds = horizon_seconds
+        self.max_live_anchors = max_live_anchors
+        self._anchors: List[_Anchor] = []
+        self._last_time: Optional[int] = None
+        self.events_processed = 0
+        self.detections_emitted = 0
+
+    # ------------------------------------------------------------------
+    def feed(self, etype: str, time: int) -> List[Detection]:
+        """Consume one event; return detections it completed."""
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                "events must arrive in non-decreasing timestamp order"
+            )
+        self._last_time = time
+        self.events_processed += 1
+        detections: List[Detection] = []
+
+        # Advance live anchors.
+        survivors: List[_Anchor] = []
+        for anchor in self._anchors:
+            if (
+                self.horizon_seconds is not None
+                and time > anchor.time + self.horizon_seconds
+            ):
+                continue  # expired
+            seen = set()
+            next_configs: List[Configuration] = []
+            accepted: Optional[Configuration] = None
+            for config in anchor.configs:
+                for successor in self.tag.step(
+                    config, etype, time, self.strict
+                ):
+                    key = successor.frozen_key()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if successor.state in self.tag.accepting:
+                        accepted = successor
+                        break
+                    next_configs.append(successor)
+                if accepted is not None:
+                    break
+            if accepted is not None:
+                detections.append(
+                    Detection(
+                        anchor_time=anchor.time,
+                        detected_at=time,
+                        bindings=dict(accepted.bindings),
+                    )
+                )
+                continue  # anchor consumed by its detection
+            if next_configs:
+                anchor.configs = next_configs
+                survivors.append(anchor)
+        self._anchors = survivors
+
+        # Open a new anchor if this is a root-type event.
+        if etype == self.build.root_symbol:
+            start_config = Configuration(
+                state=next(iter(self.tag.start_states)),
+                reset_times={name: time for name in self.tag.clocks},
+                last_time=time,
+            )
+            root_variable = self.build.structure.root
+            opened = [
+                config
+                for config in self.tag.step(
+                    start_config, etype, time, self.strict
+                )
+                if config.bindings and config.bindings[0][0] == root_variable
+            ]
+            accepted = next(
+                (c for c in opened if c.state in self.tag.accepting), None
+            )
+            if accepted is not None:
+                # Single-variable patterns accept immediately.
+                detections.append(
+                    Detection(
+                        anchor_time=time,
+                        detected_at=time,
+                        bindings=dict(accepted.bindings),
+                    )
+                )
+            elif opened:
+                self._anchors.append(_Anchor(time, opened))
+                if len(self._anchors) > self.max_live_anchors:
+                    raise RuntimeError(
+                        "more than %d live anchors; set a horizon"
+                        % self.max_live_anchors
+                    )
+        self.detections_emitted += len(detections)
+        return detections
+
+    def feed_sequence(self, events) -> List[Detection]:
+        """Convenience: feed an iterable of events, collect detections."""
+        detections: List[Detection] = []
+        for event in events:
+            detections.extend(self.feed(event.etype, event.time))
+        return detections
+
+    @property
+    def live_anchors(self) -> int:
+        """Number of anchors still awaiting completion."""
+        return len(self._anchors)

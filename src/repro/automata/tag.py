@@ -1,0 +1,225 @@
+"""Timed automata with granularities (TAGs), paper Section 4.
+
+A TAG is the 6-tuple ``(Sigma, S, S0, C, T, F)``: input letters, states,
+start states, granularity clocks, transitions and accepting states.  A
+transition carries an input symbol, the set of clocks it resets, and a
+clock-constraint guard.  This module defines the automaton structure and
+the *run* semantics (definition-level, one configuration at a time); the
+efficient set-of-configurations matcher lives in
+:mod:`repro.automata.matching`.
+
+Two semantics for clock values are provided:
+
+* ``lazy`` (default): a configuration stores per-clock reset timestamps
+  and values are computed as ``ceil(now) - ceil(reset)``; the telescoped
+  form of the paper's per-step update, insensitive to uncovered
+  timestamps of *skipped* events.
+* ``strict``: the letter of the paper's run definition - every step must
+  have ``ceil(t_i)`` defined for every clock granularity, so an event in
+  a granularity gap kills the run even if nothing consumes it (which
+  makes the strict TAG reject some genuine complex events - a measured
+  errata of Theorem 3; see DESIGN.md and experiment X10).  The two
+  semantics coincide on sequences whose events are covered by every
+  clock granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .clocks import Clock, ClockConstraint, TrueConstraint, evaluate_clocks
+
+#: Pseudo-symbol matched by skip transitions: any input letter.
+ANY = "*"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """``<s, s', e, gamma, phi>``: from ``source`` to ``target`` on input
+    ``symbol``, resetting ``resets`` and guarded by ``guard``.
+
+    ``variables`` records which event-structure variables this transition
+    consumes (empty for skip transitions) - metadata that makes runs
+    self-explanatory and lets the matcher recover bindings.
+    """
+
+    source: object
+    target: object
+    symbol: str
+    resets: FrozenSet[str] = frozenset()
+    guard: ClockConstraint = field(default_factory=TrueConstraint)
+    variables: Tuple[str, ...] = ()
+
+    def matches_symbol(self, symbol: str) -> bool:
+        """Does this transition accept the given input letter?"""
+        return self.symbol == ANY or self.symbol == symbol
+
+    def __str__(self) -> str:
+        resets = "{%s}" % ",".join(sorted(self.resets)) if self.resets else ""
+        return "%s --%s[%s]%s--> %s" % (
+            self.source,
+            self.symbol,
+            self.guard,
+            resets,
+            self.target,
+        )
+
+
+class TAG:
+    """A timed automaton with granularities.
+
+    States are arbitrary hashable objects (the builder uses tuples of
+    per-chain positions).  The transition relation is indexed by source
+    state for the matcher.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        states: Iterable[object],
+        start_states: Iterable[object],
+        clocks: Iterable[Clock],
+        transitions: Iterable[Transition],
+        accepting: Iterable[object],
+    ):
+        self.alphabet = frozenset(alphabet)
+        self.states = frozenset(states)
+        self.start_states = frozenset(start_states)
+        self.clocks: Dict[str, Clock] = {c.name: c for c in clocks}
+        self.transitions: Tuple[Transition, ...] = tuple(transitions)
+        self.accepting = frozenset(accepting)
+        self._validate()
+        self._by_source: Dict[object, List[Transition]] = {}
+        for transition in self.transitions:
+            self._by_source.setdefault(transition.source, []).append(
+                transition
+            )
+
+    def _validate(self) -> None:
+        if not self.start_states <= self.states:
+            raise ValueError("start states must be states")
+        if not self.accepting <= self.states:
+            raise ValueError("accepting states must be states")
+        for transition in self.transitions:
+            if transition.source not in self.states:
+                raise ValueError("unknown source %r" % (transition.source,))
+            if transition.target not in self.states:
+                raise ValueError("unknown target %r" % (transition.target,))
+            unknown = transition.resets - set(self.clocks)
+            if unknown:
+                raise ValueError("unknown reset clocks %r" % (unknown,))
+            unknown = transition.guard.clocks() - set(self.clocks)
+            if unknown:
+                raise ValueError("unknown guard clocks %r" % (unknown,))
+
+    def transitions_from(self, state: object) -> Sequence[Transition]:
+        """Transitions whose source is ``state``."""
+        return self._by_source.get(state, ())
+
+    # ------------------------------------------------------------------
+    # Definition-level run semantics
+    # ------------------------------------------------------------------
+    def initial_configuration(self, start_time: int = 0) -> "Configuration":
+        """A configuration in some start state with all clocks at 0.
+
+        (With a single start state this is deterministic; the builder
+        always produces a single start state.)
+        """
+        if len(self.start_states) != 1:
+            raise ValueError(
+                "initial_configuration needs a unique start state; use "
+                "the matcher for multiple start states"
+            )
+        (start,) = self.start_states
+        return Configuration(
+            state=start,
+            reset_times={name: start_time for name in self.clocks},
+            last_time=start_time,
+        )
+
+    def step(
+        self,
+        config: "Configuration",
+        symbol: str,
+        timestamp: int,
+        strict: bool = False,
+    ) -> List["Configuration"]:
+        """All successor configurations on one timed input event.
+
+        In ``strict`` mode the step dies when any clock granularity does
+        not cover ``timestamp`` (the paper's "must be defined" clause).
+        """
+        if timestamp < config.last_time:
+            raise ValueError("timestamps must be non-decreasing")
+        if strict:
+            for clock in self.clocks.values():
+                if clock.granularity.tick_of(timestamp) is None:
+                    return []
+        values = evaluate_clocks(self.clocks, config.reset_times, timestamp)
+        successors = []
+        for transition in self.transitions_from(config.state):
+            if not transition.matches_symbol(symbol):
+                continue
+            if not transition.guard.evaluate(values):
+                continue
+            reset_times = dict(config.reset_times)
+            for name in transition.resets:
+                reset_times[name] = timestamp
+            successors.append(
+                Configuration(
+                    state=transition.target,
+                    reset_times=reset_times,
+                    last_time=timestamp,
+                    bindings=config.bindings
+                    + tuple(
+                        (variable, timestamp)
+                        for variable in transition.variables
+                    ),
+                )
+            )
+        return successors
+
+    def accepts_run_end(self, config: "Configuration") -> bool:
+        """Is the configuration's state accepting?"""
+        return config.state in self.accepting
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<TAG states=%d clocks=%d transitions=%d>" % (
+            len(self.states),
+            len(self.clocks),
+            len(self.transitions),
+        )
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A run snapshot: control state, per-clock reset timestamps, the
+    last consumed timestamp, and variable bindings made so far."""
+
+    state: object
+    reset_times: Mapping[str, int]
+    last_time: int
+    bindings: Tuple[Tuple[str, int], ...] = ()
+
+    def clock_value(self, tag: TAG, name: str, now: int) -> Optional[int]:
+        """Current reading of one clock (None when undefined)."""
+        return tag.clocks[name].value(self.reset_times[name], now)
+
+    def frozen_key(self) -> Tuple:
+        """Hashable identity used by the matcher for deduplication.
+
+        Bindings are deliberately excluded: two configurations differing
+        only in how they bound variables behave identically in the
+        future, so keeping one of them preserves acceptance.
+        """
+        return (self.state, tuple(sorted(self.reset_times.items())))

@@ -1,0 +1,330 @@
+"""Command-line interface: consistency, matching, mining, conversion.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    repro check STRUCTURE.json            # Theorem 2 consistency filter
+    repro match PATTERN.json EVENTS.csv   # anchored TAG matching
+    repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
+    repro convert M N SRC DST             # implied-interval conversion
+    repro dot STRUCTURE.json              # Graphviz export
+
+Structures/patterns/problems are the JSON payloads of
+:mod:`repro.io.serialize`; event logs are two-column CSV
+(``event_type,timestamp`` with integer or calendar stamps); SRC/DST are
+granularity labels or expressions of :mod:`repro.granularity.parser`
+(e.g. ``group(month,3)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .automata.builder import build_tag
+from .automata.matching import TagMatcher
+from .constraints.propagation import propagate
+from .granularity.parser import GranularityParseError, parse_type
+from .granularity.registry import standard_system
+from .io.csvlog import read_events
+from .io.dot import structure_to_dot
+from .io.serialize import (
+    complex_event_type_from_dict,
+    load_json,
+    problem_from_dict,
+    structure_from_dict,
+)
+from .mining.discovery import discover
+
+
+def _cmd_check(args) -> int:
+    system = standard_system()
+    structure = structure_from_dict(load_json(args.structure), system)
+    result = propagate(structure, system)
+    if not result.consistent:
+        print("INCONSISTENT (refuted by approximate propagation)")
+        return 1
+    print("CONSISTENT (not refuted; the exact check is NP-hard)")
+    if args.verbose:
+        from .mining.reporting import propagation_report
+
+        print(propagation_report(result))
+    return 0
+
+
+def _cmd_match(args) -> int:
+    system = standard_system()
+    cet = complex_event_type_from_dict(load_json(args.pattern), system)
+    sequence = read_events(args.events)
+    matcher = TagMatcher(build_tag(cet))
+    root_type = cet.event_type(cet.structure.root)
+    total = sequence.count(root_type)
+    matches = list(matcher.matching_roots(sequence))
+    for index in matches:
+        result = matcher.match_from(sequence, index)
+        print(
+            "match at t=%d: %s"
+            % (sequence[index].time, json.dumps(result.bindings, sort_keys=True))
+        )
+    frequency = len(matches) / total if total else 0.0
+    print(
+        "%d/%d %s occurrences matched (frequency %.3f)"
+        % (len(matches), total, root_type, frequency)
+    )
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    system = standard_system()
+    problem = problem_from_dict(load_json(args.problem), system)
+    sequence = read_events(args.events)
+    outcome = discover(
+        problem, sequence, system, screen_depth=args.screen_depth
+    )
+    if not outcome.stats.consistent:
+        print("structure is inconsistent; nothing to mine")
+        return 1
+    if args.report:
+        from .mining.reporting import discovery_report
+
+        print(discovery_report(outcome))
+        return 0
+    for cet in outcome.solutions:
+        print(
+            "%.3f  %s"
+            % (
+                outcome.frequencies[cet],
+                json.dumps(cet.assignment, sort_keys=True),
+            )
+        )
+    stats = outcome.stats
+    print(
+        "# events %d->%d, anchors %d->%d, candidates evaluated %d, "
+        "automaton starts %d"
+        % (
+            stats.sequence_events_before,
+            stats.sequence_events_after,
+            stats.roots_before,
+            stats.roots_after,
+            outcome.candidates_evaluated,
+            outcome.automaton_starts,
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    import random
+
+    from .io.csvlog import write_events
+    from .mining.generator import planted_sequence
+
+    system = standard_system()
+    cet = complex_event_type_from_dict(load_json(args.pattern), system)
+    rng = random.Random(args.seed)
+    noise_types = args.noise.split(",") if args.noise else []
+    sequence, planted = planted_sequence(
+        cet,
+        system,
+        n_roots=args.roots,
+        confidence=args.confidence,
+        rng=rng,
+        noise_types=noise_types,
+        noise_events_per_root=args.noise_per_root,
+    )
+    write_events(sequence, args.output)
+    print(
+        "wrote %d events (%d/%d anchors carry a planted occurrence) "
+        "to %s" % (len(sequence), planted, args.roots, args.output),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    system = standard_system()
+    try:
+        source = parse_type(args.source, system)
+        target = parse_type(args.target, system)
+    except GranularityParseError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    outcome = system.convert(args.m, args.n, source, target, mode=args.mode)
+    if outcome.interval is None:
+        print(
+            "no implied constraint (conversion infeasible or unbounded)"
+        )
+        return 1
+    lo, hi = outcome.interval
+    print("[%d,%d]%s  implies  [%d,%d]%s" % (
+        args.m, args.n, source.label, lo, hi, target.label))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .constraints.analysis import find_disjunctions, tightness_report
+    from .granularity.gregorian import SECONDS_PER_DAY
+    from .mining.reporting import tightness_table
+
+    system = standard_system()
+    structure = structure_from_dict(load_json(args.structure), system)
+    window = args.window_days * SECONDS_PER_DAY
+    print("tightness (approximate propagation vs exact minimal network,")
+    print("granularity %s, window %d days):" % (args.granularity, args.window_days))
+    rows = tightness_report(structure, system, args.granularity, window)
+    print(tightness_table(rows))
+    disjunctions = find_disjunctions(
+        structure, system, args.granularity, window
+    )
+    if disjunctions:
+        print("\nhidden disjunctions (interval propagation cannot see):")
+        for item in disjunctions:
+            print(
+                "  %s -> %s in %s: realisable %s (holes %s)"
+                % (
+                    item.pair[0],
+                    item.pair[1],
+                    item.granularity_label,
+                    list(item.values),
+                    list(item.holes),
+                )
+            )
+    else:
+        print("\nno hidden disjunctions in this granularity/window")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    system = standard_system()
+    payload = load_json(args.structure)
+    if "assignment" in payload:
+        cet = complex_event_type_from_dict(payload, system)
+        if args.tag:
+            from .io.dot import tag_to_dot
+
+            print(tag_to_dot(build_tag(cet).tag), end="")
+            return 0
+        structure = cet.structure
+    else:
+        structure = structure_from_dict(payload, system)
+    print(structure_to_dot(structure), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-granularity temporal constraints and mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="consistency-check a structure")
+    check.add_argument("structure", help="event-structure JSON file")
+    check.add_argument(
+        "-v", "--verbose", action="store_true", help="print derived TCGs"
+    )
+    check.set_defaults(func=_cmd_check)
+
+    match = sub.add_parser("match", help="match a pattern against a log")
+    match.add_argument("pattern", help="complex-event-type JSON file")
+    match.add_argument("events", help="CSV event log")
+    match.set_defaults(func=_cmd_match)
+
+    mine = sub.add_parser("mine", help="run a discovery problem")
+    mine.add_argument("problem", help="discovery-problem JSON file")
+    mine.add_argument("events", help="CSV event log")
+    mine.add_argument(
+        "--screen-depth",
+        type=int,
+        default=2,
+        choices=(0, 1, 2),
+        help="candidate-screening depth (Section 5.1)",
+    )
+    mine.add_argument(
+        "--report",
+        action="store_true",
+        help="print a formatted report instead of raw solution lines",
+    )
+    mine.set_defaults(func=_cmd_mine)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic log with planted patterns"
+    )
+    generate.add_argument("pattern", help="complex-event-type JSON file")
+    generate.add_argument("output", help="CSV file to write")
+    generate.add_argument("--roots", type=int, default=20)
+    generate.add_argument("--confidence", type=float, default=0.9)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--noise", default="", help="comma-separated noise event types"
+    )
+    generate.add_argument("--noise-per-root", type=int, default=5)
+    generate.set_defaults(func=_cmd_generate)
+
+    convert = sub.add_parser(
+        "convert", help="convert an interval between granularities"
+    )
+    convert.add_argument("m", type=int)
+    convert.add_argument("n", type=int)
+    convert.add_argument("source", help="granularity label or expression")
+    convert.add_argument("target", help="granularity label or expression")
+    convert.add_argument(
+        "--mode", choices=("direct", "figure3"), default="direct"
+    )
+    convert.set_defaults(func=_cmd_convert)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="exact minimal-network analysis (exponential; small inputs)",
+    )
+    analyze.add_argument("structure", help="event-structure JSON file")
+    analyze.add_argument(
+        "--granularity", default="day", help="tick-distance granularity"
+    )
+    analyze.add_argument(
+        "--window-days",
+        type=int,
+        default=120,
+        help="search window for the exact enumeration",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    dot = sub.add_parser("dot", help="export a structure (or TAG) as DOT")
+    dot.add_argument("structure", help="structure or pattern JSON file")
+    dot.add_argument(
+        "--tag",
+        action="store_true",
+        help="export the compiled TAG of a pattern instead",
+    )
+    dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    User-input problems (missing files, malformed JSON/CSV, unknown
+    granularities) exit with code 2 and a one-line message instead of a
+    traceback.
+    """
+    from .io.csvlog import CsvFormatError
+    from .io.serialize import SerializationError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print("error: file not found: %s" % exc.filename, file=sys.stderr)
+        return 2
+    except (SerializationError, CsvFormatError, ValueError) as exc:
+        # json.JSONDecodeError and GranularityParseError are ValueError
+        # subclasses, so malformed inputs of every kind land here.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

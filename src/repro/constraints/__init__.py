@@ -1,0 +1,71 @@
+"""TCGs, event structures, STP solving, propagation and consistency.
+
+Implements Section 3 (and appendix A.2's hardness-relevant machinery) of
+the paper: temporal constraints with granularities, event structures,
+the single-granularity Simple Temporal Problem substrate, the sound
+polynomial approximate propagation, and the exact exponential check.
+"""
+
+from .builder import (
+    StructureBuilder,
+    parse_tcg,
+    parse_tcg_conjunction,
+    structure_from_text,
+)
+from .analysis import (
+    Disjunction,
+    TightnessRow,
+    exact_distance_sets,
+    find_disjunctions,
+    minimal_intervals,
+    tightness_report,
+)
+from .consistency import (
+    ConsistencyReport,
+    candidate_instants,
+    check_consistency_exact,
+    distance_values,
+)
+from .entailment import entails, subsumes
+from .minimize import UnsatisfiableConjunction, dominates, minimal_tcg_set
+from .propagation import (
+    PropagationResult,
+    check_consistency_approx,
+    propagate,
+)
+from .stp import INF, STP, InconsistentSTP, solve_intervals
+from .structure import ComplexEventType, EventStructure
+from .tcg import TCG, tcg
+
+__all__ = [
+    "TCG",
+    "tcg",
+    "EventStructure",
+    "ComplexEventType",
+    "STP",
+    "InconsistentSTP",
+    "INF",
+    "solve_intervals",
+    "propagate",
+    "PropagationResult",
+    "check_consistency_approx",
+    "check_consistency_exact",
+    "ConsistencyReport",
+    "candidate_instants",
+    "distance_values",
+    "exact_distance_sets",
+    "minimal_intervals",
+    "find_disjunctions",
+    "Disjunction",
+    "tightness_report",
+    "TightnessRow",
+    "dominates",
+    "UnsatisfiableConjunction",
+    "minimal_tcg_set",
+    "StructureBuilder",
+    "parse_tcg",
+    "parse_tcg_conjunction",
+    "structure_from_text",
+    "entails",
+    "subsumes",
+]

@@ -1,0 +1,180 @@
+"""Exact structure analysis: minimal networks and hidden disjunctions.
+
+The paper observes that a *complete* propagation algorithm - one always
+deriving the tightest constraints - cannot be polynomial (it would
+decide the NP-hard consistency problem).  This module provides that
+complete analysis as an explicitly exponential tool, built on the exact
+enumeration of :mod:`repro.constraints.consistency`:
+
+* :func:`exact_distance_sets` - for every ordered variable pair, the
+  exact set of realisable tick distances in a chosen granularity;
+* :func:`minimal_intervals` - the tightest implied intervals (the
+  convex hulls of those sets), i.e. what a complete propagation would
+  output;
+* :func:`find_disjunctions` - pairs whose realisable distance set has
+  holes (the Figure 1(b) phenomenon), invisible to interval-based
+  propagation by construction;
+* :func:`tightness_report` - side-by-side comparison of the polynomial
+  approximate propagation against the exact minimal network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..granularity.registry import GranularitySystem
+from .consistency import distance_values
+from .propagation import propagate
+from .structure import EventStructure
+
+Pair = Tuple[str, str]
+
+
+def ordered_pairs(structure: EventStructure) -> List[Pair]:
+    """All DAG-ordered variable pairs (x before y on some path)."""
+    return [
+        (x, y)
+        for x in structure.variables
+        for y in structure.variables
+        if x != y and structure.has_path(x, y)
+    ]
+
+
+def exact_distance_sets(
+    structure: EventStructure,
+    system: GranularitySystem,
+    granularity,
+    window_seconds: int,
+    max_nodes: int = 2_000_000,
+) -> Dict[Pair, List[int]]:
+    """Exact realisable tick-distance sets for every ordered pair.
+
+    Exponential (full assignment enumeration per pair); meant for
+    small analysis-time structures, exactly as Theorem 1 dictates.
+    """
+    return {
+        pair: distance_values(
+            structure,
+            system,
+            pair[0],
+            pair[1],
+            granularity,
+            window_seconds,
+            max_nodes=max_nodes,
+        )
+        for pair in ordered_pairs(structure)
+    }
+
+
+def minimal_intervals(
+    structure: EventStructure,
+    system: GranularitySystem,
+    granularity,
+    window_seconds: int,
+    max_nodes: int = 2_000_000,
+) -> Dict[Pair, Optional[Tuple[int, int]]]:
+    """Tightest implied intervals (complete-propagation output)."""
+    sets = exact_distance_sets(
+        structure, system, granularity, window_seconds, max_nodes=max_nodes
+    )
+    return {
+        pair: (values[0], values[-1]) if values else None
+        for pair, values in sets.items()
+    }
+
+
+@dataclass(frozen=True)
+class Disjunction:
+    """A pair whose realisable distance set has gaps."""
+
+    pair: Pair
+    granularity_label: str
+    values: Tuple[int, ...]
+
+    @property
+    def holes(self) -> Tuple[int, ...]:
+        """The missing values strictly inside the convex hull."""
+        present = set(self.values)
+        return tuple(
+            value
+            for value in range(self.values[0], self.values[-1] + 1)
+            if value not in present
+        )
+
+
+def find_disjunctions(
+    structure: EventStructure,
+    system: GranularitySystem,
+    granularity,
+    window_seconds: int,
+    max_nodes: int = 2_000_000,
+) -> List[Disjunction]:
+    """Pairs exhibiting the Figure 1(b) effect in a granularity."""
+    ttype = system.resolve(granularity)
+    result = []
+    for pair, values in exact_distance_sets(
+        structure, system, ttype, window_seconds, max_nodes=max_nodes
+    ).items():
+        if len(values) >= 2 and values[-1] - values[0] + 1 > len(values):
+            result.append(
+                Disjunction(
+                    pair=pair,
+                    granularity_label=ttype.label,
+                    values=tuple(values),
+                )
+            )
+    return result
+
+
+@dataclass
+class TightnessRow:
+    """One pair's approximate-vs-exact comparison."""
+
+    pair: Pair
+    approximate: Optional[Tuple[int, int]]
+    exact: Optional[Tuple[int, int]]
+
+    @property
+    def is_tight(self) -> bool:
+        """Did the polynomial propagation already reach the hull?"""
+        return self.approximate == self.exact
+
+    @property
+    def slack(self) -> Optional[int]:
+        """Interval-length excess of the approximation (None if either
+        side is missing)."""
+        if self.approximate is None or self.exact is None:
+            return None
+        approx_len = self.approximate[1] - self.approximate[0]
+        exact_len = self.exact[1] - self.exact[0]
+        return approx_len - exact_len
+
+
+def tightness_report(
+    structure: EventStructure,
+    system: GranularitySystem,
+    granularity,
+    window_seconds: int,
+    max_nodes: int = 2_000_000,
+) -> List[TightnessRow]:
+    """Approximate propagation vs the exact minimal network, per pair.
+
+    Quantifies the paper's incompleteness discussion: where (and by how
+    much) the polynomial algorithm stops short of the NP-hard optimum.
+    """
+    ttype = system.resolve(granularity)
+    approx = propagate(structure, system, extra_granularities=[ttype])
+    exact = minimal_intervals(
+        structure, system, ttype, window_seconds, max_nodes=max_nodes
+    )
+    rows = []
+    for pair in ordered_pairs(structure):
+        rows.append(
+            TightnessRow(
+                pair=pair,
+                approximate=approx.interval(pair[0], pair[1], ttype.label),
+                exact=exact.get(pair),
+            )
+        )
+    return rows

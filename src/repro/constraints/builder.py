@@ -1,0 +1,106 @@
+"""Fluent construction of event structures from compact text.
+
+Writing nested dict literals of TCG objects gets verbose; this module
+provides the ergonomic front end:
+
+    pattern = (
+        StructureBuilder(system)
+        .variables("alert", "ack", "page")
+        .arc("alert", "ack", "[1,1]b-day")
+        .arc("ack", "page", "[0,4]hour & [0,0]week")
+        .build()
+    )
+
+TCG conjunctions are written exactly as the paper (and this library's
+``str(TCG)``) prints them: ``[m,n]granularity`` terms joined by ``&``.
+Granularity names resolve through the system, including parser
+expressions such as ``group(month,3)``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..granularity.parser import parse_type
+from ..granularity.registry import GranularitySystem
+from .structure import ComplexEventType, EventStructure
+from .tcg import TCG
+
+_TERM = re.compile(r"^\s*\[\s*(\d+)\s*,\s*(\d+)\s*\]\s*(\S.*?)\s*$")
+
+
+def parse_tcg(text: str, system: GranularitySystem) -> TCG:
+    """Parse one ``[m,n]granularity`` term."""
+    match = _TERM.match(text)
+    if match is None:
+        raise ValueError(
+            "expected '[m,n]granularity', got %r" % (text,)
+        )
+    m, n = int(match.group(1)), int(match.group(2))
+    granularity = parse_type(match.group(3), system)
+    return TCG(m, n, granularity)
+
+
+def parse_tcg_conjunction(
+    text: str, system: GranularitySystem
+) -> List[TCG]:
+    """Parse an ``&``-joined conjunction of TCG terms."""
+    terms = [part for part in text.split("&") if part.strip()]
+    if not terms:
+        raise ValueError("empty TCG conjunction")
+    return [parse_tcg(term, system) for term in terms]
+
+
+class StructureBuilder:
+    """Accumulate variables and arcs, then build a validated structure.
+
+    Variables referenced by :meth:`arc` are declared implicitly (in
+    first-use order); :meth:`variables` pins an explicit order when the
+    root's identity matters for readability.
+    """
+
+    def __init__(self, system: GranularitySystem):
+        self.system = system
+        self._variables: List[str] = []
+        self._constraints: Dict[Tuple[str, str], List[TCG]] = {}
+
+    def variables(self, *names: str) -> "StructureBuilder":
+        """Declare variables explicitly (idempotent, order-preserving)."""
+        for name in names:
+            if name not in self._variables:
+                self._variables.append(name)
+        return self
+
+    def arc(
+        self, src: str, dst: str, tcgs: "str | List[TCG] | TCG"
+    ) -> "StructureBuilder":
+        """Add an arc with its TCG conjunction (text or objects)."""
+        self.variables(src, dst)
+        if isinstance(tcgs, str):
+            parsed = parse_tcg_conjunction(tcgs, self.system)
+        elif isinstance(tcgs, TCG):
+            parsed = [tcgs]
+        else:
+            parsed = list(tcgs)
+        self._constraints.setdefault((src, dst), []).extend(parsed)
+        return self
+
+    def build(self) -> EventStructure:
+        """Validate and return the event structure."""
+        return EventStructure(self._variables, self._constraints)
+
+    def build_pattern(self, **assignment: str) -> ComplexEventType:
+        """Build and instantiate in one step: keyword args map variables
+        to event types."""
+        return ComplexEventType(self.build(), assignment)
+
+
+def structure_from_text(
+    arcs: Dict[Tuple[str, str], str], system: GranularitySystem
+) -> EventStructure:
+    """One-shot variant: ``{(src, dst): "[m,n]g & ...", ...}``."""
+    builder = StructureBuilder(system)
+    for (src, dst), text in arcs.items():
+        builder.arc(src, dst, text)
+    return builder.build()

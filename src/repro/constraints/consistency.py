@@ -1,0 +1,283 @@
+"""Exact consistency checking of event structures (exponential search).
+
+Theorem 1 makes this NP-hard, so no polynomial algorithm is expected;
+this module provides the honest exponential check used (a) as an oracle
+to validate the approximate propagation, (b) to demonstrate the
+NP-hardness reduction empirically (experiment X3), and (c) to exhibit
+incompleteness of propagation on the Figure 1(b) gadget (experiment X2).
+
+The search assigns concrete timestamps to variables using dynamic
+most-constrained-variable ordering, choosing among *candidate instants*
+and pruning with the windows derived by the approximate propagation.
+By default the candidates are the tick starts of every granularity of
+the structure inside the search window.  That candidate set is complete
+whenever each variable's granularities partition time into ticks that
+are unions of ticks of one of the candidate-generating types (true for
+all calendar types shipped here, e.g. month / n-month / year structures
+snap to month starts); for unusual mixtures, pass an explicit
+``resolution`` in seconds to densify the candidate grid.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..granularity.calendar import second
+from ..granularity.registry import GranularitySystem
+from .propagation import propagate
+from .structure import EventStructure
+
+
+@dataclass
+class ConsistencyReport:
+    """Result of an exact consistency search.
+
+    ``consistent`` is meaningful only when ``completed`` is True; an
+    aborted search (node budget exhausted) reports what it knows.
+    """
+
+    consistent: bool
+    completed: bool
+    witness: Optional[Dict[str, int]]
+    nodes_explored: int
+    candidates_considered: int
+
+
+class _Budget(Exception):
+    """Internal: node budget exhausted."""
+
+
+def candidate_instants(
+    structure: EventStructure,
+    system: GranularitySystem,
+    window_seconds: int,
+    anchor: int = 0,
+    resolution: Optional[int] = None,
+) -> List[int]:
+    """Candidate timestamps for the exact search, sorted ascending."""
+    horizon = anchor + window_seconds
+    candidates = set()
+    if resolution is not None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        candidates.update(range(anchor, horizon + 1, resolution))
+    for ttype in structure.granularities():
+        resolved = system.resolve(ttype)
+        index = resolved.first_tick_at_or_after(anchor)
+        while True:
+            try:
+                first, _ = resolved.tick_bounds(index)
+            except ValueError:
+                break
+            if first > horizon:
+                break
+            candidates.add(first)
+            index += 1
+    return sorted(candidates)
+
+
+class _Searcher:
+    """Backtracking search shared by the exact-analysis entry points.
+
+    Uses most-constrained-variable ordering: at each step the unassigned
+    variable with the fewest candidate instants in its current window is
+    chosen (ties broken by constraint degree), which is what makes e.g.
+    the SUBSET SUM gadget's auxiliary variables cheap to place.
+    """
+
+    def __init__(
+        self,
+        structure: EventStructure,
+        system: GranularitySystem,
+        window_seconds: int,
+        anchor: int,
+        resolution: Optional[int],
+        max_nodes: int,
+    ):
+        self.structure = structure
+        self.anchor = anchor
+        self.window_seconds = window_seconds
+        self.max_nodes = max_nodes
+        self.nodes = 0
+        prop = propagate(structure, system, extra_granularities=[second()])
+        self.refuted = not prop.consistent
+        self.second_windows = (
+            prop.groups.get("second", {}) if prop.consistent else {}
+        )
+        self.candidates = (
+            candidate_instants(
+                structure,
+                system,
+                window_seconds,
+                anchor=anchor,
+                resolution=resolution,
+            )
+            if prop.consistent
+            else []
+        )
+        self.assignment: Dict[str, int] = {}
+        self._degree = {
+            v: len(structure.successors(v)) + len(structure.predecessors(v))
+            for v in structure.variables
+        }
+
+    # ------------------------------------------------------------------
+    def window_for(self, variable: str) -> Tuple[int, int]:
+        """Second-window implied by already-assigned variables."""
+        lo, hi = self.anchor, self.anchor + self.window_seconds
+        for other, value in self.assignment.items():
+            fwd = self.second_windows.get((other, variable))
+            if fwd is not None:
+                lo = max(lo, value + fwd[0])
+                hi = min(hi, value + fwd[1])
+            back = self.second_windows.get((variable, other))
+            if back is not None:
+                lo = max(lo, value - back[1])
+                hi = min(hi, value - back[0])
+        return lo, hi
+
+    def candidate_range(self, variable: str) -> Tuple[int, int]:
+        lo, hi = self.window_for(variable)
+        if lo > hi:
+            return 0, 0
+        return (
+            bisect_left(self.candidates, lo),
+            bisect_right(self.candidates, hi),
+        )
+
+    def pick_variable(self) -> Optional[str]:
+        """Most-constrained unassigned variable (fewest candidates)."""
+        best = None
+        best_key = None
+        for variable in self.structure.variables:
+            if variable in self.assignment:
+                continue
+            start, stop = self.candidate_range(variable)
+            key = (stop - start, -self._degree[variable])
+            if best_key is None or key < best_key:
+                best, best_key = variable, key
+        return best
+
+    def consistent_with_assigned(self, variable: str, value: int) -> bool:
+        for other, other_value in self.assignment.items():
+            for constraint in self.structure.tcgs(other, variable):
+                if not constraint.is_satisfied(other_value, value):
+                    return False
+            for constraint in self.structure.tcgs(variable, other):
+                if not constraint.is_satisfied(value, other_value):
+                    return False
+        return True
+
+    def search(self, on_complete) -> bool:
+        """Depth-first search; ``on_complete(assignment)`` is invoked on
+        every full assignment and may return True to stop the search."""
+        if len(self.assignment) == len(self.structure.variables):
+            return bool(on_complete(dict(self.assignment)))
+        variable = self.pick_variable()
+        assert variable is not None
+        start, stop = self.candidate_range(variable)
+        for position in range(start, stop):
+            self.nodes += 1
+            if self.nodes > self.max_nodes:
+                raise _Budget()
+            value = self.candidates[position]
+            if not self.consistent_with_assigned(variable, value):
+                continue
+            self.assignment[variable] = value
+            if self.search(on_complete):
+                return True
+            del self.assignment[variable]
+        return False
+
+
+def check_consistency_exact(
+    structure: EventStructure,
+    system: GranularitySystem,
+    window_seconds: int,
+    anchor: int = 0,
+    resolution: Optional[int] = None,
+    max_nodes: int = 2_000_000,
+) -> ConsistencyReport:
+    """Search for a complex event matching the structure in a window.
+
+    Consistency in the paper is existence anywhere on the timeline; for
+    (eventually) periodic granularity systems a window covering one
+    period of the coarsest type suffices, which is what the callers use.
+    """
+    searcher = _Searcher(
+        structure, system, window_seconds, anchor, resolution, max_nodes
+    )
+    if searcher.refuted:
+        return ConsistencyReport(
+            consistent=False,
+            completed=True,
+            witness=None,
+            nodes_explored=0,
+            candidates_considered=0,
+        )
+    found: List[Dict[str, int]] = []
+
+    def capture(assignment: Dict[str, int]) -> bool:
+        found.append(assignment)
+        return True
+
+    try:
+        searcher.search(capture)
+    except _Budget:
+        return ConsistencyReport(
+            consistent=False,
+            completed=False,
+            witness=None,
+            nodes_explored=searcher.nodes,
+            candidates_considered=len(searcher.candidates),
+        )
+    witness = found[0] if found else None
+    return ConsistencyReport(
+        consistent=witness is not None,
+        completed=True,
+        witness=witness,
+        nodes_explored=searcher.nodes,
+        candidates_considered=len(searcher.candidates),
+    )
+
+
+def distance_values(
+    structure: EventStructure,
+    system: GranularitySystem,
+    var_a: str,
+    var_b: str,
+    granularity,
+    window_seconds: int,
+    anchor: int = 0,
+    resolution: Optional[int] = None,
+    max_nodes: int = 2_000_000,
+) -> List[int]:
+    """All realisable tick distances between two variables.
+
+    Enumerates every complete satisfying assignment within the window
+    (over the candidate grid) and collects ``tick(b) - tick(a)`` in the
+    given granularity - the tool that exposes the *disjunction* hidden in
+    multi-granularity constraints (Figure 1(b): the realisable month
+    distances are exactly {0, 12}).
+    """
+    ttype = system.resolve(granularity)
+    searcher = _Searcher(
+        structure, system, window_seconds, anchor, resolution, max_nodes
+    )
+    if searcher.refuted:
+        return []
+    values = set()
+
+    def collect(assignment: Dict[str, int]) -> bool:
+        distance = ttype.distance(assignment[var_a], assignment[var_b])
+        if distance is not None:
+            values.add(distance)
+        return False  # keep enumerating
+
+    try:
+        searcher.search(collect)
+    except _Budget:
+        pass
+    return sorted(values)

@@ -1,0 +1,83 @@
+"""Structure entailment: does one pattern subsume another?
+
+``entails(specific, general, system)`` checks - soundly, via the
+conversion machinery - that every complex event matching ``specific``
+also matches ``general``.  Uses the propagated closure of the specific
+structure: each TCG the general structure demands must be dominated by
+a derived constraint of the specific one.
+
+Being built on sound-but-incomplete propagation, the check itself is
+sound but incomplete: ``True`` is a proof of entailment, ``False``
+means "not proven" (Theorem 1 rules out a cheap complete test).
+
+The mining-side use is solution organisation: discovered complex event
+types over comparable structures can be deduplicated/ordered by
+specificity (``subsumes`` for instantiated patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..granularity.registry import GranularitySystem
+from .minimize import dominates
+from .propagation import propagate
+from .structure import ComplexEventType, EventStructure
+from .tcg import TCG
+
+
+def entails(
+    specific: EventStructure,
+    general: EventStructure,
+    system: GranularitySystem,
+) -> bool:
+    """Sound check that matches of ``specific`` all match ``general``.
+
+    Requirements for a proof:
+
+    * ``general``'s variables are a subset of ``specific``'s (the
+      induced-substructure direction of Section 5.1);
+    * every arc (X, Y) of ``general`` connects variables with a path in
+      ``specific`` (so the order requirement is implied);
+    * every TCG of ``general`` is dominated by some TCG derived for
+      (X, Y) by propagating ``specific``.
+
+    An inconsistent ``specific`` entails anything (vacuously).
+    """
+    if not set(general.variables) <= set(specific.variables):
+        return False
+    result = propagate(specific, system)
+    if not result.consistent:
+        return True  # no matches at all
+    for (x, y), required in general.constraints.items():
+        if not specific.has_path(x, y):
+            return False
+        derived = result.derived_tcgs(x, y)
+        for constraint in required:
+            if not any(
+                _implies(have, constraint, system) for have in derived
+            ):
+                return False
+    return True
+
+
+def _implies(have: TCG, want: TCG, system: GranularitySystem) -> bool:
+    if have.label == want.label:
+        return want.m <= have.m and have.n <= want.n
+    return dominates(have, want, system)
+
+
+def subsumes(
+    specific: ComplexEventType,
+    general: ComplexEventType,
+    system: GranularitySystem,
+) -> bool:
+    """Instantiated-pattern subsumption: same-variable assignments must
+    agree, and the specific structure must entail the general one."""
+    shared = set(general.structure.variables) & set(
+        specific.structure.variables
+    )
+    for variable in shared:
+        if specific.event_type(variable) != general.event_type(variable):
+            return False
+    return entails(specific.structure, general.structure, system)

@@ -1,0 +1,108 @@
+"""Redundancy removal among TCG conjunctions.
+
+Propagation derives one interval per granularity for each pair, and
+many of those are mutually implied (e.g. ``[0,191]hour`` adds nothing
+once ``[0,5]b-day`` is present, because converting the latter yields
+the former).  This module prunes a TCG set to the entries that actually
+constrain something, using the (sound) conversion machinery itself:
+
+    ``c1`` dominates ``c2``  iff  converting ``c1`` into ``c2``'s
+    granularity yields an interval contained in ``c2``'s.
+
+Domination is conservative: only *provable* redundancy (via sound
+conversions) is removed, so the minimised conjunction accepts exactly
+the same timestamp pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..granularity.registry import GranularitySystem
+from .tcg import TCG
+
+
+class UnsatisfiableConjunction(ValueError):
+    """The conjunction admits no timestamp pair at all.
+
+    Raised by :func:`minimal_tcg_set` when two same-granularity entries
+    have an empty intersection - there is no TCG representing "false",
+    so the caller must handle the degenerate case (a structure carrying
+    such an arc is inconsistent; propagation detects this too).
+    """
+
+
+def dominates(
+    stronger: TCG, weaker: TCG, system: GranularitySystem
+) -> bool:
+    """Does satisfying ``stronger`` provably imply ``weaker``?
+
+    True when the sound conversion of ``stronger`` into the weaker
+    constraint's granularity lands inside the weaker interval.  (Both
+    TCGs also assert coverage; coverage in the weaker granularity is
+    guaranteed by conversion feasibility, which the check requires.)
+    """
+    if stronger is weaker:
+        return False
+    outcome = system.convert(
+        stronger.m, stronger.n, stronger.granularity, weaker.granularity
+    )
+    if outcome.interval is None:
+        return False
+    lo, hi = outcome.interval
+    return weaker.m <= lo and hi <= weaker.n
+
+
+def minimal_tcg_set(
+    tcgs: Sequence[TCG], system: GranularitySystem
+) -> List[TCG]:
+    """A subset of ``tcgs`` with the same satisfying pairs, dominated
+    entries removed.
+
+    Entries are considered in order of (coarse) interval width so the
+    tightest constraints are kept; mutual domination (two constraints
+    implying each other) keeps the first.  Intersects same-granularity
+    duplicates before checking cross-granularity domination.
+    """
+    # Merge same-granularity constraints by intersection.
+    merged = {}
+    for constraint in tcgs:
+        existing = merged.get(constraint.label)
+        if existing is None:
+            merged[constraint.label] = constraint
+        else:
+            lo = max(existing.m, constraint.m)
+            hi = min(existing.n, constraint.n)
+            if lo > hi:
+                raise UnsatisfiableConjunction(
+                    "%s and %s have an empty intersection"
+                    % (existing, constraint)
+                )
+            merged[constraint.label] = TCG(lo, hi, existing.granularity)
+    candidates = sorted(
+        merged.values(), key=lambda c: (c.n - c.m, c.label)
+    )
+    kept: List[TCG] = []
+    for constraint in candidates:
+        if any(dominates(other, constraint, system) for other in kept):
+            continue
+        kept.append(constraint)
+    # Interval widths in different granularities are not comparable, so
+    # a later entry may dominate an earlier one: sweep again, dropping
+    # any entry dominated by another survivor (mutual domination keeps
+    # the earlier entry).
+    final: List[TCG] = []
+    for position, constraint in enumerate(kept):
+        redundant = False
+        for other_position, other in enumerate(kept):
+            if other_position == position:
+                continue
+            if not dominates(other, constraint, system):
+                continue
+            mutual = dominates(constraint, other, system)
+            if not mutual or other_position < position:
+                redundant = True
+                break
+        if not redundant:
+            final.append(constraint)
+    return final

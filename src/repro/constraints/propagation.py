@@ -1,0 +1,240 @@
+"""Approximate constraint propagation with granularities (Section 3.2).
+
+The algorithm partitions the TCGs of an event structure into one group
+per temporal type, runs STP path consistency inside each group, converts
+every (closed) constraint of each group into every other feasible
+granularity with the appendix A.1 algorithm, and repeats to fixpoint.
+
+Guarantees (Theorem 2, all verified by the test suite):
+
+* **sound** - every complex event matching the input structure matches
+  the derived one;
+* **terminating** - interval lengths shrink integrally;
+* **polynomial** - ``O(n^5 |M|^2 w)`` in the worst case.
+
+It is deliberately *incomplete*: Theorem 1 makes complete propagation
+NP-hard, and Figure 1(b)'s month/year gadget (test suite, experiment X2)
+exhibits the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..granularity.base import TemporalType
+from ..granularity.registry import GranularitySystem
+from .stp import STP, InconsistentSTP
+from .structure import EventStructure
+from .tcg import TCG
+
+Arc = Tuple[str, str]
+Interval = Tuple[int, int]
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of the approximate propagation.
+
+    ``consistent`` is False only when an inconsistency was *detected*;
+    True means "not refuted" (the check is sound, not complete).
+    """
+
+    structure: EventStructure
+    consistent: bool
+    groups: Dict[str, Dict[Arc, Interval]]
+    types: Dict[str, TemporalType]
+    iterations: int = 0
+    conversions_performed: int = 0
+    system: Optional[GranularitySystem] = None
+
+    def interval(self, x: str, y: str, label: str) -> Optional[Interval]:
+        """Derived ``[lo, hi]`` for ``tick(y) - tick(x)`` in a granularity."""
+        return self.groups.get(label, {}).get((x, y))
+
+    def intervals(self, x: str, y: str) -> Dict[str, Interval]:
+        """All derived intervals for the ordered pair, keyed by label."""
+        result = {}
+        for label, group in self.groups.items():
+            interval = group.get((x, y))
+            if interval is not None:
+                result[label] = interval
+        return result
+
+    def derived_tcgs(self, x: str, y: str) -> List[TCG]:
+        """The derived constraints on an ordered pair, as TCG objects."""
+        return [
+            TCG(lo, hi, self.types[label])
+            for label, (lo, hi) in sorted(self.intervals(x, y).items())
+        ]
+
+    def minimal_derived_tcgs(self, x: str, y: str) -> List[TCG]:
+        """The derived conjunction with provably redundant entries
+        removed (see :mod:`repro.constraints.minimize`)."""
+        from .minimize import minimal_tcg_set
+
+        if self.system is None:
+            return self.derived_tcgs(x, y)
+        return minimal_tcg_set(self.derived_tcgs(x, y), self.system)
+
+    def induced_substructure(
+        self, variables: Sequence[str]
+    ) -> Optional[EventStructure]:
+        """The *induced approximated sub-structure* of Section 5.1.
+
+        Arcs connect pairs (X, Y) from ``variables`` with a path X -> Y
+        in the original structure and at least one (original or derived)
+        constraint; each such arc carries all the derived TCGs.  Returns
+        None when the chosen variables end up with no root reaching all
+        of them (the paper requires connected sub-chains).
+        """
+        chosen = [v for v in self.structure.variables if v in set(variables)]
+        constraints: Dict[Arc, List[TCG]] = {}
+        for x in chosen:
+            for y in chosen:
+                if x == y or not self.structure.has_path(x, y):
+                    continue
+                tcgs = self.derived_tcgs(x, y)
+                if tcgs:
+                    constraints[(x, y)] = tcgs
+        if not constraints and len(chosen) > 1:
+            return None
+        try:
+            return EventStructure(chosen, constraints)
+        except ValueError:
+            return None
+
+    def derived_structure(self) -> EventStructure:
+        """The full derived structure S' = (W, A', Gamma')."""
+        substructure = self.induced_substructure(self.structure.variables)
+        assert substructure is not None  # the original root still reaches all
+        return substructure
+
+
+def _initial_groups(
+    structure: EventStructure, system: GranularitySystem
+) -> Tuple[Dict[str, Dict[Arc, Interval]], Dict[str, TemporalType]]:
+    groups: Dict[str, Dict[Arc, Interval]] = {}
+    types: Dict[str, TemporalType] = {}
+    for arc, tcgs in structure.constraints.items():
+        for constraint in tcgs:
+            label = constraint.label
+            types.setdefault(label, system.resolve(constraint.granularity))
+            group = groups.setdefault(label, {})
+            lo, hi = group.get(arc, (0, float("inf")))
+            lo = max(lo, constraint.m)
+            hi = min(hi, constraint.n)
+            group[arc] = (lo, hi)
+    return groups, types
+
+
+def _close_group(
+    variables: Sequence[str], group: Dict[Arc, Interval]
+) -> Optional[Dict[Arc, Interval]]:
+    """STP closure of one granularity group; None when inconsistent."""
+    stp = STP(variables)
+    try:
+        for (x, y), (lo, hi) in group.items():
+            stp.add(x, y, lo, hi)
+        stp.closure()
+    except InconsistentSTP:
+        return None
+    return stp.finite_intervals()
+
+
+def propagate(
+    structure: EventStructure,
+    system: GranularitySystem,
+    extra_granularities: Sequence[TemporalType] = (),
+    max_iterations: int = 10_000,
+) -> PropagationResult:
+    """Run the Section 3.2 approximate propagation to fixpoint.
+
+    ``extra_granularities`` adds target types beyond those appearing in
+    the structure (the mining layer passes ``second`` here to obtain
+    concrete scan windows).
+    """
+    groups, types = _initial_groups(structure, system)
+    for extra in extra_granularities:
+        resolved = system.resolve(extra)
+        types.setdefault(resolved.label, resolved)
+        groups.setdefault(resolved.label, {})
+    labels = sorted(types)
+    result = PropagationResult(
+        structure=structure,
+        consistent=True,
+        groups=groups,
+        types=types,
+        system=system,
+    )
+    if not groups:
+        return result
+    variables = structure.variables
+    # A TCG [m, n]_mu asserts the time order t1 <= t2 in addition to the
+    # tick distance, so a derived STP interval is a valid TCG only for
+    # pairs ordered by the DAG (timestamps are non-decreasing along
+    # paths).  Keeping reversed/unordered pairs would be unsound.
+    ordered_pairs = {
+        (x, y)
+        for x in variables
+        for y in variables
+        if x != y and structure.has_path(x, y)
+    }
+    for iteration in range(1, max_iterations + 1):
+        result.iterations = iteration
+        # Step 1: path consistency inside each group.
+        for label in labels:
+            closed = _close_group(variables, groups[label])
+            if closed is None:
+                result.consistent = False
+                return result
+            groups[label] = {
+                arc: interval
+                for arc, interval in closed.items()
+                if arc in ordered_pairs
+            }
+        # Step 2: cross-granularity conversion.
+        changed = False
+        for src_label in labels:
+            for dst_label in labels:
+                if src_label == dst_label:
+                    continue
+                src_type = types[src_label]
+                dst_type = types[dst_label]
+                if not system.conversion_feasible(src_type, dst_type):
+                    continue
+                dst_group = groups[dst_label]
+                for arc, (lo, hi) in groups[src_label].items():
+                    outcome = system.convert(lo, hi, src_type, dst_type)
+                    result.conversions_performed += 1
+                    if outcome.empty:
+                        result.consistent = False
+                        return result
+                    if outcome.interval is None:
+                        continue
+                    new_lo, new_hi = outcome.interval
+                    old = dst_group.get(arc)
+                    if old is not None:
+                        new_lo = max(new_lo, old[0])
+                        new_hi = min(new_hi, old[1])
+                        if new_lo > new_hi:
+                            result.consistent = False
+                            return result
+                    if old is None or (new_lo, new_hi) != old:
+                        dst_group[arc] = (new_lo, new_hi)
+                        changed = True
+        if not changed:
+            return result
+    raise RuntimeError(
+        "propagation did not converge within %d iterations; this "
+        "contradicts Theorem 2 and indicates a conversion-table bug"
+        % max_iterations
+    )
+
+
+def check_consistency_approx(
+    structure: EventStructure, system: GranularitySystem
+) -> bool:
+    """Sound (incomplete) consistency check: False means *proven*
+    inconsistent, True means not refuted."""
+    return propagate(structure, system).consistent

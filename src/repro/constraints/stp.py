@@ -1,0 +1,123 @@
+"""Simple Temporal Problem (STP) solver, after Dechter, Meiri & Pearl.
+
+Within a single granularity, a set of TCGs over the same temporal type is
+exactly an STP: variables with binary difference constraints
+``m <= X_j - X_i <= n``.  Path consistency on the distance graph (here:
+Floyd-Warshall all-pairs shortest paths) computes the *minimal network*
+in ``O(|V|^3)`` and detects inconsistency as a negative cycle.
+
+This is the propagation primitive the paper's Section 3.2 algorithm runs
+inside each granularity group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+Interval = Tuple[int, int]
+
+#: Sentinel for "no bound" in the distance matrix.
+INF = float("inf")
+
+
+class InconsistentSTP(Exception):
+    """Raised when an STP's distance graph contains a negative cycle."""
+
+
+class STP:
+    """A Simple Temporal Problem over hashable variable names.
+
+    Constraints are intervals on differences: ``add(x, y, lo, hi)``
+    asserts ``lo <= y - x <= hi``.  :meth:`closure` computes the minimal
+    network (tightest implied intervals for every ordered pair).
+    """
+
+    def __init__(self, variables: Iterable[Hashable]):
+        self.variables: List[Hashable] = list(dict.fromkeys(variables))
+        self._index = {v: i for i, v in enumerate(self.variables)}
+        n = len(self.variables)
+        # dist[i][j] = tightest known upper bound on var_j - var_i.
+        self._dist = [
+            [0 if i == j else INF for j in range(n)] for i in range(n)
+        ]
+
+    def add(self, x: Hashable, y: Hashable, lo: float, hi: float) -> None:
+        """Assert ``lo <= y - x <= hi`` (either bound may be infinite)."""
+        if lo > hi:
+            raise InconsistentSTP(
+                "empty interval [%r, %r] on (%r, %r)" % (lo, hi, x, y)
+            )
+        i, j = self._index[x], self._index[y]
+        if hi < self._dist[i][j]:
+            self._dist[i][j] = hi
+        if -lo < self._dist[j][i]:
+            self._dist[j][i] = -lo
+
+    def closure(self) -> None:
+        """Floyd-Warshall path consistency; raises on negative cycles."""
+        dist = self._dist
+        n = len(dist)
+        for k in range(n):
+            dk = dist[k]
+            for i in range(n):
+                dik = dist[i][k]
+                if dik is INF or dik == INF:
+                    continue
+                di = dist[i]
+                for j in range(n):
+                    candidate = dik + dk[j]
+                    if candidate < di[j]:
+                        di[j] = candidate
+        for i in range(n):
+            if dist[i][i] < 0:
+                raise InconsistentSTP(
+                    "negative cycle through %r" % (self.variables[i],)
+                )
+
+    def interval(self, x: Hashable, y: Hashable) -> Tuple[float, float]:
+        """Tightest known ``[lo, hi]`` for ``y - x`` (call closure first)."""
+        i, j = self._index[x], self._index[y]
+        return -self._dist[j][i], self._dist[i][j]
+
+    def finite_intervals(self) -> Dict[Tuple[Hashable, Hashable], Interval]:
+        """All ordered pairs with a fully finite, non-trivial interval.
+
+        Only pairs with ``lo >= 0`` are reported, matching the paper's
+        convention that constraints follow the DAG direction (the reverse
+        pair carries the mirrored information).
+        """
+        result: Dict[Tuple[Hashable, Hashable], Interval] = {}
+        n = len(self.variables)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                hi = self._dist[i][j]
+                lo = -self._dist[j][i]
+                if hi is INF or hi == INF or lo == -INF:
+                    continue
+                if lo >= 0:
+                    result[(self.variables[i], self.variables[j])] = (
+                        int(lo),
+                        int(hi),
+                    )
+        return result
+
+
+def solve_intervals(
+    variables: Iterable[Hashable],
+    constraints: Mapping[Tuple[Hashable, Hashable], Interval],
+) -> Optional[Dict[Tuple[Hashable, Hashable], Interval]]:
+    """One-shot convenience: closure of a constraint map, or None.
+
+    Returns the minimal network's finite forward intervals, or None when
+    the STP is inconsistent.
+    """
+    stp = STP(variables)
+    try:
+        for (x, y), (lo, hi) in constraints.items():
+            stp.add(x, y, lo, hi)
+        stp.closure()
+    except InconsistentSTP:
+        return None
+    return stp.finite_intervals()

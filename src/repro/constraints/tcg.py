@@ -1,0 +1,68 @@
+"""Temporal constraints with granularities (TCGs), paper Section 3.
+
+A TCG ``[m, n]_mu`` is a binary relation on timestamps: ``(t1, t2)``
+satisfies it iff ``t1 <= t2``, both timestamps are covered by ``mu``,
+and the tick distance ``tick(t2) - tick(t1)`` lies in ``[m, n]``.
+
+The canonical counter-example of the paper - ``[0, 0]_day`` is *not*
+expressible as any ``[m', n']_second`` - falls out of these semantics
+directly and is verified in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..granularity.base import TemporalType
+
+
+@dataclass(frozen=True)
+class TCG:
+    """A temporal constraint with granularity, ``[m, n]_mu``.
+
+    Attributes
+    ----------
+    m, n:
+        Non-negative integer bounds on the tick distance, ``m <= n``.
+    granularity:
+        The temporal type the distance is measured in.
+    """
+
+    m: int
+    n: int
+    granularity: TemporalType
+
+    def __post_init__(self) -> None:
+        if self.m < 0:
+            raise ValueError("lower bound must be non-negative")
+        if self.n < self.m:
+            raise ValueError(
+                "upper bound %d below lower bound %d" % (self.n, self.m)
+            )
+
+    def is_satisfied(self, t1: int, t2: int) -> bool:
+        """Definition from Section 3: order, definedness, bounded distance."""
+        if t1 > t2:
+            return False
+        distance = self.granularity.distance(t1, t2)
+        if distance is None:
+            return False
+        return self.m <= distance <= self.n
+
+    def distance_of(self, t1: int, t2: int) -> Optional[int]:
+        """The constrained quantity itself (tick distance), or None."""
+        return self.granularity.distance(t1, t2)
+
+    @property
+    def label(self) -> str:
+        """The granularity's label, for grouping by type."""
+        return self.granularity.label
+
+    def __str__(self) -> str:
+        return "[%d,%d]%s" % (self.m, self.n, self.granularity.label)
+
+
+def tcg(m: int, n: int, granularity: TemporalType) -> TCG:
+    """Convenience constructor mirroring the paper's ``[m, n]_mu``."""
+    return TCG(m, n, granularity)

@@ -1,0 +1,25 @@
+"""High-level facade over the paper's primary contribution.
+
+For users who want the headline capabilities without navigating the
+sub-packages: build granularity systems and event structures, check
+consistency, compile complex event types to TAGs, match them, and run
+discovery problems.
+"""
+
+from .api import (
+    check_consistency,
+    compile_pattern,
+    count_pattern,
+    mine,
+    pattern_frequency,
+    stream_pattern,
+)
+
+__all__ = [
+    "check_consistency",
+    "compile_pattern",
+    "count_pattern",
+    "pattern_frequency",
+    "mine",
+    "stream_pattern",
+]

@@ -1,0 +1,112 @@
+"""Convenience entry points tying the layers together."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from ..automata.builder import TagBuild, build_tag
+from ..automata.matching import TagMatcher
+from ..constraints.propagation import propagate
+from ..constraints.structure import ComplexEventType, EventStructure
+from ..granularity.calendar import second
+from ..granularity.registry import GranularitySystem, standard_system
+from ..mining.discovery import (
+    DiscoveryOutcome,
+    EventDiscoveryProblem,
+    discover,
+)
+from ..mining.events import EventSequence
+
+
+def check_consistency(
+    structure: EventStructure, system: Optional[GranularitySystem] = None
+) -> bool:
+    """Sound consistency check via approximate propagation (Theorem 2).
+
+    False means the structure is *proven* inconsistent (safe to discard
+    before mining); True means not refuted - the exact check is NP-hard
+    (Theorem 1), see :func:`repro.constraints.check_consistency_exact`.
+    """
+    system = system if system is not None else standard_system()
+    return propagate(structure, system).consistent
+
+
+def compile_pattern(
+    structure: EventStructure,
+    assignment: Mapping[str, str],
+    system: Optional[GranularitySystem] = None,
+) -> TagMatcher:
+    """Compile a complex event type into a ready-to-run TAG matcher.
+
+    A seconds horizon is derived by propagation when every variable has
+    a finite window, so matching stops scanning as early as possible.
+    """
+    system = system if system is not None else standard_system()
+    cet = ComplexEventType(structure, assignment)
+    build: TagBuild = build_tag(cet)
+    result = propagate(structure, system, extra_granularities=[second()])
+    horizon = None
+    if result.consistent:
+        seconds = result.groups.get("second", {})
+        bounds = [
+            seconds.get((structure.root, v))
+            for v in structure.variables
+            if v != structure.root
+        ]
+        if all(b is not None for b in bounds) and bounds:
+            horizon = max(hi for _, hi in bounds)
+    return TagMatcher(build, horizon_seconds=horizon)
+
+
+def stream_pattern(
+    structure: EventStructure,
+    assignment: Mapping[str, str],
+    system: Optional[GranularitySystem] = None,
+):
+    """Compile a pattern into an online :class:`StreamingMatcher`.
+
+    The anchor-retirement horizon is derived by propagation like
+    :func:`compile_pattern`'s scan horizon.
+    """
+    from ..automata.streaming import StreamingMatcher
+
+    batch = compile_pattern(structure, assignment, system)
+    return StreamingMatcher(
+        batch.build, horizon_seconds=batch.horizon_seconds
+    )
+
+
+def count_pattern(
+    matcher: TagMatcher, sequence: EventSequence
+) -> int:
+    """Root occurrences of the matcher's pattern in a sequence."""
+    return matcher.count_occurrences(sequence)
+
+
+def pattern_frequency(
+    matcher: TagMatcher, sequence: EventSequence
+) -> float:
+    """The paper's frequency: matched roots / reference occurrences."""
+    total = sequence.count(matcher.build.root_symbol)
+    if total == 0:
+        return 0.0
+    return matcher.count_occurrences(sequence) / total
+
+
+def mine(
+    structure: EventStructure,
+    reference_type: str,
+    sequence: EventSequence,
+    min_confidence: float,
+    candidates: Optional[Mapping[str, FrozenSet[str]]] = None,
+    system: Optional[GranularitySystem] = None,
+) -> DiscoveryOutcome:
+    """Solve an event-discovery problem with the optimised pipeline."""
+    system = system if system is not None else standard_system()
+    problem = EventDiscoveryProblem(
+        structure=structure,
+        min_confidence=min_confidence,
+        reference_type=reference_type,
+        candidates=dict(candidates) if candidates else {},
+    )
+    return discover(problem, sequence, system)

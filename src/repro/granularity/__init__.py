@@ -1,0 +1,88 @@
+"""Temporal types (time granularities) and conversions between them.
+
+This package implements Section 2 and appendix A.1 of the paper: the
+formal model of granularities over a discrete absolute timeline, the
+standard calendar and business-calendar types, size tables, and the
+constraint-conversion algorithm of Figure 3.
+"""
+
+from .base import DayBasedType, TemporalType, UniformType
+from .business import (
+    BusinessDayType,
+    BusinessMonthType,
+    BusinessWeekType,
+    business_day,
+    business_month,
+    business_week,
+)
+from .calendar import (
+    MonthType,
+    YearType,
+    day,
+    hour,
+    minute,
+    month,
+    second,
+    week,
+    year,
+)
+from .combinators import FilteredType, GroupedType
+from .conversion import ConversionOutcome, convert_interval, covers_prefix
+from .customcal import (
+    CustomCalendar,
+    CustomMonthType,
+    CustomYearType,
+    retail_445_calendar,
+    thirteen_period_calendar,
+)
+from .intersection import IntersectionType, business_hours
+from .parser import GranularityParseError, parse_type
+from .periodic import PeriodicPatternType, shifts, weekly_slots
+from .registry import GranularitySystem, standard_system
+from .relations import finer_than, groups_into, partitions, subgranularity
+from .sizes import SizeTable
+
+__all__ = [
+    "TemporalType",
+    "UniformType",
+    "DayBasedType",
+    "MonthType",
+    "YearType",
+    "BusinessDayType",
+    "BusinessWeekType",
+    "BusinessMonthType",
+    "GroupedType",
+    "FilteredType",
+    "SizeTable",
+    "ConversionOutcome",
+    "convert_interval",
+    "covers_prefix",
+    "GranularitySystem",
+    "standard_system",
+    "PeriodicPatternType",
+    "shifts",
+    "weekly_slots",
+    "parse_type",
+    "GranularityParseError",
+    "CustomCalendar",
+    "CustomMonthType",
+    "CustomYearType",
+    "thirteen_period_calendar",
+    "retail_445_calendar",
+    "IntersectionType",
+    "business_hours",
+    "finer_than",
+    "groups_into",
+    "partitions",
+    "subgranularity",
+    "second",
+    "minute",
+    "hour",
+    "day",
+    "week",
+    "month",
+    "year",
+    "business_day",
+    "business_week",
+    "business_month",
+]

@@ -1,0 +1,189 @@
+"""Business-calendar temporal types: b-day, b-week, business-month.
+
+These are the paper's showcase granularities *with gaps* (a Saturday is
+covered by no ``b-day`` tick) and with *non-contiguous ticks* (a
+``business-month`` tick is the union of the business days of a month,
+excluding its weekends).  Both weekend days and an explicit holiday list
+are configurable, so the same classes model e.g. a six-day trading week.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Optional, Sequence, Tuple
+
+from . import gregorian as greg
+from .base import DayBasedType
+
+
+class BusinessDayType(DayBasedType):
+    """Business days: one tick per working day, gaps elsewhere.
+
+    Parameters
+    ----------
+    workdays:
+        The weekday numbers (0 = Monday .. 6 = Sunday) that are working
+        days.  Defaults to Monday-Friday.
+    holidays:
+        Day indices that are non-working despite falling on a workday
+        weekday.  Holidays on weekend days are ignored (redundant).
+    """
+
+    def __init__(
+        self,
+        label: str = "b-day",
+        workdays: Sequence[int] = (0, 1, 2, 3, 4),
+        holidays: Iterable[int] = (),
+    ):
+        workdays = tuple(sorted(set(workdays)))
+        if not workdays:
+            raise ValueError("at least one workday is required")
+        if any(not 0 <= w <= 6 for w in workdays):
+            raise ValueError("workdays must be weekday numbers 0..6")
+        self.label = label
+        self.workdays = workdays
+        self.holidays = tuple(
+            sorted(
+                d for d in set(holidays) if greg.weekday(d) in set(workdays)
+            )
+        )
+        self._holiday_set = frozenset(self.holidays)
+        self._per_week = len(workdays)
+        # rank of each weekday within a week's workdays (or None).
+        self._weekday_rank = {w: i for i, w in enumerate(workdays)}
+
+    # ------------------------------------------------------------------
+    # Pattern arithmetic ignoring holidays
+    # ------------------------------------------------------------------
+    def _pattern_rank(self, day_index: int) -> Optional[int]:
+        """0-based rank of a day among pattern workdays, None if not one."""
+        rank_in_week = self._weekday_rank.get(greg.weekday(day_index))
+        if rank_in_week is None:
+            return None
+        return (day_index // 7) * self._per_week + rank_in_week
+
+    def _pattern_day(self, rank: int) -> int:
+        """Inverse of :meth:`_pattern_rank` for non-negative ranks."""
+        week, pos = divmod(rank, self._per_week)
+        return week * 7 + self.workdays[pos]
+
+    def _holidays_at_or_before(self, day_index: int) -> int:
+        return bisect_right(self.holidays, day_index)
+
+    def period_info(self):
+        """Exactly weekly-periodic when there are no holidays; holiday
+        lists break periodicity, so no period is declared then."""
+        if self.holidays:
+            return None
+        return self._per_week, 7 * greg.SECONDS_PER_DAY
+
+    # ------------------------------------------------------------------
+    # DayBasedType interface
+    # ------------------------------------------------------------------
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0:
+            return None
+        rank = self._pattern_rank(day_index)
+        if rank is None:
+            return None
+        if day_index in self._holiday_set:
+            return None
+        return rank - self._holidays_at_or_before(day_index)
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        day = self._pattern_day(index)
+        # Holidays push the index-th business day later; each correction
+        # step accounts for holidays skipped so far, so the loop runs at
+        # most len(holidays) + 1 times.
+        while True:
+            tick = self.day_tick_of(day)
+            if tick == index:
+                return day, day
+            # Move to the next pattern workday.
+            rank = self._pattern_rank(day)
+            assert rank is not None
+            day = self._pattern_day(rank + 1)
+
+
+class BusinessWeekType(DayBasedType):
+    """Business weeks: tick *i* is the set of business days of week *i*.
+
+    A tick is non-contiguous when the underlying business-day type skips
+    days inside the week.  The paper requires empty ticks only at the end
+    of time, so a week consisting entirely of holidays raises
+    :class:`ValueError` when its bounds are requested.
+    """
+
+    def __init__(self, label: str = "b-week", bday: Optional[BusinessDayType] = None):
+        self.label = label
+        self.bday = bday if bday is not None else BusinessDayType()
+
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0 or self.bday.day_tick_of(day_index) is None:
+            return None
+        return day_index // 7
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        days = [
+            d
+            for d in range(index * 7, index * 7 + 7)
+            if self.bday.day_tick_of(d) is not None
+        ]
+        if not days:
+            raise ValueError(
+                "week %d contains no business day; such a temporal type "
+                "violates the paper's non-empty-tick requirement" % index
+            )
+        return days[0], days[-1]
+
+
+class BusinessMonthType(DayBasedType):
+    """Business months: tick *i* is the set of business days of month *i*."""
+
+    def __init__(
+        self,
+        label: str = "business-month",
+        bday: Optional[BusinessDayType] = None,
+    ):
+        self.label = label
+        self.bday = bday if bday is not None else BusinessDayType()
+
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0 or self.bday.day_tick_of(day_index) is None:
+            return None
+        return greg.month_index_of_day(day_index)
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        first, last = greg.month_bounds(index)
+        days = [
+            d
+            for d in range(first, last + 1)
+            if self.bday.day_tick_of(d) is not None
+        ]
+        if not days:
+            raise ValueError(
+                "month %d contains no business day; such a temporal type "
+                "violates the paper's non-empty-tick requirement" % index
+            )
+        return days[0], days[-1]
+
+
+def business_day(**kwargs) -> BusinessDayType:
+    """Factory for the default Monday-Friday business day."""
+    return BusinessDayType(**kwargs)
+
+
+def business_week(**kwargs) -> BusinessWeekType:
+    """Factory for the default business week."""
+    return BusinessWeekType(**kwargs)
+
+
+def business_month(**kwargs) -> BusinessMonthType:
+    """Factory for the default business month."""
+    return BusinessMonthType(**kwargs)

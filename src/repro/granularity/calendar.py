@@ -1,0 +1,87 @@
+"""Calendar temporal types: month, year, and the standard uniform types.
+
+The factory functions here produce the intuitive types of the paper's
+Section 2 (``second``, ``minute``, ``hour``, ``day``, ``week``, ``month``,
+``year``) over the synthetic proleptic Gregorian calendar of
+:mod:`repro.granularity.gregorian`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from . import gregorian as greg
+from .base import DayBasedType, TemporalType, UniformType
+
+
+class MonthType(DayBasedType):
+    """Calendar months; tick 0 is the epoch month (January, epoch year)."""
+
+    total = True
+
+    def __init__(self, label: str = "month"):
+        self.label = label
+
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0:
+            return None
+        return greg.month_index_of_day(day_index)
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        return greg.month_bounds(index)
+
+
+class YearType(DayBasedType):
+    """Calendar years; tick 0 is the epoch year."""
+
+    total = True
+
+    def __init__(self, label: str = "year"):
+        self.label = label
+
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0:
+            return None
+        return greg.year_index_of_day(day_index)
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        return greg.year_bounds(index)
+
+
+def second() -> TemporalType:
+    """The primitive type: one tick per second."""
+    return UniformType("second", 1)
+
+
+def minute() -> TemporalType:
+    """Sixty-second ticks aligned to the epoch."""
+    return UniformType("minute", greg.SECONDS_PER_MINUTE)
+
+
+def hour() -> TemporalType:
+    """Hour ticks aligned to the epoch."""
+    return UniformType("hour", greg.SECONDS_PER_HOUR)
+
+
+def day() -> TemporalType:
+    """Calendar-day ticks; day 0 is a Monday by construction."""
+    return UniformType("day", greg.SECONDS_PER_DAY)
+
+
+def week() -> TemporalType:
+    """Monday-aligned calendar weeks (the epoch day is a Monday)."""
+    return UniformType("week", 7 * greg.SECONDS_PER_DAY)
+
+
+def month() -> TemporalType:
+    """Calendar months of the synthetic Gregorian calendar."""
+    return MonthType()
+
+
+def year() -> TemporalType:
+    """Calendar years of the synthetic Gregorian calendar."""
+    return YearType()

@@ -1,0 +1,140 @@
+"""Combinators that build new temporal types from existing ones.
+
+The paper's NP-hardness gadget needs ``n-month`` types ("grouping each
+consecutive n ticks of month into a single tick"); :class:`GroupedType`
+implements exactly that, generalised with an offset so that e.g. fiscal
+years (12 months starting in April) are expressible too.
+:class:`FilteredType` keeps a sub-sequence of a base type's ticks
+(re-indexed), which models types like "Mondays" or "odd days" and is used
+by the property tests to exercise unusual granularities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from .base import TemporalType
+
+
+class GroupedType(TemporalType):
+    """Group each ``n`` consecutive ticks of a base type into one tick.
+
+    Tick *i* of the grouped type is the union of base ticks
+    ``offset + i*n .. offset + i*n + n - 1``.  Instants covered by base
+    ticks before ``offset`` are gaps of the grouped type.
+    """
+
+    def __init__(
+        self,
+        base: TemporalType,
+        n: int,
+        label: Optional[str] = None,
+        offset: int = 0,
+    ):
+        if n <= 0:
+            raise ValueError("group size must be positive")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.base = base
+        self.n = n
+        self.offset = offset
+        if label is None:
+            label = "%d-%s" % (n, base.label)
+            if offset:
+                label += "+%d" % offset
+        self.label = label
+        self.alignment_seconds = base.alignment_seconds
+        # Grouping keeps coverage; an offset uncovers the leading ticks.
+        self.total = base.total and offset == 0
+
+    def tick_of(self, second: int) -> Optional[int]:
+        b = self.base.tick_of(second)
+        if b is None or b < self.offset:
+            return None
+        return (b - self.offset) // self.n
+
+    def tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        first_base = self.offset + index * self.n
+        first, _ = self.base.tick_bounds(first_base)
+        _, last = self.base.tick_bounds(first_base + self.n - 1)
+        return first, last
+
+    def period_info(self):
+        """Exact period when the base declares one: the grouped pattern
+        repeats after lcm(base period, group size) base ticks."""
+        base_info = getattr(self.base, "period_info", None)
+        if not callable(base_info):
+            return None
+        base_ticks, base_seconds = base_info()
+        from math import gcd
+
+        lcm = base_ticks * self.n // gcd(base_ticks, self.n)
+        return lcm // self.n, lcm // base_ticks * base_seconds
+
+
+class FilteredType(TemporalType):
+    """Keep the base ticks selected by a predicate, re-indexed from 0.
+
+    The predicate receives a base tick index.  Because ranks of an
+    arbitrary predicate cannot be computed in closed form, selected base
+    indices are enumerated lazily and cached; ``max_base_index`` bounds
+    the search so a predicate that is eventually always-false cannot make
+    lookups diverge (the paper requires empties only at the end of time,
+    which such a predicate would model).
+    """
+
+    def __init__(
+        self,
+        base: TemporalType,
+        predicate: Callable[[int], bool],
+        label: str,
+        max_base_index: int = 1_000_000,
+    ):
+        self.base = base
+        self.predicate = predicate
+        self.label = label
+        self.max_base_index = max_base_index
+        self.alignment_seconds = base.alignment_seconds
+        self._selected = []  # sorted base indices discovered so far
+        self._scanned_upto = 0  # base indices < this have been classified
+
+    def _scan_until(self, base_index: int) -> None:
+        """Classify base ticks up to and including ``base_index``."""
+        limit = min(base_index, self.max_base_index)
+        while self._scanned_upto <= limit:
+            if self.predicate(self._scanned_upto):
+                self._selected.append(self._scanned_upto)
+            self._scanned_upto += 1
+
+    def _rank_of_base(self, base_index: int) -> Optional[int]:
+        self._scan_until(base_index)
+        if base_index > self.max_base_index:
+            return None
+        from bisect import bisect_left
+
+        pos = bisect_left(self._selected, base_index)
+        if pos < len(self._selected) and self._selected[pos] == base_index:
+            return pos
+        return None
+
+    def tick_of(self, second: int) -> Optional[int]:
+        b = self.base.tick_of(second)
+        if b is None:
+            return None
+        return self._rank_of_base(b)
+
+    def tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        while len(self._selected) <= index:
+            if self._scanned_upto > self.max_base_index:
+                raise ValueError(
+                    "tick %d of %r not found within the scan bound; the "
+                    "type may have run out of non-empty ticks" % (index, self.label)
+                )
+            if self.predicate(self._scanned_upto):
+                self._selected.append(self._scanned_upto)
+            self._scanned_upto += 1
+        return self.base.tick_bounds(self._selected[index])

@@ -1,0 +1,195 @@
+"""User-defined calendars (the paper's [Soo93] multi-calendar support).
+
+The Gregorian calendar of :mod:`repro.granularity.gregorian` is just
+one instance of the paper's temporal types; real systems also run
+accounting calendars (thirteen 28-day periods), 4-4-5 retail quarters,
+and other custom schemes.  A :class:`CustomCalendar` is defined by its
+per-year month lengths plus an optional leap rule (extra days appended
+to a chosen month in leap years); :class:`CustomMonthType` and
+:class:`CustomYearType` expose it as temporal types sharing the same
+absolute timeline (day 0 = the standard epoch), so patterns can mix
+Gregorian and custom granularities freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .base import DayBasedType
+from .gregorian import SECONDS_PER_DAY
+
+
+class CustomCalendar:
+    """A calendar from month lengths and an optional leap rule.
+
+    Parameters
+    ----------
+    month_lengths:
+        Days in each month of a common year.
+    leap_days:
+        ``leap_days(year_index) -> int`` extra days in that year
+        (0-based year index; default none).
+    leap_month:
+        Which month (0-based) absorbs the extra days (default: last).
+    """
+
+    def __init__(
+        self,
+        month_lengths: Sequence[int],
+        leap_days: Optional[Callable[[int], int]] = None,
+        leap_month: Optional[int] = None,
+        period_years: Optional[int] = None,
+    ):
+        """``period_years`` optionally declares that the leap rule
+        repeats with that period, letting the size tables treat scanned
+        values as exact (see SizeTable.period_info support)."""
+        month_lengths = tuple(int(d) for d in month_lengths)
+        if not month_lengths or any(d <= 0 for d in month_lengths):
+            raise ValueError("month lengths must be positive")
+        self.month_lengths = month_lengths
+        self.leap_days = leap_days if leap_days is not None else (lambda y: 0)
+        self.leap_month = (
+            leap_month if leap_month is not None else len(month_lengths) - 1
+        )
+        if not 0 <= self.leap_month < len(month_lengths):
+            raise ValueError("leap_month out of range")
+        self.base_year_days = sum(month_lengths)
+        if period_years is not None and period_years <= 0:
+            raise ValueError("period_years must be positive")
+        self.period_years = period_years
+        self._year_starts: List[int] = [0]  # day index of each year start
+
+    # ------------------------------------------------------------------
+    def days_in_year(self, year_index: int) -> int:
+        extra = int(self.leap_days(year_index))
+        if extra < 0:
+            raise ValueError("leap rule returned negative days")
+        return self.base_year_days + extra
+
+    def months_per_year(self) -> int:
+        return len(self.month_lengths)
+
+    def days_in_month(self, year_index: int, month: int) -> int:
+        base = self.month_lengths[month]
+        if month == self.leap_month:
+            base += int(self.leap_days(year_index))
+        return base
+
+    def _ensure_year(self, year_index: int) -> None:
+        while len(self._year_starts) <= year_index + 1:
+            previous_year = len(self._year_starts) - 1
+            self._year_starts.append(
+                self._year_starts[-1] + self.days_in_year(previous_year)
+            )
+
+    def year_of_day(self, day_index: int) -> int:
+        """0-based year index containing a day index."""
+        if day_index < 0:
+            raise ValueError("day index must be non-negative")
+        from bisect import bisect_right
+
+        while self._year_starts[-1] <= day_index:
+            self._ensure_year(len(self._year_starts))
+        return bisect_right(self._year_starts, day_index) - 1
+
+    def year_bounds(self, year_index: int) -> Tuple[int, int]:
+        self._ensure_year(year_index)
+        start = self._year_starts[year_index]
+        return start, start + self.days_in_year(year_index) - 1
+
+    def month_of_day(self, day_index: int) -> int:
+        """Absolute month index (year * months_per_year + month)."""
+        year = self.year_of_day(day_index)
+        offset = day_index - self._year_starts[year]
+        for month in range(self.months_per_year()):
+            length = self.days_in_month(year, month)
+            if offset < length:
+                return year * self.months_per_year() + month
+            offset -= length
+        raise AssertionError("day beyond its year")  # pragma: no cover
+
+    def month_bounds(self, month_index: int) -> Tuple[int, int]:
+        year, month = divmod(month_index, self.months_per_year())
+        self._ensure_year(year)
+        start = self._year_starts[year]
+        for earlier in range(month):
+            start += self.days_in_month(year, earlier)
+        return start, start + self.days_in_month(year, month) - 1
+
+
+class CustomMonthType(DayBasedType):
+    """Months of a custom calendar as a temporal type."""
+
+    def __init__(self, calendar: CustomCalendar, label: str):
+        self.calendar = calendar
+        self.label = label
+        self.total = True
+
+    def period_info(self):
+        """Exact period when the calendar declares its leap cycle."""
+        years = self.calendar.period_years
+        if years is None:
+            return None
+        seconds = sum(
+            self.calendar.days_in_year(y) for y in range(years)
+        ) * SECONDS_PER_DAY
+        return years * self.calendar.months_per_year(), seconds
+
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0:
+            return None
+        return self.calendar.month_of_day(day_index)
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        return self.calendar.month_bounds(index)
+
+
+class CustomYearType(DayBasedType):
+    """Years of a custom calendar as a temporal type."""
+
+    def __init__(self, calendar: CustomCalendar, label: str):
+        self.calendar = calendar
+        self.label = label
+        self.total = True
+
+    def period_info(self):
+        """Exact period when the calendar declares its leap cycle."""
+        years = self.calendar.period_years
+        if years is None:
+            return None
+        seconds = sum(
+            self.calendar.days_in_year(y) for y in range(years)
+        ) * SECONDS_PER_DAY
+        return years, seconds
+
+    def day_tick_of(self, day_index: int) -> Optional[int]:
+        if day_index < 0:
+            return None
+        return self.calendar.year_of_day(day_index)
+
+    def day_tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        return self.calendar.year_bounds(index)
+
+
+def thirteen_period_calendar() -> CustomCalendar:
+    """A 13 x 28-day accounting calendar with a leap week every fifth
+    year (synthetic drift correction, week-aligned)."""
+    return CustomCalendar(
+        month_lengths=[28] * 13,
+        leap_days=lambda year: 7 if year % 5 == 4 else 0,
+        period_years=5,
+    )
+
+
+def retail_445_calendar() -> CustomCalendar:
+    """The 4-4-5 retail calendar: quarters of 4+4+5 weeks."""
+    weeks = [4, 4, 5] * 4
+    return CustomCalendar(
+        month_lengths=[w * 7 for w in weeks],
+        leap_days=lambda year: 7 if year % 6 == 5 else 0,
+        period_years=6,
+    )

@@ -1,0 +1,161 @@
+"""Intersection of temporal types: common refinements.
+
+A tick of ``intersection(a, b)`` is a non-empty overlap between a tick
+of ``a`` and a tick of ``b`` (restricted to the instants both cover).
+The flagship use is **business hours**: intersecting ``b-day`` with a
+daily 09:00-17:00 window yields one tick per working day's office
+hours - a granularity none of the primitive constructors express.
+
+Tick enumeration walks both boundary streams in order (a merge scan),
+caching discovered ticks; lookups beyond the scan extend it on demand,
+bounded by ``max_ticks``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
+from .base import TemporalType
+from .periodic import PeriodicPatternType
+
+
+class IntersectionType(TemporalType):
+    """Pairwise-overlap refinement of two temporal types.
+
+    For types with interior gaps the instant set of a tick is the set
+    intersection; ``tick_of`` requires coverage by *both* operands.
+    Requires both operands to keep producing ticks (the scan stops at
+    whichever exhausts first).
+    """
+
+    def __init__(
+        self,
+        a: TemporalType,
+        b: TemporalType,
+        label: Optional[str] = None,
+        max_ticks: int = 1_000_000,
+    ):
+        self.a = a
+        self.b = b
+        self.label = (
+            label if label is not None else "%s*%s" % (a.label, b.label)
+        )
+        self.max_ticks = max_ticks
+        self.alignment_seconds = max(
+            1, _gcd(a.alignment_seconds, b.alignment_seconds)
+        )
+        self.total = a.total and b.total
+        # Discovered ticks: parallel lists of (a index, b index) pairs
+        # and their [first, last] second bounds, in time order.
+        self._pairs: List[Tuple[int, int]] = []
+        self._firsts: List[int] = []
+        self._lasts: List[int] = []
+        self._next_a = 0
+        self._next_b = 0
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def _extend(self) -> bool:
+        """Discover the next overlapping pair; False when exhausted."""
+        if self._exhausted or len(self._pairs) >= self.max_ticks:
+            return False
+        while True:
+            try:
+                first_a, last_a = self.a.tick_bounds(self._next_a)
+                first_b, last_b = self.b.tick_bounds(self._next_b)
+            except ValueError:
+                self._exhausted = True
+                return False
+            lo = max(first_a, first_b)
+            hi = min(last_a, last_b)
+            advance_a = last_a <= last_b
+            advance_b = last_b <= last_a
+            if lo <= hi:
+                pair = (self._next_a, self._next_b)
+                if advance_a:
+                    self._next_a += 1
+                if advance_b:
+                    self._next_b += 1
+                self._pairs.append(pair)
+                self._firsts.append(lo)
+                self._lasts.append(hi)
+                return True
+            if advance_a:
+                self._next_a += 1
+            if advance_b:
+                self._next_b += 1
+
+    def _ensure_time(self, second: int) -> None:
+        """Scan until the discovered ticks pass ``second``."""
+        while (not self._lasts or self._lasts[-1] < second) and self._extend():
+            pass
+
+    def _ensure_count(self, count: int) -> None:
+        while len(self._pairs) < count and self._extend():
+            pass
+
+    # ------------------------------------------------------------------
+    # TemporalType interface
+    # ------------------------------------------------------------------
+    def tick_of(self, second: int) -> Optional[int]:
+        if second < 0:
+            return None
+        self._ensure_time(second)
+        slot = bisect_right(self._firsts, second) - 1
+        if slot < 0 or self._lasts[slot] < second:
+            return None
+        index_a, index_b = self._pairs[slot]
+        # Within the bounds overlap, but the instant must belong to
+        # both ticks (operands may have interior gaps).
+        if self.a.tick_of(second) != index_a:
+            return None
+        if self.b.tick_of(second) != index_b:
+            return None
+        return slot
+
+    def tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        self._ensure_count(index + 1)
+        if index >= len(self._pairs):
+            raise ValueError(
+                "tick %d of %r not found (operands exhausted or "
+                "max_ticks reached)" % (index, self.label)
+            )
+        return self._firsts[index], self._lasts[index]
+
+
+def _gcd(a: int, b: int) -> int:
+    from math import gcd
+
+    return gcd(a, b)
+
+
+def business_hours(
+    bday: TemporalType,
+    start_hour: int = 9,
+    end_hour: int = 17,
+    label: Optional[str] = None,
+) -> IntersectionType:
+    """Office hours: working days intersected with a daily time window.
+
+    One tick per working day, covering ``start_hour:00`` to
+    ``end_hour:00`` (exclusive) of that day.
+    """
+    if not 0 <= start_hour < end_hour <= 24:
+        raise ValueError("need 0 <= start < end <= 24")
+    window = PeriodicPatternType(
+        "daily-%02d-%02d" % (start_hour, end_hour),
+        cycle_seconds=86400,
+        segments=[(start_hour * 3600, (end_hour - start_hour) * 3600)],
+    )
+    return IntersectionType(
+        bday,
+        window,
+        label=label
+        if label is not None
+        else "business-hours-%02d-%02d" % (start_hour, end_hour),
+    )

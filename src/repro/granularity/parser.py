@@ -1,0 +1,233 @@
+"""A small textual language for temporal types.
+
+The paper's Section 6 points at calendar-definition languages (Leban et
+al., Niezette-Stevenne, Chandra-Segev-Stonebraker) whose granularities
+"are all instances of our temporal types".  This module provides such a
+front end: a compact expression grammar that builds library types, so
+event structures can be configured from text (used by the CLI and the
+JSON serialisation layer).
+
+Grammar::
+
+    expr     := call | NAME
+    call     := NAME '(' args ')'
+    args     := (arg (',' arg)*)?
+    arg      := expr | INT | INT '-' INT        # integer ranges expand
+
+Builtins::
+
+    group(base, n [, offset])      GroupedType - e.g. group(month, 3)
+    shifts(on_secs, off_secs [, phase])
+    weekly(day:starth:hours, ...)  weekly_slots - e.g. weekly(0:9:8, 2:9:8)
+    businessday(workday, ...)      BusinessDayType over the weekdays
+    uniform(seconds [, phase])     UniformType
+    intersect(a, b)                IntersectionType (pairwise overlaps)
+    businesshours(start, end [, b]) business_hours over b (default b-day)
+
+Plain names resolve against the supplied
+:class:`~repro.granularity.registry.GranularitySystem` (so ``month``,
+``b-day``, previously-parsed labels, etc. are all available).  The
+parsed type is registered in the system under its canonical spelling.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from .base import TemporalType, UniformType
+from .business import BusinessDayType
+from .combinators import GroupedType
+from .periodic import PeriodicPatternType, shifts, weekly_slots
+from .registry import GranularitySystem
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z][\w\-]*)|(?P<int>\d+)|(?P<punct>[(),:\-]))"
+)
+
+
+class GranularityParseError(ValueError):
+    """Raised on malformed granularity expressions."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise GranularityParseError(
+                "unexpected character at %d in %r" % (position, text)
+            )
+        position = match.end()
+        for kind in ("name", "int", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], system: GranularitySystem):
+        self.tokens = tokens
+        self.position = 0
+        self.system = system
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, kind: Optional[str] = None, value: Optional[str] = None):
+        token = self.peek()
+        if token is None:
+            raise GranularityParseError("unexpected end of expression")
+        if kind is not None and token[0] != kind:
+            raise GranularityParseError(
+                "expected %s, got %r" % (kind, token[1])
+            )
+        if value is not None and token[1] != value:
+            raise GranularityParseError(
+                "expected %r, got %r" % (value, token[1])
+            )
+        self.position += 1
+        return token
+
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Union[TemporalType, int, Tuple[int, ...]]:
+        kind, value = self.take()
+        if kind == "int":
+            first = int(value)
+            # INT-INT ranges and INT:INT:INT triples.
+            if self.peek() == ("punct", "-"):
+                self.take()
+                second = int(self.take("int")[1])
+                if second < first:
+                    raise GranularityParseError("descending range")
+                return tuple(range(first, second + 1))
+            if self.peek() == ("punct", ":"):
+                parts = [first]
+                while self.peek() == ("punct", ":"):
+                    self.take()
+                    parts.append(int(self.take("int")[1]))
+                return tuple(parts)
+            return first
+        if kind != "name":
+            raise GranularityParseError("unexpected token %r" % (value,))
+        if self.peek() == ("punct", "("):
+            return self.parse_call(value)
+        try:
+            return self.system.get(value)
+        except KeyError:
+            raise GranularityParseError("unknown granularity %r" % (value,))
+
+    def parse_call(self, name: str) -> TemporalType:
+        self.take("punct", "(")
+        args: List[Union[TemporalType, int, Tuple[int, ...]]] = []
+        if self.peek() != ("punct", ")"):
+            args.append(self.parse_expr())
+            while self.peek() == ("punct", ","):
+                self.take()
+                args.append(self.parse_expr())
+        self.take("punct", ")")
+        return self._build(name, args)
+
+    # ------------------------------------------------------------------
+    def _build(self, name: str, args) -> TemporalType:
+        if name == "group":
+            if not 2 <= len(args) <= 3 or not isinstance(args[0], TemporalType):
+                raise GranularityParseError(
+                    "group(base, n[, offset]) expected"
+                )
+            base, n = args[0], args[1]
+            offset = args[2] if len(args) == 3 else 0
+            return GroupedType(base, int(n), offset=int(offset))
+        if name == "uniform":
+            if not 1 <= len(args) <= 2:
+                raise GranularityParseError("uniform(seconds[, phase]) expected")
+            seconds = int(args[0])
+            phase = int(args[1]) if len(args) == 2 else 0
+            label = "uniform-%d" % seconds + ("+%d" % phase if phase else "")
+            return UniformType(label, seconds, phase=phase)
+        if name == "shifts":
+            if not 2 <= len(args) <= 3:
+                raise GranularityParseError(
+                    "shifts(on_secs, off_secs[, phase]) expected"
+                )
+            on, off = int(args[0]), int(args[1])
+            phase = int(args[2]) if len(args) == 3 else 0
+            label = "shifts-%d-%d" % (on, off) + ("+%d" % phase if phase else "")
+            return shifts(label, on, off, phase=phase)
+        if name == "weekly":
+            slots = []
+            for arg in args:
+                if not isinstance(arg, tuple) or len(arg) != 3:
+                    raise GranularityParseError(
+                        "weekly(day:start:hours, ...) expected"
+                    )
+                slots.append(arg)
+            label = "weekly-" + "-".join(
+                "%d.%d.%d" % slot for slot in slots
+            )
+            return weekly_slots(label, slots)
+        if name == "intersect":
+            if len(args) != 2 or not all(
+                isinstance(a, TemporalType) for a in args
+            ):
+                raise GranularityParseError("intersect(a, b) expected")
+            from .intersection import IntersectionType
+
+            return IntersectionType(args[0], args[1])
+        if name == "businesshours":
+            if not 2 <= len(args) <= 3:
+                raise GranularityParseError(
+                    "businesshours(start, end[, base]) expected"
+                )
+            start, end = int(args[0]), int(args[1])
+            if len(args) == 3:
+                base = args[2]
+                if not isinstance(base, TemporalType):
+                    raise GranularityParseError(
+                        "businesshours base must be a granularity"
+                    )
+            else:
+                try:
+                    base = self.system.get("b-day")
+                except KeyError:
+                    base = BusinessDayType()
+            from .intersection import business_hours
+
+            try:
+                return business_hours(base, start, end)
+            except ValueError as exc:
+                raise GranularityParseError(str(exc))
+        if name == "businessday":
+            workdays = []
+            for arg in args:
+                if isinstance(arg, tuple):
+                    workdays.extend(arg)
+                else:
+                    workdays.append(int(arg))
+            label = "businessday-" + "".join(str(w) for w in sorted(set(workdays)))
+            return BusinessDayType(label=label, workdays=tuple(workdays))
+        raise GranularityParseError("unknown constructor %r" % (name,))
+
+
+def parse_type(text: str, system: GranularitySystem) -> TemporalType:
+    """Parse a granularity expression and register the result.
+
+    >>> from repro.granularity import standard_system
+    >>> system = standard_system()
+    >>> parse_type("group(month, 3)", system).label
+    '3-month'
+    """
+    parser = _Parser(_tokenize(text), system)
+    result = parser.parse_expr()
+    if parser.peek() is not None:
+        raise GranularityParseError(
+            "trailing input after expression: %r" % (parser.peek()[1],)
+        )
+    if not isinstance(result, TemporalType):
+        raise GranularityParseError("expression is not a temporal type")
+    return system.register(result)

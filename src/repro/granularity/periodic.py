@@ -1,0 +1,153 @@
+"""Finitely-represented periodic temporal types (paper Section 6).
+
+The paper notes that "a real system can only treat ... infinite temporal
+types that have finite representations" and points at symbolic periodic
+representations (Niezette-Stevenne) and calendar packages (Soo).  This
+module provides that representation: a :class:`PeriodicPatternType` is
+defined by a repeating *cycle* of tick segments, each tick a contiguous
+run of seconds, with gaps wherever the cycle doesn't cover.
+
+Examples expressible this way: shifts (8h on / 16h off), lecture slots,
+pharmacy opening hours, maintenance windows - plus every uniform type
+and (holiday-free) business-day pattern.
+
+Because the period is explicit, :meth:`period_info` lets
+:class:`~repro.granularity.sizes.SizeTable` treat scanned values as
+exact rather than horizon-heuristic.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+from .base import TemporalType
+
+
+class PeriodicPatternType(TemporalType):
+    """A temporal type from a repeating cycle of tick segments.
+
+    Parameters
+    ----------
+    label:
+        Unique name.
+    cycle_seconds:
+        Length of one full cycle.
+    segments:
+        ``(offset, length)`` pairs within the cycle, one tick each,
+        non-overlapping and in increasing offset order, with
+        ``offset + length <= cycle_seconds``.
+    phase:
+        Absolute second at which cycle 0 begins (seconds before the
+        phase are gaps).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        cycle_seconds: int,
+        segments: Sequence[Tuple[int, int]],
+        phase: int = 0,
+    ):
+        if cycle_seconds <= 0:
+            raise ValueError("cycle_seconds must be positive")
+        if phase < 0:
+            raise ValueError("phase must be non-negative")
+        if not segments:
+            raise ValueError("at least one segment is required")
+        previous_end = 0
+        for offset, length in segments:
+            if length <= 0:
+                raise ValueError("segment lengths must be positive")
+            if offset < previous_end:
+                raise ValueError("segments must be disjoint and ordered")
+            previous_end = offset + length
+        if previous_end > cycle_seconds:
+            raise ValueError("segments exceed the cycle length")
+        self.label = label
+        self.cycle_seconds = cycle_seconds
+        self.segments = tuple((int(o), int(l)) for o, l in segments)
+        self.phase = phase
+        self._offsets = [o for o, _ in self.segments]
+        self.alignment_seconds = _gcd_all(
+            [cycle_seconds, phase]
+            + [o for o, _ in self.segments]
+            + [l for _, l in self.segments]
+        )
+        self.total = (
+            phase == 0
+            and len(self.segments) == 1
+            and self.segments[0] == (0, cycle_seconds)
+        )
+
+    # ------------------------------------------------------------------
+    def tick_of(self, second: int) -> Optional[int]:
+        if second < self.phase:
+            return None
+        position = second - self.phase
+        cycle, within = divmod(position, self.cycle_seconds)
+        slot = bisect_right(self._offsets, within) - 1
+        if slot < 0:
+            return None
+        offset, length = self.segments[slot]
+        if within >= offset + length:
+            return None
+        return cycle * len(self.segments) + slot
+
+    def tick_bounds(self, index: int) -> Tuple[int, int]:
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        cycle, slot = divmod(index, len(self.segments))
+        offset, length = self.segments[slot]
+        first = self.phase + cycle * self.cycle_seconds + offset
+        return first, first + length - 1
+
+    def period_info(self) -> Tuple[int, int]:
+        """(ticks per period, seconds per period) - the type repeats
+        exactly with this period after the phase."""
+        return len(self.segments), self.cycle_seconds
+
+
+def _gcd_all(values: List[int]) -> int:
+    from math import gcd
+
+    result = 0
+    for value in values:
+        result = gcd(result, value)
+    return max(result, 1)
+
+
+def shifts(
+    label: str,
+    on_seconds: int,
+    off_seconds: int,
+    phase: int = 0,
+) -> PeriodicPatternType:
+    """An on/off duty-cycle type (one tick per on-period)."""
+    return PeriodicPatternType(
+        label,
+        cycle_seconds=on_seconds + off_seconds,
+        segments=[(0, on_seconds)],
+        phase=phase,
+    )
+
+
+def weekly_slots(
+    label: str,
+    slots: Sequence[Tuple[int, int, int]],
+) -> PeriodicPatternType:
+    """A weekly schedule: ``(weekday, start_hour, hours)`` slots.
+
+    Weekday 0 is Monday (the epoch day).  One tick per slot per week.
+    """
+    segments = []
+    for weekday, start_hour, hours in slots:
+        if not 0 <= weekday <= 6:
+            raise ValueError("weekday must be 0..6")
+        if not 0 <= start_hour < 24 or hours <= 0 or start_hour + hours > 24:
+            raise ValueError("slot must fit within its day")
+        segments.append(
+            (weekday * 86400 + start_hour * 3600, hours * 3600)
+        )
+    segments.sort()
+    return PeriodicPatternType(label, 7 * 86400, segments)

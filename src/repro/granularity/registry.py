@@ -1,0 +1,209 @@
+"""Granularity systems: named collections of temporal types.
+
+A :class:`GranularitySystem` is the run-time context every higher layer
+(constraint propagation, TAG matching, mining) works in: it owns the
+types, their size tables, and the cached pairwise conversion-feasibility
+relation.  The paper calls this "the considered granularity system" and
+assumes a primitive type (seconds here) covering all of absolute time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from . import calendar as cal
+from .base import TemporalType
+from .business import BusinessDayType, BusinessMonthType, BusinessWeekType
+from .conversion import (
+    ConversionOutcome,
+    convert_interval,
+    covers_prefix,
+    direct_convert_interval,
+)
+from .sizes import SizeTable
+
+#: Conversion strategies: "direct" scans actual boundary positions
+#: (tight, the production default); "figure3" is the paper's table-based
+#: appendix A.1 algorithm (kept for fidelity experiments).
+CONVERSION_MODES = ("direct", "figure3")
+
+
+class GranularitySystem:
+    """A registry of temporal types with cached tables and conversions."""
+
+    def __init__(
+        self,
+        types: Iterable[TemporalType] = (),
+        horizon: int = 512,
+        conversion_mode: str = "direct",
+    ):
+        if conversion_mode not in CONVERSION_MODES:
+            raise ValueError(
+                "conversion_mode must be one of %r" % (CONVERSION_MODES,)
+            )
+        self.horizon = horizon
+        self.conversion_mode = conversion_mode
+        self._types: Dict[str, TemporalType] = {}
+        self._tables: Dict[str, SizeTable] = {}
+        self._covers: Dict[Tuple[str, str], bool] = {}
+        self._conversions: Dict[
+            Tuple[int, int, str, str, str], ConversionOutcome
+        ] = {}
+        for ttype in types:
+            self.register(ttype)
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def register(self, ttype: TemporalType) -> TemporalType:
+        """Add a type; re-registering an equivalent type is a no-op.
+
+        Two types with the same label must agree behaviourally (checked
+        on a sample of leading ticks); otherwise registration is
+        rejected to keep labels unambiguous.
+        """
+        existing = self._types.get(ttype.label)
+        if existing is not None:
+            if existing is ttype or _same_prefix(existing, ttype):
+                return existing
+            raise ValueError(
+                "label %r already registered with a different type"
+                % (ttype.label,)
+            )
+        self._types[ttype.label] = ttype
+        return ttype
+
+    def get(self, label: str) -> TemporalType:
+        """Look up a type by label; raises KeyError when unknown."""
+        return self._types[label]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._types
+
+    def labels(self) -> List[str]:
+        """All registered labels, in registration order."""
+        return list(self._types)
+
+    def resolve(self, ttype_or_label) -> TemporalType:
+        """Accept either a label or a type (registering the latter)."""
+        if isinstance(ttype_or_label, str):
+            return self.get(ttype_or_label)
+        if isinstance(ttype_or_label, TemporalType):
+            return self.register(ttype_or_label)
+        raise TypeError(
+            "expected a TemporalType or label, got %r" % (ttype_or_label,)
+        )
+
+    # ------------------------------------------------------------------
+    # Tables and conversions
+    # ------------------------------------------------------------------
+    def table(self, ttype_or_label) -> SizeTable:
+        """The (cached) size table of a registered type."""
+        ttype = self.resolve(ttype_or_label)
+        tab = self._tables.get(ttype.label)
+        if tab is None:
+            tab = SizeTable(ttype, horizon=self.horizon)
+            self._tables[ttype.label] = tab
+        return tab
+
+    def conversion_feasible(self, source, target) -> bool:
+        """Cached A.1 feasibility: does ``target`` cover ``source``?"""
+        src = self.resolve(source)
+        tgt = self.resolve(target)
+        if src.label == tgt.label:
+            return True
+        key = (src.label, tgt.label)
+        result = self._covers.get(key)
+        if result is None:
+            result = covers_prefix(tgt, src)
+            self._covers[key] = result
+        return result
+
+    def convert(
+        self, m: int, n: int, source, target, mode: Optional[str] = None
+    ) -> ConversionOutcome:
+        """Convert ``[m, n]_source`` into an implied ``[m', n']_target``.
+
+        Returns an outcome with ``interval=None`` when the conversion is
+        infeasible (target does not cover source) or yields no finite
+        bound.  ``mode`` overrides the system-wide conversion strategy.
+        """
+        src = self.resolve(source)
+        tgt = self.resolve(target)
+        if src.label == tgt.label:
+            return ConversionOutcome(interval=(m, n))
+        mode = mode if mode is not None else self.conversion_mode
+        if mode not in CONVERSION_MODES:
+            raise ValueError("unknown conversion mode %r" % (mode,))
+        key = (m, n, src.label, tgt.label, mode)
+        cached = self._conversions.get(key)
+        if cached is not None:
+            return cached
+        if not self.conversion_feasible(src, tgt):
+            outcome = ConversionOutcome(interval=None)
+        elif mode == "figure3":
+            outcome = convert_interval(m, n, self.table(src), self.table(tgt))
+        else:
+            try:
+                outcome = direct_convert_interval(
+                    m, n, src, tgt, self.table(src)
+                )
+            except ValueError:
+                # Horizon too small for a direct scan of this range:
+                # fall back to the sound table-based method.
+                outcome = convert_interval(
+                    m, n, self.table(src), self.table(tgt)
+                )
+        self._conversions[key] = outcome
+        return outcome
+
+
+def _same_prefix(a: TemporalType, b: TemporalType, ticks: int = 8) -> bool:
+    """Heuristic behavioural equality: identical class and leading ticks."""
+    if type(a) is not type(b):
+        return False
+    for index in range(ticks):
+        try:
+            bounds_a = a.tick_bounds(index)
+        except ValueError:
+            bounds_a = None
+        try:
+            bounds_b = b.tick_bounds(index)
+        except ValueError:
+            bounds_b = None
+        if bounds_a != bounds_b:
+            return False
+    return True
+
+
+def standard_system(
+    holidays: Iterable[int] = (),
+    workdays: Tuple[int, ...] = (0, 1, 2, 3, 4),
+    horizon: int = 512,
+    conversion_mode: str = "direct",
+) -> GranularitySystem:
+    """The paper's working granularity system.
+
+    Contains ``second``, ``minute``, ``hour``, ``day``, ``week``,
+    ``month``, ``year`` plus the business types ``b-day``, ``b-week``
+    and ``business-month`` built over the given workday pattern and
+    holiday list (day indices).
+    """
+    bday = BusinessDayType(workdays=workdays, holidays=holidays)
+    system = GranularitySystem(
+        [
+            cal.second(),
+            cal.minute(),
+            cal.hour(),
+            cal.day(),
+            cal.week(),
+            cal.month(),
+            cal.year(),
+            bday,
+            BusinessWeekType(bday=bday),
+            BusinessMonthType(bday=bday),
+        ],
+        horizon=horizon,
+        conversion_mode=conversion_mode,
+    )
+    return system

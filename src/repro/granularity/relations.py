@@ -1,0 +1,135 @@
+"""Relationships between granularities (the classical lattice notions).
+
+The granularity literature the paper builds on (and the authors' later
+glossary work) organises temporal types by structural relationships.
+This module decides the standard ones *empirically over a prefix* -
+exact for the (eventually) periodic types the library ships when the
+prefix covers a period, which the defaults do:
+
+``finer_than(a, b)``
+    every tick of ``a`` is contained in some tick of ``b``
+    (e.g. day is finer than month; b-day is finer than week);
+
+``groups_into(a, b)``
+    every tick of ``b`` is a union of ticks of ``a``
+    (e.g. day groups into week; minute groups into hour);
+
+``partitions(a, b)``
+    ``a`` groups into ``b`` and ``a`` covers exactly the instants
+    ``b`` covers (e.g. month partitions year);
+
+``subgranularity(a, b)``
+    every tick of ``a`` *is* a tick of ``b`` (same instants), e.g.
+    b-day's ticks are all ticks of day.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import TemporalType
+
+
+def _prefix_ticks(ttype: TemporalType, count: int):
+    """Yield (index, first, last) for up to ``count`` leading ticks."""
+    for index in range(count):
+        try:
+            first, last = ttype.tick_bounds(index)
+        except ValueError:
+            return
+        yield index, first, last
+
+
+def finer_than(
+    a: TemporalType, b: TemporalType, ticks: int = 256
+) -> bool:
+    """Is every tick of ``a`` contained in a single tick of ``b``?
+
+    Checked on the leading ``ticks`` ticks of ``a``: the covering tick
+    of ``b`` must exist and be the same at both ends of each ``a`` tick
+    (sufficient for contiguous-tick types; types with interior gaps are
+    additionally probed at their alignment stride).
+    """
+    stride = max(1, min(a.alignment_seconds, b.alignment_seconds))
+    for index, first, last in _prefix_ticks(a, ticks):
+        target = b.tick_of(first)
+        if target is None:
+            return False
+        instant = first
+        while instant <= last:
+            if a.tick_of(instant) == index and b.tick_of(instant) != target:
+                return False
+            instant += stride
+        if a.tick_of(last) == index and b.tick_of(last) != target:
+            return False
+    return True
+
+
+def groups_into(
+    a: TemporalType, b: TemporalType, ticks: int = 64
+) -> bool:
+    """Is every tick of ``b`` a union of ticks of ``a``?
+
+    Checked on the leading ``ticks`` ticks of ``b``: each instant of
+    the ``b`` tick must be covered by ``a`` (at ``a``'s alignment
+    stride), and the ``a`` ticks at the boundaries must not leak out.
+    """
+    stride = max(1, min(a.alignment_seconds, b.alignment_seconds))
+    for index, first, last in _prefix_ticks(b, ticks):
+        instant = first
+        while instant <= last:
+            if b.tick_of(instant) == index:
+                inner = a.tick_of(instant)
+                if inner is None:
+                    return False
+                inner_first, inner_last = a.tick_bounds(inner)
+                if b.tick_of(inner_first) != index or b.tick_of(inner_last) != index:
+                    return False
+            instant += stride
+        if b.tick_of(last) == index and a.tick_of(last) is None:
+            return False
+    return True
+
+
+def partitions(
+    a: TemporalType, b: TemporalType, ticks: int = 64
+) -> bool:
+    """Does ``a`` group into ``b`` while covering the same instants?
+
+    ``groups_into`` plus the converse coverage: every tick of ``a``
+    (within the span of the checked ``b`` ticks) lies inside some tick
+    of ``b``.
+    """
+    if not groups_into(a, b, ticks=ticks):
+        return False
+    try:
+        _, horizon = b.tick_bounds(min(ticks, 8) - 1)
+    except ValueError:
+        return True
+    index = 0
+    while True:
+        try:
+            first, last = a.tick_bounds(index)
+        except ValueError:
+            return True
+        if first > horizon:
+            return True
+        if b.tick_of(first) is None or b.tick_of(last) is None:
+            return False
+        index += 1
+
+
+def subgranularity(
+    a: TemporalType, b: TemporalType, ticks: int = 256
+) -> bool:
+    """Is every tick of ``a`` exactly some tick of ``b``?
+
+    E.g. every b-day tick is a day tick.  Checked on leading ticks.
+    """
+    for _, first, last in _prefix_ticks(a, ticks):
+        target = b.tick_of(first)
+        if target is None:
+            return False
+        if b.tick_bounds(target) != (first, last):
+            return False
+    return True

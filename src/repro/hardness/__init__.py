@@ -1,0 +1,25 @@
+"""NP-hardness machinery (paper Theorem 1, appendix A.2)."""
+
+from .subset_sum import (
+    ReductionOutcome,
+    SubsetSumInstance,
+    crt_compatible_subset_exists,
+    decide_via_reduction,
+    decode_witness,
+    has_subset_sum,
+    reduction_structure,
+    solve_subset_sum,
+    subset_congruences_solvable,
+)
+
+__all__ = [
+    "SubsetSumInstance",
+    "has_subset_sum",
+    "solve_subset_sum",
+    "reduction_structure",
+    "decide_via_reduction",
+    "decode_witness",
+    "ReductionOutcome",
+    "crt_compatible_subset_exists",
+    "subset_congruences_solvable",
+]

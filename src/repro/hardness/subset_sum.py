@@ -1,0 +1,282 @@
+"""The Theorem 1 reduction: SUBSET SUM -> event-structure consistency.
+
+Following the paper's appendix A.2 proof: given positive integers
+``n_1 .. n_k`` and a target ``s``, build an event structure over the
+granularities ``month`` and ``n_i-month`` such that the structure is
+consistent iff some subset of the numbers sums to ``s``.
+
+Gadget (for each i):
+
+* ``(X_i, X_{i+1}) in [0, n_i]_month`` and the pair of auxiliary
+  variables ``V_i``/``U_i`` pinned to the starts of ``n_i-month``
+  periods exactly ``n_i - 1`` months before ``X_i``/``X_{i+1}``, which
+  forces ``X_{i+1} - X_i in {0, n_i}`` months (the disjunction trick of
+  Figure 1(b));
+* ``(X_1, X_{k+1}) in [s, s]_month`` - the chosen increments must sum
+  exactly to ``s``.
+
+The module also provides an independent dynamic-programming SUBSET SUM
+solver to validate the equivalence, and helpers to decode a consistency
+witness back into the chosen subset.
+
+**Errata discovered by this reproduction.**  With the paper's fixed
+``n-month`` groupings (tick boundaries at multiples of ``n`` months),
+the auxiliary pins force ``X_i = -1 (mod n_{i-1})`` *and*
+``X_i = -1 (mod n_i)``; chaining these residue constraints along
+``X_1 .. X_{k+1}`` yields a simultaneous-congruence system whose
+solvability depends on the chosen subset.  Consequently:
+
+* *soundness* holds unconditionally - a consistent gadget always
+  yields a valid subset (:func:`decode_witness` verifies the sum);
+* *completeness* - "subset exists => gadget consistent" - holds only
+  for subsets whose prefix-sum congruence system is CRT-solvable
+  (:func:`crt_compatible_subset_exists`); e.g. always for pairwise
+  coprime numbers, but **not** for instance ``(2, 3, 4)`` with target
+  ``9``, which is solvable yet produces an inconsistent gadget.
+
+The exact correspondence that does hold (and is what the tests and
+experiment X3 verify) is::
+
+    gadget consistent  <=>  some subset sums to the target AND its
+                            congruence system is solvable
+
+which still witnesses NP-hardness in spirit (pairwise-coprime SUBSET
+SUM retains the problem's combinatorial core) while faithfully flagging
+the gap in the published proof sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..constraints.consistency import ConsistencyReport, check_consistency_exact
+from ..constraints.structure import EventStructure
+from ..constraints.tcg import TCG
+from ..granularity.calendar import month
+from ..granularity.combinators import GroupedType
+from ..granularity.gregorian import SECONDS_PER_DAY
+from ..granularity.registry import GranularitySystem
+
+
+@dataclass(frozen=True)
+class SubsetSumInstance:
+    """A SUBSET SUM instance: positive numbers and a non-negative target."""
+
+    numbers: Tuple[int, ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        if any(n <= 0 for n in self.numbers):
+            raise ValueError("numbers must be positive")
+        if self.target < 0:
+            raise ValueError("target must be non-negative")
+
+
+def has_subset_sum(instance: SubsetSumInstance) -> bool:
+    """Independent DP oracle: does some subset sum to the target?"""
+    reachable: Set[int] = {0}
+    for number in instance.numbers:
+        reachable |= {
+            value + number
+            for value in reachable
+            if value + number <= instance.target
+        }
+        if instance.target in reachable:
+            return True
+    return instance.target in reachable
+
+
+def solve_subset_sum(instance: SubsetSumInstance) -> Optional[List[int]]:
+    """A witness subset (as indices into ``numbers``), or None."""
+    parents: Dict[int, Tuple[int, int]] = {0: (-1, -1)}
+    for position, number in enumerate(instance.numbers):
+        for value in sorted(parents):
+            candidate = value + number
+            if candidate <= instance.target and candidate not in parents:
+                parents[candidate] = (value, position)
+    if instance.target not in parents:
+        return None
+    chosen = []
+    value = instance.target
+    while value != 0:
+        value, position = parents[value]
+        chosen.append(position)
+    chosen.reverse()
+    return chosen
+
+
+def _merge_congruence(
+    state: Optional[Tuple[int, int]], r2: int, m2: int
+) -> Optional[Tuple[int, int]]:
+    """Merge ``x = r2 (mod m2)`` into ``x = r (mod m)``; None when the
+    combined system is unsolvable."""
+    if state is None:
+        return None
+    r1, m1 = state
+    from math import gcd
+
+    g = gcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        return None
+    lcm = m1 // g * m2
+    # Shift r1 by multiples of m1 until it also satisfies the new one.
+    step = m1
+    value = r1
+    while value % m2 != r2 % m2:
+        value += step
+    return value % lcm, lcm
+
+
+def subset_congruences_solvable(
+    instance: SubsetSumInstance, chosen: Sequence[int]
+) -> bool:
+    """Is the gadget's residue system solvable for this subset choice?
+
+    ``chosen`` holds the indices whose increment is ``n_i`` (the rest
+    use 0).  The system is ``X_1 = -1 - D_{i-1} (mod n_i)`` for each i,
+    where ``D_j`` is the prefix sum of the chosen increments.
+    """
+    chosen_set = set(chosen)
+    state: Optional[Tuple[int, int]] = (0, 1)
+    prefix = 0
+    for index, number in enumerate(instance.numbers):
+        state = _merge_congruence(state, (-1 - prefix) % number, number)
+        if state is None:
+            return False
+        if index in chosen_set:
+            prefix += number
+    return True
+
+
+def crt_compatible_subset_exists(instance: SubsetSumInstance) -> bool:
+    """The gadget's true decision value: does a subset sum to the target
+    *and* have a CRT-solvable residue system?  (See module errata.)
+
+    Brute force over subsets - only used on small validation instances.
+    """
+    k = len(instance.numbers)
+    for mask in range(1 << k):
+        chosen = [i for i in range(k) if mask >> i & 1]
+        if sum(instance.numbers[i] for i in chosen) != instance.target:
+            continue
+        if subset_congruences_solvable(instance, chosen):
+            return True
+    return False
+
+
+def reduction_structure(
+    instance: SubsetSumInstance, system: GranularitySystem
+) -> EventStructure:
+    """Build the paper's gadget structure for a SUBSET SUM instance.
+
+    Registers the required ``n_i-month`` grouped granularities in the
+    system as a side effect.
+    """
+    mo = system.resolve(month())
+    k = len(instance.numbers)
+    variables = (
+        ["X%d" % i for i in range(1, k + 2)]
+        + ["V%d" % i for i in range(1, k + 1)]
+        + ["U%d" % i for i in range(1, k + 1)]
+    )
+    constraints: Dict[Tuple[str, str], List[TCG]] = {}
+
+    def add(src: str, dst: str, tcg: TCG) -> None:
+        constraints.setdefault((src, dst), []).append(tcg)
+
+    for i, number in enumerate(instance.numbers, start=1):
+        n_month = system.resolve(GroupedType(mo, number))
+        add("X%d" % i, "X%d" % (i + 1), TCG(0, number, mo))
+        # (V_i, X_i): same n_i-month period, exactly n_i - 1 months apart
+        # => X_i is the last month of an n_i-month period.
+        add("V%d" % i, "X%d" % i, TCG(0, 0, n_month))
+        add("V%d" % i, "X%d" % i, TCG(number - 1, number - 1, mo))
+        add("U%d" % i, "X%d" % (i + 1), TCG(0, 0, n_month))
+        add("U%d" % i, "X%d" % (i + 1), TCG(number - 1, number - 1, mo))
+    add("X1", "X%d" % (k + 1), TCG(instance.target, instance.target, mo))
+
+    # The paper's variable set has no single root (V_i/U_i have no
+    # incoming arcs); root the graph with a harness variable R that
+    # loosely precedes everything, which changes no distances.
+    horizon_months = sum(instance.numbers) * 2 + instance.target + 24
+    root_tcg = TCG(0, horizon_months, mo)
+    for variable in variables:
+        if variable.startswith("V") or variable.startswith("U") or variable == "X1":
+            add("R", variable, root_tcg)
+    return EventStructure(["R"] + variables, constraints)
+
+
+@dataclass
+class ReductionOutcome:
+    """Result of deciding an instance through the reduction."""
+
+    instance: SubsetSumInstance
+    consistent: bool
+    completed: bool
+    witness_subset: Optional[List[int]]
+    nodes_explored: int
+
+
+def decide_via_reduction(
+    instance: SubsetSumInstance,
+    system: GranularitySystem,
+    window_months: Optional[int] = None,
+    max_nodes: int = 2_000_000,
+) -> ReductionOutcome:
+    """Decide SUBSET SUM by exact consistency of the gadget structure.
+
+    The default window covers one full ``lcm(numbers)``-month cycle plus
+    the chain's span: the X variables' residue constraints admit
+    solutions only in classes modulo the lcm, so anything shorter can
+    miss every witness (the window itself is exponential in the input -
+    consistent with Theorem 1; nothing polynomial would do).
+    """
+    structure = reduction_structure(instance, system)
+    if window_months is None:
+        from math import gcd
+
+        lcm = 1
+        for number in instance.numbers:
+            lcm = lcm * number // gcd(lcm, number)
+        window_months = lcm + 2 * sum(instance.numbers) + instance.target + 24
+    window_seconds = window_months * 31 * SECONDS_PER_DAY
+    report: ConsistencyReport = check_consistency_exact(
+        structure, system, window_seconds=window_seconds, max_nodes=max_nodes
+    )
+    subset = None
+    if report.consistent and report.witness is not None:
+        subset = decode_witness(instance, system, report.witness)
+    return ReductionOutcome(
+        instance=instance,
+        consistent=report.consistent,
+        completed=report.completed,
+        witness_subset=subset,
+        nodes_explored=report.nodes_explored,
+    )
+
+
+def decode_witness(
+    instance: SubsetSumInstance,
+    system: GranularitySystem,
+    witness: Dict[str, int],
+) -> List[int]:
+    """Recover the chosen subset from a consistency witness.
+
+    Index ``i`` is in the subset iff ``X_{i+1}`` sits ``n_i`` months
+    after ``X_i`` (rather than 0).
+    """
+    mo = system.get("month")
+    chosen = []
+    for i, number in enumerate(instance.numbers, start=1):
+        t_a = witness["X%d" % i]
+        t_b = witness["X%d" % (i + 1)]
+        distance = mo.distance(t_a, t_b)
+        if distance == number:
+            chosen.append(i - 1)
+        elif distance != 0:
+            raise AssertionError(
+                "gadget violated: X%d -> X%d is %r months, expected 0 or %d"
+                % (i, i + 1, distance, number)
+            )
+    return chosen

@@ -1,0 +1,52 @@
+"""Interchange formats: JSON payloads, CSV event logs, DOT graphs."""
+
+from .csvlog import (
+    CsvFormatError,
+    format_timestamp,
+    parse_timestamp,
+    read_events,
+    write_events,
+)
+from .dot import structure_to_dot, tag_to_dot
+from .serialize import (
+    SerializationError,
+    complex_event_type_from_dict,
+    complex_event_type_to_dict,
+    dump_json,
+    granularity_from_dict,
+    granularity_to_dict,
+    load_json,
+    problem_from_dict,
+    problem_to_dict,
+    sequence_from_dict,
+    sequence_to_dict,
+    structure_from_dict,
+    structure_to_dict,
+    tcg_from_dict,
+    tcg_to_dict,
+)
+
+__all__ = [
+    "SerializationError",
+    "granularity_to_dict",
+    "granularity_from_dict",
+    "tcg_to_dict",
+    "tcg_from_dict",
+    "structure_to_dict",
+    "structure_from_dict",
+    "complex_event_type_to_dict",
+    "complex_event_type_from_dict",
+    "problem_to_dict",
+    "problem_from_dict",
+    "sequence_to_dict",
+    "sequence_from_dict",
+    "dump_json",
+    "load_json",
+    "CsvFormatError",
+    "parse_timestamp",
+    "format_timestamp",
+    "read_events",
+    "write_events",
+    "structure_to_dot",
+    "tag_to_dot",
+]

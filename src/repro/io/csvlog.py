@@ -1,0 +1,137 @@
+"""CSV event logs, with a from-scratch calendar timestamp parser.
+
+Real event feeds arrive as flat files; this module reads and writes the
+library's :class:`~repro.mining.events.EventSequence` as two-column CSV
+(``event_type,timestamp``).  Timestamps may be
+
+* plain integers (seconds of the absolute timeline), or
+* calendar stamps ``YYYY-MM-DD``, ``YYYY-MM-DD HH:MM`` or
+  ``YYYY-MM-DD HH:MM:SS`` interpreted in the library's synthetic
+  proleptic Gregorian calendar (no ``datetime`` involved).
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from typing import IO, Iterable, List, Tuple, Union
+
+from ..granularity import gregorian as greg
+from ..mining.events import Event, EventSequence
+
+_STAMP = re.compile(
+    r"^(\d{4})-(\d{2})-(\d{2})(?:[ T](\d{2}):(\d{2})(?::(\d{2}))?)?$"
+)
+
+
+class CsvFormatError(ValueError):
+    """Raised on malformed CSV rows or timestamps."""
+
+
+def parse_timestamp(text: str) -> int:
+    """Parse an integer or calendar timestamp into absolute seconds."""
+    text = text.strip()
+    if re.fullmatch(r"\d+", text):
+        return int(text)
+    match = _STAMP.match(text)
+    if match is None:
+        raise CsvFormatError("unparseable timestamp %r" % (text,))
+    year, month, day = (int(match.group(i)) for i in (1, 2, 3))
+    hour = int(match.group(4) or 0)
+    minute = int(match.group(5) or 0)
+    second = int(match.group(6) or 0)
+    if hour > 23 or minute > 59 or second > 59:
+        raise CsvFormatError("time of day out of range in %r" % (text,))
+    try:
+        day_index = greg.ymd_to_day(year, month, day)
+    except ValueError as exc:
+        raise CsvFormatError(str(exc))
+    if day_index < 0:
+        raise CsvFormatError(
+            "date %r precedes the epoch (%d-01-01)" % (text, greg.EPOCH_YEAR)
+        )
+    return (
+        day_index * greg.SECONDS_PER_DAY
+        + hour * greg.SECONDS_PER_HOUR
+        + minute * greg.SECONDS_PER_MINUTE
+        + second
+    )
+
+
+def format_timestamp(seconds: int) -> str:
+    """Render absolute seconds as ``YYYY-MM-DD HH:MM:SS``."""
+    if seconds < 0:
+        raise ValueError("timestamps are non-negative")
+    day_index, within = divmod(seconds, greg.SECONDS_PER_DAY)
+    year, month, day = greg.day_to_ymd(day_index)
+    hour, within = divmod(within, greg.SECONDS_PER_HOUR)
+    minute, second = divmod(within, greg.SECONDS_PER_MINUTE)
+    return "%04d-%02d-%02d %02d:%02d:%02d" % (
+        year,
+        month,
+        day,
+        hour,
+        minute,
+        second,
+    )
+
+
+def read_events(source: Union[str, IO], has_header: bool = None) -> EventSequence:
+    """Read an event sequence from CSV.
+
+    ``has_header`` None (default) auto-detects a header row by checking
+    whether the second column of the first row parses as a timestamp.
+    """
+    if isinstance(source, str):
+        with open(source, newline="") as handle:
+            return read_events(handle, has_header=has_header)
+    rows = list(csv.reader(source))
+    events: List[Event] = []
+    start = 0
+    if rows and has_header is None:
+        try:
+            _require_two(rows[0])
+            parse_timestamp(rows[0][1])
+        except CsvFormatError:
+            start = 1
+    elif has_header:
+        start = 1
+    for number, row in enumerate(rows[start:], start=start + 1):
+        if not row or (len(row) == 1 and not row[0].strip()):
+            continue  # blank line
+        _require_two(row, line=number)
+        events.append(Event(row[0].strip(), parse_timestamp(row[1])))
+    return EventSequence(events)
+
+
+def _require_two(row: List[str], line: int = 1) -> None:
+    if len(row) < 2:
+        raise CsvFormatError(
+            "line %d: expected 'event_type,timestamp', got %r" % (line, row)
+        )
+
+
+def write_events(
+    sequence: Iterable[Event],
+    target: Union[str, IO],
+    calendar_stamps: bool = True,
+    header: bool = True,
+) -> None:
+    """Write events as CSV (calendar stamps by default)."""
+    if isinstance(target, str):
+        with open(target, "w", newline="") as handle:
+            write_events(
+                sequence,
+                handle,
+                calendar_stamps=calendar_stamps,
+                header=header,
+            )
+        return
+    writer = csv.writer(target)
+    if header:
+        writer.writerow(["event_type", "timestamp"])
+    for event in sequence:
+        stamp = (
+            format_timestamp(event.time) if calendar_stamps else event.time
+        )
+        writer.writerow([event.etype, stamp])

@@ -1,0 +1,87 @@
+"""Graphviz DOT export for event structures and TAGs.
+
+Figures 1 and 2 of the paper are graphs; these exporters regenerate
+them (and any user structure/automaton) as DOT text renderable with
+``dot -Tpng``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..automata.tag import ANY, TAG
+from ..constraints.structure import EventStructure
+
+
+def _quote(value: object) -> str:
+    return '"%s"' % str(value).replace('"', '\\"')
+
+
+def structure_to_dot(structure: EventStructure, name: str = "event_structure") -> str:
+    """Render an event structure (Figure 1 style) as DOT."""
+    lines: List[str] = [
+        "digraph %s {" % name,
+        "  rankdir=LR;",
+        "  node [shape=circle, fontsize=11];",
+    ]
+    for variable in structure.variables:
+        shape = "doublecircle" if variable == structure.root else "circle"
+        lines.append("  %s [shape=%s];" % (_quote(variable), shape))
+    for (src, dst), tcgs in structure.constraints.items():
+        label = "\\n".join(str(c) for c in tcgs)
+        lines.append(
+            "  %s -> %s [label=%s, fontsize=9];"
+            % (_quote(src), _quote(dst), _quote(label))
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def tag_to_dot(tag: TAG, name: str = "tag") -> str:
+    """Render a TAG (Figure 2 style) as DOT.
+
+    Skip self-loops are drawn dashed and unlabelled beyond ``ANY``;
+    consuming transitions show their symbol, guard and resets.
+    """
+    lines: List[str] = [
+        "digraph %s {" % name,
+        "  rankdir=LR;",
+        "  node [shape=circle, fontsize=10];",
+    ]
+
+    def state_id(state: object) -> str:
+        return _quote(state)
+
+    for state in sorted(tag.states, key=str):
+        attrs = []
+        if state in tag.accepting:
+            attrs.append("shape=doublecircle")
+        if state in tag.start_states:
+            attrs.append("style=bold")
+        lines.append(
+            "  %s%s;"
+            % (state_id(state), " [%s]" % ", ".join(attrs) if attrs else "")
+        )
+    for transition in tag.transitions:
+        if transition.symbol == ANY and transition.source == transition.target:
+            lines.append(
+                "  %s -> %s [label=\"ANY\", style=dashed, fontsize=8];"
+                % (state_id(transition.source), state_id(transition.target))
+            )
+            continue
+        parts = [transition.symbol]
+        guard = str(transition.guard)
+        if guard != "true":
+            parts.append(guard)
+        if transition.resets:
+            parts.append("{reset %s}" % ",".join(sorted(transition.resets)))
+        lines.append(
+            "  %s -> %s [label=%s, fontsize=8];"
+            % (
+                state_id(transition.source),
+                state_id(transition.target),
+                _quote("\\n".join(parts)),
+            )
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,314 @@
+"""JSON (de)serialisation of the library's value objects.
+
+Temporal types are encoded structurally (kind + parameters) so that
+event structures, complex event types, discovery problems and event
+sequences round-trip through plain JSON - the format the CLI consumes
+and a natural interchange format for downstream tools.
+
+Standard calendar types are referenced by label against the target
+:class:`~repro.granularity.registry.GranularitySystem`; derived types
+(groupings, business calendars, periodic patterns) carry their full
+construction recipe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Mapping, Union
+
+from ..constraints.structure import ComplexEventType, EventStructure
+from ..constraints.tcg import TCG
+from ..granularity.base import TemporalType, UniformType
+from ..granularity.business import (
+    BusinessDayType,
+    BusinessMonthType,
+    BusinessWeekType,
+)
+from ..granularity.calendar import MonthType, YearType
+from ..granularity.combinators import GroupedType
+from ..granularity.intersection import IntersectionType
+from ..granularity.periodic import PeriodicPatternType
+from ..granularity.registry import GranularitySystem
+from ..mining.discovery import EventDiscoveryProblem, TypeConstraint
+from ..mining.events import Event, EventSequence
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or unsupported payloads."""
+
+
+# ----------------------------------------------------------------------
+# Temporal types
+# ----------------------------------------------------------------------
+def granularity_to_dict(ttype: TemporalType) -> Dict[str, Any]:
+    """Encode a temporal type structurally."""
+    if isinstance(ttype, GroupedType):
+        return {
+            "kind": "grouped",
+            "label": ttype.label,
+            "base": granularity_to_dict(ttype.base),
+            "n": ttype.n,
+            "offset": ttype.offset,
+        }
+    if isinstance(ttype, PeriodicPatternType):
+        return {
+            "kind": "periodic",
+            "label": ttype.label,
+            "cycle_seconds": ttype.cycle_seconds,
+            "segments": [list(s) for s in ttype.segments],
+            "phase": ttype.phase,
+        }
+    if isinstance(ttype, BusinessDayType):
+        return {
+            "kind": "businessday",
+            "label": ttype.label,
+            "workdays": list(ttype.workdays),
+            "holidays": list(ttype.holidays),
+        }
+    if isinstance(ttype, BusinessWeekType):
+        return {
+            "kind": "businessweek",
+            "label": ttype.label,
+            "bday": granularity_to_dict(ttype.bday),
+        }
+    if isinstance(ttype, BusinessMonthType):
+        return {
+            "kind": "businessmonth",
+            "label": ttype.label,
+            "bday": granularity_to_dict(ttype.bday),
+        }
+    if isinstance(ttype, IntersectionType):
+        return {
+            "kind": "intersection",
+            "label": ttype.label,
+            "a": granularity_to_dict(ttype.a),
+            "b": granularity_to_dict(ttype.b),
+        }
+    if isinstance(ttype, (MonthType, YearType)):
+        return {"kind": "label", "label": ttype.label}
+    if isinstance(ttype, UniformType):
+        return {
+            "kind": "uniform",
+            "label": ttype.label,
+            "seconds_per_tick": ttype.seconds_per_tick,
+            "phase": ttype.phase,
+        }
+    # Fall back to a label reference for exotic user types.
+    return {"kind": "label", "label": ttype.label}
+
+
+def granularity_from_dict(
+    payload: Mapping[str, Any], system: GranularitySystem
+) -> TemporalType:
+    """Decode a temporal type, registering it in the system."""
+    kind = payload.get("kind")
+    if kind == "label":
+        try:
+            return system.get(payload["label"])
+        except KeyError:
+            raise SerializationError(
+                "granularity label %r is not registered" % (payload["label"],)
+            )
+    if kind == "uniform":
+        return system.register(
+            UniformType(
+                payload["label"],
+                int(payload["seconds_per_tick"]),
+                phase=int(payload.get("phase", 0)),
+            )
+        )
+    if kind == "grouped":
+        base = granularity_from_dict(payload["base"], system)
+        return system.register(
+            GroupedType(
+                base,
+                int(payload["n"]),
+                label=payload.get("label"),
+                offset=int(payload.get("offset", 0)),
+            )
+        )
+    if kind == "periodic":
+        return system.register(
+            PeriodicPatternType(
+                payload["label"],
+                int(payload["cycle_seconds"]),
+                [tuple(s) for s in payload["segments"]],
+                phase=int(payload.get("phase", 0)),
+            )
+        )
+    if kind == "intersection":
+        return system.register(
+            IntersectionType(
+                granularity_from_dict(payload["a"], system),
+                granularity_from_dict(payload["b"], system),
+                label=payload.get("label"),
+            )
+        )
+    if kind == "businessday":
+        return system.register(
+            BusinessDayType(
+                label=payload.get("label", "b-day"),
+                workdays=tuple(payload.get("workdays", (0, 1, 2, 3, 4))),
+                holidays=payload.get("holidays", ()),
+            )
+        )
+    if kind == "businessweek":
+        bday = granularity_from_dict(payload["bday"], system)
+        return system.register(
+            BusinessWeekType(label=payload.get("label", "b-week"), bday=bday)
+        )
+    if kind == "businessmonth":
+        bday = granularity_from_dict(payload["bday"], system)
+        return system.register(
+            BusinessMonthType(
+                label=payload.get("label", "business-month"), bday=bday
+            )
+        )
+    raise SerializationError("unknown granularity kind %r" % (kind,))
+
+
+# ----------------------------------------------------------------------
+# Constraints and structures
+# ----------------------------------------------------------------------
+def tcg_to_dict(constraint: TCG) -> Dict[str, Any]:
+    """Encode a TCG."""
+    return {
+        "m": constraint.m,
+        "n": constraint.n,
+        "granularity": granularity_to_dict(constraint.granularity),
+    }
+
+
+def tcg_from_dict(
+    payload: Mapping[str, Any], system: GranularitySystem
+) -> TCG:
+    """Decode a TCG."""
+    return TCG(
+        int(payload["m"]),
+        int(payload["n"]),
+        granularity_from_dict(payload["granularity"], system),
+    )
+
+
+def structure_to_dict(structure: EventStructure) -> Dict[str, Any]:
+    """Encode an event structure."""
+    return {
+        "variables": list(structure.variables),
+        "constraints": [
+            {
+                "from": src,
+                "to": dst,
+                "tcgs": [tcg_to_dict(c) for c in tcgs],
+            }
+            for (src, dst), tcgs in structure.constraints.items()
+        ],
+    }
+
+
+def structure_from_dict(
+    payload: Mapping[str, Any], system: GranularitySystem
+) -> EventStructure:
+    """Decode an event structure (validated on construction)."""
+    try:
+        constraints = {
+            (arc["from"], arc["to"]): [
+                tcg_from_dict(c, system) for c in arc["tcgs"]
+            ]
+            for arc in payload["constraints"]
+        }
+        return EventStructure(payload["variables"], constraints)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError("malformed structure payload: %s" % exc)
+
+
+def complex_event_type_to_dict(cet: ComplexEventType) -> Dict[str, Any]:
+    """Encode a complex event type (structure + assignment)."""
+    return {
+        "structure": structure_to_dict(cet.structure),
+        "assignment": dict(cet.assignment),
+    }
+
+
+def complex_event_type_from_dict(
+    payload: Mapping[str, Any], system: GranularitySystem
+) -> ComplexEventType:
+    """Decode a complex event type."""
+    structure = structure_from_dict(payload["structure"], system)
+    return ComplexEventType(structure, payload["assignment"])
+
+
+def problem_to_dict(problem: EventDiscoveryProblem) -> Dict[str, Any]:
+    """Encode an event-discovery problem."""
+    return {
+        "structure": structure_to_dict(problem.structure),
+        "min_confidence": problem.min_confidence,
+        "reference_type": problem.reference_type,
+        "candidates": {
+            variable: sorted(pool) if pool is not None else None
+            for variable, pool in problem.candidates.items()
+        },
+        "type_constraints": [
+            {"kind": constraint.kind, "variables": list(constraint.variables)}
+            for constraint in problem.type_constraints
+        ],
+    }
+
+
+def problem_from_dict(
+    payload: Mapping[str, Any], system: GranularitySystem
+) -> EventDiscoveryProblem:
+    """Decode an event-discovery problem."""
+    structure = structure_from_dict(payload["structure"], system)
+    candidates = {
+        variable: frozenset(pool) if pool is not None else None
+        for variable, pool in payload.get("candidates", {}).items()
+    }
+    type_constraints = tuple(
+        TypeConstraint(item["kind"], item["variables"])
+        for item in payload.get("type_constraints", ())
+    )
+    return EventDiscoveryProblem(
+        structure=structure,
+        min_confidence=float(payload["min_confidence"]),
+        reference_type=payload["reference_type"],
+        candidates=candidates,
+        type_constraints=type_constraints,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequences
+# ----------------------------------------------------------------------
+def sequence_to_dict(sequence: EventSequence) -> Dict[str, Any]:
+    """Encode an event sequence."""
+    return {"events": [[e.etype, e.time] for e in sequence]}
+
+
+def sequence_from_dict(payload: Mapping[str, Any]) -> EventSequence:
+    """Decode an event sequence."""
+    try:
+        return EventSequence(
+            Event(etype, int(time)) for etype, time in payload["events"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed sequence payload: %s" % exc)
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def dump_json(payload: Mapping[str, Any], target: Union[str, IO]) -> None:
+    """Write a payload as pretty JSON to a path or file object."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, target, indent=2, sort_keys=True)
+
+
+def load_json(source: Union[str, IO]) -> Any:
+    """Read JSON from a path or file object."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return json.load(handle)
+    return json.load(source)

@@ -1,0 +1,106 @@
+"""Frequent complex-event discovery (paper Section 5).
+
+Exports the event/sequence model, the discovery problem and both
+solvers, the pruning steps, the MTV95-style baseline, and synthetic
+workload generators.
+"""
+
+from .discovery import (
+    DiscoveryOutcome,
+    EventDiscoveryProblem,
+    TypeConstraint,
+    candidate_assignments,
+    discover,
+    naive_discover,
+)
+from .episodes import (
+    SerialEpisode,
+    episode_frequency,
+    frequent_serial_episodes,
+    occurs_within,
+)
+from .evaluation import Evaluation, evaluate_anchors, labelled_planted_workload
+from .events import Event, EventSequence
+from .extensions import (
+    constrained_assignments,
+    discover_any_reference,
+    tick_anchor_events,
+    unroll,
+    unrolled_assignment,
+    with_anchors,
+)
+from .incremental import CandidateState, IncrementalDiscovery
+from .generator import (
+    ATM_TYPES,
+    PLANT_TYPES,
+    STOCK_TYPES,
+    atm_sequence,
+    instance_windows,
+    plant_log_sequence,
+    planted_sequence,
+    random_noise,
+    sample_instance,
+    stock_sequence,
+)
+from .windows import (
+    frequent_episodes_sliding,
+    sliding_window_count,
+    sliding_window_frequency,
+)
+from .pruning import (
+    PruningStats,
+    consistency_gate,
+    filter_reference_occurrences,
+    reduce_sequence,
+    required_granularities,
+    screen_candidate_pairs,
+    screen_candidates,
+    seconds_windows,
+)
+
+__all__ = [
+    "Event",
+    "EventSequence",
+    "EventDiscoveryProblem",
+    "DiscoveryOutcome",
+    "discover",
+    "naive_discover",
+    "candidate_assignments",
+    "PruningStats",
+    "consistency_gate",
+    "reduce_sequence",
+    "required_granularities",
+    "filter_reference_occurrences",
+    "screen_candidates",
+    "screen_candidate_pairs",
+    "seconds_windows",
+    "SerialEpisode",
+    "occurs_within",
+    "episode_frequency",
+    "frequent_serial_episodes",
+    "IncrementalDiscovery",
+    "CandidateState",
+    "Evaluation",
+    "evaluate_anchors",
+    "labelled_planted_workload",
+    "sliding_window_count",
+    "sliding_window_frequency",
+    "frequent_episodes_sliding",
+    "random_noise",
+    "sample_instance",
+    "instance_windows",
+    "planted_sequence",
+    "stock_sequence",
+    "atm_sequence",
+    "plant_log_sequence",
+    "TypeConstraint",
+    "constrained_assignments",
+    "discover_any_reference",
+    "tick_anchor_events",
+    "with_anchors",
+    "unroll",
+    "unrolled_assignment",
+    "STOCK_TYPES",
+    "ATM_TYPES",
+    "PLANT_TYPES",
+]

@@ -1,0 +1,134 @@
+"""MTV95-style serial-episode baseline.
+
+The paper positions itself against Mannila-Toivonen-Verkamo's frequent
+episodes: simple patterns (here: serial episodes - ordered type tuples)
+whose total extent must fit inside one fixed window of *w seconds*.
+This module implements that baseline with the same reference-anchored
+frequency the discovery problems use, enabling a like-for-like
+comparison of single-window patterns against TCG patterns (the paper's
+"one day is not 24 hours" argument, quantified in experiment X8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .events import EventSequence
+
+
+@dataclass(frozen=True)
+class SerialEpisode:
+    """An ordered tuple of event types to occur within one window."""
+
+    types: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            raise ValueError("an episode needs at least one event type")
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def prefix(self) -> "SerialEpisode":
+        """The episode without its last type."""
+        return SerialEpisode(self.types[:-1])
+
+    def __str__(self) -> str:
+        return " -> ".join(self.types)
+
+
+def occurs_within(
+    sequence: EventSequence,
+    episode: SerialEpisode,
+    start_index: int,
+    window_seconds: int,
+) -> bool:
+    """Does the episode occur starting at this event within the window?
+
+    The anchored event must be the episode's first type; the remaining
+    types must appear in order, each strictly after the previous event's
+    position, all within ``window_seconds`` of the anchor (greedy
+    leftmost matching, which is complete for serial episodes).
+    """
+    anchor = sequence[start_index]
+    if anchor.etype != episode.types[0]:
+        return False
+    deadline = anchor.time + window_seconds
+    position = start_index
+    for etype in episode.types[1:]:
+        position = _next_of_type(sequence, etype, position + 1, deadline)
+        if position is None:
+            return False
+    return True
+
+
+def _next_of_type(sequence, etype, from_index, deadline):
+    for index in sequence.occurrence_indices(etype):
+        if index >= from_index:
+            if sequence[index].time > deadline:
+                return None
+            return index
+    return None
+
+
+def episode_frequency(
+    sequence: EventSequence,
+    episode: SerialEpisode,
+    window_seconds: int,
+) -> float:
+    """Reference-anchored frequency: the fraction of first-type
+    occurrences that begin an occurrence of the episode."""
+    anchors = sequence.occurrence_indices(episode.types[0])
+    if not anchors:
+        return 0.0
+    hits = sum(
+        1
+        for index in anchors
+        if occurs_within(sequence, episode, index, window_seconds)
+    )
+    return hits / len(anchors)
+
+
+def frequent_serial_episodes(
+    sequence: EventSequence,
+    window_seconds: int,
+    min_frequency: float,
+    max_length: int = 3,
+    anchor_type: str = None,
+) -> Dict[SerialEpisode, float]:
+    """A-priori mining of frequent serial episodes.
+
+    Candidate episodes of length k+1 are generated only from frequent
+    episodes of length k (anti-monotonicity of the anchored frequency
+    in the episode suffix).  ``anchor_type`` pins the first type, which
+    matches the reference-anchored discovery problems; otherwise every
+    occurring type may anchor.
+    """
+    if not 0 <= min_frequency <= 1:
+        raise ValueError("min_frequency must be within [0, 1]")
+    occurring = sorted(sequence.types())
+    anchors = [anchor_type] if anchor_type is not None else occurring
+    frequent: Dict[SerialEpisode, float] = {}
+    level: List[SerialEpisode] = []
+    for anchor in anchors:
+        episode = SerialEpisode((anchor,))
+        frequency = episode_frequency(sequence, episode, window_seconds)
+        if frequency > min_frequency:
+            frequent[episode] = frequency
+            level.append(episode)
+    for _ in range(1, max_length):
+        next_level: List[SerialEpisode] = []
+        for episode, etype in itertools.product(level, occurring):
+            extended = SerialEpisode(episode.types + (etype,))
+            frequency = episode_frequency(
+                sequence, extended, window_seconds
+            )
+            if frequency > min_frequency:
+                frequent[extended] = frequency
+                next_level.append(extended)
+        if not next_level:
+            break
+        level = next_level
+    return frequent

@@ -1,0 +1,223 @@
+"""Section 6 extensions of the event-discovery framework.
+
+The paper's discussion section sketches several extensions "we can
+easily adapt our procedure to accommodate"; this module implements
+them:
+
+* **structural reference events** - the reference type "needs not be a
+  regular event type; it can be ... 'the beginning of a week'":
+  :func:`tick_anchor_events` materialises granularity boundaries as
+  pseudo-events so problems like "what happens in most weeks?" become
+  ordinary discovery problems;
+* **reference-type sets** - "the reference type E0 can be extended to
+  be a set of types": :func:`discover_any_reference`;
+* **type constraints between variables** - "two or more variables could
+  be constrained to be assigned the same (or different) event types":
+  :class:`TypeConstraint`, honoured by
+  :func:`constrained_assignments` and the solvers via
+  ``EventDiscoveryProblem.type_constraints``;
+* **repetitive structures** - "it is not difficult to extend event
+  structures to include such repetitive types": :func:`unroll` chains
+  ``k`` copies of a structure with user-supplied inter-occurrence TCGs,
+  turning bounded repetition into an ordinary (larger) structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..constraints.structure import ComplexEventType, EventStructure
+from ..constraints.tcg import TCG
+from ..granularity.base import TemporalType
+from ..granularity.registry import GranularitySystem
+from ..automata.builder import build_tag
+from ..automata.matching import TagMatcher
+from .discovery import (
+    EventDiscoveryProblem,
+    TypeConstraint,
+    candidate_assignments,
+)
+from .events import Event, EventSequence
+
+
+# ----------------------------------------------------------------------
+# Structural reference events
+# ----------------------------------------------------------------------
+def tick_anchor_events(
+    ttype: TemporalType,
+    start: int,
+    stop: int,
+    etype: Optional[str] = None,
+) -> List[Event]:
+    """Pseudo-events at every tick start of a granularity in a window.
+
+    The default event type is ``"@<label>"`` (e.g. ``"@week"``), kept
+    distinct from ordinary types by convention.
+    """
+    if stop < start:
+        raise ValueError("empty anchor window")
+    name = etype if etype is not None else "@%s" % ttype.label
+    events = []
+    index = ttype.first_tick_at_or_after(start)
+    while True:
+        try:
+            first, _ = ttype.tick_bounds(index)
+        except ValueError:
+            break
+        if first > stop:
+            break
+        events.append(Event(name, first))
+        index += 1
+    return events
+
+
+def with_anchors(
+    sequence: EventSequence,
+    ttype: TemporalType,
+    etype: Optional[str] = None,
+) -> EventSequence:
+    """The sequence merged with tick anchors spanning its extent."""
+    start, stop = sequence.span()
+    return EventSequence(
+        list(sequence) + tick_anchor_events(ttype, start, stop, etype=etype)
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference-type sets
+# ----------------------------------------------------------------------
+def discover_any_reference(
+    structure: EventStructure,
+    min_confidence: float,
+    reference_types: Iterable[str],
+    sequence: EventSequence,
+    system: GranularitySystem,
+    candidates: Optional[Mapping[str, Optional[FrozenSet[str]]]] = None,
+) -> Dict[Tuple[Tuple[str, str], ...], float]:
+    """Discovery with a *set* of reference types.
+
+    The root may be instantiated by any of ``reference_types``;
+    frequency is counted over the union of their occurrences.  Returns
+    the solutions as ``{sorted non-root assignment items: frequency}``
+    (the root slot varies per anchor, so it is not part of the key).
+    """
+    reference_types = sorted(set(reference_types))
+    if not reference_types:
+        raise ValueError("at least one reference type is required")
+    anchors = []
+    for etype in reference_types:
+        anchors.extend(sequence.occurrence_indices(etype))
+    total = len(anchors)
+    results: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    if total == 0:
+        return results
+    root = structure.root
+    # Enumerate candidate assignments once (reference-agnostic).
+    probe_problem = EventDiscoveryProblem(
+        structure,
+        min_confidence,
+        reference_types[0],
+        dict(candidates) if candidates else {},
+    )
+    for assignment in candidate_assignments(probe_problem, sequence):
+        non_root = {
+            variable: etype
+            for variable, etype in assignment.items()
+            if variable != root
+        }
+        matchers = {
+            etype: TagMatcher(
+                build_tag(
+                    ComplexEventType(structure, dict(non_root, **{root: etype}))
+                )
+            )
+            for etype in reference_types
+        }
+        hits = 0
+        for index in anchors:
+            matcher = matchers[sequence[index].etype]
+            if matcher.occurs_at(sequence, index):
+                hits += 1
+        frequency = hits / total
+        if frequency > min_confidence:
+            results[tuple(sorted(non_root.items()))] = frequency
+    return results
+
+
+# ----------------------------------------------------------------------
+# Type constraints between variables
+# ----------------------------------------------------------------------
+# TypeConstraint lives in repro.mining.discovery (it is a field of
+# EventDiscoveryProblem); re-exported here with the other Section 6
+# extensions for discoverability.
+
+
+def constrained_assignments(
+    problem: EventDiscoveryProblem,
+    sequence: EventSequence,
+    type_constraints: Sequence[TypeConstraint],
+    **kwargs,
+):
+    """Candidate assignments filtered by type constraints."""
+    unknown = {
+        variable
+        for constraint in type_constraints
+        for variable in constraint.variables
+    } - set(problem.structure.variables)
+    if unknown:
+        raise ValueError("type constraints on unknown variables %r" % unknown)
+    for assignment in candidate_assignments(problem, sequence, **kwargs):
+        if all(c.is_satisfied(assignment) for c in type_constraints):
+            yield assignment
+
+
+# ----------------------------------------------------------------------
+# Repetitive structures
+# ----------------------------------------------------------------------
+def unroll(
+    structure: EventStructure,
+    copies: int,
+    link_tcgs: Sequence[TCG],
+    separator: str = "@",
+) -> EventStructure:
+    """Chain ``copies`` renamed copies of a structure.
+
+    Copy ``i``'s variables are renamed ``<var>@<i>``; ``link_tcgs``
+    constrain each copy's root to the next copy's root.  The result is
+    an ordinary event structure (rooted at ``<root>@0``) expressing
+    bounded repetition - the paper's "repetitive kind of frequent
+    events" made mineable with the unchanged machinery.
+    """
+    if copies < 1:
+        raise ValueError("at least one copy is required")
+    if copies > 1 and not link_tcgs:
+        raise ValueError("link TCGs are required to chain copies")
+
+    def rename(variable: str, copy: int) -> str:
+        return "%s%s%d" % (variable, separator, copy)
+
+    variables: List[str] = []
+    constraints: Dict[Tuple[str, str], List[TCG]] = {}
+    for copy in range(copies):
+        for variable in structure.variables:
+            variables.append(rename(variable, copy))
+        for (src, dst), tcgs in structure.constraints.items():
+            constraints[(rename(src, copy), rename(dst, copy))] = list(tcgs)
+    for copy in range(copies - 1):
+        arc = (
+            rename(structure.root, copy),
+            rename(structure.root, copy + 1),
+        )
+        constraints[arc] = list(link_tcgs)
+    return EventStructure(variables, constraints)
+
+
+def unrolled_assignment(
+    assignment: Mapping[str, str], copies: int, separator: str = "@"
+) -> Dict[str, str]:
+    """Replicate a per-copy type assignment across all copies."""
+    return {
+        "%s%s%d" % (variable, separator, copy): etype
+        for copy in range(copies)
+        for variable, etype in assignment.items()
+    }

@@ -1,0 +1,150 @@
+"""Sliding-window episode frequency (the original MTV95 semantics).
+
+:mod:`repro.mining.episodes` uses reference-anchored frequencies to be
+comparable with the paper's discovery problems; this module implements
+the *original* Mannila-Toivonen-Verkamo definition for completeness:
+
+    the frequency of an episode is the fraction of all windows of width
+    ``w`` in which the episode occurs,
+
+where the windows are ``[t, t + w)`` for ``t`` ranging over
+``[first - w + 1, last]`` (every window overlapping the sequence,
+following MTV95's convention that each event is in exactly ``w``
+windows).
+
+The implementation counts the windows containing a serial episode in
+``O(|sigma| * |episode|)`` by computing, for each window start, the
+earliest completion of the episode inside it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from .episodes import SerialEpisode
+from .events import EventSequence
+
+
+def earliest_completion(
+    sequence: EventSequence, episode: SerialEpisode, from_index: int
+) -> Optional[int]:
+    """Index of the earliest completion of the episode starting at or
+    after ``from_index`` (greedy leftmost matching, which minimises the
+    completion time of serial episodes)."""
+    position = from_index - 1
+    for etype in episode.types:
+        position = _next_of_type_at_or_after(sequence, etype, position + 1)
+        if position is None:
+            return None
+    return position
+
+
+def _next_of_type_at_or_after(sequence, etype, from_index):
+    indices = sequence.occurrence_indices(etype)
+    slot = bisect_left(list(indices), from_index)
+    if slot < len(indices):
+        return indices[slot]
+    return None
+
+
+def sliding_window_count(
+    sequence: EventSequence, episode: SerialEpisode, window_seconds: int
+) -> Tuple[int, int]:
+    """(windows containing the episode, total windows).
+
+    A window ``[t, t + w)`` contains the episode iff some occurrence
+    starts and completes inside it.  For each possible first event of
+    an occurrence, the greedy completion gives the minimal end time;
+    the containing window starts range over an interval of ``t``
+    values, unioned across first events by an interval sweep.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window width must be positive")
+    if len(sequence) == 0:
+        return 0, 0
+    first_time, last_time = sequence.span()
+    window_lo = first_time - window_seconds + 1
+    window_hi = last_time  # inclusive start of the last window
+    total = window_hi - window_lo + 1
+    intervals: List[Tuple[int, int]] = []
+    for start_index in sequence.occurrence_indices(episode.types[0]):
+        completion = earliest_completion(sequence, episode, start_index)
+        if completion is None:
+            break  # no completion from any later start either
+        start_time = sequence[start_index].time
+        end_time = sequence[completion].time
+        # Window starts t with t <= start_time and end_time < t + w.
+        lo = max(window_lo, end_time - window_seconds + 1)
+        hi = min(window_hi, start_time)
+        if lo <= hi:
+            intervals.append((lo, hi))
+    covered = _union_length(intervals)
+    return covered, total
+
+
+def _union_length(intervals: List[Tuple[int, int]]) -> int:
+    if not intervals:
+        return 0
+    intervals.sort()
+    covered = 0
+    current_lo, current_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > current_hi + 1:
+            covered += current_hi - current_lo + 1
+            current_lo, current_hi = lo, hi
+        else:
+            current_hi = max(current_hi, hi)
+    covered += current_hi - current_lo + 1
+    return covered
+
+
+def sliding_window_frequency(
+    sequence: EventSequence, episode: SerialEpisode, window_seconds: int
+) -> float:
+    """MTV95 frequency: covered windows / total windows."""
+    covered, total = sliding_window_count(sequence, episode, window_seconds)
+    if total == 0:
+        return 0.0
+    return covered / total
+
+
+def frequent_episodes_sliding(
+    sequence: EventSequence,
+    window_seconds: int,
+    min_frequency: float,
+    max_length: int = 3,
+) -> Dict[SerialEpisode, float]:
+    """A-priori mining under the sliding-window frequency.
+
+    Anti-monotone in the episode (any window containing the episode
+    contains each prefix), so level-wise candidate generation applies.
+    """
+    if not 0 <= min_frequency <= 1:
+        raise ValueError("min_frequency must be within [0, 1]")
+    occurring = sorted(sequence.types())
+    frequent: Dict[SerialEpisode, float] = {}
+    level: List[SerialEpisode] = []
+    for etype in occurring:
+        episode = SerialEpisode((etype,))
+        frequency = sliding_window_frequency(
+            sequence, episode, window_seconds
+        )
+        if frequency > min_frequency:
+            frequent[episode] = frequency
+            level.append(episode)
+    for _ in range(1, max_length):
+        next_level: List[SerialEpisode] = []
+        for episode in level:
+            for etype in occurring:
+                extended = SerialEpisode(episode.types + (etype,))
+                frequency = sliding_window_frequency(
+                    sequence, extended, window_seconds
+                )
+                if frequency > min_frequency:
+                    frequent[extended] = frequency
+                    next_level.append(extended)
+        if not next_level:
+            break
+        level = next_level
+    return frequent

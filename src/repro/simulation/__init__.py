@@ -1,0 +1,27 @@
+"""Stochastic workload simulation: processes and causal trigger rules."""
+
+from .processes import (
+    CompositeProcess,
+    PoissonProcess,
+    RenewalProcess,
+    uniform_interarrival,
+)
+from .rules import (
+    RuleSimulator,
+    SimulationResult,
+    TriggerRule,
+    fixed_delay,
+    uniform_delay,
+)
+
+__all__ = [
+    "PoissonProcess",
+    "RenewalProcess",
+    "CompositeProcess",
+    "uniform_interarrival",
+    "TriggerRule",
+    "RuleSimulator",
+    "SimulationResult",
+    "fixed_delay",
+    "uniform_delay",
+]

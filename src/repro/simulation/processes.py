@@ -1,0 +1,140 @@
+"""Stochastic event processes: background streams for simulations.
+
+The paper motivates mining as analysing "the process that we are
+monitoring"; this module provides generative models of such processes
+so experiments can control the ground truth:
+
+* :class:`PoissonProcess` - memoryless arrivals of one or more types;
+* :class:`RenewalProcess` - arrivals with arbitrary inter-arrival
+  samplers (e.g. uniform business-hours spacing);
+* :class:`CompositeProcess` - superposition of processes.
+
+All processes are deterministic given their ``random.Random`` and
+produce plain event lists; combine with
+:mod:`repro.simulation.rules` to add causal structure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from ..mining.events import Event
+
+
+class PoissonProcess:
+    """Homogeneous Poisson arrivals over a set of event types.
+
+    ``rate`` is events per second (for all types together); each
+    arrival draws its type from ``types`` with optional ``weights``.
+    """
+
+    def __init__(
+        self,
+        types: Sequence[str],
+        rate: float,
+        weights: Sequence[float] = None,
+        align: int = 1,
+    ):
+        if not types:
+            raise ValueError("at least one event type is required")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if align <= 0:
+            raise ValueError("align must be positive")
+        self.types = list(types)
+        self.rate = rate
+        self.weights = list(weights) if weights is not None else None
+        if self.weights is not None and len(self.weights) != len(self.types):
+            raise ValueError("one weight per type is required")
+        self.align = align
+
+    def generate(
+        self, start: int, stop: int, rng: random.Random
+    ) -> List[Event]:
+        """Arrivals in ``[start, stop]`` (inclusive bounds)."""
+        if stop < start:
+            raise ValueError("empty window")
+        events: List[Event] = []
+        t = float(start)
+        while True:
+            t += rng.expovariate(self.rate)
+            if t > stop:
+                break
+            etype = (
+                rng.choices(self.types, weights=self.weights)[0]
+                if self.weights
+                else rng.choice(self.types)
+            )
+            stamp = int(t)
+            stamp -= stamp % self.align
+            if stamp >= start:
+                events.append(Event(etype, stamp))
+        return events
+
+
+class RenewalProcess:
+    """Arrivals separated by draws from an inter-arrival sampler.
+
+    ``interarrival`` is called with the rng and returns a positive
+    number of seconds; the first arrival is one draw after ``start``.
+    """
+
+    def __init__(
+        self,
+        etype: str,
+        interarrival: Callable[[random.Random], float],
+        align: int = 1,
+    ):
+        if align <= 0:
+            raise ValueError("align must be positive")
+        self.etype = etype
+        self.interarrival = interarrival
+        self.align = align
+
+    def generate(
+        self, start: int, stop: int, rng: random.Random
+    ) -> List[Event]:
+        if stop < start:
+            raise ValueError("empty window")
+        events: List[Event] = []
+        t = float(start)
+        while True:
+            gap = float(self.interarrival(rng))
+            if gap <= 0 or not math.isfinite(gap):
+                raise ValueError("interarrival sampler must return > 0")
+            t += gap
+            if t > stop:
+                break
+            stamp = int(t)
+            stamp -= stamp % self.align
+            events.append(Event(self.etype, max(stamp, start)))
+        return events
+
+
+class CompositeProcess:
+    """Superposition: the union of several processes' arrivals."""
+
+    def __init__(self, processes: Sequence):
+        if not processes:
+            raise ValueError("at least one process is required")
+        self.processes = list(processes)
+
+    def generate(
+        self, start: int, stop: int, rng: random.Random
+    ) -> List[Event]:
+        events: List[Event] = []
+        for process in self.processes:
+            events.extend(process.generate(start, stop, rng))
+        events.sort(key=lambda e: e.time)
+        return events
+
+
+def uniform_interarrival(
+    lo: float, hi: float
+) -> Callable[[random.Random], float]:
+    """A uniform inter-arrival sampler factory for RenewalProcess."""
+    if not 0 < lo <= hi:
+        raise ValueError("need 0 < lo <= hi")
+    return lambda rng: rng.uniform(lo, hi)

@@ -1,0 +1,5 @@
+"""An in-memory temporal event store (the paper's data substrate)."""
+
+from .eventstore import EventRecord, EventStore
+
+__all__ = ["EventStore", "EventRecord"]

@@ -1,0 +1,137 @@
+"""Tests for TAG construction from complex event types (Theorem 3)."""
+
+import pytest
+
+from repro.automata import build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity import day, hour
+
+
+@pytest.fixture
+def example1_cet(figure_1a):
+    return ComplexEventType(
+        figure_1a,
+        {
+            "X0": "IBM-rise",
+            "X1": "IBM-earnings-report",
+            "X2": "HP-rise",
+            "X3": "IBM-fall",
+        },
+    )
+
+
+class TestExample1Construction:
+    def test_chain_decomposition(self, example1_cet):
+        build = build_tag(example1_cet)
+        assert len(build.chains) == 2
+        for chain in build.chains:
+            assert chain[0] == "X0"
+            assert chain[-1] == "X3"
+
+    def test_state_count_matches_figure2(self, example1_cet):
+        """Figure 2's product automaton has 6 reachable states
+        (S0S0, S1S1, S1S2, S2S1, S2S2, S3S3)."""
+        build = build_tag(example1_cet)
+        assert len(build.tag.states) == 6
+
+    def test_clocks_are_chain_local(self, example1_cet):
+        build = build_tag(example1_cet)
+        labels = sorted(build.tag.clocks)
+        # One chain carries b-day+week, the other b-day+hour.
+        granularities = sorted(
+            name.split(":", 1)[1] for name in labels
+        )
+        assert granularities == ["b-day", "b-day", "hour", "week"]
+
+    def test_every_state_has_skip_loop(self, example1_cet):
+        build = build_tag(example1_cet)
+        for state in build.tag.states:
+            loops = [
+                t
+                for t in build.tag.transitions_from(state)
+                if t.symbol == "*" and t.target == state
+            ]
+            assert len(loops) == 1
+
+    def test_symbols_are_event_types(self, example1_cet):
+        build = build_tag(example1_cet)
+        symbols = {
+            t.symbol for t in build.tag.transitions if t.symbol != "*"
+        }
+        assert symbols == {
+            "IBM-rise",
+            "IBM-earnings-report",
+            "HP-rise",
+            "IBM-fall",
+        }
+
+    def test_shared_variables_advance_together(self, example1_cet):
+        """The root (and the shared leaf X3) must advance every chain
+        containing them simultaneously."""
+        build = build_tag(example1_cet)
+        root_transitions = [
+            t for t in build.tag.transitions if t.variables == ("X0",)
+        ]
+        assert len(root_transitions) == 1
+        (root_t,) = root_transitions
+        assert root_t.source == (0, 0)
+        assert root_t.target == (1, 1)
+        # Root transition resets every clock.
+        assert root_t.resets == frozenset(build.tag.clocks)
+
+    def test_accepting_state_is_all_chains_done(self, example1_cet):
+        build = build_tag(example1_cet)
+        (accepting,) = build.tag.accepting
+        assert accepting == tuple(len(c) for c in build.chains)
+
+    def test_root_symbol(self, example1_cet):
+        assert build_tag(example1_cet).root_symbol == "IBM-rise"
+
+
+class TestDegenerateShapes:
+    def test_single_variable(self):
+        structure = EventStructure(["A"], {})
+        cet = ComplexEventType(structure, {"A": "ping"})
+        build = build_tag(cet)
+        assert len(build.tag.states) == 2
+        assert build.tag.accepting == frozenset([(1,)])
+
+    def test_pure_chain(self):
+        structure = EventStructure(
+            ["A", "B", "C"],
+            {
+                ("A", "B"): [TCG(0, 1, day())],
+                ("B", "C"): [TCG(0, 2, hour())],
+            },
+        )
+        cet = ComplexEventType(structure, {"A": "a", "B": "b", "C": "c"})
+        build = build_tag(cet)
+        assert len(build.chains) == 1
+        assert len(build.tag.states) == 4  # positions 0..3
+
+    def test_duplicate_event_types_allowed(self):
+        """phi may map several variables to the same type."""
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 1, day())]}
+        )
+        cet = ComplexEventType(structure, {"A": "tick", "B": "tick"})
+        build = build_tag(cet)
+        tick_transitions = [
+            t for t in build.tag.transitions if t.symbol == "tick"
+        ]
+        assert len(tick_transitions) == 2  # one per variable
+
+    def test_guard_reflects_tcgs(self):
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(2, 4, hour())]}
+        )
+        cet = ComplexEventType(structure, {"A": "a", "B": "b"})
+        build = build_tag(cet)
+        (b_transition,) = [
+            t for t in build.tag.transitions if t.variables == ("B",)
+        ]
+        clock = next(iter(build.tag.clocks))
+        assert b_transition.guard.evaluate({clock: 2})
+        assert b_transition.guard.evaluate({clock: 4})
+        assert not b_transition.guard.evaluate({clock: 1})
+        assert not b_transition.guard.evaluate({clock: 5})

@@ -1,0 +1,95 @@
+"""Tests for granularity clocks and clock-constraint formulas."""
+
+import pytest
+
+from repro.automata import And, Atom, Clock, Not, Or, TrueConstraint, within
+from repro.granularity import day, hour
+from repro.granularity.business import BusinessDayType
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestClock:
+    def test_value_is_tick_distance(self):
+        clock = Clock("x", hour())
+        assert clock.value(0, 0) == 0
+        assert clock.value(0, 2 * SECONDS_PER_HOUR) == 2
+        assert clock.value(SECONDS_PER_HOUR - 1, SECONDS_PER_HOUR) == 1
+
+    def test_value_undefined_in_gap(self):
+        clock = Clock("x", BusinessDayType())
+        saturday = 5 * SECONDS_PER_DAY
+        assert clock.value(0, saturday) is None
+        assert clock.value(saturday, 7 * SECONDS_PER_DAY) is None
+
+    def test_str(self):
+        assert str(Clock("x", day())) == "x[day]"
+
+
+class TestAtoms:
+    def test_le(self):
+        atom = Atom("x", "le", 5)
+        assert atom.evaluate({"x": 5})
+        assert atom.evaluate({"x": 0})
+        assert not atom.evaluate({"x": 6})
+
+    def test_ge(self):
+        atom = Atom("x", "ge", 2)
+        assert atom.evaluate({"x": 2})
+        assert not atom.evaluate({"x": 1})
+
+    def test_undefined_value_falsifies(self):
+        assert not Atom("x", "le", 5).evaluate({"x": None})
+        assert not Atom("x", "ge", 0).evaluate({"x": None})
+        assert not Atom("x", "le", 5).evaluate({})
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("x", "eq", 5)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("x", "le", -1)
+
+    def test_clocks(self):
+        assert Atom("x", "le", 5).clocks() == frozenset(["x"])
+
+
+class TestCombinations:
+    def test_within(self):
+        guard = within("x", 2, 4)
+        assert not guard.evaluate({"x": 1})
+        assert guard.evaluate({"x": 2})
+        assert guard.evaluate({"x": 4})
+        assert not guard.evaluate({"x": 5})
+        assert not guard.evaluate({"x": None})
+
+    def test_and_or(self):
+        formula = Atom("x", "le", 3) & Atom("y", "ge", 1)
+        assert formula.evaluate({"x": 3, "y": 1})
+        assert not formula.evaluate({"x": 4, "y": 1})
+        either = Atom("x", "le", 3) | Atom("y", "ge", 1)
+        assert either.evaluate({"x": 9, "y": 2})
+        assert not either.evaluate({"x": 9, "y": 0})
+
+    def test_not(self):
+        formula = ~Atom("x", "le", 3)
+        assert formula.evaluate({"x": 4})
+        assert not formula.evaluate({"x": 3})
+        # Documented three-valued subtlety: negation of an undefined
+        # atom is true.
+        assert formula.evaluate({"x": None})
+
+    def test_true_constraint(self):
+        assert TrueConstraint().evaluate({})
+        assert TrueConstraint().clocks() == frozenset()
+
+    def test_nested_clock_collection(self):
+        formula = And(
+            (Or((Atom("a", "le", 1), Atom("b", "ge", 2))), Not(Atom("c", "le", 3)))
+        )
+        assert formula.clocks() == frozenset(["a", "b", "c"])
+
+    def test_str_forms(self):
+        assert str(Atom("x", "le", 5)) == "x<=5"
+        assert str(Atom("x", "ge", 5)) == "5<=x"
+        assert "true" in str(TrueConstraint())

@@ -1,0 +1,98 @@
+"""Edge-case and failure-injection tests for the TAG matcher."""
+
+import pytest
+
+from repro.automata import TagMatcher, build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining.events import Event, EventSequence
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def loose_cet(system):
+    """A very permissive pattern that keeps many configurations alive."""
+    week = system.get("week")
+    structure = EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(0, 50, week)],
+            ("B", "C"): [TCG(0, 50, week)],
+        },
+    )
+    return ComplexEventType(structure, {"A": "x", "B": "x", "C": "missing"})
+
+
+class TestConfigurationCap:
+    def test_cap_raises(self, loose_cet):
+        # Many 'x' events, huge windows, and a final type that never
+        # arrives: the configuration set grows linearly until the cap.
+        sequence = EventSequence(
+            [("x", i * 3600) for i in range(200)]
+        )
+        matcher = TagMatcher(build_tag(loose_cet), max_configurations=20)
+        with pytest.raises(RuntimeError):
+            matcher.match_from(sequence, 0)
+
+    def test_dedup_bounds_tight_patterns(self, system):
+        """With tight constraints, configs die fast and the default cap
+        is never approached."""
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 1, hour)]}
+        )
+        cet = ComplexEventType(structure, {"A": "x", "B": "x"})
+        sequence = EventSequence([("x", i * 600) for i in range(500)])
+        matcher = TagMatcher(build_tag(cet))
+        result = matcher.match_from(sequence, 0)
+        assert result.matched
+        assert result.peak_configurations <= 10
+
+
+class TestDegenerateInputs:
+    def test_empty_alphabet_overlap(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 1, hour)]}
+        )
+        cet = ComplexEventType(structure, {"A": "a", "B": "b"})
+        matcher = TagMatcher(build_tag(cet))
+        sequence = EventSequence([("z", 0), ("z", 10)])
+        assert matcher.count_occurrences(sequence) == 0
+        assert not matcher.accepts(sequence)
+
+    def test_anchor_on_last_event(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 1, hour)]}
+        )
+        cet = ComplexEventType(structure, {"A": "a", "B": "b"})
+        matcher = TagMatcher(build_tag(cet))
+        sequence = EventSequence([("b", 0), ("a", 10)])
+        assert not matcher.occurs_at(sequence, 1)  # nothing after it
+
+    def test_zero_distance_same_second(self, system):
+        """TCGs allow equal timestamps; two events at the same second
+        in sequence order can both bind."""
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 0, hour)]}
+        )
+        cet = ComplexEventType(structure, {"A": "a", "B": "b"})
+        matcher = TagMatcher(build_tag(cet))
+        sequence = EventSequence([("a", 500), ("b", 500)])
+        assert matcher.occurs_at(sequence, 0)
+
+    def test_root_type_reused_downstream(self, system):
+        """phi maps the root's type to another variable too: later root
+        -typed events must be usable for that variable."""
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(1, 2, hour)]}
+        )
+        cet = ComplexEventType(structure, {"A": "tick", "B": "tick"})
+        matcher = TagMatcher(build_tag(cet))
+        sequence = EventSequence([("tick", 0), ("tick", 2 * H)])
+        assert matcher.occurs_at(sequence, 0)
+        assert not matcher.occurs_at(sequence, 1)  # no later tick

@@ -1,0 +1,133 @@
+"""Tests for the streaming (online) matcher."""
+
+import random
+
+import pytest
+
+from repro.automata import StreamingMatcher, TagMatcher, build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining.events import Event, EventSequence
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def chain_cet(system):
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(0, 2, hour)],
+            ("B", "C"): [TCG(0, 2, hour)],
+        },
+    )
+    return ComplexEventType(structure, {"A": "a", "B": "b", "C": "c"})
+
+
+class TestBasics:
+    def test_detection_on_completion(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        assert matcher.feed("a", 100) == []
+        assert matcher.feed("b", 100 + H) == []
+        detections = matcher.feed("c", 100 + 2 * H)
+        assert len(detections) == 1
+        detection = detections[0]
+        assert detection.anchor_time == 100
+        assert detection.detected_at == 100 + 2 * H
+        assert detection.bindings == {
+            "A": 100,
+            "B": 100 + H,
+            "C": 100 + 2 * H,
+        }
+        assert matcher.live_anchors == 0
+
+    def test_noise_is_skipped(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 0)
+        matcher.feed("noise", 10)
+        matcher.feed("b", H)
+        matcher.feed("noise", H + 10)
+        assert matcher.feed("c", 2 * H)
+
+    def test_late_event_cannot_complete(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 0)
+        assert matcher.feed("b", 5 * H) == []  # too late for [0, 2] hours
+        # The anchor stays live via the skip loop (only a horizon can
+        # retire it), but no completion is possible any more.
+        assert matcher.feed("c", 5 * H + 60) == []
+        bounded = StreamingMatcher(build_tag(chain_cet), horizon_seconds=4 * H)
+        bounded.feed("a", 0)
+        bounded.feed("b", 5 * H)
+        assert bounded.live_anchors == 0  # horizon retired it
+
+    def test_overlapping_anchors(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 0)
+        matcher.feed("a", 1800)
+        assert matcher.live_anchors == 2
+        matcher.feed("b", H)
+        detections = matcher.feed("c", 2 * H)
+        # Both anchors complete on the same c event.
+        assert {d.anchor_time for d in detections} == {0, 1800}
+
+    def test_out_of_order_rejected(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 100)
+        with pytest.raises(ValueError):
+            matcher.feed("b", 50)
+
+    def test_single_variable_pattern(self, system):
+        structure = EventStructure(["A"], {})
+        cet = ComplexEventType(structure, {"A": "ping"})
+        matcher = StreamingMatcher(build_tag(cet))
+        detections = matcher.feed("ping", 42)
+        assert len(detections) == 1
+        assert detections[0].bindings == {"A": 42}
+
+    def test_horizon_expires_anchors(self, chain_cet):
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), horizon_seconds=3 * H
+        )
+        matcher.feed("a", 0)
+        assert matcher.live_anchors == 1
+        matcher.feed("noise", 4 * H)
+        assert matcher.live_anchors == 0
+
+    def test_anchor_cap(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_live_anchors=2)
+        matcher.feed("a", 0)
+        matcher.feed("a", 1)
+        with pytest.raises(RuntimeError):
+            matcher.feed("a", 2)
+
+
+class TestAgainstBatchMatcher:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_detections_match_batch_counts(self, system, chain_cet, seed):
+        """Streaming detections = batch matcher's matching roots."""
+        rng = random.Random(seed)
+        types = ["a", "b", "c", "n"]
+        times = sorted(rng.sample(range(0, 4 * D, 600), 80))
+        sequence = EventSequence(
+            Event(rng.choice(types), t) for t in times
+        )
+        batch = TagMatcher(build_tag(chain_cet))
+        expected = {
+            sequence[i].time for i in batch.matching_roots(sequence)
+        }
+        streaming = StreamingMatcher(build_tag(chain_cet))
+        detections = streaming.feed_sequence(sequence)
+        assert {d.anchor_time for d in detections} == expected
+
+    def test_bindings_satisfy_structure(self, system, chain_cet):
+        rng = random.Random(9)
+        types = ["a", "b", "c"]
+        times = sorted(rng.sample(range(0, 2 * D, 300), 60))
+        sequence = EventSequence(
+            Event(rng.choice(types), t) for t in times
+        )
+        streaming = StreamingMatcher(build_tag(chain_cet))
+        for detection in streaming.feed_sequence(sequence):
+            assert chain_cet.structure.is_satisfied_by(detection.bindings)

@@ -1,0 +1,137 @@
+"""Tests for the TAG structure and definition-level run semantics."""
+
+import pytest
+
+from repro.automata import ANY, Clock, TAG, Transition, within
+from repro.granularity import day, hour
+from repro.granularity.business import BusinessDayType
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def two_step_tag():
+    """Accepts 'a' then 'b' within 2 hours, with skips allowed."""
+    clock = Clock("x", hour())
+    transitions = [
+        Transition("s0", "s0", ANY),
+        Transition("s1", "s1", ANY),
+        Transition("s0", "s1", "a", resets=frozenset(["x"]), variables=("A",)),
+        Transition("s1", "s2", "b", guard=within("x", 0, 2), variables=("B",)),
+    ]
+    return TAG(
+        alphabet=["a", "b"],
+        states=["s0", "s1", "s2"],
+        start_states=["s0"],
+        clocks=[clock],
+        transitions=transitions,
+        accepting=["s2"],
+    )
+
+
+class TestValidation:
+    def test_valid_tag(self):
+        tag = two_step_tag()
+        assert len(tag.states) == 3
+        assert len(tag.transitions_from("s0")) == 2
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            TAG(["a"], ["s0"], ["s0"], [], [Transition("s0", "zz", "a")], [])
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(ValueError):
+            TAG(["a"], ["s0"], ["zz"], [], [], [])
+
+    def test_unknown_accepting_rejected(self):
+        with pytest.raises(ValueError):
+            TAG(["a"], ["s0"], ["s0"], [], [], ["zz"])
+
+    def test_unknown_reset_clock_rejected(self):
+        with pytest.raises(ValueError):
+            TAG(
+                ["a"],
+                ["s0"],
+                ["s0"],
+                [],
+                [Transition("s0", "s0", "a", resets=frozenset(["x"]))],
+                [],
+            )
+
+    def test_unknown_guard_clock_rejected(self):
+        with pytest.raises(ValueError):
+            TAG(
+                ["a"],
+                ["s0"],
+                ["s0"],
+                [],
+                [Transition("s0", "s0", "a", guard=within("x", 0, 1))],
+                [],
+            )
+
+
+class TestRunSemantics:
+    def test_accepting_run(self):
+        tag = two_step_tag()
+        config = tag.initial_configuration()
+        (after_a,) = [
+            c for c in tag.step(config, "a", 100) if c.state == "s1"
+        ]
+        assert after_a.reset_times["x"] == 100
+        successors = tag.step(after_a, "b", 100 + SECONDS_PER_HOUR)
+        states = {c.state for c in successors}
+        assert "s2" in states  # guard satisfied
+        accepted = [c for c in successors if c.state == "s2"][0]
+        assert tag.accepts_run_end(accepted)
+        assert dict(accepted.bindings) == {
+            "A": 100,
+            "B": 100 + SECONDS_PER_HOUR,
+        }
+
+    def test_guard_blocks_late_event(self):
+        tag = two_step_tag()
+        config = tag.initial_configuration()
+        (after_a,) = [
+            c for c in tag.step(config, "a", 0) if c.state == "s1"
+        ]
+        late = tag.step(after_a, "b", 3 * SECONDS_PER_HOUR + 1)
+        assert {c.state for c in late} == {"s1"}  # only the skip survives
+
+    def test_skip_preserves_clock(self):
+        tag = two_step_tag()
+        config = tag.initial_configuration()
+        (after_a,) = [
+            c for c in tag.step(config, "a", 50) if c.state == "s1"
+        ]
+        (skipped,) = tag.step(after_a, "a", 60)  # 'a' only skips from s1
+        assert skipped.state == "s1"
+        assert skipped.reset_times["x"] == 50
+
+    def test_non_monotone_timestamps_rejected(self):
+        tag = two_step_tag()
+        config = tag.initial_configuration(start_time=100)
+        with pytest.raises(ValueError):
+            tag.step(config, "a", 50)
+
+    def test_strict_mode_kills_on_gap(self):
+        clock = Clock("x", BusinessDayType())
+        tag = TAG(
+            alphabet=["a"],
+            states=["s0"],
+            start_states=["s0"],
+            clocks=[clock],
+            transitions=[Transition("s0", "s0", ANY)],
+            accepting=["s0"],
+        )
+        config = tag.initial_configuration()
+        saturday = 5 * SECONDS_PER_DAY
+        assert tag.step(config, "a", saturday, strict=True) == []
+        assert len(tag.step(config, "a", saturday, strict=False)) == 1
+
+    def test_initial_configuration_needs_unique_start(self):
+        tag = TAG(["a"], ["s0", "s1"], ["s0", "s1"], [], [], [])
+        with pytest.raises(ValueError):
+            tag.initial_configuration()
+
+    def test_clock_value_accessor(self):
+        tag = two_step_tag()
+        config = tag.initial_configuration()
+        assert config.clock_value(tag, "x", 2 * SECONDS_PER_HOUR) == 2

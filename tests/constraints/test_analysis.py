@@ -1,0 +1,119 @@
+"""Tests for the exact (complete) structure-analysis toolkit."""
+
+import pytest
+
+from repro.constraints import (
+    TCG,
+    EventStructure,
+    exact_distance_sets,
+    find_disjunctions,
+    minimal_intervals,
+    tightness_report,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+THREE_YEARS = 3 * 366 * SECONDS_PER_DAY
+MONTH_WINDOW = 90 * SECONDS_PER_DAY
+
+
+class TestExactDistanceSets:
+    def test_simple_chain(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B", "C"],
+            {
+                ("A", "B"): [TCG(1, 2, day)],
+                ("B", "C"): [TCG(1, 2, day)],
+            },
+        )
+        sets = exact_distance_sets(
+            structure, system, day, MONTH_WINDOW
+        )
+        assert sets[("A", "B")] == [1, 2]
+        assert sets[("A", "C")] == [2, 3, 4]
+
+    def test_figure_1b_gadget(self, figure_1b, system):
+        sets = exact_distance_sets(
+            figure_1b, system, system.get("month"), THREE_YEARS
+        )
+        assert sets[("X0", "X2")] == [0, 12]
+
+
+class TestMinimalIntervals:
+    def test_hulls(self, figure_1b, system):
+        hulls = minimal_intervals(
+            figure_1b, system, system.get("month"), THREE_YEARS
+        )
+        assert hulls[("X0", "X2")] == (0, 12)
+        assert hulls[("X0", "X1")] == (11, 11)
+
+
+class TestFindDisjunctions:
+    def test_figure_1b_detected(self, figure_1b, system):
+        disjunctions = find_disjunctions(
+            figure_1b, system, "month", THREE_YEARS
+        )
+        pairs = {d.pair: d for d in disjunctions}
+        assert ("X0", "X2") in pairs
+        gadget = pairs[("X0", "X2")]
+        assert gadget.values == (0, 12)
+        assert gadget.holes == tuple(range(1, 12))
+
+    def test_convex_structure_has_none(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(1, 3, day)]}
+        )
+        assert find_disjunctions(structure, system, day, MONTH_WINDOW) == []
+
+
+class TestTightnessReport:
+    def test_gadget_slack_is_visible(self, figure_1b, system):
+        rows = {
+            row.pair: row
+            for row in tightness_report(
+                figure_1b, system, "month", THREE_YEARS
+            )
+        }
+        # The hull itself is reached for (X0, X2): slack 0 but the SET
+        # has holes (that is what find_disjunctions reports).
+        assert rows[("X0", "X2")].approximate == (0, 12)
+        assert rows[("X0", "X2")].exact == (0, 12)
+        assert rows[("X0", "X2")].is_tight
+
+    def test_chain_is_tight(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B", "C"],
+            {
+                ("A", "B"): [TCG(1, 2, day)],
+                ("B", "C"): [TCG(0, 1, day)],
+            },
+        )
+        rows = tightness_report(structure, system, day, MONTH_WINDOW)
+        assert all(row.is_tight for row in rows)
+        assert all(row.slack == 0 for row in rows)
+
+    def test_slack_detected_when_approx_looser(self, system):
+        """A structure where the approximation is strictly looser: the
+        month/year pin forces X1 exactly 11 months after X0, but the
+        (X0, X2) hull narrows through the second pin."""
+        month = system.get("month")
+        year = system.get("year")
+        structure = EventStructure(
+            ["X0", "X1", "X2"],
+            {
+                ("X0", "X1"): [TCG(11, 11, month), TCG(0, 0, year)],
+                ("X0", "X2"): [TCG(0, 13, month)],
+                ("X1", "X2"): [TCG(0, 2, month)],
+            },
+        )
+        rows = {
+            row.pair: row
+            for row in tightness_report(
+                structure, system, "month", THREE_YEARS
+            )
+        }
+        pair = rows[("X0", "X2")]
+        assert pair.exact == (11, 13)
+        assert pair.slack is not None and pair.slack >= 0

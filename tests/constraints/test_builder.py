@@ -1,0 +1,117 @@
+"""Tests for the fluent structure builder and TCG text parsing."""
+
+import pytest
+
+from repro.constraints import (
+    TCG,
+    StructureBuilder,
+    parse_tcg,
+    parse_tcg_conjunction,
+    structure_from_text,
+)
+
+
+class TestParseTcg:
+    def test_simple(self, system):
+        constraint = parse_tcg("[1,5]day", system)
+        assert (constraint.m, constraint.n) == (1, 5)
+        assert constraint.label == "day"
+
+    def test_whitespace_tolerant(self, system):
+        constraint = parse_tcg("  [ 0 , 2 ] b-day ", system)
+        assert constraint.label == "b-day"
+
+    def test_expression_granularity(self, system):
+        constraint = parse_tcg("[0,1]group(month,3)", system)
+        assert constraint.label == "3-month"
+
+    def test_malformed(self, system):
+        for bad in ("day[0,1]", "[1]day", "[a,b]day", ""):
+            with pytest.raises(ValueError):
+                parse_tcg(bad, system)
+
+    def test_inverted_bounds_propagate_tcg_error(self, system):
+        with pytest.raises(ValueError):
+            parse_tcg("[5,2]day", system)
+
+    def test_conjunction(self, system):
+        tcgs = parse_tcg_conjunction("[1,1]b-day & [0,4]hour", system)
+        assert [c.label for c in tcgs] == ["b-day", "hour"]
+
+    def test_empty_conjunction(self, system):
+        with pytest.raises(ValueError):
+            parse_tcg_conjunction("   ", system)
+
+
+class TestStructureBuilder:
+    def test_figure_1a_via_builder(self, system, figure_1a):
+        built = (
+            StructureBuilder(system)
+            .variables("X0", "X1", "X2", "X3")
+            .arc("X0", "X1", "[1,1]b-day")
+            .arc("X1", "X3", "[0,1]week")
+            .arc("X0", "X2", "[0,5]b-day")
+            .arc("X2", "X3", "[0,8]hour")
+            .build()
+        )
+        assert built.variables == figure_1a.variables
+        assert set(built.arcs()) == set(figure_1a.arcs())
+        for arc in built.arcs():
+            assert [str(c) for c in built.tcgs(*arc)] == [
+                str(c) for c in figure_1a.tcgs(*arc)
+            ]
+
+    def test_implicit_variables(self, system):
+        built = (
+            StructureBuilder(system)
+            .arc("A", "B", "[0,1]day")
+            .arc("B", "C", "[0,1]day")
+            .build()
+        )
+        assert built.variables == ("A", "B", "C")
+        assert built.root == "A"
+
+    def test_arc_accepts_tcg_objects(self, system):
+        day = system.get("day")
+        built = (
+            StructureBuilder(system)
+            .arc("A", "B", TCG(0, 1, day))
+            .arc("A", "C", [TCG(0, 2, day), TCG(0, 0, system.get("week"))])
+            .build()
+        )
+        assert len(built.tcgs("A", "C")) == 2
+
+    def test_repeated_arc_accumulates_conjunction(self, system):
+        built = (
+            StructureBuilder(system)
+            .arc("A", "B", "[0,5]day")
+            .arc("A", "B", "[0,0]week")
+            .build()
+        )
+        assert len(built.tcgs("A", "B")) == 2
+
+    def test_build_pattern(self, system):
+        pattern = (
+            StructureBuilder(system)
+            .arc("A", "B", "[0,1]day")
+            .build_pattern(A="alert", B="ack")
+        )
+        assert pattern.event_type("A") == "alert"
+
+    def test_invalid_structure_rejected_at_build(self, system):
+        builder = StructureBuilder(system).variables("lonely").arc(
+            "A", "B", "[0,1]day"
+        )
+        with pytest.raises(ValueError):
+            builder.build()  # 'lonely' unreachable from any root
+
+    def test_structure_from_text(self, system):
+        structure = structure_from_text(
+            {
+                ("A", "B"): "[1,1]b-day",
+                ("B", "C"): "[0,4]hour & [0,0]week",
+            },
+            system,
+        )
+        assert structure.root == "A"
+        assert len(structure.tcgs("B", "C")) == 2

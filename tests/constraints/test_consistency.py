@@ -1,0 +1,128 @@
+"""Tests for the exact (exponential) consistency checker."""
+
+import pytest
+
+from repro.constraints import (
+    TCG,
+    EventStructure,
+    candidate_instants,
+    check_consistency_exact,
+    distance_values,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+THREE_YEARS = 3 * 366 * SECONDS_PER_DAY
+
+
+class TestFigure1b:
+    """The paper's month/year gadget: exact analysis reveals {0, 12}."""
+
+    def test_gadget_is_consistent(self, figure_1b, system):
+        report = check_consistency_exact(
+            figure_1b, system, window_seconds=THREE_YEARS
+        )
+        assert report.completed
+        assert report.consistent
+        assert figure_1b.is_satisfied_by(report.witness)
+
+    def test_distance_disjunction(self, figure_1b, system):
+        values = distance_values(
+            figure_1b,
+            system,
+            "X0",
+            "X2",
+            "month",
+            window_seconds=THREE_YEARS,
+        )
+        assert values == [0, 12]
+
+
+class TestAgainstApproximate:
+    def test_exact_confirms_simple_consistency(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(2, 4, day)]}
+        )
+        report = check_consistency_exact(
+            structure, system, window_seconds=30 * SECONDS_PER_DAY
+        )
+        assert report.consistent
+        a, b = report.witness["A"], report.witness["B"]
+        assert 2 <= (b - a) // SECONDS_PER_DAY <= 4
+
+    def test_exact_confirms_inconsistency(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B", "C"],
+            {
+                ("A", "B"): [TCG(5, 5, day)],
+                ("B", "C"): [TCG(5, 5, day)],
+                ("A", "C"): [TCG(0, 4, day)],
+            },
+        )
+        report = check_consistency_exact(
+            structure, system, window_seconds=30 * SECONDS_PER_DAY
+        )
+        assert report.completed
+        assert not report.consistent
+        # Refuted by propagation before any search.
+        assert report.nodes_explored == 0
+
+    def test_inconsistency_beyond_propagation(self, system):
+        """An inconsistency propagation cannot see: X must sit in the
+        first month of a year twice, 6 months apart."""
+        month = system.get("month")
+        year = system.get("year")
+        structure = EventStructure(
+            ["X0", "X1", "X2", "X3"],
+            {
+                ("X0", "X1"): [TCG(11, 11, month), TCG(0, 0, year)],
+                ("X0", "X2"): [TCG(6, 6, month)],
+                ("X2", "X3"): [TCG(11, 11, month), TCG(0, 0, year)],
+            },
+        )
+        report = check_consistency_exact(
+            structure, system, window_seconds=THREE_YEARS
+        )
+        assert report.completed
+        assert not report.consistent
+        assert report.nodes_explored > 0  # propagation alone was fooled
+
+
+class TestSearchMechanics:
+    def test_candidate_instants_contains_tick_starts(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 1, day)]}
+        )
+        candidates = candidate_instants(
+            structure, system, window_seconds=5 * SECONDS_PER_DAY
+        )
+        assert candidates[0] == 0
+        assert SECONDS_PER_DAY in candidates
+        assert candidates == sorted(candidates)
+
+    def test_explicit_resolution(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(1, 1, hour)]}
+        )
+        candidates = candidate_instants(
+            structure,
+            system,
+            window_seconds=7200,
+            resolution=1800,
+        )
+        assert 1800 in candidates
+
+    def test_node_budget_aborts(self, figure_1b, system):
+        report = check_consistency_exact(
+            figure_1b, system, window_seconds=THREE_YEARS, max_nodes=2
+        )
+        assert not report.completed
+
+    def test_bad_resolution_rejected(self, figure_1b, system):
+        with pytest.raises(ValueError):
+            candidate_instants(
+                figure_1b, system, window_seconds=100, resolution=0
+            )

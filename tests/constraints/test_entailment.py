@@ -1,0 +1,120 @@
+"""Tests for structure entailment and pattern subsumption."""
+
+import random
+
+import pytest
+
+from repro.constraints import (
+    TCG,
+    ComplexEventType,
+    EventStructure,
+    entails,
+    subsumes,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+
+def chain(system, bounds):
+    """A 3-variable chain with given (m, n, label) per arc."""
+    arcs = {}
+    names = ["A", "B", "C"]
+    for i, (m, n, label) in enumerate(bounds):
+        arcs[(names[i], names[i + 1])] = [TCG(m, n, system.get(label))]
+    return EventStructure(names[: len(bounds) + 1], arcs)
+
+
+class TestEntails:
+    def test_tighter_entails_looser_same_granularity(self, system):
+        specific = chain(system, [(1, 2, "day")])
+        general = chain(system, [(0, 5, "day")])
+        assert entails(specific, general, system)
+        assert not entails(general, specific, system)
+
+    def test_cross_granularity_entailment(self, system):
+        specific = chain(system, [(0, 5, "b-day")])
+        general = chain(system, [(0, 191, "hour")])
+        assert entails(specific, general, system)
+
+    def test_derived_constraints_count(self, system):
+        """Entailment sees constraints propagation derives, not only
+        explicit arcs: a 2-arc chain entails the composed bound."""
+        specific = chain(system, [(1, 2, "day"), (1, 2, "day")])
+        general = EventStructure(
+            ["A", "C"], {("A", "C"): [TCG(0, 6, system.get("day"))]}
+        )
+        assert entails(specific, general, system)
+
+    def test_unrelated_pair_not_entailed(self, system):
+        # B and C are siblings in the specific structure: no order.
+        specific = EventStructure(
+            ["A", "B", "C"],
+            {
+                ("A", "B"): [TCG(0, 2, system.get("day"))],
+                ("A", "C"): [TCG(0, 2, system.get("day"))],
+            },
+        )
+        general = EventStructure(
+            ["B", "C"], {("B", "C"): [TCG(0, 9, system.get("day"))]}
+        )
+        assert not entails(specific, general, system)
+
+    def test_extra_variables_block(self, system):
+        specific = chain(system, [(0, 1, "day")])
+        general = chain(system, [(0, 1, "day"), (0, 1, "day")])
+        assert not entails(specific, general, system)
+
+    def test_inconsistent_specific_entails_vacuously(self, system):
+        bad = EventStructure(
+            ["A", "B"],
+            {
+                ("A", "B"): [
+                    TCG(10, 10, system.get("day")),
+                    TCG(0, 0, system.get("week")),
+                ]
+            },
+        )
+        anything = chain(system, [(0, 0, "hour")])
+        assert entails(bad, anything, system)
+
+    def test_reflexive(self, system, figure_1a):
+        assert entails(figure_1a, figure_1a, system)
+
+    def test_semantic_spot_check(self, system):
+        """When entailment is proven, sampled matches of the specific
+        structure satisfy the general structure."""
+        specific = chain(system, [(1, 1, "b-day"), (0, 8, "hour")])
+        general = EventStructure(
+            ["A", "C"], {("A", "C"): [TCG(0, 1, system.get("week"))]}
+        )
+        assert entails(specific, general, system)
+        rng = random.Random(0)
+        found = 0
+        for _ in range(3000):
+            a = rng.randrange(0, 20 * SECONDS_PER_DAY)
+            b = a + rng.randrange(0, 4 * SECONDS_PER_DAY)
+            c = b + rng.randrange(0, 10 * 3600)
+            assignment = {"A": a, "B": b, "C": c}
+            if specific.is_satisfied_by(assignment):
+                assert general.is_satisfied_by({"A": a, "C": c})
+                found += 1
+        assert found > 10
+
+
+class TestSubsumes:
+    def test_assignment_must_agree(self, system):
+        tight = chain(system, [(1, 2, "day")])
+        loose = chain(system, [(0, 5, "day")])
+        a = ComplexEventType(tight, {"A": "x", "B": "y"})
+        b = ComplexEventType(loose, {"A": "x", "B": "y"})
+        c = ComplexEventType(loose, {"A": "x", "B": "z"})
+        assert subsumes(a, b, system)
+        assert not subsumes(a, c, system)
+
+    def test_projection_subsumption(self, system):
+        full = chain(system, [(1, 2, "day"), (1, 2, "day")])
+        projected = EventStructure(
+            ["A", "C"], {("A", "C"): [TCG(0, 6, system.get("day"))]}
+        )
+        a = ComplexEventType(full, {"A": "x", "B": "y", "C": "z"})
+        b = ComplexEventType(projected, {"A": "x", "C": "z"})
+        assert subsumes(a, b, system)

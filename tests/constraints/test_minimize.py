@@ -1,0 +1,161 @@
+"""Tests for TCG redundancy removal."""
+
+import pytest
+
+from repro.constraints import TCG, dominates, minimal_tcg_set, propagate
+
+
+class TestDominates:
+    def test_bday_dominates_loose_hours(self, system):
+        bday = TCG(0, 5, system.get("b-day"))
+        loose_hours = TCG(0, 191, system.get("hour"))
+        assert dominates(bday, loose_hours, system)
+        assert not dominates(loose_hours, bday, system)
+
+    def test_tight_hours_not_dominated(self, system):
+        bday = TCG(0, 5, system.get("b-day"))
+        tight_hours = TCG(0, 8, system.get("hour"))
+        assert not dominates(bday, tight_hours, system)
+
+    def test_same_granularity_containment(self, system):
+        tight = TCG(1, 2, system.get("day"))
+        loose = TCG(0, 5, system.get("day"))
+        assert dominates(tight, loose, system)
+        assert not dominates(loose, tight, system)
+
+    def test_never_self_dominates(self, system):
+        constraint = TCG(0, 2, system.get("day"))
+        assert not dominates(constraint, constraint, system)
+
+    def test_infeasible_conversion_no_domination(self, system):
+        hours = TCG(0, 1, system.get("hour"))
+        bday = TCG(0, 90, system.get("b-day"))
+        # hour -> b-day is infeasible, so no provable domination.
+        assert not dominates(hours, bday, system)
+
+
+class TestMinimalSet:
+    def test_removes_implied_entry(self, system):
+        tcgs = [
+            TCG(0, 5, system.get("b-day")),
+            TCG(0, 191, system.get("hour")),
+        ]
+        kept = minimal_tcg_set(tcgs, system)
+        assert [c.label for c in kept] == ["b-day"]
+
+    def test_keeps_orthogonal_entries(self, system):
+        tcgs = [
+            TCG(0, 5, system.get("b-day")),
+            TCG(0, 8, system.get("hour")),
+        ]
+        kept = minimal_tcg_set(tcgs, system)
+        assert {c.label for c in kept} == {"b-day", "hour"}
+
+    def test_empty_intersection_raises(self, system):
+        from repro.constraints import UnsatisfiableConjunction
+
+        with pytest.raises(UnsatisfiableConjunction):
+            minimal_tcg_set(
+                [
+                    TCG(0, 0, system.get("day")),
+                    TCG(2, 5, system.get("day")),
+                ],
+                system,
+            )
+
+    def test_same_granularity_intersected(self, system):
+        tcgs = [
+            TCG(0, 5, system.get("day")),
+            TCG(2, 9, system.get("day")),
+        ]
+        kept = minimal_tcg_set(tcgs, system)
+        assert len(kept) == 1
+        assert (kept[0].m, kept[0].n) == (2, 5)
+
+    def test_wider_unit_still_prunes(self, system):
+        """Interval widths in different units are incomparable; the
+        second sweep must still drop the dominated entry."""
+        tcgs = [
+            TCG(0, 1, system.get("week")),   # width 1 (but 7 days!)
+            TCG(0, 100, system.get("hour")),  # width 100 (~4 days)
+        ]
+        kept = minimal_tcg_set(tcgs, system)
+        # [0,100]hour implies [0,1]week; the week entry is redundant.
+        assert [c.label for c in kept] == ["hour"]
+
+    def test_derived_network_shrinks(self, figure_1a, system):
+        """Minimising the propagated Gamma'(X0,X3) conjunction."""
+        result = propagate(figure_1a, system)
+        derived = result.derived_tcgs("X0", "X3")
+        kept = minimal_tcg_set(derived, system)
+        assert len(kept) <= len(derived)
+        # The semantics is preserved on samples within the windows.
+        for t1, t2 in [(0, 86400), (0, 5 * 86400), (3600, 7 * 86400)]:
+            assert all(c.is_satisfied(t1, t2) for c in derived) == all(
+                c.is_satisfied(t1, t2) for c in kept
+            )
+
+    def test_empty_input(self, system):
+        assert minimal_tcg_set([], system) == []
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestMinimalSetProperty:
+    """Hypothesis: minimisation never changes the satisfying pairs."""
+
+    LABELS = ["hour", "day", "week", "b-day"]
+
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # granularity pick
+                st.integers(min_value=0, max_value=4),  # m
+                st.integers(min_value=0, max_value=6),  # span
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        samples=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20 * 86400),
+                st.integers(min_value=0, max_value=8 * 86400),
+            ),
+            min_size=5,
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_semantics_preserved(self, system, specs, samples):
+        from repro.constraints import UnsatisfiableConjunction
+
+        tcgs = [
+            TCG(m, m + span, system.get(self.LABELS[pick]))
+            for pick, m, span in specs
+        ]
+        try:
+            kept = minimal_tcg_set(tcgs, system)
+        except UnsatisfiableConjunction:
+            # Same-granularity entries with empty intersection: verify
+            # the conjunction really is unsatisfiable on the samples.
+            for t1, delta in samples:
+                assert not all(c.is_satisfied(t1, t1 + delta) for c in tcgs)
+            return
+        assert kept  # a non-empty conjunction never minimises to empty
+        for t1, delta in samples:
+            t2 = t1 + delta
+            original = all(c.is_satisfied(t1, t2) for c in tcgs)
+            minimised = all(c.is_satisfied(t1, t2) for c in kept)
+            assert original == minimised, (
+                "pair (%d, %d): original=%s minimised=%s\n%s -> %s"
+                % (
+                    t1,
+                    t2,
+                    original,
+                    minimised,
+                    [str(c) for c in tcgs],
+                    [str(c) for c in kept],
+                )
+            )

@@ -1,0 +1,100 @@
+"""Property tests for the STP solver: minimality and idempotence."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import STP, InconsistentSTP, propagate, solve_intervals
+
+
+@st.composite
+def small_stps(draw):
+    """Random 3-variable STPs with small integer bounds."""
+    constraints = {}
+    for pair in [("a", "b"), ("b", "c"), ("a", "c")]:
+        if draw(st.booleans()):
+            lo = draw(st.integers(min_value=-4, max_value=4))
+            span = draw(st.integers(min_value=0, max_value=5))
+            constraints[pair] = (lo, lo + span)
+    return constraints
+
+
+def brute_force_hulls(constraints, domain=range(-20, 21)):
+    """Exact minimal intervals by enumerating assignments (b, c
+    relative to a = 0; differences are translation-invariant)."""
+    hulls = {}
+    solutions = []
+    for b, c in itertools.product(domain, repeat=2):
+        values = {"a": 0, "b": b, "c": c}
+        ok = True
+        for (x, y), (lo, hi) in constraints.items():
+            if not lo <= values[y] - values[x] <= hi:
+                ok = False
+                break
+        if ok:
+            solutions.append(values)
+    if not solutions:
+        return None
+    for x, y in itertools.permutations(["a", "b", "c"], 2):
+        diffs = [v[y] - v[x] for v in solutions]
+        hulls[(x, y)] = (min(diffs), max(diffs))
+    return hulls
+
+
+class TestMinimality:
+    @given(constraints=small_stps())
+    @settings(max_examples=80, deadline=None)
+    def test_closure_computes_exact_hulls(self, constraints):
+        """DMP91: path consistency is complete for STPs - the closed
+        intervals must equal brute-force hulls of the solution set."""
+        hulls = brute_force_hulls(constraints)
+        stp = STP(["a", "b", "c"])
+        try:
+            for (x, y), (lo, hi) in constraints.items():
+                stp.add(x, y, lo, hi)
+            stp.closure()
+        except InconsistentSTP:
+            assert hulls is None
+            return
+        if hulls is None:
+            # The +-20 domain covers every feasible difference (bounds
+            # are within +-9, compositions within +-18), so emptiness
+            # means genuine inconsistency - which closure must detect.
+            pytest.fail("brute force found no solution but closure passed")
+        for (x, y), (lo, hi) in hulls.items():
+            got_lo, got_hi = stp.interval(x, y)
+            if got_lo != -float("inf"):
+                assert got_lo == lo
+            if got_hi != float("inf"):
+                assert got_hi == hi
+
+
+class TestIdempotence:
+    @given(constraints=small_stps())
+    @settings(max_examples=60, deadline=None)
+    def test_double_closure_is_stable(self, constraints):
+        first = solve_intervals(["a", "b", "c"], constraints)
+        if first is None:
+            return
+        second = solve_intervals(["a", "b", "c"], first)
+        assert second == first
+
+
+class TestPropagationIdempotence:
+    def test_repropagating_derived_structure_is_stable(
+        self, figure_1a, system
+    ):
+        """propagate(derived(S)) derives nothing new."""
+        first = propagate(figure_1a, system)
+        derived = first.derived_structure()
+        second = propagate(derived, system)
+        assert second.consistent
+        for x in figure_1a.variables:
+            for y in figure_1a.variables:
+                if x == y or not figure_1a.has_path(x, y):
+                    continue
+                assert second.intervals(x, y) == first.intervals(x, y), (
+                    "pair (%s, %s) changed on re-propagation" % (x, y)
+                )

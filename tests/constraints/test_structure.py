@@ -1,0 +1,188 @@
+"""Tests for event structures: validation, traversal, chains, matching."""
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity import day, hour, week
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def simple_chain():
+    return EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(0, 1, day())],
+            ("B", "C"): [TCG(0, 2, hour())],
+        },
+    )
+
+
+class TestValidation:
+    def test_root_detection(self, figure_1a):
+        assert figure_1a.root == "X0"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EventStructure([], {})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            EventStructure(
+                ["A", "B"],
+                {
+                    ("A", "B"): [TCG(0, 1, day())],
+                    ("B", "A"): [TCG(0, 1, day())],
+                },
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            EventStructure(["A"], {("A", "A"): [TCG(0, 1, day())]})
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError):
+            EventStructure(["A"], {("A", "Z"): [TCG(0, 1, day())]})
+
+    def test_disconnected_rejected(self):
+        # Two components: no root reaches everything.
+        with pytest.raises(ValueError):
+            EventStructure(
+                ["A", "B", "C", "D"],
+                {
+                    ("A", "B"): [TCG(0, 1, day())],
+                    ("C", "D"): [TCG(0, 1, day())],
+                },
+            )
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError):
+            EventStructure(
+                ["A", "B", "C"],
+                {
+                    ("A", "C"): [TCG(0, 1, day())],
+                    ("B", "C"): [TCG(0, 1, day())],
+                },
+            )
+
+    def test_empty_tcg_list_rejected(self):
+        with pytest.raises(ValueError):
+            EventStructure(["A", "B"], {("A", "B"): []})
+
+    def test_single_variable_ok(self):
+        structure = EventStructure(["A"], {})
+        assert structure.root == "A"
+        assert structure.chains() == [("A",)]
+
+
+class TestTraversal:
+    def test_topological_order(self, figure_1a):
+        order = figure_1a.topological_order()
+        position = {v: i for i, v in enumerate(order)}
+        for src, dst in figure_1a.arcs():
+            assert position[src] < position[dst]
+
+    def test_successors_predecessors(self, figure_1a):
+        assert set(figure_1a.successors("X0")) == {"X1", "X2"}
+        assert set(figure_1a.predecessors("X3")) == {"X1", "X2"}
+
+    def test_leaves(self, figure_1a):
+        assert figure_1a.leaves() == ("X3",)
+
+    def test_has_path(self, figure_1a):
+        assert figure_1a.has_path("X0", "X3")
+        assert figure_1a.has_path("X1", "X3")
+        assert not figure_1a.has_path("X1", "X2")
+        assert not figure_1a.has_path("X3", "X0")
+        assert figure_1a.has_path("X0", "X0")
+
+    def test_granularities(self, figure_1a):
+        labels = {t.label for t in figure_1a.granularities()}
+        assert labels == {"b-day", "week", "hour"}
+
+    def test_tcgs_lookup(self, figure_1a):
+        assert len(figure_1a.tcgs("X0", "X1")) == 1
+        assert figure_1a.tcgs("X1", "X2") == ()
+
+
+class TestChains:
+    def test_chain_cover(self, figure_1a):
+        chains = figure_1a.chains()
+        covered = set()
+        for chain in chains:
+            assert chain[0] == "X0"
+            assert chain[-1] in figure_1a.leaves()
+            for i in range(len(chain) - 1):
+                arc = (chain[i], chain[i + 1])
+                assert arc in figure_1a.constraints
+                covered.add(arc)
+        assert covered == set(figure_1a.arcs())
+
+    def test_figure_1a_needs_two_chains(self, figure_1a):
+        assert len(figure_1a.chains()) == 2
+
+    def test_pure_chain_is_one_chain(self):
+        assert len(simple_chain().chains()) == 1
+
+
+class TestSatisfaction:
+    def test_is_satisfied_by(self):
+        structure = simple_chain()
+        good = {
+            "A": 0,
+            "B": SECONDS_PER_DAY,
+            "C": SECONDS_PER_DAY + SECONDS_PER_HOUR,
+        }
+        assert structure.is_satisfied_by(good)
+        bad = dict(good, C=good["B"] + 3 * SECONDS_PER_HOUR)
+        assert not structure.is_satisfied_by(bad)
+
+
+class TestComplexEventType:
+    def test_assignment_lookup(self, figure_1a):
+        cet = ComplexEventType(
+            figure_1a,
+            {
+                "X0": "IBM-rise",
+                "X1": "IBM-earnings-report",
+                "X2": "HP-rise",
+                "X3": "IBM-fall",
+            },
+        )
+        assert cet.event_type("X0") == "IBM-rise"
+        assert cet.event_types() == {
+            "IBM-rise",
+            "IBM-earnings-report",
+            "HP-rise",
+            "IBM-fall",
+        }
+
+    def test_missing_variable_rejected(self, figure_1a):
+        with pytest.raises(ValueError):
+            ComplexEventType(figure_1a, {"X0": "IBM-rise"})
+
+    def test_equality_and_hash(self, figure_1a):
+        full = {
+            "X0": "IBM-rise",
+            "X1": "IBM-earnings-report",
+            "X2": "HP-rise",
+            "X3": "IBM-fall",
+        }
+        a = ComplexEventType(figure_1a, full)
+        b = ComplexEventType(figure_1a, dict(full))
+        c = ComplexEventType(figure_1a, dict(full, X2="HP-fall"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_with_constraints_derives_new_structure(self, figure_1a):
+        star = {
+            ("X0", var): [TCG(0, 3, week())]
+            for var in ("X1", "X2", "X3")
+        }
+        derived = figure_1a.with_constraints(star)
+        assert derived.variables == figure_1a.variables
+        assert len(derived.arcs()) == 3
+
+    def test_with_constraints_must_keep_rootedness(self, figure_1a):
+        with pytest.raises(ValueError):
+            figure_1a.with_constraints({("X0", "X1"): [TCG(0, 3, week())]})

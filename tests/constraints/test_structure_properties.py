@@ -1,0 +1,83 @@
+"""Hypothesis property tests over randomly generated event structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TCG, EventStructure
+
+from ..strategies import rooted_dags
+
+
+class TestStructureProperties:
+    @given(structure=rooted_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_root_is_first_in_topological_order(self, structure):
+        order = structure.topological_order()
+        assert order is not None
+        assert order[0] == structure.root
+        position = {v: i for i, v in enumerate(order)}
+        for src, dst in structure.arcs():
+            assert position[src] < position[dst]
+
+    @given(structure=rooted_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_chains_cover_every_arc(self, structure):
+        covered = set()
+        for chain in structure.chains():
+            assert chain[0] == structure.root
+            assert not structure.successors(chain[-1])  # ends at a leaf
+            for i in range(len(chain) - 1):
+                arc = (chain[i], chain[i + 1])
+                assert arc in structure.constraints
+                covered.add(arc)
+        assert covered == set(structure.arcs())
+
+    @given(structure=rooted_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_chain_count_at_most_arc_count(self, structure):
+        assert 1 <= len(structure.chains()) <= max(1, len(structure.arcs()))
+
+    @given(structure=rooted_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_root_reaches_everything(self, structure):
+        for variable in structure.variables:
+            assert structure.has_path(structure.root, variable)
+
+    @given(structure=rooted_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_granularities_collects_exactly_used_types(self, structure):
+        expected = {
+            tcg.label
+            for tcgs in structure.constraints.values()
+            for tcg in tcgs
+        }
+        assert {t.label for t in structure.granularities()} == expected
+
+
+class TestBuilderProperties:
+    @given(structure=rooted_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_tag_shapes(self, structure):
+        """Structural invariants of every generated TAG."""
+        from repro.automata import build_tag
+        from repro.constraints import ComplexEventType
+
+        assignment = {v: "t_%s" % v for v in structure.variables}
+        build = build_tag(ComplexEventType(structure, assignment))
+        tag = build.tag
+        # One start, one accepting, both reachable by construction.
+        assert len(tag.start_states) == 1
+        assert len(tag.accepting) <= 1
+        # Every non-skip transition consumes exactly one variable, and
+        # every variable is consumed by at least one transition.
+        consumed = set()
+        for transition in tag.transitions:
+            if transition.symbol == "*":
+                assert transition.source == transition.target
+                continue
+            assert len(transition.variables) == 1
+            consumed.add(transition.variables[0])
+        assert consumed == set(structure.variables)

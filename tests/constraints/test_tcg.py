@@ -1,0 +1,114 @@
+"""Tests for TCG semantics, including the paper's worked examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints import TCG, tcg
+from repro.granularity import day, hour, month, second
+from repro.granularity.business import BusinessDayType
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestConstruction:
+    def test_valid(self):
+        constraint = TCG(0, 5, day())
+        assert constraint.m == 0
+        assert constraint.n == 5
+        assert constraint.label == "day"
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(ValueError):
+            TCG(-1, 5, day())
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TCG(5, 2, day())
+
+    def test_convenience_constructor(self):
+        assert tcg(1, 2, hour()) == TCG(1, 2, hour())
+
+    def test_str(self):
+        assert str(TCG(0, 2, hour())) == "[0,2]hour"
+
+
+class TestPaperExamples:
+    """Section 3's three worked examples of TCG satisfaction."""
+
+    def test_same_day(self):
+        same_day = TCG(0, 0, day())
+        morning = 8 * SECONDS_PER_HOUR
+        evening = 20 * SECONDS_PER_HOUR
+        assert same_day.is_satisfied(morning, evening)
+        assert not same_day.is_satisfied(evening, morning)  # order
+        next_day = SECONDS_PER_DAY + 4 * SECONDS_PER_HOUR
+        assert not same_day.is_satisfied(evening, next_day)
+
+    def test_within_two_hours(self):
+        within = TCG(0, 2, hour())
+        t = 1000
+        assert within.is_satisfied(t, t)  # same second
+        assert within.is_satisfied(t, t + 2 * SECONDS_PER_HOUR)
+        assert not within.is_satisfied(t, t + 3 * SECONDS_PER_HOUR)
+
+    def test_next_month(self):
+        next_month = TCG(1, 1, month())
+        jan = 10 * SECONDS_PER_DAY
+        feb = 40 * SECONDS_PER_DAY
+        mar = 70 * SECONDS_PER_DAY
+        assert next_month.is_satisfied(jan, feb)
+        assert not next_month.is_satisfied(jan, mar)
+        assert not next_month.is_satisfied(jan, jan)
+
+    def test_day_constraint_not_expressible_in_seconds(self):
+        """The paper's 11pm / 4am counter-example: [0,0]day differs from
+        [0,86399]second."""
+        same_day = TCG(0, 0, day())
+        in_seconds = TCG(0, SECONDS_PER_DAY - 1, second())
+        eleven_pm = 23 * SECONDS_PER_HOUR
+        four_am_next = SECONDS_PER_DAY + 4 * SECONDS_PER_HOUR
+        assert in_seconds.is_satisfied(eleven_pm, four_am_next)
+        assert not same_day.is_satisfied(eleven_pm, four_am_next)
+
+
+class TestGapSemantics:
+    def test_uncovered_timestamp_fails(self):
+        bday = BusinessDayType()
+        constraint = TCG(0, 3, bday)
+        saturday = 5 * SECONDS_PER_DAY
+        monday = 7 * SECONDS_PER_DAY
+        assert not constraint.is_satisfied(saturday, monday)
+        assert not constraint.is_satisfied(0, saturday)
+        thursday = 3 * SECONDS_PER_DAY
+        assert constraint.is_satisfied(0, thursday)
+        # Monday to next Monday is 5 business days - out of [0, 3].
+        assert not constraint.is_satisfied(0, monday)
+
+    def test_distance_of_returns_none_in_gap(self):
+        bday = BusinessDayType()
+        constraint = TCG(0, 3, bday)
+        assert constraint.distance_of(5 * SECONDS_PER_DAY, 0) is None
+        assert constraint.distance_of(0, 7 * SECONDS_PER_DAY) == 5
+
+
+class TestProperties:
+    @given(
+        t1=st.integers(min_value=0, max_value=10**8),
+        delta=st.integers(min_value=0, max_value=10**7),
+        m=st.integers(min_value=0, max_value=5),
+        span=st.integers(min_value=0, max_value=5),
+    )
+    def test_satisfaction_matches_definition(self, t1, delta, m, span):
+        constraint = TCG(m, m + span, hour())
+        t2 = t1 + delta
+        expected = m <= (t2 // 3600 - t1 // 3600) <= m + span
+        assert constraint.is_satisfied(t1, t2) == expected
+
+    @given(
+        t1=st.integers(min_value=0, max_value=10**8),
+        t2=st.integers(min_value=0, max_value=10**8),
+    )
+    def test_order_requirement(self, t1, t2):
+        constraint = TCG(0, 10**6, second())
+        if t1 > t2:
+            assert not constraint.is_satisfied(t1, t2)

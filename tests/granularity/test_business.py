@@ -1,0 +1,140 @@
+"""Tests for business-calendar types (gaps, holidays, custom weeks)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.granularity import (
+    BusinessDayType,
+    BusinessMonthType,
+    BusinessWeekType,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY, weekday
+
+
+def at_day(day_index, second_in_day=0):
+    """Absolute second at the start of a day (plus an offset)."""
+    return day_index * SECONDS_PER_DAY + second_in_day
+
+
+class TestBusinessDay:
+    def test_weekend_is_a_gap(self):
+        bday = BusinessDayType()
+        # Day 0 is a Monday; days 5 and 6 are the first weekend.
+        assert bday.tick_of(at_day(0)) == 0
+        assert bday.tick_of(at_day(4)) == 4
+        assert bday.tick_of(at_day(5)) is None
+        assert bday.tick_of(at_day(6)) is None
+        assert bday.tick_of(at_day(7)) == 5
+
+    def test_tick_bounds_is_single_day(self):
+        bday = BusinessDayType()
+        assert bday.tick_bounds(0) == (0, SECONDS_PER_DAY - 1)
+        # Tick 5 is the second Monday (day 7).
+        assert bday.tick_bounds(5) == (at_day(7), at_day(8) - 1)
+
+    def test_holiday_removes_a_tick(self):
+        plain = BusinessDayType()
+        with_holiday = BusinessDayType(holidays=[2])  # Wednesday off
+        assert with_holiday.tick_of(at_day(2)) is None
+        # Thursday's rank shifts down by one.
+        assert plain.tick_of(at_day(3)) == 3
+        assert with_holiday.tick_of(at_day(3)) == 2
+
+    def test_holiday_shifts_tick_bounds(self):
+        with_holiday = BusinessDayType(holidays=[2])
+        # Tick 2 is now Thursday (day 3).
+        assert with_holiday.tick_bounds(2) == (at_day(3), at_day(4) - 1)
+        # Tick 4 is now the second Monday.
+        assert with_holiday.tick_bounds(4) == (at_day(7), at_day(8) - 1)
+
+    def test_weekend_holidays_are_ignored(self):
+        bday = BusinessDayType(holidays=[5, 6])  # Saturday/Sunday anyway
+        assert bday.holidays == ()
+
+    def test_six_day_trading_week(self):
+        sixday = BusinessDayType(label="b-day6", workdays=(0, 1, 2, 3, 4, 5))
+        assert sixday.tick_of(at_day(5)) == 5  # Saturday works
+        assert sixday.tick_of(at_day(6)) is None  # Sunday off
+        assert sixday.tick_bounds(6) == (at_day(7), at_day(8) - 1)
+
+    def test_rejects_empty_or_bad_workdays(self):
+        with pytest.raises(ValueError):
+            BusinessDayType(workdays=())
+        with pytest.raises(ValueError):
+            BusinessDayType(workdays=(7,))
+
+    def test_negative_instants_uncovered(self):
+        assert BusinessDayType().tick_of(-1) is None
+
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_bounds_roundtrip(self, index):
+        bday = BusinessDayType(holidays=[2, 10, 17, 100])
+        first, last = bday.tick_bounds(index)
+        assert bday.tick_of(first) == index
+        assert bday.tick_of(last) == index
+
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_tick_of_only_on_workdays(self, day_index):
+        bday = BusinessDayType()
+        tick = bday.tick_of(at_day(day_index))
+        assert (tick is None) == (weekday(day_index) in (5, 6))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_ticks_strictly_increasing(self, index):
+        bday = BusinessDayType(holidays=[4, 8, 15])
+        first_a, last_a = bday.tick_bounds(index)
+        first_b, last_b = bday.tick_bounds(index + 1)
+        assert last_a < first_b
+
+
+class TestBusinessWeek:
+    def test_tick_is_week_of_business_days(self):
+        bweek = BusinessWeekType()
+        first, last = bweek.tick_bounds(0)
+        assert first == 0  # Monday
+        assert last == at_day(5) - 1  # end of Friday
+
+    def test_weekend_instants_uncovered(self):
+        bweek = BusinessWeekType()
+        assert bweek.tick_of(at_day(5)) is None
+        assert bweek.tick_of(at_day(4)) == 0
+        assert bweek.tick_of(at_day(7)) == 1
+
+    def test_all_holiday_week_raises(self):
+        bday = BusinessDayType(holidays=[7, 8, 9, 10, 11])  # week 1 gone
+        bweek = BusinessWeekType(bday=bday)
+        with pytest.raises(ValueError):
+            bweek.tick_bounds(1)
+
+    def test_partially_holiday_week_shrinks(self):
+        bday = BusinessDayType(holidays=[7])  # second Monday off
+        bweek = BusinessWeekType(bday=bday)
+        first, last = bweek.tick_bounds(1)
+        assert first == at_day(8)  # Tuesday
+        assert last == at_day(12) - 1
+
+
+class TestBusinessMonth:
+    def test_first_business_month(self):
+        bmonth = BusinessMonthType()
+        first, last = bmonth.tick_bounds(0)
+        # January of the epoch year: day 0 is Monday Jan 1; Jan 31 falls
+        # on day 30, a Wednesday - a business day.
+        assert first == 0
+        assert last == at_day(31) - 1
+
+    def test_weekends_inside_month_are_gaps(self):
+        bmonth = BusinessMonthType()
+        assert bmonth.tick_of(at_day(5)) is None
+        assert bmonth.tick_of(at_day(4)) == 0
+        assert bmonth.tick_of(at_day(31)) == 1  # Feb 1 (a Thursday)
+
+    def test_non_contiguous_tick_contains(self):
+        bmonth = BusinessMonthType()
+        # A weekend second is within the bounds of tick 0 but not a
+        # member of it - exactly the paper's non-contiguous ticks.
+        saturday = at_day(5)
+        first, last = bmonth.tick_bounds(0)
+        assert first <= saturday <= last
+        assert not bmonth.contains(0, saturday)

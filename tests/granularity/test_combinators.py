@@ -1,0 +1,86 @@
+"""Tests for GroupedType and FilteredType combinators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.granularity import FilteredType, GroupedType, day, hour, month
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+
+class TestGroupedType:
+    def test_n_month_grouping(self):
+        three_month = GroupedType(month(), 3)
+        assert three_month.label == "3-month"
+        assert three_month.tick_of(0) == 0
+        # April 1 of the epoch year is day 91 (Jan 31 + Feb 29 + Mar 31).
+        assert three_month.tick_of(91 * SECONDS_PER_DAY) == 1
+        first, last = three_month.tick_bounds(0)
+        assert first == 0
+        assert last == 91 * SECONDS_PER_DAY - 1
+
+    def test_offset_creates_leading_gap(self):
+        fiscal = GroupedType(month(), 12, label="fiscal-year", offset=3)
+        assert fiscal.tick_of(0) is None  # January is before the offset
+        assert fiscal.tick_of(91 * SECONDS_PER_DAY) == 0  # April
+        assert not fiscal.total
+
+    def test_grouping_preserves_totality(self):
+        assert GroupedType(month(), 3).total
+        assert GroupedType(hour(), 6).total
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GroupedType(month(), 0)
+        with pytest.raises(ValueError):
+            GroupedType(month(), 2, offset=-1)
+        with pytest.raises(ValueError):
+            GroupedType(month(), 2).tick_bounds(-1)
+
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=40))
+    def test_group_bounds_consistent(self, n, index):
+        grouped = GroupedType(day(), n)
+        first, last = grouped.tick_bounds(index)
+        assert grouped.tick_of(first) == index
+        assert grouped.tick_of(last) == index
+        assert last - first + 1 == n * SECONDS_PER_DAY
+
+    def test_custom_label(self):
+        quarter = GroupedType(month(), 3, label="quarter")
+        assert quarter.label == "quarter"
+
+
+class TestFilteredType:
+    def test_mondays(self):
+        mondays = FilteredType(day(), lambda i: i % 7 == 0, "monday")
+        assert mondays.tick_of(0) == 0
+        assert mondays.tick_of(SECONDS_PER_DAY) is None  # Tuesday
+        assert mondays.tick_of(7 * SECONDS_PER_DAY) == 1
+        assert mondays.tick_bounds(2) == (
+            14 * SECONDS_PER_DAY,
+            15 * SECONDS_PER_DAY - 1,
+        )
+
+    def test_odd_days(self):
+        odd = FilteredType(day(), lambda i: i % 2 == 1, "odd-day")
+        assert odd.tick_of(0) is None
+        assert odd.tick_of(SECONDS_PER_DAY) == 0
+        assert odd.tick_of(3 * SECONDS_PER_DAY) == 1
+
+    def test_exhaustion_raises(self):
+        few = FilteredType(day(), lambda i: i < 3, "first-3", max_base_index=10)
+        assert few.tick_bounds(2)[0] == 2 * SECONDS_PER_DAY
+        with pytest.raises(ValueError):
+            few.tick_bounds(3)
+
+    def test_negative_index_rejected(self):
+        mondays = FilteredType(day(), lambda i: i % 7 == 0, "monday")
+        with pytest.raises(ValueError):
+            mondays.tick_bounds(-1)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_bounds_roundtrip(self, index):
+        every_third = FilteredType(day(), lambda i: i % 3 == 0, "third-day")
+        first, last = every_third.tick_bounds(index)
+        assert every_third.tick_of(first) == index
+        assert every_third.tick_of(last) == index

@@ -1,0 +1,87 @@
+"""Compositional soundness of conversions.
+
+If a pair satisfies ``[m, n]_src`` and the conversion chain
+``src -> mid -> tgt`` is feasible, then converting in two hops must
+still be implied - i.e. the two-hop interval contains every pair the
+one-hop interval contains.  These properties justify the propagation
+algorithm's iterated cross-granularity translation.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TCG
+from repro.granularity import standard_system
+
+SYSTEM = standard_system()
+
+CHAINS = [
+    ("hour", "day", "week"),
+    ("day", "week", "month"),
+    ("b-day", "day", "month"),
+    ("b-day", "week", "month"),
+    ("day", "month", "year"),
+]
+
+
+def sample_pair(source, m, n, seed):
+    tick1 = seed % 150
+    distance = m + (seed // 150) % (n - m + 1)
+    first1, last1 = source.tick_bounds(tick1)
+    first2, last2 = source.tick_bounds(tick1 + distance)
+    t1 = last1 if seed % 2 else first1
+    t2 = first2 if seed % 3 else last2
+    if t2 < t1:
+        t1, t2 = first1, last2
+    return t1, t2
+
+
+@pytest.mark.parametrize("src,mid,tgt", CHAINS)
+@given(
+    m=st.integers(min_value=0, max_value=8),
+    span=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=20, deadline=None)
+def test_two_hop_conversion_is_implied(src, mid, tgt, m, span, seed):
+    source = SYSTEM.get(src)
+    middle = SYSTEM.get(mid)
+    target = SYSTEM.get(tgt)
+    n = m + span
+    hop1 = SYSTEM.convert(m, n, source, middle)
+    assume(hop1.interval is not None)
+    hop2 = SYSTEM.convert(hop1.interval[0], hop1.interval[1], middle, target)
+    assume(hop2.interval is not None)
+    t1, t2 = sample_pair(source, m, n, seed)
+    source_tcg = TCG(m, n, source)
+    assume(source_tcg.is_satisfied(t1, t2))
+    two_hop = TCG(hop2.interval[0], hop2.interval[1], target)
+    assert two_hop.is_satisfied(t1, t2)
+
+
+@pytest.mark.parametrize("src,mid,tgt", CHAINS)
+def test_direct_hop_at_least_as_tight(src, mid, tgt):
+    """The one-hop conversion never loses to the two-hop composition
+    (it may be strictly tighter), for a spread of intervals."""
+    source = SYSTEM.get(src)
+    middle = SYSTEM.get(mid)
+    target = SYSTEM.get(tgt)
+    for (m, n) in [(0, 0), (0, 3), (1, 1), (2, 6)]:
+        one_hop = SYSTEM.convert(m, n, source, target)
+        hop1 = SYSTEM.convert(m, n, source, middle)
+        if hop1.interval is None or one_hop.interval is None:
+            continue
+        hop2 = SYSTEM.convert(
+            hop1.interval[0], hop1.interval[1], middle, target
+        )
+        if hop2.interval is None:
+            continue
+        assert hop2.interval[0] <= one_hop.interval[0]
+        assert hop2.interval[1] >= one_hop.interval[1]
+
+
+def test_identity_hop_is_exact():
+    for label in ("day", "week", "month"):
+        outcome = SYSTEM.convert(2, 5, label, label)
+        assert outcome.interval == (2, 5)

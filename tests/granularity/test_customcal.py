@@ -1,0 +1,121 @@
+"""Tests for user-defined calendars."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TCG
+from repro.granularity import (
+    CustomCalendar,
+    CustomMonthType,
+    CustomYearType,
+    retail_445_calendar,
+    standard_system,
+    thirteen_period_calendar,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+D = SECONDS_PER_DAY
+
+
+class TestCustomCalendar:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CustomCalendar([])
+        with pytest.raises(ValueError):
+            CustomCalendar([30, 0])
+        with pytest.raises(ValueError):
+            CustomCalendar([30, 30], leap_month=5)
+
+    def test_simple_two_month_calendar(self):
+        cal = CustomCalendar([10, 20])
+        assert cal.year_bounds(0) == (0, 29)
+        assert cal.year_bounds(1) == (30, 59)
+        assert cal.month_bounds(0) == (0, 9)
+        assert cal.month_bounds(1) == (10, 29)
+        assert cal.month_bounds(2) == (30, 39)
+        assert cal.month_of_day(9) == 0
+        assert cal.month_of_day(10) == 1
+        assert cal.year_of_day(30) == 1
+
+    def test_leap_rule_extends_leap_month(self):
+        cal = CustomCalendar(
+            [10, 20], leap_days=lambda y: 5 if y == 0 else 0
+        )
+        assert cal.days_in_year(0) == 35
+        assert cal.days_in_year(1) == 30
+        assert cal.month_bounds(1) == (10, 34)  # last month absorbs
+        assert cal.year_bounds(1) == (35, 64)
+
+    def test_negative_leap_rejected(self):
+        cal = CustomCalendar([10], leap_days=lambda y: -1)
+        with pytest.raises(ValueError):
+            cal.days_in_year(0)
+
+
+class TestThirteenPeriodCalendar:
+    def test_period_lengths(self):
+        cal = thirteen_period_calendar()
+        assert cal.months_per_year() == 13
+        assert cal.days_in_year(0) == 364
+        assert cal.days_in_year(4) == 371  # leap week year
+
+    def test_month_type(self):
+        period = CustomMonthType(thirteen_period_calendar(), "period")
+        assert period.tick_of(0) == 0
+        assert period.tick_of(27 * D) == 0
+        assert period.tick_of(28 * D) == 1
+        assert period.tick_of(364 * D) == 13  # period 1 of year 1
+
+    def test_year_type(self):
+        fiscal = CustomYearType(thirteen_period_calendar(), "fiscal-year")
+        assert fiscal.tick_of(363 * D) == 0
+        assert fiscal.tick_of(364 * D) == 1
+
+    @given(st.integers(min_value=0, max_value=80))
+    @settings(max_examples=30, deadline=None)
+    def test_month_bounds_roundtrip(self, index):
+        period = CustomMonthType(thirteen_period_calendar(), "period2")
+        first, last = period.tick_bounds(index)
+        assert period.tick_of(first) == index
+        assert period.tick_of(last) == index
+
+
+class TestRetailCalendar:
+    def test_445_shape(self):
+        cal = retail_445_calendar()
+        assert cal.months_per_year() == 12
+        assert cal.days_in_month(0, 0) == 28
+        assert cal.days_in_month(0, 2) == 35
+        assert cal.days_in_year(0) == 364
+
+
+class TestMixedCalendarConstraints:
+    def test_tcg_across_calendars(self):
+        """A pattern mixing Gregorian weeks and accounting periods."""
+        system = standard_system()
+        period = system.register(
+            CustomMonthType(thirteen_period_calendar(), "period")
+        )
+        week = system.get("week")
+        same_period = TCG(0, 0, period)
+        next_week = TCG(1, 1, week)
+        t1 = 7 * D  # Monday, week 1, period 0
+        t2 = 14 * D  # Monday, week 2, period 0
+        assert same_period.is_satisfied(t1, t2)
+        assert next_week.is_satisfied(t1, t2)
+        t3 = 30 * D  # period 1 already
+        assert not same_period.is_satisfied(t1, t3)
+
+    def test_conversion_between_calendars(self):
+        system = standard_system()
+        period = system.register(
+            CustomMonthType(thirteen_period_calendar(), "period")
+        )
+        outcome = system.convert(0, 0, period, "week")
+        # A 28-day period spans exactly 4 Monday weeks when aligned;
+        # in general at most 5 tick boundaries -> distance <= 4.
+        assert outcome.interval is not None
+        lo, hi = outcome.interval
+        assert lo == 0
+        assert 3 <= hi <= 4

@@ -1,0 +1,96 @@
+"""Conversions involving exotic (filtered/periodic/custom) types, and
+failure injection on the table machinery's validity guards."""
+
+import pytest
+
+from repro.granularity import (
+    FilteredType,
+    SizeTable,
+    day,
+    standard_system,
+    week,
+)
+from repro.granularity.base import TemporalType, UniformType
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+D = SECONDS_PER_DAY
+
+
+class TestFilteredTypeConversions:
+    @pytest.fixture
+    def system(self):
+        system = standard_system()
+        system.register(
+            FilteredType(day(), lambda i: i % 7 == 0, "monday")
+        )
+        return system
+
+    def test_monday_to_week_is_exact(self, system):
+        # Consecutive Mondays are exactly one week apart.
+        outcome = system.convert(1, 1, "monday", "week")
+        assert outcome.interval == (1, 1)
+        outcome = system.convert(0, 3, "monday", "week")
+        assert outcome.interval == (0, 3)
+
+    def test_week_to_monday_infeasible(self, system):
+        # Weeks contain non-Monday instants: no coverage.
+        assert not system.conversion_feasible("week", "monday")
+
+    def test_monday_to_day(self, system):
+        outcome = system.convert(1, 1, "monday", "day")
+        assert outcome.interval == (7, 7)
+
+    def test_monday_to_month(self, system):
+        outcome = system.convert(0, 0, "monday", "month")
+        assert outcome.interval == (0, 0)
+        outcome = system.convert(1, 1, "monday", "month")
+        assert outcome.interval == (0, 1)
+
+
+class TestSizeTableGuards:
+    """Failure injection: malformed types are rejected loudly."""
+
+    def test_inverted_bounds_detected(self):
+        class Broken(TemporalType):
+            label = "broken"
+
+            def tick_of(self, second):
+                return 0
+
+            def tick_bounds(self, index):
+                return 10, 5  # inverted
+
+        with pytest.raises(ValueError):
+            SizeTable(Broken()).minsize(1)
+
+    def test_non_monotone_ticks_detected(self):
+        class Backwards(TemporalType):
+            label = "backwards"
+
+            def tick_of(self, second):
+                return 0
+
+            def tick_bounds(self, index):
+                return (100 - 10 * index, 105 - 10 * index)
+
+        with pytest.raises(ValueError):
+            SizeTable(Backwards()).minsize(1)
+
+    def test_zero_tick_type_rejected(self):
+        class Empty(TemporalType):
+            label = "empty"
+
+            def tick_of(self, second):
+                return None
+
+            def tick_bounds(self, index):
+                raise ValueError("no ticks")
+
+        table = SizeTable(Empty())
+        with pytest.raises(ValueError):
+            table.minsize(1)
+
+    def test_registry_rejects_mismatched_duplicate(self):
+        system = standard_system()
+        with pytest.raises(ValueError):
+            system.register(UniformType("day", 3600))

@@ -1,0 +1,109 @@
+"""Tests for the from-scratch Gregorian calendar arithmetic.
+
+The Python ``datetime`` module serves as an independent oracle (it is
+never used by the library itself).
+"""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.granularity import gregorian as greg
+
+_ORACLE_EPOCH = datetime.date(greg.EPOCH_YEAR, 1, 1)
+
+
+class TestLeapYears:
+    def test_standard_leap_rules(self):
+        assert greg.is_leap_year(2000)
+        assert greg.is_leap_year(2004)
+        assert not greg.is_leap_year(2001)
+        assert not greg.is_leap_year(2100)
+        assert greg.is_leap_year(2400)
+
+    def test_days_in_year(self):
+        assert greg.days_in_year(2000) == 366
+        assert greg.days_in_year(2001) == 365
+
+    def test_days_in_month_february(self):
+        assert greg.days_in_month(2000, 2) == 29
+        assert greg.days_in_month(2001, 2) == 28
+
+    def test_days_in_month_rejects_bad_month(self):
+        with pytest.raises(ValueError):
+            greg.days_in_month(2000, 0)
+        with pytest.raises(ValueError):
+            greg.days_in_month(2000, 13)
+
+
+class TestDayConversions:
+    def test_epoch_is_day_zero(self):
+        assert greg.ymd_to_day(greg.EPOCH_YEAR, 1, 1) == 0
+        assert greg.day_to_ymd(0) == (greg.EPOCH_YEAR, 1, 1)
+
+    def test_rejects_invalid_day_of_month(self):
+        with pytest.raises(ValueError):
+            greg.ymd_to_day(2001, 2, 29)
+
+    @given(st.integers(min_value=0, max_value=300_000))
+    def test_roundtrip_matches_datetime(self, day_index):
+        date = _ORACLE_EPOCH + datetime.timedelta(days=day_index)
+        assert greg.day_to_ymd(day_index) == (date.year, date.month, date.day)
+        assert greg.ymd_to_day(date.year, date.month, date.day) == day_index
+
+    def test_400_year_cycle_boundary(self):
+        # The last day of the first 400-year cycle and the first of the next.
+        last = greg.DAYS_PER_400_YEARS - 1
+        assert greg.day_to_ymd(last) == (greg.EPOCH_YEAR + 399, 12, 31)
+        assert greg.day_to_ymd(last + 1) == (greg.EPOCH_YEAR + 400, 1, 1)
+
+
+class TestWeekday:
+    def test_epoch_weekday_is_monday(self):
+        assert greg.weekday(0) == 0
+
+    def test_weekday_cycles(self):
+        assert greg.weekday(6) == 6
+        assert greg.weekday(7) == 0
+
+
+class TestMonthIndex:
+    def test_epoch_month(self):
+        assert greg.month_index_of_day(0) == 0
+        assert greg.month_bounds(0) == (0, 30)
+
+    def test_february_2000_has_29_days(self):
+        first, last = greg.month_bounds(1)
+        assert last - first + 1 == 29
+
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_month_bounds_partition_time(self, month_index):
+        first, last = greg.month_bounds(month_index)
+        assert greg.month_index_of_day(first) == month_index
+        assert greg.month_index_of_day(last) == month_index
+        if month_index > 0:
+            _, prev_last = greg.month_bounds(month_index - 1)
+            assert prev_last == first - 1
+
+    @given(st.integers(min_value=0, max_value=300_000))
+    def test_month_index_consistent_with_ymd(self, day_index):
+        year, month, _ = greg.day_to_ymd(day_index)
+        expected = (year - greg.EPOCH_YEAR) * 12 + (month - 1)
+        assert greg.month_index_of_day(day_index) == expected
+
+
+class TestYearIndex:
+    def test_epoch_year(self):
+        assert greg.year_index_of_day(0) == 0
+        assert greg.year_bounds(0) == (0, 365)  # 2000 is a leap year
+
+    @given(st.integers(min_value=0, max_value=800))
+    def test_year_bounds_partition_time(self, year_index):
+        first, last = greg.year_bounds(year_index)
+        assert greg.year_index_of_day(first) == year_index
+        assert greg.year_index_of_day(last) == year_index
+        length = last - first + 1
+        assert length in (365, 366)
+        assert (length == 366) == greg.is_leap_year(greg.EPOCH_YEAR + year_index)

@@ -1,0 +1,112 @@
+"""Tests for intersection granularities and business hours."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TCG
+from repro.granularity import (
+    BusinessDayType,
+    IntersectionType,
+    business_hours,
+    day,
+    hour,
+    month,
+    standard_system,
+    week,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestIntersectionType:
+    def test_week_month_overlaps(self):
+        overlap = IntersectionType(week(), month())
+        # Tick 0: week 0 within January -> the whole week (epoch is a
+        # Monday, Jan 1).
+        assert overlap.tick_bounds(0) == (0, 7 * D - 1)
+        # January has 31 days = 4 weeks + 3 days: tick 4 is the Jan
+        # part of week 4, tick 5 the Feb part.
+        first4, last4 = overlap.tick_bounds(4)
+        assert first4 == 28 * D
+        assert last4 == 31 * D - 1
+        first5, last5 = overlap.tick_bounds(5)
+        assert first5 == 31 * D
+        assert last5 == 35 * D - 1
+
+    def test_tick_of_requires_both(self):
+        bday = BusinessDayType()
+        overlap = IntersectionType(bday, week())
+        saturday = 5 * D
+        assert overlap.tick_of(saturday) is None  # not a b-day
+        assert overlap.tick_of(0) == 0
+
+    def test_default_label(self):
+        assert IntersectionType(week(), month()).label == "week*month"
+
+    def test_total_only_if_both_total(self):
+        assert IntersectionType(day(), month()).total
+        assert not IntersectionType(BusinessDayType(), month()).total
+
+    def test_negative_uncovered(self):
+        assert IntersectionType(week(), month()).tick_of(-5) is None
+
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_roundtrip(self, index):
+        overlap = IntersectionType(week(), month())
+        first, last = overlap.tick_bounds(index)
+        assert overlap.tick_of(first) == index
+        assert overlap.tick_of(last) == index
+        assert first <= last
+
+    def test_ticks_strictly_ordered(self):
+        overlap = IntersectionType(week(), month())
+        previous_last = -1
+        for index in range(60):
+            first, last = overlap.tick_bounds(index)
+            assert first > previous_last
+            previous_last = last
+
+
+class TestBusinessHours:
+    def test_office_day_tick(self):
+        office = business_hours(BusinessDayType())
+        # Monday (day 0) 09:00-17:00.
+        assert office.tick_bounds(0) == (9 * H, 17 * H - 1)
+        assert office.tick_of(10 * H) == 0
+        assert office.tick_of(8 * H) is None  # before opening
+        assert office.tick_of(18 * H) is None  # after closing
+
+    def test_weekend_uncovered(self):
+        office = business_hours(BusinessDayType())
+        saturday_ten_am = 5 * D + 10 * H
+        assert office.tick_of(saturday_ten_am) is None
+        # Friday is tick 4, Monday next week tick 5.
+        assert office.tick_of(4 * D + 10 * H) == 4
+        assert office.tick_of(7 * D + 10 * H) == 5
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            business_hours(BusinessDayType(), 17, 9)
+
+    def test_tcg_over_business_hours(self):
+        """'within 2 office-hour days' as a TCG."""
+        office = business_hours(BusinessDayType())
+        constraint = TCG(0, 1, office)
+        # Friday 16:00 to Monday 10:00 = consecutive office ticks.
+        friday = 4 * D + 16 * H
+        monday = 7 * D + 10 * H
+        assert constraint.is_satisfied(friday, monday)
+        tuesday = 8 * D + 10 * H
+        assert not constraint.is_satisfied(friday, tuesday)
+
+    def test_conversion_from_business_hours(self):
+        system = standard_system()
+        office = system.register(business_hours(BusinessDayType()))
+        outcome = system.convert(1, 1, office, "day")
+        # Consecutive office days: next calendar day, or Friday->Monday.
+        assert outcome.interval == (1, 3)
+        outcome_hours = system.convert(0, 0, office, "hour")
+        assert outcome_hours.interval == (0, 7)  # within one office day

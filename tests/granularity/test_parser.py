@@ -1,0 +1,134 @@
+"""Tests for the granularity expression language."""
+
+import pytest
+
+from repro.granularity import (
+    GranularityParseError,
+    parse_type,
+    standard_system,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def system():
+    return standard_system()
+
+
+class TestNames:
+    def test_plain_name_resolves(self, system):
+        assert parse_type("month", system).label == "month"
+
+    def test_unknown_name_rejected(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("fortnight", system)
+
+
+class TestGroup:
+    def test_quarter(self, system):
+        quarter = parse_type("group(month, 3)", system)
+        assert quarter.label == "3-month"
+        assert quarter.tick_of(0) == 0
+        assert "3-month" in system  # registered as a side effect
+
+    def test_nested(self, system):
+        ttype = parse_type("group(group(month, 3), 4)", system)
+        assert ttype.tick_of(0) == 0
+        # 12 months of the epoch year.
+        assert ttype.tick_of(360 * D) == 0
+        assert ttype.tick_of(370 * D) == 1
+
+    def test_offset(self, system):
+        fiscal = parse_type("group(month, 12, 3)", system)
+        assert fiscal.tick_of(0) is None  # January precedes the offset
+
+    def test_arity_checked(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("group(month)", system)
+        with pytest.raises(GranularityParseError):
+            parse_type("group(3, month)", system)
+
+
+class TestConstructors:
+    def test_uniform(self, system):
+        ttype = parse_type("uniform(7200)", system)
+        assert ttype.tick_bounds(1) == (7200, 14399)
+
+    def test_uniform_with_phase(self, system):
+        ttype = parse_type("uniform(100, 50)", system)
+        assert ttype.tick_of(49) is None
+        assert ttype.tick_of(50) == 0
+
+    def test_shifts(self, system):
+        duty = parse_type("shifts(28800, 57600)", system)
+        assert duty.tick_of(0) == 0
+        assert duty.tick_of(9 * H) is None
+
+    def test_weekly(self, system):
+        lectures = parse_type("weekly(0:9:2, 2:14:2)", system)
+        assert lectures.tick_of(9 * H) == 0
+        assert lectures.tick_of(2 * D + 14 * H) == 1
+
+    def test_businessday_range(self, system):
+        sixday = parse_type("businessday(0-5)", system)
+        assert sixday.tick_of(5 * D) == 5  # Saturday works
+        assert sixday.tick_of(6 * D) is None
+
+    def test_businessday_list(self, system):
+        weekend_only = parse_type("businessday(5, 6)", system)
+        assert weekend_only.tick_of(0) is None
+        assert weekend_only.tick_of(5 * D) == 0
+
+    def test_unknown_constructor(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("lunar(2)", system)
+
+
+class TestErrors:
+    def test_trailing_garbage(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("month month", system)
+
+    def test_unbalanced_parens(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("group(month, 3", system)
+
+    def test_bad_characters(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("month + day", system)
+
+    def test_bare_int_is_not_a_type(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("42", system)
+
+    def test_descending_range(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("businessday(5-2)", system)
+
+
+class TestIntersectionConstructors:
+    def test_intersect(self, system):
+        overlap = parse_type("intersect(week, month)", system)
+        assert overlap.tick_of(0) == 0
+        assert overlap.label == "week*month"
+
+    def test_businesshours_default_base(self, system):
+        office = parse_type("businesshours(9, 17)", system)
+        assert office.tick_of(10 * H) == 0
+        assert office.tick_of(8 * H) is None
+
+    def test_businesshours_custom_base(self, system):
+        office = parse_type(
+            "businesshours(8, 12, businessday(0-5))", system
+        )
+        assert office.tick_of(5 * D + 9 * H) == 5  # Saturday morning works
+
+    def test_businesshours_bad_window(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("businesshours(17, 9)", system)
+
+    def test_intersect_arity(self, system):
+        with pytest.raises(GranularityParseError):
+            parse_type("intersect(week)", system)

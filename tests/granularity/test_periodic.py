@@ -1,0 +1,111 @@
+"""Tests for finitely-represented periodic temporal types."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TCG
+from repro.granularity import (
+    PeriodicPatternType,
+    SizeTable,
+    shifts,
+    standard_system,
+    weekly_slots,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PeriodicPatternType("t", 0, [(0, 1)])
+        with pytest.raises(ValueError):
+            PeriodicPatternType("t", 10, [])
+        with pytest.raises(ValueError):
+            PeriodicPatternType("t", 10, [(0, 0)])
+        with pytest.raises(ValueError):
+            PeriodicPatternType("t", 10, [(0, 5), (3, 2)])  # overlap
+        with pytest.raises(ValueError):
+            PeriodicPatternType("t", 10, [(8, 5)])  # exceeds cycle
+        with pytest.raises(ValueError):
+            PeriodicPatternType("t", 10, [(0, 5)], phase=-1)
+
+    def test_totality_detection(self):
+        assert PeriodicPatternType("t", 10, [(0, 10)]).total
+        assert not PeriodicPatternType("t", 10, [(0, 5)]).total
+        assert not PeriodicPatternType("t", 10, [(0, 10)], phase=3).total
+
+    def test_period_info(self):
+        ttype = PeriodicPatternType("t", 100, [(0, 10), (50, 20)])
+        assert ttype.period_info() == (2, 100)
+
+
+class TestShifts:
+    def test_duty_cycle(self):
+        duty = shifts("duty", on_seconds=8 * H, off_seconds=16 * H)
+        assert duty.tick_of(0) == 0
+        assert duty.tick_of(8 * H - 1) == 0
+        assert duty.tick_of(8 * H) is None
+        assert duty.tick_of(D) == 1
+        assert duty.tick_bounds(2) == (2 * D, 2 * D + 8 * H - 1)
+
+    def test_phase(self):
+        late = shifts("late", 3600, 3600, phase=100)
+        assert late.tick_of(50) is None
+        assert late.tick_of(100) == 0
+
+
+class TestWeeklySlots:
+    def test_two_lectures(self):
+        lectures = weekly_slots(
+            "lecture", [(0, 9, 2), (2, 14, 2)]
+        )  # Mon 9-11, Wed 14-16
+        assert lectures.tick_of(9 * H) == 0
+        assert lectures.tick_of(11 * H) is None
+        assert lectures.tick_of(2 * D + 14 * H) == 1
+        assert lectures.tick_of(7 * D + 9 * H) == 2  # next Monday
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ValueError):
+            weekly_slots("bad", [(7, 9, 1)])
+        with pytest.raises(ValueError):
+            weekly_slots("bad", [(0, 23, 2)])  # spills past midnight
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_roundtrip(self, index):
+        lectures = weekly_slots("lec2", [(0, 9, 2), (3, 8, 1)])
+        first, last = lectures.tick_bounds(index)
+        assert lectures.tick_of(first) == index
+        assert lectures.tick_of(last) == index
+
+
+class TestSizeTableExactness:
+    def test_declared_period_used(self):
+        duty = shifts("duty8", 8 * H, 16 * H)
+        table = SizeTable(duty, horizon=16)
+        # With a declared period, the horizon is widened and minsize is
+        # exact for every k up to near the horizon.
+        assert table.minsize(1) == 8 * H
+        assert table.maxsize(1) == 8 * H
+        assert table.mingap(1) == 16 * H + 1
+        assert table.minsize(3) == 2 * D + 8 * H
+
+    def test_conversions_with_periodic_types(self):
+        system = standard_system()
+        duty = system.register(shifts("duty8", 8 * H, 16 * H))
+        # duty ticks lie inside single days -> conversion feasible.
+        outcome = system.convert(1, 1, duty, "day")
+        assert outcome.interval == (1, 1)
+        outcome_hours = system.convert(0, 2, duty, "hour")
+        assert outcome_hours.interval == (0, 55)
+
+    def test_tcg_on_periodic_type(self):
+        duty = shifts("duty-x", 8 * H, 16 * H)
+        constraint = TCG(1, 1, duty)
+        assert constraint.is_satisfied(7 * H, D)  # consecutive shifts
+        assert not constraint.is_satisfied(7 * H, 7 * H + 1)
+        # Off-duty instants violate the definedness requirement.
+        assert not constraint.is_satisfied(9 * H, D)

@@ -1,0 +1,93 @@
+"""Tests for granularity relationships (finer-than, groups-into, ...)."""
+
+import pytest
+
+from repro.granularity import (
+    BusinessDayType,
+    GroupedType,
+    UniformType,
+    day,
+    finer_than,
+    groups_into,
+    hour,
+    minute,
+    month,
+    partitions,
+    subgranularity,
+    week,
+    year,
+)
+from repro.granularity.business import BusinessWeekType
+
+
+class TestFinerThan:
+    def test_classic_lattice(self):
+        assert finer_than(day(), month())
+        assert finer_than(day(), week())
+        assert finer_than(month(), year())
+        assert finer_than(hour(), day())
+
+    def test_incomparable_types(self):
+        assert not finer_than(week(), month())  # weeks straddle months
+        assert not finer_than(month(), week())
+
+    def test_gap_types(self):
+        bday = BusinessDayType()
+        assert finer_than(bday, day())
+        assert finer_than(bday, week())
+        assert not finer_than(day(), bday)  # Saturdays are uncovered
+
+    def test_reflexive(self):
+        assert finer_than(day(), day())
+
+
+class TestGroupsInto:
+    def test_classic(self):
+        assert groups_into(day(), week())
+        assert groups_into(day(), month())
+        assert groups_into(month(), year())
+        assert groups_into(minute(), hour())
+
+    def test_not_aligned(self):
+        assert not groups_into(week(), month())
+        # Hours group into days, but days are not unions of weeks.
+        assert not groups_into(week(), day())
+
+    def test_gappy_base_fails(self):
+        # Weeks are not unions of business days (weekends uncovered).
+        assert not groups_into(BusinessDayType(), week())
+
+    def test_gappy_target(self):
+        bday = BusinessDayType()
+        bweek = BusinessWeekType(bday=bday)
+        assert groups_into(bday, bweek)
+
+
+class TestPartitions:
+    def test_classic(self):
+        assert partitions(month(), year())
+        assert partitions(day(), week())
+
+    def test_grouping_partitions_base_span(self):
+        quarter = GroupedType(month(), 3)
+        assert partitions(month(), quarter)
+
+    def test_coverage_mismatch(self):
+        # Days group into weeks, but a phase-shifted day type leaves
+        # the first instants of week 0 uncovered.
+        late_day = UniformType("late-day", 86400, phase=86400)
+        assert not partitions(late_day, week())
+
+
+class TestSubgranularity:
+    def test_bday_of_day(self):
+        assert subgranularity(BusinessDayType(), day())
+
+    def test_day_not_sub_of_bday(self):
+        assert not subgranularity(day(), BusinessDayType())
+
+    def test_hour_not_sub_of_day(self):
+        assert not subgranularity(hour(), day())
+
+    def test_reflexive(self):
+        assert subgranularity(month(), month())

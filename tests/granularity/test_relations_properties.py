@@ -1,0 +1,65 @@
+"""Property tests for granularity relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.granularity import (
+    GroupedType,
+    day,
+    finer_than,
+    groups_into,
+    hour,
+    month,
+    partitions,
+    subgranularity,
+    week,
+)
+
+
+class TestGroupingProperties:
+    @given(n=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_base_groups_into_grouping(self, n):
+        grouped = GroupedType(day(), n, label="g%d-day" % n)
+        assert groups_into(day(), grouped)
+        assert partitions(day(), grouped)
+        assert finer_than(day(), grouped)
+
+    @given(n=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_grouping_not_finer_than_base(self, n):
+        grouped = GroupedType(day(), n, label="h%d-day" % n)
+        assert not finer_than(grouped, day())
+        # But a grouped tick IS NOT a base tick (it spans several).
+        assert not subgranularity(grouped, day())
+
+    @given(
+        a=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_nested_groupings_chain(self, a, k):
+        """group(day, a) groups into group(day, a*k)."""
+        inner = GroupedType(day(), a, label="i%d-day" % a)
+        outer = GroupedType(day(), a * k, label="o%d-day" % (a * k))
+        assert groups_into(inner, outer)
+
+
+class TestTransitivitySpotChecks:
+    def test_finer_than_chain(self):
+        assert finer_than(hour(), day())
+        assert finer_than(day(), month())
+        assert finer_than(hour(), month())  # transitivity instance
+
+    def test_groups_into_chain(self):
+        assert groups_into(hour(), day())
+        assert groups_into(day(), week())
+        assert groups_into(hour(), week())
+
+    def test_subgranularity_implies_finer(self):
+        from repro.granularity import BusinessDayType
+
+        bday = BusinessDayType()
+        assert subgranularity(bday, day())
+        assert finer_than(bday, day())

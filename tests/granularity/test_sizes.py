@@ -1,0 +1,147 @@
+"""Tests for the minsize/maxsize/mingap tables, including the paper's
+canonical values and the soundness of out-of-horizon extrapolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.granularity import (
+    BusinessDayType,
+    SizeTable,
+    UniformType,
+    day,
+    hour,
+    month,
+    week,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+
+def in_days(seconds):
+    assert seconds % SECONDS_PER_DAY == 0
+    return seconds // SECONDS_PER_DAY
+
+
+class TestPaperTableValues:
+    """The appendix quotes minsize(month,1)=28, maxsize(month,1)=31 and
+    maxsize(b-day,2)=4 with day as the primitive type."""
+
+    def test_month_sizes(self):
+        table = SizeTable(month())
+        assert in_days(table.minsize(1)) == 28
+        assert in_days(table.maxsize(1)) == 31
+
+    def test_bday_maxsize_two(self):
+        table = SizeTable(BusinessDayType())
+        assert in_days(table.maxsize(2)) == 4  # Friday + weekend + Monday
+
+    def test_bday_minsize_two(self):
+        table = SizeTable(BusinessDayType())
+        assert in_days(table.minsize(2)) == 2  # midweek neighbours
+
+
+class TestUniformTables:
+    def test_hour_sizes_are_linear(self):
+        table = SizeTable(hour())
+        for k in (1, 2, 10, 100):
+            assert table.minsize(k) == 3600 * k
+            assert table.maxsize(k) == 3600 * k
+
+    def test_mingap_hour(self):
+        table = SizeTable(hour())
+        assert table.mingap(1) == 1  # next hour starts 1 second later
+        assert table.mingap(2) == 3601
+        assert table.mingap(0) == -3599
+
+    def test_zero_k(self):
+        table = SizeTable(day())
+        assert table.minsize(0) == 0
+        assert table.maxsize(0) == 0
+
+    def test_negative_k_rejected(self):
+        table = SizeTable(day())
+        with pytest.raises(ValueError):
+            table.minsize(-1)
+        with pytest.raises(ValueError):
+            table.maxsize(-1)
+        with pytest.raises(ValueError):
+            table.mingap(-1)
+
+
+class TestExtrapolationSoundness:
+    """Out-of-horizon values must be sound: minsize/mingap never
+    over-estimated, maxsize never under-estimated (compared against a
+    larger-horizon exact table).
+
+    The SizeTable contract requires the horizon to cover one period of
+    the type (48 months - a leap cycle - for ``month``; 7 days for
+    ``b-day``; 1 week for ``week``); 128 satisfies all of them.
+    """
+
+    @pytest.mark.parametrize(
+        "factory", [month, week, lambda: BusinessDayType()]
+    )
+    @given(k=st.integers(min_value=1, max_value=480))
+    @settings(max_examples=30, deadline=None)
+    def test_small_vs_big_horizon(self, factory, k):
+        small = SizeTable(factory(), horizon=128)
+        big = SizeTable(factory(), horizon=512)
+        assert small.minsize(k) <= big.minsize(k)
+        assert small.maxsize(k) >= big.maxsize(k)
+        assert small.mingap(k) <= big.mingap(k)
+
+    def test_monotonicity_of_minsize(self):
+        table = SizeTable(month(), horizon=64)
+        values = [table.minsize(k) for k in range(0, 200)]
+        assert values == sorted(values)
+
+    def test_mingap_monotone_for_positive_k(self):
+        table = SizeTable(BusinessDayType(), horizon=64)
+        values = [table.mingap(k) for k in range(1, 200)]
+        assert values == sorted(values)
+
+
+class TestSearches:
+    def test_min_k_with_minsize_at_least(self):
+        table = SizeTable(hour())
+        assert table.min_k_with_minsize_at_least(0) == 0
+        assert table.min_k_with_minsize_at_least(1) == 1
+        assert table.min_k_with_minsize_at_least(3600) == 1
+        assert table.min_k_with_minsize_at_least(3601) == 2
+
+    def test_min_k_with_maxsize_greater(self):
+        table = SizeTable(hour())
+        assert table.min_k_with_maxsize_greater(-5) == 0
+        assert table.min_k_with_maxsize_greater(0) == 1
+        assert table.min_k_with_maxsize_greater(3600) == 2
+
+    def test_cap_returns_none(self):
+        table = SizeTable(hour())
+        assert table.min_k_with_minsize_at_least(10**18, cap=1000) is None
+
+
+class TestTickScanning:
+    def test_bounds_cached(self):
+        table = SizeTable(month())
+        assert table.bounds(0) == (0, 31 * SECONDS_PER_DAY - 1)
+        assert table.bounds(600) is None  # beyond horizon 512
+
+    def test_exhausted_type(self):
+        short = UniformType("short", 10, phase=0)
+
+        class ThreeTicks(UniformType):
+            def tick_bounds(self, index):
+                if index >= 3:
+                    raise ValueError("out of ticks")
+                return super().tick_bounds(index)
+
+        table = SizeTable(ThreeTicks("three", 10))
+        assert table.scanned_ticks() == 3
+        assert table.minsize(3) == 30
+        # Extrapolation still answers beyond the last tick.
+        assert table.minsize(7) >= 30
+        assert short.tick_of(5) == 0
+
+    def test_rejects_tiny_horizon(self):
+        with pytest.raises(ValueError):
+            SizeTable(month(), horizon=2)

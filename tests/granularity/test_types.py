@@ -1,0 +1,172 @@
+"""Tests for the temporal-type core: uniform and calendar types.
+
+Includes the paper's formal well-formedness conditions (monotonicity,
+no interior empty ticks) checked as properties on every shipped type.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.granularity import (
+    UniformType,
+    day,
+    hour,
+    minute,
+    month,
+    second,
+    standard_system,
+    week,
+    year,
+)
+from repro.granularity.gregorian import SECONDS_PER_DAY
+
+ALL_FACTORY_TYPES = [second, minute, hour, day, week, month, year]
+
+
+class TestUniformType:
+    def test_second_tick_of_is_identity(self):
+        sec = second()
+        assert sec.tick_of(0) == 0
+        assert sec.tick_of(12345) == 12345
+        assert sec.tick_bounds(7) == (7, 7)
+
+    def test_hour_ticks(self):
+        h = hour()
+        assert h.tick_of(0) == 0
+        assert h.tick_of(3599) == 0
+        assert h.tick_of(3600) == 1
+        assert h.tick_bounds(2) == (7200, 10799)
+
+    def test_phase_creates_leading_gap(self):
+        shifted = UniformType("shifted-hour", 3600, phase=1800)
+        assert shifted.tick_of(0) is None
+        assert shifted.tick_of(1799) is None
+        assert shifted.tick_of(1800) == 0
+        assert shifted.tick_bounds(0) == (1800, 5399)
+        assert not shifted.total
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            UniformType("bad", 0)
+        with pytest.raises(ValueError):
+            UniformType("bad", 10, phase=-1)
+
+    def test_negative_tick_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            second().tick_bounds(-1)
+
+
+class TestCalendarTypes:
+    def test_month_boundaries(self):
+        mo = month()
+        assert mo.tick_of(0) == 0
+        jan_last_second = 31 * SECONDS_PER_DAY - 1
+        assert mo.tick_of(jan_last_second) == 0
+        assert mo.tick_of(jan_last_second + 1) == 1
+
+    def test_year_boundaries(self):
+        yr = year()
+        assert yr.tick_of(0) == 0
+        leap_year_seconds = 366 * SECONDS_PER_DAY
+        assert yr.tick_of(leap_year_seconds - 1) == 0
+        assert yr.tick_of(leap_year_seconds) == 1
+
+    def test_week_is_monday_aligned(self):
+        wk = week()
+        assert wk.tick_of(0) == 0
+        assert wk.tick_of(7 * SECONDS_PER_DAY - 1) == 0
+        assert wk.tick_of(7 * SECONDS_PER_DAY) == 1
+
+    def test_negative_seconds_uncovered(self):
+        assert month().tick_of(-1) is None
+        assert year().tick_of(-1) is None
+
+
+class TestTypeInvariants:
+    """The paper's two defining conditions, plus bounds consistency."""
+
+    @pytest.mark.parametrize("factory", ALL_FACTORY_TYPES)
+    def test_ticks_strictly_ordered(self, factory):
+        ttype = factory()
+        previous_last = None
+        for index in range(40):
+            first, last = ttype.tick_bounds(index)
+            assert first <= last
+            if previous_last is not None:
+                assert first > previous_last
+            previous_last = last
+
+    @pytest.mark.parametrize("factory", ALL_FACTORY_TYPES)
+    def test_tick_of_agrees_with_bounds(self, factory):
+        ttype = factory()
+        for index in range(25):
+            first, last = ttype.tick_bounds(index)
+            assert ttype.tick_of(first) == index
+            assert ttype.tick_of(last) == index
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_month_tick_monotone(self, t):
+        mo = month()
+        assert mo.tick_of(t) <= mo.tick_of(t + SECONDS_PER_DAY)
+
+    @given(
+        st.integers(min_value=0, max_value=10**8),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_distance_is_tick_difference(self, t1, delta):
+        wk = week()
+        t2 = t1 + delta
+        assert wk.distance(t1, t2) == wk.tick_of(t2) - wk.tick_of(t1)
+
+
+class TestHelpers:
+    def test_first_tick_at_or_after(self):
+        mo = month()
+        assert mo.first_tick_at_or_after(0) == 0
+        assert mo.first_tick_at_or_after(1) == 1
+        feb_first, _ = mo.tick_bounds(1)
+        assert mo.first_tick_at_or_after(feb_first) == 1
+
+    def test_first_tick_at_or_after_in_gap(self):
+        shifted = UniformType("late", 100, phase=1000)
+        assert shifted.first_tick_at_or_after(0) == 0
+        assert shifted.first_tick_at_or_after(1050) == 1
+
+    def test_equality_is_by_label(self):
+        assert month() == month()
+        assert month() != year()
+        assert hash(month()) == hash(month())
+
+    def test_str_and_contains(self):
+        mo = month()
+        assert str(mo) == "month"
+        assert mo.contains(0, 100)
+        assert not mo.contains(1, 100)
+
+    def test_covers(self):
+        shifted = UniformType("late", 100, phase=1000)
+        assert not shifted.covers(0)
+        assert shifted.covers(1000)
+
+
+class TestStandardSystemTypes:
+    def test_all_expected_labels_present(self, system):
+        for label in [
+            "second",
+            "minute",
+            "hour",
+            "day",
+            "week",
+            "month",
+            "year",
+            "b-day",
+            "b-week",
+            "business-month",
+        ]:
+            assert label in system
+
+    def test_second_is_primitive_and_total(self, system):
+        sec = system.get("second")
+        assert sec.total
+        assert sec.tick_of(987654) == 987654

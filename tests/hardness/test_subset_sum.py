@@ -1,0 +1,161 @@
+"""Tests for the Theorem 1 SUBSET SUM reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness import (
+    SubsetSumInstance,
+    decide_via_reduction,
+    has_subset_sum,
+    reduction_structure,
+    solve_subset_sum,
+)
+
+
+class TestInstanceValidation:
+    def test_positive_numbers_required(self):
+        with pytest.raises(ValueError):
+            SubsetSumInstance((0, 3), 3)
+
+    def test_non_negative_target_required(self):
+        with pytest.raises(ValueError):
+            SubsetSumInstance((1,), -1)
+
+
+class TestDPOracle:
+    def test_known_cases(self):
+        assert has_subset_sum(SubsetSumInstance((3, 5, 7), 12))
+        assert not has_subset_sum(SubsetSumInstance((3, 5, 7), 4))
+        assert has_subset_sum(SubsetSumInstance((1, 2, 3), 6))
+        assert has_subset_sum(SubsetSumInstance((4,), 0))
+
+    @given(
+        numbers=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=1, max_size=6
+        ),
+        target=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_oracle_matches_brute_force(self, numbers, target):
+        from itertools import combinations
+
+        instance = SubsetSumInstance(tuple(numbers), target)
+        expected = any(
+            sum(c) == target
+            for size in range(len(numbers) + 1)
+            for c in combinations(numbers, size)
+        )
+        assert has_subset_sum(instance) == expected
+
+    def test_solver_returns_witness(self):
+        witness = solve_subset_sum(SubsetSumInstance((3, 5, 7), 12))
+        assert witness is not None
+        assert sum((3, 5, 7)[i] for i in witness) == 12
+
+    def test_solver_returns_none(self):
+        assert solve_subset_sum(SubsetSumInstance((3, 5, 7), 4)) is None
+
+
+class TestReductionStructure:
+    def test_variable_count(self, system):
+        structure = reduction_structure(
+            SubsetSumInstance((2, 3), 5), system
+        )
+        # R + X1..X3 + V1,V2 + U1,U2
+        assert len(structure.variables) == 1 + 3 + 2 + 2
+
+    def test_grouped_granularities_registered(self, system):
+        reduction_structure(SubsetSumInstance((4, 6), 10), system)
+        assert "4-month" in system
+        assert "6-month" in system
+
+    def test_structure_is_rooted_dag(self, system):
+        structure = reduction_structure(
+            SubsetSumInstance((2, 3, 4), 9), system
+        )
+        assert structure.root == "R"
+        assert structure.topological_order() is not None
+
+
+class TestEquivalence:
+    """Consistency of the gadget <=> the refined decision value.
+
+    The published reduction is sound but (as the module errata
+    documents) complete only for subsets whose residue system is
+    CRT-solvable; ``crt_compatible_subset_exists`` captures the gadget's
+    true decision value exactly, and for pairwise-coprime numbers it
+    coincides with plain SUBSET SUM.
+    """
+
+    @pytest.mark.parametrize(
+        "numbers,target",
+        [
+            ((2, 4), 6),
+            ((2, 4), 5),
+            ((3, 5), 8),
+            ((3, 5), 7),
+            ((5,), 5),
+            ((5,), 3),
+            ((5,), 0),
+            ((2, 3, 4), 9),
+            ((2, 3, 4), 5),
+            ((3, 4, 5), 12),
+        ],
+    )
+    def test_reduction_matches_refined_predicate(
+        self, system, numbers, target
+    ):
+        from repro.hardness import crt_compatible_subset_exists
+
+        instance = SubsetSumInstance(numbers, target)
+        outcome = decide_via_reduction(instance, system)
+        assert outcome.completed
+        assert outcome.consistent == crt_compatible_subset_exists(instance)
+
+    @pytest.mark.parametrize(
+        "numbers,target",
+        [((3, 5), 8), ((3, 5), 7), ((3, 5, 7), 12), ((3, 5, 7), 11)],
+    )
+    def test_coprime_instances_decide_subset_sum(
+        self, system, numbers, target
+    ):
+        instance = SubsetSumInstance(numbers, target)
+        outcome = decide_via_reduction(instance, system)
+        assert outcome.completed
+        assert outcome.consistent == has_subset_sum(instance)
+
+    def test_reduction_always_sound(self, system):
+        """Forward direction holds unconditionally: a consistent gadget
+        yields a subset with the right sum."""
+        instance = SubsetSumInstance((2, 3, 4), 9)
+        outcome = decide_via_reduction(instance, system)
+        assert outcome.completed
+        if outcome.consistent:  # pragma: no cover - errata case
+            assert sum(
+                instance.numbers[i] for i in outcome.witness_subset
+            ) == instance.target
+
+    def test_errata_counterexample(self, system):
+        """(2, 3, 4) with target 9 is SUBSET-SUM-solvable but the
+        published gadget is inconsistent - the reproduction's errata."""
+        from repro.hardness import crt_compatible_subset_exists
+
+        instance = SubsetSumInstance((2, 3, 4), 9)
+        assert has_subset_sum(instance)
+        assert not crt_compatible_subset_exists(instance)
+        outcome = decide_via_reduction(instance, system)
+        assert outcome.completed and not outcome.consistent
+
+    def test_witness_subset_decodes(self, system):
+        instance = SubsetSumInstance((3, 5, 7), 12)
+        outcome = decide_via_reduction(instance, system)
+        assert outcome.consistent
+        assert sum(
+            instance.numbers[i] for i in outcome.witness_subset
+        ) == 12
+
+    def test_empty_subset_target_zero(self, system):
+        outcome = decide_via_reduction(SubsetSumInstance((4, 9), 0), system)
+        assert outcome.consistent
+        assert outcome.witness_subset == []

@@ -1,0 +1,116 @@
+"""Tests for CSV event logs and the calendar timestamp codec."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io import (
+    CsvFormatError,
+    format_timestamp,
+    parse_timestamp,
+    read_events,
+    write_events,
+)
+from repro.mining import Event, EventSequence
+
+
+class TestTimestampCodec:
+    def test_integer_passthrough(self):
+        assert parse_timestamp("12345") == 12345
+        assert parse_timestamp(" 7 ") == 7
+
+    def test_epoch_date(self):
+        assert parse_timestamp("2000-01-01") == 0
+        assert parse_timestamp("2000-01-01 00:00:00") == 0
+
+    def test_date_with_time(self):
+        assert parse_timestamp("2000-01-02 01:02:03") == (
+            86400 + 3600 + 120 + 3
+        )
+        assert parse_timestamp("2000-01-02 01:02") == 86400 + 3600 + 120
+
+    def test_t_separator(self):
+        assert parse_timestamp("2000-01-02T01:00") == 86400 + 3600
+
+    def test_leap_day(self):
+        # 2000-02-29 exists; 2001-02-29 does not.
+        parse_timestamp("2000-02-29")
+        with pytest.raises(CsvFormatError):
+            parse_timestamp("2001-02-29")
+
+    def test_pre_epoch_rejected(self):
+        with pytest.raises(CsvFormatError):
+            parse_timestamp("1999-12-31")
+
+    def test_out_of_range_time(self):
+        with pytest.raises(CsvFormatError):
+            parse_timestamp("2000-01-01 24:00")
+        with pytest.raises(CsvFormatError):
+            parse_timestamp("2000-01-01 10:61")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CsvFormatError):
+            parse_timestamp("next tuesday")
+
+    @given(st.integers(min_value=0, max_value=10**10))
+    def test_format_parse_roundtrip(self, seconds):
+        assert parse_timestamp(format_timestamp(seconds)) == seconds
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_timestamp(-1)
+
+
+class TestReadEvents:
+    def test_with_header(self):
+        text = "event_type,timestamp\nlogin,2000-01-01 08:00\nlogout,28800\n"
+        sequence = read_events(io.StringIO(text))
+        assert len(sequence) == 2
+        assert sequence[0] == Event("login", 8 * 3600)
+        assert sequence[1] == Event("logout", 28800)
+
+    def test_without_header(self):
+        text = "a,100\nb,50\n"
+        sequence = read_events(io.StringIO(text))
+        assert [e.etype for e in sequence] == ["b", "a"]
+
+    def test_explicit_header_flag(self):
+        text = "a,100\nb,50\n"
+        sequence = read_events(io.StringIO(text), has_header=True)
+        assert len(sequence) == 1  # first row treated as header
+
+    def test_blank_lines_skipped(self):
+        text = "a,100\n\nb,200\n"
+        assert len(read_events(io.StringIO(text))) == 2
+
+    def test_short_row_rejected(self):
+        with pytest.raises(CsvFormatError):
+            read_events(io.StringIO("a,1\njust-one-column\n"))
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("x,10\ny,20\n")
+        assert len(read_events(str(path))) == 2
+
+
+class TestWriteEvents:
+    def test_roundtrip_calendar_stamps(self):
+        sequence = EventSequence([("a", 0), ("b", 86400 + 3661)])
+        buffer = io.StringIO()
+        write_events(sequence, buffer)
+        buffer.seek(0)
+        assert read_events(buffer) == sequence
+
+    def test_roundtrip_integer_stamps(self):
+        sequence = EventSequence([("a", 5), ("b", 99)])
+        buffer = io.StringIO()
+        write_events(sequence, buffer, calendar_stamps=False, header=False)
+        buffer.seek(0)
+        assert read_events(buffer) == sequence
+
+    def test_write_to_path(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_events(EventSequence([("a", 1)]), path)
+        assert read_events(path) == EventSequence([("a", 1)])

@@ -1,0 +1,44 @@
+"""Tests for DOT export of structures and TAGs."""
+
+from repro.automata import build_tag
+from repro.constraints import ComplexEventType
+from repro.io import structure_to_dot, tag_to_dot
+
+
+class TestStructureDot:
+    def test_figure_1a(self, figure_1a):
+        dot = structure_to_dot(figure_1a)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # Root is highlighted, every arc labelled with its TCGs.
+        assert '"X0" [shape=doublecircle];' in dot
+        assert '"X0" -> "X1"' in dot
+        assert "[1,1]b-day" in dot
+        assert dot.count("->") == len(figure_1a.arcs())
+
+    def test_custom_name(self, figure_1a):
+        assert structure_to_dot(figure_1a, name="fig1a").startswith(
+            "digraph fig1a"
+        )
+
+
+class TestTagDot:
+    def test_example1_tag(self, figure_1a):
+        cet = ComplexEventType(
+            figure_1a,
+            {
+                "X0": "IBM-rise",
+                "X1": "IBM-earnings-report",
+                "X2": "HP-rise",
+                "X3": "IBM-fall",
+            },
+        )
+        build = build_tag(cet)
+        dot = tag_to_dot(build.tag)
+        assert dot.startswith("digraph")
+        assert "doublecircle" in dot  # the accepting state
+        assert "ANY" in dot  # skip loops
+        assert "IBM-rise" in dot
+        assert "reset" in dot
+        # One dashed ANY loop per state.
+        assert dot.count("style=dashed") == len(build.tag.states)

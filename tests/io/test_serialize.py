@@ -1,0 +1,207 @@
+"""Round-trip tests for the JSON serialisation layer."""
+
+import io
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity import (
+    BusinessDayType,
+    GranularitySystem,
+    GroupedType,
+    PeriodicPatternType,
+    UniformType,
+    month,
+    standard_system,
+)
+from repro.io import (
+    SerializationError,
+    complex_event_type_from_dict,
+    complex_event_type_to_dict,
+    dump_json,
+    granularity_from_dict,
+    granularity_to_dict,
+    load_json,
+    problem_from_dict,
+    problem_to_dict,
+    sequence_from_dict,
+    sequence_to_dict,
+    structure_from_dict,
+    structure_to_dict,
+    tcg_from_dict,
+    tcg_to_dict,
+)
+from repro.mining import EventDiscoveryProblem, EventSequence
+
+
+def roundtrip_granularity(ttype, system):
+    payload = granularity_to_dict(ttype)
+    return granularity_from_dict(payload, system)
+
+
+class TestGranularityRoundtrip:
+    def test_label_reference(self, system):
+        restored = roundtrip_granularity(system.get("month"), system)
+        assert restored.label == "month"
+
+    def test_uniform(self, system):
+        original = UniformType("every-90s", 90, phase=10)
+        restored = roundtrip_granularity(original, system)
+        assert restored.tick_bounds(3) == original.tick_bounds(3)
+
+    def test_grouped(self, system):
+        original = GroupedType(month(), 3, offset=1)
+        restored = roundtrip_granularity(original, system)
+        assert restored.tick_bounds(2) == original.tick_bounds(2)
+
+    def test_periodic(self, system):
+        original = PeriodicPatternType("shift", 100, [(0, 30), (50, 10)], phase=7)
+        restored = roundtrip_granularity(original, system)
+        for index in range(10):
+            assert restored.tick_bounds(index) == original.tick_bounds(index)
+
+    def test_businessday_with_holidays(self, system):
+        original = BusinessDayType(
+            label="nyse", workdays=(0, 1, 2, 3, 4), holidays=[2, 9]
+        )
+        restored = roundtrip_granularity(original, system)
+        assert restored.tick_bounds(2) == original.tick_bounds(2)
+        assert restored.holidays == original.holidays
+
+    def test_business_week_month(self, system):
+        for label in ("b-week", "business-month"):
+            restored = roundtrip_granularity(system.get(label), system)
+            assert restored.tick_bounds(1) == system.get(label).tick_bounds(1)
+
+    def test_unknown_label_rejected(self):
+        empty = GranularitySystem()
+        with pytest.raises(SerializationError):
+            granularity_from_dict({"kind": "label", "label": "month"}, empty)
+
+    def test_unknown_kind_rejected(self, system):
+        with pytest.raises(SerializationError):
+            granularity_from_dict({"kind": "lunar"}, system)
+
+
+class TestConstraintRoundtrip:
+    def test_tcg(self, system):
+        original = TCG(1, 5, system.get("b-day"))
+        restored = tcg_from_dict(tcg_to_dict(original), system)
+        assert restored.m == 1 and restored.n == 5
+        assert restored.granularity.label == "b-day"
+
+    def test_structure(self, system, figure_1a):
+        payload = structure_to_dict(figure_1a)
+        restored = structure_from_dict(payload, system)
+        assert restored.variables == figure_1a.variables
+        assert set(restored.arcs()) == set(figure_1a.arcs())
+        for arc in figure_1a.arcs():
+            assert [str(c) for c in restored.tcgs(*arc)] == [
+                str(c) for c in figure_1a.tcgs(*arc)
+            ]
+
+    def test_malformed_structure(self, system):
+        with pytest.raises(SerializationError):
+            structure_from_dict({"variables": ["A"]}, system)
+
+    def test_complex_event_type(self, system, figure_1a):
+        cet = ComplexEventType(
+            figure_1a,
+            {
+                "X0": "IBM-rise",
+                "X1": "IBM-earnings-report",
+                "X2": "HP-rise",
+                "X3": "IBM-fall",
+            },
+        )
+        restored = complex_event_type_from_dict(
+            complex_event_type_to_dict(cet), system
+        )
+        assert restored.assignment == cet.assignment
+
+
+class TestProblemRoundtrip:
+    def test_problem(self, system, figure_1a):
+        problem = EventDiscoveryProblem(
+            figure_1a,
+            0.8,
+            "IBM-rise",
+            {"X3": frozenset(["IBM-fall"]), "X2": None},
+        )
+        restored = problem_from_dict(problem_to_dict(problem), system)
+        assert restored.min_confidence == 0.8
+        assert restored.reference_type == "IBM-rise"
+        assert restored.candidates["X3"] == frozenset(["IBM-fall"])
+        assert restored.candidates["X2"] is None
+
+
+class TestSequenceRoundtrip:
+    def test_sequence(self):
+        sequence = EventSequence([("a", 5), ("b", 3), ("a", 9)])
+        restored = sequence_from_dict(sequence_to_dict(sequence))
+        assert restored == sequence
+
+    def test_malformed(self):
+        with pytest.raises(SerializationError):
+            sequence_from_dict({"events": [["a"]]})
+
+
+class TestJsonFileHelpers:
+    def test_dump_and_load_stream(self):
+        buffer = io.StringIO()
+        dump_json({"x": 1}, buffer)
+        buffer.seek(0)
+        assert load_json(buffer) == {"x": 1}
+
+    def test_dump_and_load_path(self, tmp_path):
+        path = str(tmp_path / "payload.json")
+        dump_json({"y": [1, 2]}, path)
+        assert load_json(path) == {"y": [1, 2]}
+
+
+class TestEndToEndThroughJson:
+    def test_pattern_matches_after_roundtrip(self, system, figure_1a):
+        """Serialised pattern behaves identically after restoration."""
+        from repro.automata import TagMatcher, build_tag
+        from repro.granularity.gregorian import SECONDS_PER_DAY as D
+        from repro.granularity.gregorian import SECONDS_PER_HOUR as H
+
+        cet = ComplexEventType(
+            figure_1a,
+            {
+                "X0": "IBM-rise",
+                "X1": "IBM-earnings-report",
+                "X2": "HP-rise",
+                "X3": "IBM-fall",
+            },
+        )
+        restored = complex_event_type_from_dict(
+            complex_event_type_to_dict(cet), standard_system()
+        )
+        sequence = EventSequence(
+            [
+                ("IBM-rise", 9 * H),
+                ("IBM-earnings-report", D + 10 * H),
+                ("HP-rise", 2 * D + 11 * H),
+                ("IBM-fall", 2 * D + 15 * H),
+            ]
+        )
+        assert TagMatcher(build_tag(cet)).occurs_at(sequence, 0)
+        assert TagMatcher(build_tag(restored)).occurs_at(sequence, 0)
+
+
+class TestIntersectionRoundtrip:
+    def test_intersection_type(self, system):
+        from repro.granularity import IntersectionType, month, week
+
+        original = IntersectionType(week(), month())
+        restored = roundtrip_granularity(original, system)
+        for index in range(8):
+            assert restored.tick_bounds(index) == original.tick_bounds(index)
+
+    def test_business_hours_roundtrip(self, system):
+        from repro.granularity import BusinessDayType, business_hours
+
+        original = business_hours(BusinessDayType(), 9, 17)
+        restored = roundtrip_granularity(original, system)
+        assert restored.tick_bounds(4) == original.tick_bounds(4)

@@ -1,0 +1,55 @@
+"""Fuzzed round-trip tests: random structures through JSON."""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.granularity import standard_system
+from repro.io import structure_from_dict, structure_to_dict
+
+from ..strategies import rooted_dags
+
+SYSTEM = standard_system()
+
+
+class TestStructureRoundtripFuzz:
+    @given(structure=rooted_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_everything(self, structure):
+        payload = structure_to_dict(structure)
+        # Must survive an actual JSON encode/decode, not just dicts.
+        payload = json.loads(json.dumps(payload))
+        restored = structure_from_dict(payload, SYSTEM)
+        assert restored.variables == structure.variables
+        assert restored.root == structure.root
+        assert set(restored.arcs()) == set(structure.arcs())
+        for arc in structure.arcs():
+            assert [str(c) for c in restored.tcgs(*arc)] == [
+                str(c) for c in structure.tcgs(*arc)
+            ]
+
+    @given(structure=rooted_dags(max_nodes=5))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_matching(self, structure):
+        """Restored structures accept exactly the same assignments."""
+        import random
+
+        restored = structure_from_dict(
+            json.loads(json.dumps(structure_to_dict(structure))), SYSTEM
+        )
+        rng = random.Random(42)
+        order = structure.topological_order()
+        for _ in range(30):
+            assignment = {}
+            base = rng.randrange(0, 10 * 86400)
+            for variable in order:
+                preds = [
+                    p
+                    for p in structure.predecessors(variable)
+                    if p in assignment
+                ]
+                anchor = max((assignment[p] for p in preds), default=base)
+                assignment[variable] = anchor + rng.randrange(0, 3 * 86400)
+            assert structure.is_satisfied_by(
+                assignment
+            ) == restored.is_satisfied_by(assignment)

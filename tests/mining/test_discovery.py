@@ -1,0 +1,174 @@
+"""Tests for event-discovery problems: naive vs optimised equivalence.
+
+The paper's central claim for Section 5 is that steps 1-4 reduce work
+without changing the answer; the equivalence tests here are the direct
+check of that claim.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY
+from repro.mining import (
+    EventDiscoveryProblem,
+    EventSequence,
+    discover,
+    naive_discover,
+    planted_sequence,
+)
+
+
+@pytest.fixture
+def chain_structure(system):
+    hour = system.get("hour")
+    day = system.get("day")
+    return EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(1, 1, day)],
+            ("B", "C"): [TCG(0, 4, hour)],
+        },
+    )
+
+
+@pytest.fixture
+def planted(system, chain_structure):
+    cet = ComplexEventType(
+        chain_structure, {"A": "alert", "B": "probe", "C": "breach"}
+    )
+    rng = random.Random(99)
+    sequence, n = planted_sequence(
+        cet,
+        system,
+        n_roots=15,
+        confidence=0.85,
+        rng=rng,
+        noise_types=["probe", "breach", "scan", "login"],
+        noise_events_per_root=6,
+        root_spacing_seconds=6 * SECONDS_PER_DAY,
+    )
+    return sequence, n, cet
+
+
+class TestProblemValidation:
+    def test_confidence_bounds(self, chain_structure):
+        with pytest.raises(ValueError):
+            EventDiscoveryProblem(chain_structure, 1.5, "alert")
+        with pytest.raises(ValueError):
+            EventDiscoveryProblem(chain_structure, -0.1, "alert")
+
+    def test_unknown_candidate_variable_rejected(self, chain_structure):
+        with pytest.raises(ValueError):
+            EventDiscoveryProblem(
+                chain_structure, 0.5, "alert", {"Z": frozenset(["x"])}
+            )
+
+    def test_root_candidates_rejected(self, chain_structure):
+        with pytest.raises(ValueError):
+            EventDiscoveryProblem(
+                chain_structure, 0.5, "alert", {"A": frozenset(["x"])}
+            )
+
+    def test_allowed_types(self, chain_structure):
+        problem = EventDiscoveryProblem(
+            chain_structure, 0.5, "alert", {"B": frozenset(["probe"])}
+        )
+        allowed = problem.allowed_types()
+        assert allowed["A"] == frozenset(["alert"])
+        assert allowed["B"] == frozenset(["probe"])
+        assert allowed["C"] is None
+
+
+class TestDiscoveryOnPlantedData:
+    def test_finds_planted_pattern(self, system, chain_structure, planted):
+        sequence, n_planted, cet = planted
+        problem = EventDiscoveryProblem(chain_structure, 0.7, "alert")
+        outcome = discover(problem, sequence, system)
+        assert dict(cet.assignment) in outcome.solution_assignments()
+
+    def test_reports_frequency(self, system, chain_structure, planted):
+        sequence, n_planted, cet = planted
+        problem = EventDiscoveryProblem(chain_structure, 0.7, "alert")
+        outcome = discover(problem, sequence, system)
+        frequency = outcome.frequencies[outcome.solutions[0]]
+        assert frequency >= n_planted / 15
+
+    def test_high_threshold_filters_out(self, system, chain_structure, planted):
+        sequence, _, _ = planted
+        problem = EventDiscoveryProblem(chain_structure, 0.99, "alert")
+        outcome = discover(problem, sequence, system)
+        assert outcome.solutions == []
+
+    def test_missing_reference_type(self, system, chain_structure):
+        sequence = EventSequence([("x", 0), ("y", 10)])
+        problem = EventDiscoveryProblem(chain_structure, 0.5, "alert")
+        assert discover(problem, sequence, system).solutions == []
+        assert naive_discover(problem, sequence, system).solutions == []
+
+    def test_inconsistent_structure_short_circuits(self, system):
+        day = system.get("day")
+        week = system.get("week")
+        bad = EventStructure(
+            ["A", "B"],
+            {("A", "B"): [TCG(10, 10, day), TCG(0, 0, week)]},
+        )
+        sequence = EventSequence([("alert", 0), ("x", 100)])
+        problem = EventDiscoveryProblem(bad, 0.1, "alert")
+        outcome = discover(problem, sequence, system)
+        assert outcome.solutions == []
+        assert not outcome.stats.consistent
+        assert outcome.automaton_starts == 0
+
+
+class TestNaiveOptimisedEquivalence:
+    """Steps 1-4 must not change the solution set (anti-monotonicity)."""
+
+    @pytest.mark.parametrize("confidence", [0.3, 0.6, 0.8])
+    def test_equivalence_on_planted(
+        self, system, chain_structure, planted, confidence
+    ):
+        sequence, _, _ = planted
+        problem = EventDiscoveryProblem(chain_structure, confidence, "alert")
+        naive = naive_discover(problem, sequence, system)
+        for depth in (0, 1, 2):
+            optimised = discover(
+                problem, sequence, system, screen_depth=depth
+            )
+            assert sorted(
+                map(str, naive.solution_assignments())
+            ) == sorted(map(str, optimised.solution_assignments())), (
+                "depth %d diverged" % depth
+            )
+            for cet, frequency in optimised.frequencies.items():
+                assert naive.frequencies[cet] == pytest.approx(frequency)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_equivalence_on_random_noise(self, system, seed):
+        """Pure-noise sequences: both solvers find the same (usually
+        empty) solution sets."""
+        rng = random.Random(seed)
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 6, hour)]}
+        )
+        events = [
+            ("t%d" % rng.randrange(3), rng.randrange(0, 5 * 86400))
+            for _ in range(60)
+        ]
+        sequence = EventSequence(events)
+        problem = EventDiscoveryProblem(structure, 0.5, "t0")
+        naive = naive_discover(problem, sequence, system)
+        optimised = discover(problem, sequence, system)
+        assert sorted(map(str, naive.solution_assignments())) == sorted(
+            map(str, optimised.solution_assignments())
+        )
+
+    def test_optimised_does_less_work(self, system, chain_structure, planted):
+        sequence, _, _ = planted
+        problem = EventDiscoveryProblem(chain_structure, 0.7, "alert")
+        naive = naive_discover(problem, sequence, system)
+        optimised = discover(problem, sequence, system)
+        assert optimised.candidates_evaluated <= naive.candidates_evaluated
+        assert optimised.automaton_starts <= naive.automaton_starts

@@ -1,0 +1,90 @@
+"""Hypothesis-driven equivalence of naive and optimised discovery.
+
+The mining layer's central invariant - Section 5's steps 1-4 never
+change the solution set - checked over generated structures, candidate
+restrictions and sequences, with hypothesis shrinking any divergence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import TCG, EventStructure
+from repro.granularity import standard_system
+from repro.mining import (
+    EventDiscoveryProblem,
+    EventSequence,
+    discover,
+    naive_discover,
+)
+
+SYSTEM = standard_system()
+LABELS = ["hour", "day", "b-day"]
+
+
+@st.composite
+def discovery_cases(draw):
+    # Small chain or fan structures keep the naive side fast.
+    shape = draw(st.sampled_from(["chain2", "chain3", "fan"]))
+    if shape == "chain2":
+        names = ["R", "A"]
+        arcs = [("R", "A")]
+    elif shape == "chain3":
+        names = ["R", "A", "B"]
+        arcs = [("R", "A"), ("A", "B")]
+    else:
+        names = ["R", "A", "B"]
+        arcs = [("R", "A"), ("R", "B")]
+    constraints = {}
+    for arc in arcs:
+        label = draw(st.sampled_from(LABELS))
+        m = draw(st.integers(min_value=0, max_value=2))
+        span = draw(st.integers(min_value=0, max_value=3))
+        constraints[arc] = [TCG(m, m + span, SYSTEM.get(label))]
+    structure = EventStructure(names, constraints)
+    types = ["t%d" % i for i in range(draw(st.integers(1, 3)))]
+    slots = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=12 * 24),  # 12 days, hourly
+            min_size=3,
+            max_size=25,
+            unique=True,
+        )
+    )
+    events = [
+        ("r" if draw(st.booleans()) else draw(st.sampled_from(types)), s * 3600)
+        for s in sorted(slots)
+    ]
+    confidence = draw(st.sampled_from([0.2, 0.5, 0.8]))
+    problem = EventDiscoveryProblem(structure, confidence, "r")
+    return problem, EventSequence(events)
+
+
+class TestNaiveOptimisedEquivalenceHypothesis:
+    @given(case=discovery_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_solution_sets_identical(self, case):
+        problem, sequence = case
+        naive = naive_discover(problem, sequence, SYSTEM)
+        for depth in (0, 1, 2):
+            optimised = discover(problem, sequence, SYSTEM, screen_depth=depth)
+            assert sorted(map(str, naive.solution_assignments())) == sorted(
+                map(str, optimised.solution_assignments())
+            ), (
+                "depth %d diverged on %r / %r"
+                % (depth, problem.structure, list(sequence))
+            )
+
+    @given(case=discovery_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_frequencies_identical_for_solutions(self, case):
+        problem, sequence = case
+        naive = naive_discover(problem, sequence, SYSTEM)
+        optimised = discover(problem, sequence, SYSTEM)
+        naive_freqs = {
+            str(sorted(cet.assignment.items())): freq
+            for cet, freq in naive.frequencies.items()
+        }
+        for cet, freq in optimised.frequencies.items():
+            key = str(sorted(cet.assignment.items()))
+            assert naive_freqs[key] == pytest.approx(freq)

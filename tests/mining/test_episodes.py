@@ -1,0 +1,120 @@
+"""Tests for the MTV95-style serial-episode baseline, including the
+paper's "same day is not 86400 seconds" discrimination argument."""
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.automata.structmatch import occurs_at
+from repro.granularity import day
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import (
+    Event,
+    EventSequence,
+    SerialEpisode,
+    episode_frequency,
+    frequent_serial_episodes,
+    occurs_within,
+)
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestSerialEpisode:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SerialEpisode(())
+
+    def test_prefix(self):
+        episode = SerialEpisode(("a", "b", "c"))
+        assert episode.prefix() == SerialEpisode(("a", "b"))
+        assert len(episode) == 3
+        assert str(episode) == "a -> b -> c"
+
+
+class TestOccurrence:
+    def test_in_order_within_window(self):
+        seq = EventSequence([("a", 0), ("b", 100), ("c", 200)])
+        assert occurs_within(seq, SerialEpisode(("a", "b", "c")), 0, 300)
+        assert not occurs_within(seq, SerialEpisode(("a", "c", "b")), 0, 300)
+
+    def test_window_excludes_late_events(self):
+        seq = EventSequence([("a", 0), ("b", 500)])
+        assert not occurs_within(seq, SerialEpisode(("a", "b")), 0, 100)
+        assert occurs_within(seq, SerialEpisode(("a", "b")), 0, 500)
+
+    def test_anchor_must_match_first_type(self):
+        seq = EventSequence([("x", 0), ("b", 10)])
+        assert not occurs_within(seq, SerialEpisode(("a", "b")), 0, 100)
+
+    def test_frequency(self):
+        seq = EventSequence(
+            [("a", 0), ("b", 10), ("a", 100), ("a", 200), ("b", 205)]
+        )
+        frequency = episode_frequency(seq, SerialEpisode(("a", "b")), 50)
+        assert frequency == pytest.approx(2 / 3)
+
+    def test_frequency_no_anchor(self):
+        seq = EventSequence([("b", 10)])
+        assert episode_frequency(seq, SerialEpisode(("a", "b")), 50) == 0.0
+
+
+class TestApriori:
+    def test_finds_planted_episode(self):
+        events = []
+        for i in range(10):
+            t0 = i * 1000
+            events += [("a", t0), ("b", t0 + 100), ("c", t0 + 200)]
+        seq = EventSequence(events)
+        frequent = frequent_serial_episodes(
+            seq, window_seconds=300, min_frequency=0.8, anchor_type="a"
+        )
+        assert SerialEpisode(("a", "b", "c")) in frequent
+
+    def test_threshold_validation(self):
+        seq = EventSequence([("a", 0)])
+        with pytest.raises(ValueError):
+            frequent_serial_episodes(seq, 100, min_frequency=2.0)
+
+    def test_rare_suffix_pruned(self):
+        events = [("a", i * 1000) for i in range(10)]
+        events.append(("b", 50))  # follows only the first anchor
+        seq = EventSequence(events)
+        frequent = frequent_serial_episodes(
+            seq, window_seconds=100, min_frequency=0.5, anchor_type="a"
+        )
+        assert SerialEpisode(("a", "b")) not in frequent
+        assert SerialEpisode(("a",)) in frequent
+
+
+class TestGranularityDiscrimination:
+    """The paper's motivating example: 'same day' patterns cannot be
+    expressed by any fixed-seconds window."""
+
+    def _sequences(self):
+        # Same-day pair: 08:00 -> 20:00 (12h apart, same day).
+        same_day = EventSequence([("a", 8 * H), ("b", 20 * H)])
+        # Cross-midnight pair: 23:00 -> 04:00 next day (5h apart).
+        cross_midnight = EventSequence([("a", 23 * H), ("b", D + 4 * H)])
+        return same_day, cross_midnight
+
+    def test_tcg_separates_the_cases(self, system):
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 0, day())]}
+        )
+        cet = ComplexEventType(structure, {"A": "a", "B": "b"})
+        same_day, cross_midnight = self._sequences()
+        assert occurs_at(cet, same_day, 0)
+        assert not occurs_at(cet, cross_midnight, 0)
+
+    def test_no_window_separates_the_cases(self):
+        """Any window accepting the same-day pair (12h apart) also
+        accepts the cross-midnight pair (5h apart)."""
+        episode = SerialEpisode(("a", "b"))
+        same_day, cross_midnight = self._sequences()
+        for window in (5 * H, 12 * H, 24 * H - 1, 24 * H):
+            accepts_same_day = occurs_within(same_day, episode, 0, window)
+            accepts_cross = occurs_within(cross_midnight, episode, 0, window)
+            if accepts_same_day:
+                assert accepts_cross, (
+                    "window %d would separate the cases" % window
+                )

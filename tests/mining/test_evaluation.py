@@ -1,0 +1,93 @@
+"""Tests for the evaluation utilities."""
+
+import pytest
+
+from repro.automata import TagMatcher, build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY
+from repro.mining import (
+    Evaluation,
+    evaluate_anchors,
+    labelled_planted_workload,
+)
+
+
+class TestEvaluationMetrics:
+    def test_perfect(self):
+        e = Evaluation(5, 0, 0, 5)
+        assert e.precision == 1.0
+        assert e.recall == 1.0
+        assert e.f1 == 1.0
+        assert e.accuracy == 1.0
+
+    def test_mixed(self):
+        e = Evaluation(3, 1, 2, 4)
+        assert e.precision == pytest.approx(0.75)
+        assert e.recall == pytest.approx(0.6)
+        assert e.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+        assert e.accuracy == pytest.approx(0.7)
+
+    def test_degenerate_empty(self):
+        e = Evaluation(0, 0, 0, 0)
+        # Vacuous conventions: nothing predicted, nothing to find.
+        assert e.precision == 1.0
+        assert e.recall == 1.0
+        assert e.f1 == 1.0
+        assert e.accuracy == 1.0
+
+    def test_str(self):
+        assert "P=" in str(Evaluation(1, 0, 0, 0))
+
+
+class TestEvaluateAnchors:
+    def test_counts(self):
+        truth = {1: True, 2: False, 3: True, 4: False}
+        predictions = {1: True, 2: True, 3: False, 4: False}
+        e = evaluate_anchors(truth, lambda anchor: predictions[anchor])
+        assert (e.true_positives, e.false_positives) == (1, 1)
+        assert (e.false_negatives, e.true_negatives) == (1, 1)
+
+
+class TestLabelledWorkload:
+    @pytest.fixture
+    def cet(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 2, hour)]}
+        )
+        return ComplexEventType(structure, {"A": "alert", "B": "ack"})
+
+    def test_labels_are_exact(self, system, cet):
+        sequence, truth = labelled_planted_workload(
+            cet,
+            system,
+            n_roots=12,
+            confidence=0.5,
+            seed=4,
+            root_spacing_seconds=4 * SECONDS_PER_DAY,
+        )
+        assert len(truth) == 12
+        assert 0 < sum(truth.values()) < 12
+
+    def test_exact_matcher_scores_perfectly(self, system, cet):
+        """The TAG matcher must score P=R=1 against the exact labels -
+        the tightest possible self-consistency check."""
+        sequence, truth = labelled_planted_workload(
+            cet,
+            system,
+            n_roots=15,
+            confidence=0.6,
+            seed=9,
+            noise_types=["ack", "noise"],
+            root_spacing_seconds=4 * SECONDS_PER_DAY,
+        )
+        matcher = TagMatcher(build_tag(cet))
+        by_time = {
+            sequence[i].time: i
+            for i in sequence.occurrence_indices("alert")
+        }
+        evaluation = evaluate_anchors(
+            truth, lambda t: matcher.occurs_at(sequence, by_time[t])
+        )
+        assert evaluation.precision == 1.0
+        assert evaluation.recall == 1.0

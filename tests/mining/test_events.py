@@ -1,0 +1,120 @@
+"""Tests for Event and EventSequence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mining import Event, EventSequence
+
+
+def sample_sequence():
+    return EventSequence(
+        [
+            Event("a", 10),
+            Event("b", 5),
+            Event("a", 20),
+            Event("c", 20),
+            Event("b", 30),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_sorted_by_time(self):
+        seq = sample_sequence()
+        assert [e.time for e in seq] == [5, 10, 20, 20, 30]
+
+    def test_accepts_tuples(self):
+        seq = EventSequence([("a", 3), ("b", 1)])
+        assert seq[0] == Event("b", 1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventSequence([Event("a", -1)])
+
+    def test_equality(self):
+        assert sample_sequence() == sample_sequence()
+        assert sample_sequence() != EventSequence([])
+
+
+class TestQueries:
+    def test_types(self):
+        assert sample_sequence().types() == {"a", "b", "c"}
+
+    def test_occurrence_indices(self):
+        seq = sample_sequence()
+        indices = seq.occurrence_indices("a")
+        assert [seq[i].etype for i in indices] == ["a", "a"]
+        assert [seq[i].time for i in indices] == [10, 20]
+        assert seq.occurrence_indices("zz") == ()
+
+    def test_count(self):
+        assert sample_sequence().count("b") == 2
+        assert sample_sequence().count("zz") == 0
+
+    def test_window(self):
+        seq = sample_sequence()
+        assert [e.time for e in seq.window(10, 20)] == [10, 20, 20]
+        assert seq.window(31, 99) == []
+
+    def test_has_type_in_window(self):
+        seq = sample_sequence()
+        assert seq.has_type_in_window("a", 0, 10)
+        assert seq.has_type_in_window("c", 20, 20)
+        assert not seq.has_type_in_window("c", 0, 19)
+        assert not seq.has_type_in_window("zz", 0, 100)
+
+    def test_index_helpers(self):
+        seq = sample_sequence()
+        assert seq.first_index_at_or_after(11) == 2
+        assert seq.last_index_at_or_before(20) == 4
+
+    def test_filtered(self):
+        seq = sample_sequence().filtered(lambda e: e.etype != "b")
+        assert seq.types() == {"a", "c"}
+        assert len(seq) == 3
+
+    def test_span(self):
+        assert sample_sequence().span() == (5, 30)
+        with pytest.raises(ValueError):
+            EventSequence([]).span()
+
+    def test_merged_with(self):
+        merged = sample_sequence().merged_with(
+            EventSequence([Event("d", 7)])
+        )
+        assert len(merged) == 6
+        assert merged[1] == Event("d", 7)
+
+    def test_shifted(self):
+        shifted = sample_sequence().shifted(100)
+        assert [e.time for e in shifted] == [105, 110, 120, 120, 130]
+        with pytest.raises(ValueError):
+            sample_sequence().shifted(-100)  # would go negative
+
+    def test_relabelled(self):
+        renamed = sample_sequence().relabelled({"a": "alpha"})
+        assert renamed.count("alpha") == 2
+        assert renamed.count("a") == 0
+        assert renamed.count("b") == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y", "z"]),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=40,
+        )
+    )
+    def test_window_agrees_with_scan(self, raw):
+        seq = EventSequence([Event(t, s) for t, s in raw])
+        lo, hi = 100, 600
+        expected = sorted(
+            (e for e in seq if lo <= e.time <= hi), key=lambda e: e.time
+        )
+        assert seq.window(lo, hi) == expected
+        for etype in ("x", "y", "z"):
+            assert seq.has_type_in_window(etype, lo, hi) == any(
+                e.etype == etype for e in expected
+            )

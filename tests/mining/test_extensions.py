@@ -1,0 +1,285 @@
+"""Tests for the Section 6 extensions."""
+
+import random
+
+import pytest
+
+from repro.automata import TagMatcher, build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity import week
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import (
+    Event,
+    EventDiscoveryProblem,
+    EventSequence,
+    TypeConstraint,
+    constrained_assignments,
+    discover_any_reference,
+    tick_anchor_events,
+    unroll,
+    unrolled_assignment,
+    with_anchors,
+)
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestAnchorEvents:
+    def test_week_anchors(self):
+        anchors = tick_anchor_events(week(), 0, 21 * D)
+        assert [e.time for e in anchors] == [0, 7 * D, 14 * D, 21 * D]
+        assert all(e.etype == "@week" for e in anchors)
+
+    def test_custom_name_and_window(self):
+        anchors = tick_anchor_events(week(), D, 13 * D, etype="week-start")
+        assert [e.time for e in anchors] == [7 * D]
+        assert anchors[0].etype == "week-start"
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            tick_anchor_events(week(), 10, 5)
+
+    def test_with_anchors_merges(self):
+        sequence = EventSequence([("a", D), ("b", 8 * D)])
+        merged = with_anchors(sequence, week())
+        # Only week boundaries inside the span [D, 8D]: the 7D start.
+        assert merged.count("@week") == 1
+        assert merged.count("a") == 1
+
+    def test_what_happens_in_most_weeks(self, system):
+        """The paper's 'what happens in most of the weeks?' query: use
+        week-start anchors as the reference type."""
+        day = system.get("day")
+        structure = EventStructure(
+            ["W", "E"], {("W", "E"): [TCG(0, 2, day)]}
+        )
+        events = []
+        for week_index in range(8):
+            base = week_index * 7 * D
+            if week_index != 3:  # one quiet week
+                events.append(Event("standup", base + D + 9 * H))
+        sequence = with_anchors(EventSequence(events), week())
+        cet = ComplexEventType(structure, {"W": "@week", "E": "standup"})
+        matcher = TagMatcher(build_tag(cet))
+        total = sequence.count("@week")
+        matched = matcher.count_occurrences(sequence)
+        assert matched == total - 1  # all but the quiet week
+
+
+class TestMultiReference:
+    def test_union_of_references(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "F"], {("R", "F"): [TCG(0, 2, hour)]}
+        )
+        events = []
+        # Every rise OR spike is followed by a 'follow' within 2 hours.
+        for i, etype in enumerate(["rise", "spike", "rise", "spike"]):
+            base = i * D
+            events.append(Event(etype, base))
+            events.append(Event("follow", base + H))
+        sequence = EventSequence(events)
+        results = discover_any_reference(
+            structure,
+            0.9,
+            ["rise", "spike"],
+            sequence,
+            system,
+            candidates={"F": frozenset(["follow"])},
+        )
+        assert results == {(("F", "follow"),): 1.0}
+
+    def test_partial_coverage_counts_union(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "F"], {("R", "F"): [TCG(0, 2, hour)]}
+        )
+        events = [
+            Event("rise", 0),
+            Event("follow", H),
+            Event("spike", D),  # no follower
+        ]
+        sequence = EventSequence(events)
+        results = discover_any_reference(
+            structure, 0.3, ["rise", "spike"], sequence, system,
+            candidates={"F": frozenset(["follow"])},
+        )
+        assert results[(("F", "follow"),)] == pytest.approx(0.5)
+
+    def test_empty_reference_set_rejected(self, system):
+        structure = EventStructure(["R"], {})
+        with pytest.raises(ValueError):
+            discover_any_reference(
+                structure, 0.5, [], EventSequence([]), system
+            )
+
+
+class TestTypeConstraints:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TypeConstraint("equal", ["a", "b"])
+        with pytest.raises(ValueError):
+            TypeConstraint("same", ["a"])
+
+    def test_satisfaction(self):
+        same = TypeConstraint("same", ["A", "B"])
+        distinct = TypeConstraint("distinct", ["A", "B", "C"])
+        assert same.is_satisfied({"A": "x", "B": "x"})
+        assert not same.is_satisfied({"A": "x", "B": "y"})
+        assert distinct.is_satisfied({"A": "x", "B": "y", "C": "z"})
+        assert not distinct.is_satisfied({"A": "x", "B": "y", "C": "x"})
+
+    def test_constrained_assignments(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "A", "B"],
+            {
+                ("R", "A"): [TCG(0, 2, hour)],
+                ("R", "B"): [TCG(0, 2, hour)],
+            },
+        )
+        sequence = EventSequence(
+            [("r", 0), ("x", 10), ("y", 20)]
+        )
+        problem = EventDiscoveryProblem(structure, 0.1, "r")
+        unconstrained = list(constrained_assignments(problem, sequence, []))
+        same = list(
+            constrained_assignments(
+                problem, sequence, [TypeConstraint("same", ["A", "B"])]
+            )
+        )
+        distinct = list(
+            constrained_assignments(
+                problem, sequence, [TypeConstraint("distinct", ["A", "B"])]
+            )
+        )
+        assert len(unconstrained) == 9  # 3 types x 3 types
+        assert len(same) == 3
+        assert len(distinct) == 6
+        assert all(a["A"] == a["B"] for a in same)
+        assert all(a["A"] != a["B"] for a in distinct)
+
+    def test_solvers_honour_problem_constraints(self, system):
+        """Both solvers respect EventDiscoveryProblem.type_constraints
+        and stay equivalent."""
+        from repro.mining import discover, naive_discover
+
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "A", "B"],
+            {
+                ("R", "A"): [TCG(0, 2, hour)],
+                ("R", "B"): [TCG(0, 2, hour)],
+            },
+        )
+        sequence = EventSequence(
+            [("r", 0), ("x", 10), ("x", 20), ("r", D), ("x", D + 10), ("x", D + 20)]
+        )
+        same = EventDiscoveryProblem(
+            structure,
+            0.5,
+            "r",
+            type_constraints=(TypeConstraint("same", ["A", "B"]),),
+        )
+        distinct = EventDiscoveryProblem(
+            structure,
+            0.5,
+            "r",
+            type_constraints=(TypeConstraint("distinct", ["A", "B"]),),
+        )
+        same_naive = naive_discover(same, sequence, system)
+        same_opt = discover(same, sequence, system)
+        assert same_naive.solution_assignments() == [
+            {"R": "r", "A": "x", "B": "x"}
+        ]
+        assert sorted(map(str, same_naive.solution_assignments())) == sorted(
+            map(str, same_opt.solution_assignments())
+        )
+        # No two distinct types co-occur: the distinct variant is empty.
+        assert naive_discover(distinct, sequence, system).solutions == []
+        assert discover(distinct, sequence, system).solutions == []
+
+    def test_problem_validates_constraint_variables(self, system):
+        structure = EventStructure(["R"], {})
+        with pytest.raises(ValueError):
+            EventDiscoveryProblem(
+                structure,
+                0.5,
+                "r",
+                type_constraints=(TypeConstraint("same", ["R", "Z"]),),
+            )
+
+    def test_unknown_variable_rejected(self, system):
+        structure = EventStructure(["R"], {})
+        problem = EventDiscoveryProblem(structure, 0.1, "r")
+        with pytest.raises(ValueError):
+            list(
+                constrained_assignments(
+                    EventDiscoveryProblem(structure, 0.1, "r"),
+                    EventSequence([("r", 0)]),
+                    [TypeConstraint("same", ["R", "Z"])],
+                )
+            )
+
+
+class TestUnroll:
+    @pytest.fixture
+    def base_structure(self, system):
+        hour = system.get("hour")
+        return EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 2, hour)]}
+        )
+
+    def test_shapes(self, system, base_structure):
+        day = system.get("day")
+        unrolled = unroll(base_structure, 3, [TCG(1, 1, day)])
+        assert unrolled.root == "A@0"
+        assert len(unrolled.variables) == 6
+        assert ("A@0", "A@1") in unrolled.constraints
+        assert ("A@1", "A@2") in unrolled.constraints
+        assert ("A@1", "B@1") in unrolled.constraints
+
+    def test_single_copy_is_isomorphic(self, base_structure):
+        unrolled = unroll(base_structure, 1, [])
+        assert set(unrolled.variables) == {"A@0", "B@0"}
+
+    def test_validation(self, system, base_structure):
+        day = system.get("day")
+        with pytest.raises(ValueError):
+            unroll(base_structure, 0, [TCG(1, 1, day)])
+        with pytest.raises(ValueError):
+            unroll(base_structure, 2, [])
+
+    def test_unrolled_assignment(self):
+        assignment = unrolled_assignment({"A": "x", "B": "y"}, 2)
+        assert assignment == {
+            "A@0": "x",
+            "B@0": "y",
+            "A@1": "x",
+            "B@1": "y",
+        }
+
+    def test_repetition_matching(self, system, base_structure):
+        """Three daily repetitions of 'a then b within 2 hours'."""
+        day = system.get("day")
+        unrolled = unroll(base_structure, 3, [TCG(1, 1, day)])
+        cet = ComplexEventType(
+            unrolled, unrolled_assignment({"A": "a", "B": "b"}, 3)
+        )
+        matcher = TagMatcher(build_tag(cet))
+        good = EventSequence(
+            [
+                ("a", 9 * H), ("b", 10 * H),
+                ("a", D + 9 * H), ("b", D + 10 * H),
+                ("a", 2 * D + 9 * H), ("b", 2 * D + 10 * H),
+            ]
+        )
+        assert matcher.occurs_at(good, 0)
+        broken = EventSequence(
+            [
+                ("a", 9 * H), ("b", 10 * H),
+                ("a", D + 9 * H),  # second repetition misses its b
+                ("a", 2 * D + 9 * H), ("b", 2 * D + 10 * H),
+            ]
+        )
+        assert not matcher.occurs_at(broken, 0)

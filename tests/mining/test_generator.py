@@ -1,0 +1,138 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.automata.structmatch import count_occurrences, find_occurrence
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY
+from repro.mining import (
+    atm_sequence,
+    instance_windows,
+    plant_log_sequence,
+    planted_sequence,
+    random_noise,
+    sample_instance,
+    stock_sequence,
+)
+
+
+@pytest.fixture
+def chain_cet(system):
+    hour = system.get("hour")
+    day = system.get("day")
+    structure = EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(1, 1, day)],
+            ("B", "C"): [TCG(0, 4, hour)],
+        },
+    )
+    return ComplexEventType(structure, {"A": "x", "B": "y", "C": "z"})
+
+
+class TestRandomNoise:
+    def test_count_and_window(self):
+        rng = random.Random(1)
+        events = random_noise(["a", "b"], 100, 10_000, 25, rng)
+        assert len(events) == 25
+        assert all(100 - 60 < e.time <= 10_000 for e in events)
+        assert all(e.time % 60 == 0 for e in events)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            random_noise(["a"], 10, 5, 3, random.Random(0))
+
+
+class TestSampleInstance:
+    def test_instance_satisfies_structure(self, system, chain_cet):
+        rng = random.Random(3)
+        events = sample_instance(chain_cet, system, 9 * 3600, rng)
+        assert events is not None
+        times = {
+            chain_cet.structure.variables[i]: events[i].time
+            for i in range(len(events))
+        }
+        assert chain_cet.structure.is_satisfied_by(times)
+
+    def test_types_follow_assignment(self, system, chain_cet):
+        rng = random.Random(4)
+        events = sample_instance(chain_cet, system, 9 * 3600, rng)
+        assert [e.etype for e in events] == ["x", "y", "z"]
+
+    def test_windows_cached_and_finite(self, system, chain_cet):
+        first = instance_windows(chain_cet.structure, system)
+        second = instance_windows(chain_cet.structure, system)
+        assert first is second
+        assert set(first) == {"B", "C"}
+        assert all(lo <= hi for lo, hi in first.values())
+
+
+class TestPlantedSequence:
+    def test_confidence_controls_plants(self, system, chain_cet):
+        rng = random.Random(11)
+        seq, planted = planted_sequence(
+            chain_cet,
+            system,
+            n_roots=20,
+            confidence=0.75,
+            rng=rng,
+            root_spacing_seconds=5 * SECONDS_PER_DAY,
+        )
+        assert planted == 15
+        assert seq.count("x") == 20
+
+    def test_planted_patterns_actually_match(self, system, chain_cet):
+        rng = random.Random(12)
+        seq, planted = planted_sequence(
+            chain_cet,
+            system,
+            n_roots=12,
+            confidence=1.0,
+            rng=rng,
+            root_spacing_seconds=5 * SECONDS_PER_DAY,
+        )
+        assert count_occurrences(chain_cet, seq) >= planted
+
+    def test_zero_confidence(self, system, chain_cet):
+        rng = random.Random(13)
+        seq, planted = planted_sequence(
+            chain_cet, system, n_roots=5, confidence=0.0, rng=rng
+        )
+        assert planted == 0
+        assert count_occurrences(chain_cet, seq) == 0
+
+    def test_invalid_confidence_rejected(self, system, chain_cet):
+        with pytest.raises(ValueError):
+            planted_sequence(
+                chain_cet, system, 5, confidence=1.5, rng=random.Random(0)
+            )
+
+
+class TestDomainGenerators:
+    def test_stock_sequence_respects_market_days(self):
+        seq = stock_sequence(days=14, rng=random.Random(5))
+        for event in seq:
+            weekday = (event.time // SECONDS_PER_DAY) % 7
+            assert weekday not in (5, 6)
+
+    def test_stock_sequence_on_grid(self):
+        seq = stock_sequence(days=7, rng=random.Random(6))
+        assert all(e.time % 900 == 0 for e in seq)
+
+    def test_atm_sequence_types(self):
+        seq = atm_sequence(days=5, rng=random.Random(7))
+        assert seq.types() <= {
+            "deposit",
+            "withdrawal",
+            "balance-check",
+            "card-retained",
+            "large-withdrawal",
+        }
+        assert len(seq) == 5 * 12
+
+    def test_plant_log_types(self):
+        seq = plant_log_sequence(days=5, rng=random.Random(8))
+        assert len(seq) == 30
+        assert "malfunction" in {e.etype for e in seq} or len(seq.types()) >= 2

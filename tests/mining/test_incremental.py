@@ -1,0 +1,109 @@
+"""Tests for incremental (streaming) discovery."""
+
+import random
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import (
+    EventDiscoveryProblem,
+    IncrementalDiscovery,
+    TypeConstraint,
+    discover,
+    planted_sequence,
+)
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def chain_problem(system):
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["A", "B"], {("A", "B"): [TCG(0, 2, hour)]}
+    )
+    return EventDiscoveryProblem(
+        structure,
+        0.6,
+        "alert",
+        {"B": frozenset(["ack", "page"])},
+    )
+
+
+class TestIncrementalDiscovery:
+    def test_requires_candidate_sets(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 2, hour)]}
+        )
+        problem = EventDiscoveryProblem(structure, 0.5, "alert")
+        with pytest.raises(ValueError):
+            IncrementalDiscovery(problem, system)
+
+    def test_horizon_derived_from_propagation(self, system, chain_problem):
+        incremental = IncrementalDiscovery(chain_problem, system)
+        assert incremental.horizon_seconds is not None
+        assert incremental.horizon_seconds <= 4 * H
+
+    def test_frequencies_update_online(self, system, chain_problem):
+        incremental = IncrementalDiscovery(chain_problem, system)
+        for i in range(10):
+            base = i * D
+            incremental.feed("alert", base)
+            incremental.feed("ack", base + H)
+            if i % 2 == 0:
+                incremental.feed("page", base + 90 * 60)
+        frequencies = incremental.frequencies()
+        ack_key = (("A", "alert"), ("B", "ack"))
+        page_key = (("A", "alert"), ("B", "page"))
+        assert frequencies[ack_key] == pytest.approx(1.0)
+        assert frequencies[page_key] == pytest.approx(0.5)
+        solutions = incremental.solutions()
+        assert solutions[0][0].assignment["B"] == "ack"
+        assert all(freq > 0.6 for _, freq in solutions)
+
+    def test_type_constraints_filter_candidates(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "X", "Y"],
+            {
+                ("R", "X"): [TCG(0, 2, hour)],
+                ("R", "Y"): [TCG(0, 2, hour)],
+            },
+        )
+        problem = EventDiscoveryProblem(
+            structure,
+            0.5,
+            "r",
+            {"X": frozenset(["a", "b"]), "Y": frozenset(["a", "b"])},
+            type_constraints=(TypeConstraint("distinct", ["X", "Y"]),),
+        )
+        incremental = IncrementalDiscovery(problem, system)
+        assert len(incremental.candidates) == 2  # (a,b) and (b,a)
+
+    def test_matches_batch_discovery(self, system, chain_problem):
+        """Streaming counts equal the batch pipeline on the same data."""
+        structure = chain_problem.structure
+        cet = ComplexEventType(structure, {"A": "alert", "B": "ack"})
+        rng = random.Random(13)
+        sequence, _ = planted_sequence(
+            cet,
+            system,
+            n_roots=14,
+            confidence=0.8,
+            rng=rng,
+            noise_types=["page", "noise"],
+            noise_events_per_root=4,
+            root_spacing_seconds=3 * D,
+        )
+        batch = discover(chain_problem, sequence, system)
+        incremental = IncrementalDiscovery(chain_problem, system)
+        incremental.feed_sequence(sequence)
+        batch_freqs = {
+            tuple(sorted(cet.assignment.items())): freq
+            for cet, freq in batch.frequencies.items()
+        }
+        online_freqs = incremental.frequencies()
+        for key, freq in batch_freqs.items():
+            assert online_freqs[key] == pytest.approx(freq)

@@ -1,0 +1,194 @@
+"""Tests for the individual pruning steps (Section 5, steps 1-4)."""
+
+import random
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY
+from repro.mining import (
+    Event,
+    EventSequence,
+    consistency_gate,
+    filter_reference_occurrences,
+    planted_sequence,
+    reduce_sequence,
+    required_granularities,
+    screen_candidates,
+    seconds_windows,
+)
+
+D = SECONDS_PER_DAY
+
+
+@pytest.fixture
+def bday_structure(system):
+    bday = system.get("b-day")
+    return EventStructure(
+        ["A", "B"], {("A", "B"): [TCG(1, 2, bday)]}
+    )
+
+
+class TestConsistencyGate:
+    def test_consistent_passes(self, figure_1a, system):
+        ok, result = consistency_gate(figure_1a, system)
+        assert ok
+        assert result.interval("X0", "X3", "second") is not None
+
+    def test_inconsistent_blocks(self, system):
+        day = system.get("day")
+        bad = EventStructure(
+            ["A", "B", "C"],
+            {
+                ("A", "B"): [TCG(5, 5, day)],
+                ("B", "C"): [TCG(5, 5, day)],
+                ("A", "C"): [TCG(0, 4, day)],
+            },
+        )
+        ok, _ = consistency_gate(bad, system)
+        assert not ok
+
+
+class TestSecondsWindows:
+    def test_windows_for_all_variables(self, figure_1a, system):
+        _, result = consistency_gate(figure_1a, system)
+        windows = seconds_windows(result)
+        assert set(windows) == {"X1", "X2", "X3"}
+        for lo, hi in windows.values():
+            assert 0 <= lo <= hi
+
+
+class TestRequiredGranularities:
+    def test_incident_arcs_counted(self, figure_1a):
+        required = required_granularities(figure_1a)
+        assert {t.label for t in required["X0"]} == {"b-day"}
+        assert {t.label for t in required["X3"]} == {"week", "hour"}
+        assert {t.label for t in required["X2"]} == {"b-day", "hour"}
+
+
+class TestReduceSequence:
+    def test_drops_uncovered_events(self, bday_structure):
+        seq = EventSequence(
+            [
+                Event("a", 0),          # Monday: can instantiate A or B
+                Event("a", 5 * D),      # Saturday: uncovered by b-day
+                Event("b", 7 * D),
+            ]
+        )
+        reduced = reduce_sequence(
+            bday_structure, seq, {"A": None, "B": None}
+        )
+        assert len(reduced) == 2
+
+    def test_drops_wrong_types(self, bday_structure):
+        seq = EventSequence(
+            [Event("a", 0), Event("junk", D), Event("b", 2 * D)]
+        )
+        reduced = reduce_sequence(
+            bday_structure,
+            seq,
+            {"A": frozenset(["a"]), "B": frozenset(["b"])},
+        )
+        assert reduced.types() == {"a", "b"}
+
+    def test_unrestricted_keeps_covered(self, bday_structure):
+        seq = EventSequence([Event("anything", 0)])
+        reduced = reduce_sequence(bday_structure, seq, {"A": None, "B": None})
+        assert len(reduced) == 1
+
+
+class TestReferenceFiltering:
+    def test_roots_without_followers_dropped(self, system, bday_structure):
+        _, result = consistency_gate(bday_structure, system)
+        windows = seconds_windows(result)
+        seq = EventSequence(
+            [
+                Event("a", 0),           # has a 'b' next b-day
+                Event("b", 1 * D),
+                Event("a", 14 * D),      # nothing afterwards
+            ]
+        )
+        roots = list(seq.occurrence_indices("a"))
+        kept = filter_reference_occurrences(
+            bday_structure, seq, roots, windows, {"A": None, "B": None}
+        )
+        assert kept == [0]
+
+    def test_respects_candidate_types(self, system, bday_structure):
+        _, result = consistency_gate(bday_structure, system)
+        windows = seconds_windows(result)
+        seq = EventSequence(
+            [Event("a", 0), Event("x", 1 * D)]
+        )
+        kept = filter_reference_occurrences(
+            bday_structure,
+            seq,
+            [0],
+            windows,
+            {"A": None, "B": frozenset(["b"])},
+        )
+        assert kept == []  # the only follower has a disallowed type
+
+
+class TestScreening:
+    def test_frequent_type_survives(self, system, bday_structure):
+        _, result = consistency_gate(bday_structure, system)
+        windows = seconds_windows(result)
+        events = []
+        for week in range(6):
+            t0 = week * 7 * D
+            events.append(Event("a", t0))          # Monday root
+            events.append(Event("b", t0 + D))      # Tuesday follower
+            if week == 0:
+                events.append(Event("rare", t0 + D))
+        seq = EventSequence(events)
+        roots = list(seq.occurrence_indices("a"))
+        survivors = screen_candidates(
+            bday_structure,
+            seq,
+            roots,
+            len(roots),
+            windows,
+            {"A": None, "B": None},
+            min_confidence=0.5,
+        )
+        assert "b" in survivors["B"]
+        assert "rare" not in survivors["B"]
+
+    def test_anti_monotone_bound(self, system, figure_1a):
+        """Screening must never remove a type used by a true solution:
+        the window frequency upper-bounds the pattern frequency."""
+        cet = ComplexEventType(
+            figure_1a,
+            {
+                "X0": "IBM-rise",
+                "X1": "IBM-earnings-report",
+                "X2": "HP-rise",
+                "X3": "IBM-fall",
+            },
+        )
+        rng = random.Random(5)
+        seq, _ = planted_sequence(
+            cet,
+            system,
+            n_roots=10,
+            confidence=1.0,
+            rng=rng,
+            noise_types=["HP-fall"],
+            noise_events_per_root=4,
+        )
+        _, result = consistency_gate(figure_1a, system)
+        windows = seconds_windows(result)
+        roots = list(seq.occurrence_indices("IBM-rise"))
+        survivors = screen_candidates(
+            figure_1a,
+            seq,
+            roots,
+            len(roots),
+            windows,
+            {"X1": None, "X2": None, "X3": None},
+            min_confidence=0.8,
+        )
+        assert "IBM-earnings-report" in survivors["X1"]
+        assert "HP-rise" in survivors["X2"]
+        assert "IBM-fall" in survivors["X3"]

@@ -1,0 +1,108 @@
+"""Tests for the plain-text reporting helpers."""
+
+import random
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure, propagate
+from repro.constraints.analysis import tightness_report
+from repro.granularity.gregorian import SECONDS_PER_DAY
+from repro.mining import EventDiscoveryProblem, discover, planted_sequence
+from repro.mining.reporting import (
+    discovery_report,
+    format_table,
+    propagation_report,
+    tightness_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("a", "bb"), [("xxx", 1), ("y", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("a    bb")
+        assert lines[1].startswith("---")
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        table = format_table(("col",), [])
+        assert "col" in table
+
+
+class TestDiscoveryReport:
+    @pytest.fixture
+    def outcome(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(1, 1, day)]}
+        )
+        cet = ComplexEventType(structure, {"A": "ping", "B": "pong"})
+        rng = random.Random(5)
+        sequence, _ = planted_sequence(
+            cet,
+            system,
+            n_roots=8,
+            confidence=1.0,
+            rng=rng,
+            root_spacing_seconds=4 * SECONDS_PER_DAY,
+        )
+        problem = EventDiscoveryProblem(structure, 0.6, "ping")
+        return discover(problem, sequence, system)
+
+    def test_contains_solution_and_stats(self, outcome):
+        report = discovery_report(outcome)
+        assert "A=ping, B=pong" in report
+        assert "anchors" in report
+        assert "automaton starts" in report
+
+    def test_inconsistent_message(self, system):
+        bad = EventStructure(
+            ["A", "B"],
+            {
+                ("A", "B"): [
+                    TCG(10, 10, system.get("day")),
+                    TCG(0, 0, system.get("week")),
+                ]
+            },
+        )
+        problem = EventDiscoveryProblem(bad, 0.5, "x")
+        from repro.mining import EventSequence
+
+        outcome = discover(
+            problem, EventSequence([("x", 0)]), system
+        )
+        assert "inconsistent" in discovery_report(outcome)
+
+
+class TestPropagationReport:
+    def test_derived_rows(self, figure_1a, system):
+        report = propagation_report(propagate(figure_1a, system))
+        assert "consistent" in report
+        assert "X0 -> X3" in report
+        assert "[1,1]b-day" in report
+
+    def test_inconsistent(self, system):
+        bad = EventStructure(
+            ["A", "B"],
+            {
+                ("A", "B"): [
+                    TCG(10, 10, system.get("day")),
+                    TCG(0, 0, system.get("week")),
+                ]
+            },
+        )
+        assert "INCONSISTENT" in propagation_report(propagate(bad, system))
+
+
+class TestTightnessTable:
+    def test_renders_rows(self, system):
+        day = system.get("day")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(1, 3, day)]}
+        )
+        rows = tightness_report(
+            structure, system, day, 60 * SECONDS_PER_DAY
+        )
+        table = tightness_table(rows)
+        assert "A -> B" in table
+        assert "tight" in table

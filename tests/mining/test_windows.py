@@ -1,0 +1,129 @@
+"""Tests for the MTV95 sliding-window episode semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import (
+    EventSequence,
+    SerialEpisode,
+    frequent_episodes_sliding,
+    sliding_window_count,
+    sliding_window_frequency,
+)
+
+
+def brute_force_count(sequence, episode, window):
+    """Reference implementation: test every window start explicitly."""
+    if len(sequence) == 0:
+        return 0, 0
+    first, last = sequence.span()
+    starts = range(first - window + 1, last + 1)
+    contained = 0
+    for t in starts:
+        events = [e for e in sequence if t <= e.time < t + window]
+        position = 0
+        for etype in episode.types:
+            while position < len(events) and events[position].etype != etype:
+                position += 1
+            if position == len(events):
+                break
+            position += 1
+        else:
+            contained += 1
+    return contained, len(starts)
+
+
+class TestSlidingWindowCount:
+    def test_single_event(self):
+        sequence = EventSequence([("a", 10)])
+        covered, total = sliding_window_count(
+            sequence, SerialEpisode(("a",)), 5
+        )
+        assert total == 5  # each event is in exactly w windows
+        assert covered == 5
+
+    def test_pair(self):
+        sequence = EventSequence([("a", 0), ("b", 3)])
+        covered, total = sliding_window_count(
+            sequence, SerialEpisode(("a", "b")), 5
+        )
+        expected = brute_force_count(sequence, SerialEpisode(("a", "b")), 5)
+        assert (covered, total) == expected
+
+    def test_empty_sequence(self):
+        assert sliding_window_count(
+            EventSequence([]), SerialEpisode(("a",)), 5
+        ) == (0, 0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            sliding_window_count(
+                EventSequence([("a", 1)]), SerialEpisode(("a",)), 0
+            )
+
+    @given(
+        raw=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=120),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+        types=st.lists(
+            st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3
+        ),
+        window=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, raw, types, window):
+        sequence = EventSequence(raw)
+        episode = SerialEpisode(tuple(types))
+        assert sliding_window_count(
+            sequence, episode, window
+        ) == brute_force_count(sequence, episode, window)
+
+
+class TestFrequency:
+    def test_frequency_between_zero_and_one(self):
+        sequence = EventSequence([("a", 0), ("b", 2), ("a", 10)])
+        frequency = sliding_window_frequency(
+            sequence, SerialEpisode(("a", "b")), 6
+        )
+        assert 0 < frequency < 1
+
+    def test_absent_episode(self):
+        sequence = EventSequence([("a", 0)])
+        assert sliding_window_frequency(
+            sequence, SerialEpisode(("z",)), 5
+        ) == 0.0
+
+
+class TestAprioriSliding:
+    def test_finds_dense_episode(self):
+        events = []
+        for i in range(30):
+            events += [("a", i * 10), ("b", i * 10 + 2)]
+        sequence = EventSequence(events)
+        frequent = frequent_episodes_sliding(
+            sequence, window_seconds=10, min_frequency=0.5, max_length=2
+        )
+        assert SerialEpisode(("a", "b")) in frequent
+
+    def test_antimonotone_prefix(self):
+        events = [("a", i * 7) for i in range(20)]
+        events += [("b", i * 7 + 1) for i in range(0, 20, 4)]
+        sequence = EventSequence(events)
+        frequent = frequent_episodes_sliding(
+            sequence, window_seconds=14, min_frequency=0.2, max_length=2
+        )
+        for episode in frequent:
+            if len(episode) > 1:
+                assert episode.prefix() in frequent
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            frequent_episodes_sliding(
+                EventSequence([("a", 1)]), 5, min_frequency=-0.1
+            )

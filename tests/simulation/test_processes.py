@@ -1,0 +1,102 @@
+"""Tests for the stochastic event processes."""
+
+import random
+
+import pytest
+
+from repro.simulation import (
+    CompositeProcess,
+    PoissonProcess,
+    RenewalProcess,
+    uniform_interarrival,
+)
+
+
+class TestPoissonProcess:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess([], 1.0)
+        with pytest.raises(ValueError):
+            PoissonProcess(["a"], 0.0)
+        with pytest.raises(ValueError):
+            PoissonProcess(["a"], 1.0, weights=[1, 2])
+        with pytest.raises(ValueError):
+            PoissonProcess(["a"], 1.0, align=0)
+
+    def test_rate_controls_count(self):
+        rng = random.Random(1)
+        process = PoissonProcess(["a"], rate=1 / 100.0)
+        events = process.generate(0, 100_000, rng)
+        # Expected ~1000; allow generous tolerance.
+        assert 800 <= len(events) <= 1200
+
+    def test_events_within_window_and_sorted(self):
+        rng = random.Random(2)
+        process = PoissonProcess(["a", "b"], rate=1 / 50.0, align=10)
+        events = process.generate(500, 5000, rng)
+        times = [e.time for e in events]
+        assert all(500 <= t <= 5000 for t in times)
+        assert times == sorted(times)
+        assert all(t % 10 == 0 for t in times)
+
+    def test_weights_bias_types(self):
+        rng = random.Random(3)
+        process = PoissonProcess(
+            ["common", "rare"], rate=1 / 20.0, weights=[9, 1]
+        )
+        events = process.generate(0, 100_000, rng)
+        commons = sum(1 for e in events if e.etype == "common")
+        assert commons > 0.7 * len(events)
+
+    def test_deterministic_given_seed(self):
+        process = PoissonProcess(["a"], rate=1 / 30.0)
+        first = process.generate(0, 10_000, random.Random(7))
+        second = process.generate(0, 10_000, random.Random(7))
+        assert first == second
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(["a"], 1.0).generate(10, 5, random.Random(0))
+
+
+class TestRenewalProcess:
+    def test_uniform_interarrivals(self):
+        rng = random.Random(4)
+        process = RenewalProcess(
+            "tick", uniform_interarrival(50, 100), align=1
+        )
+        events = process.generate(0, 10_000, rng)
+        gaps = [
+            b.time - a.time for a, b in zip(events, events[1:])
+        ]
+        assert all(49 <= gap <= 101 for gap in gaps)
+
+    def test_bad_sampler_rejected(self):
+        process = RenewalProcess("tick", lambda rng: 0)
+        with pytest.raises(ValueError):
+            process.generate(0, 100, random.Random(0))
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_interarrival(0, 5)
+        with pytest.raises(ValueError):
+            uniform_interarrival(9, 5)
+
+
+class TestCompositeProcess:
+    def test_superposition_sorted(self):
+        rng = random.Random(5)
+        composite = CompositeProcess(
+            [
+                PoissonProcess(["a"], 1 / 100.0),
+                RenewalProcess("b", uniform_interarrival(80, 120)),
+            ]
+        )
+        events = composite.generate(0, 20_000, rng)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert {"a", "b"} <= {e.etype for e in events}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeProcess([])

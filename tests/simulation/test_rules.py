@@ -1,0 +1,144 @@
+"""Tests for trigger rules, including the mine-back integration."""
+
+import random
+
+import pytest
+
+from repro.constraints import TCG, EventStructure
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import EventDiscoveryProblem, discover
+from repro.simulation import (
+    PoissonProcess,
+    RuleSimulator,
+    TriggerRule,
+    fixed_delay,
+    uniform_delay,
+)
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestTriggerRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriggerRule("a", "b", 1.5, fixed_delay(10))
+        with pytest.raises(ValueError):
+            TriggerRule("a", "b", 0.5, fixed_delay(10), align=0)
+        with pytest.raises(ValueError):
+            fixed_delay(-1)
+        with pytest.raises(ValueError):
+            uniform_delay(5, 2)
+
+    def test_fire_probability(self):
+        rng = random.Random(0)
+        rule = TriggerRule("a", "b", 0.5, fixed_delay(100), align=1)
+        fired = sum(
+            1 for _ in range(2000) if rule.fire(0, rng) is not None
+        )
+        assert 900 <= fired <= 1100
+
+    def test_fire_alignment_and_delay(self):
+        rng = random.Random(1)
+        rule = TriggerRule("a", "b", 1.0, fixed_delay(90), align=60)
+        assert rule.fire(600, rng) == 660  # 690 aligned down to 660
+
+
+class TestRuleSimulator:
+    def test_links_are_recorded(self):
+        rng = random.Random(2)
+        background = PoissonProcess(["alert"], rate=1 / (6 * H))
+        simulator = RuleSimulator(
+            background,
+            [TriggerRule("alert", "ack", 1.0, uniform_delay(60, 1800))],
+        )
+        result = simulator.run(0, 10 * D, rng)
+        assert result.links
+        for cause, effect in result.links:
+            assert cause.etype == "alert"
+            assert effect.etype == "ack"
+            assert 0 <= effect.time - cause.time <= 1800
+
+    def test_rule_confidence_tracks_probability(self):
+        rng = random.Random(3)
+        background = PoissonProcess(["alert"], rate=1 / (2 * H))
+        simulator = RuleSimulator(
+            background,
+            [TriggerRule("alert", "ack", 0.7, fixed_delay(600))],
+        )
+        result = simulator.run(0, 60 * D, rng)
+        assert 0.6 <= result.rule_confidence("alert", "ack") <= 0.8
+
+    def test_chained_rules(self):
+        rng = random.Random(4)
+        background = PoissonProcess(["a"], rate=1 / (12 * H))
+        simulator = RuleSimulator(
+            background,
+            [
+                TriggerRule("a", "b", 1.0, fixed_delay(300)),
+                TriggerRule("b", "c", 1.0, fixed_delay(300)),
+            ],
+        )
+        result = simulator.run(0, 5 * D, rng)
+        assert {e.etype for e in result.sequence} >= {"a", "b", "c"}
+
+    def test_chain_depth_bounds_self_trigger(self):
+        rng = random.Random(5)
+        background = PoissonProcess(["a"], rate=1 / D)
+        simulator = RuleSimulator(
+            background,
+            [TriggerRule("a", "a", 1.0, fixed_delay(60))],
+            max_chain_depth=3,
+        )
+        result = simulator.run(0, 2 * D, rng)
+        # Each base event spawns at most 3 chained copies.
+        base = sum(1 for c, _ in result.links if True)
+        assert len(result.sequence) <= 4 * max(
+            1, len(result.sequence) - base
+        ) + 4
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSimulator(PoissonProcess(["a"], 1.0), [], max_chain_depth=0)
+
+
+class TestMineBack:
+    """The full-circle experiment: discovery recovers the planted rule."""
+
+    def test_discovery_recovers_trigger_rule(self, system):
+        rng = random.Random(1996)
+        background = PoissonProcess(
+            ["deploy"], rate=1 / (12 * H), align=60
+        )
+        noise = PoissonProcess(
+            ["login", "scan"], rate=1 / (8 * H), align=60
+        )
+        from repro.simulation import CompositeProcess
+
+        simulator = RuleSimulator(
+            CompositeProcess([background, noise]),
+            [
+                TriggerRule(
+                    "deploy", "error-spike", 0.9, uniform_delay(300, 3 * H)
+                )
+            ],
+        )
+        result = simulator.run(0, 90 * D, rng)
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["cause", "effect"],
+            {("cause", "effect"): [TCG(0, 3, hour)]},
+        )
+        problem = EventDiscoveryProblem(structure, 0.6, "deploy")
+        outcome = discover(problem, result.sequence, system)
+        solutions = outcome.solution_assignments()
+        assert {"cause": "deploy", "effect": "error-spike"} in solutions
+        (solution,) = [
+            cet
+            for cet in outcome.solutions
+            if cet.assignment["effect"] == "error-spike"
+        ]
+        mined = outcome.frequencies[solution]
+        planted = result.rule_confidence("deploy", "error-spike")
+        # Mined frequency >= planted confidence (coincidental matches
+        # can only add).
+        assert mined >= planted - 0.05

@@ -1,0 +1,74 @@
+"""Stateful (model-based) testing of the event store.
+
+Hypothesis drives random interleavings of appends and queries against
+a trivial reference model (a plain list), checking that the store's
+lazily-maintained indexes never drift from the truth.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.store import EventStore
+
+TYPES = ["a", "b", "c"]
+
+
+class EventStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = EventStore()
+        self.model = []  # list of (etype, time)
+
+    @rule(
+        etype=st.sampled_from(TYPES),
+        time=st.integers(min_value=0, max_value=10_000),
+    )
+    def append(self, etype, time):
+        record = self.store.append(etype, time)
+        assert record.etype == etype
+        self.model.append((etype, time))
+
+    @rule(
+        etype=st.sampled_from(TYPES),
+        times=st.lists(
+            st.integers(min_value=0, max_value=10_000), max_size=4
+        ),
+    )
+    def extend(self, etype, times):
+        self.store.extend((etype, t) for t in times)
+        self.model.extend((etype, t) for t in times)
+
+    @rule(
+        start=st.integers(min_value=0, max_value=10_000),
+        span=st.integers(min_value=0, max_value=4_000),
+    )
+    def range_query_matches_model(self, start, span):
+        stop = start + span
+        got = [(r.etype, r.time) for r in self.store.query(start=start, stop=stop)]
+        expected = sorted(
+            (pair for pair in self.model if start <= pair[1] <= stop),
+            key=lambda pair: pair[1],
+        )
+        assert sorted(got) == sorted(expected)
+        assert [t for _, t in got] == [t for _, t in sorted(got, key=lambda p: p[1])]
+
+    @rule(etype=st.sampled_from(TYPES))
+    def type_count_matches_model(self, etype):
+        expected = sum(1 for t, _ in self.model if t == etype)
+        assert self.store.count(etype) == expected
+
+    @invariant()
+    def length_matches(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def iteration_is_sorted(self):
+        times = [record.time for record in self.store]
+        assert times == sorted(times)
+
+
+EventStoreMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=20, deadline=None
+)
+TestEventStoreStateful = EventStoreMachine.TestCase

@@ -1,0 +1,38 @@
+"""Shared hypothesis strategies for the test suite."""
+
+from hypothesis import strategies as st
+
+from repro.constraints import TCG, EventStructure
+from repro.granularity import day, hour, week
+
+GRANULARITY_FACTORIES = [hour, day, week]
+
+
+@st.composite
+def rooted_dags(draw, max_nodes: int = 8):
+    """Random rooted DAGs with TCG-labelled arcs.
+
+    Each non-root node gets at least one earlier parent; a few extra
+    forward arcs are sprinkled in.  Granularities are gap-free (hour /
+    day / week) so every structure is satisfiable somewhere.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    names = ["N%d" % i for i in range(n)]
+    arcs = set()
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        arcs.add((names[parent], names[i]))
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 2))
+        b = draw(st.integers(min_value=a + 1, max_value=n - 1))
+        arcs.add((names[a], names[b]))
+    constraints = {}
+    for arc in sorted(arcs):
+        pick = draw(st.integers(min_value=0, max_value=2))
+        m = draw(st.integers(min_value=0, max_value=3))
+        span = draw(st.integers(min_value=0, max_value=4))
+        constraints[arc] = [
+            TCG(m, m + span, GRANULARITY_FACTORIES[pick]())
+        ]
+    return EventStructure(names, constraints)

@@ -1,0 +1,258 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity import standard_system
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.io import (
+    complex_event_type_to_dict,
+    dump_json,
+    problem_to_dict,
+    structure_to_dict,
+    write_events,
+)
+from repro.mining import EventDiscoveryProblem, EventSequence
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def pair_structure(system):
+    return EventStructure(
+        ["A", "B"], {("A", "B"): [TCG(0, 0, system.get("day"))]}
+    )
+
+
+@pytest.fixture
+def structure_file(tmp_path, pair_structure):
+    path = str(tmp_path / "structure.json")
+    dump_json(structure_to_dict(pair_structure), path)
+    return path
+
+
+@pytest.fixture
+def pattern_file(tmp_path, pair_structure):
+    cet = ComplexEventType(pair_structure, {"A": "login", "B": "logout"})
+    path = str(tmp_path / "pattern.json")
+    dump_json(complex_event_type_to_dict(cet), path)
+    return path
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    sequence = EventSequence(
+        [
+            ("login", 8 * H),
+            ("logout", 20 * H),          # same day -> match
+            ("login", D + 23 * H),
+            ("logout", 2 * D + 1 * H),   # crosses midnight -> no match
+        ]
+    )
+    path = str(tmp_path / "events.csv")
+    write_events(sequence, path)
+    return path
+
+
+class TestCheck:
+    def test_consistent(self, structure_file, capsys):
+        assert main(["check", structure_file]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_verbose_prints_derived(self, structure_file, capsys):
+        assert main(["check", structure_file, "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "A -> B" in out
+
+    def test_inconsistent(self, tmp_path, system, capsys):
+        bad = EventStructure(
+            ["A", "B"],
+            {
+                ("A", "B"): [
+                    TCG(10, 10, system.get("day")),
+                    TCG(0, 0, system.get("week")),
+                ]
+            },
+        )
+        path = str(tmp_path / "bad.json")
+        dump_json(structure_to_dict(bad), path)
+        assert main(["check", path]) == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+
+class TestMatch:
+    def test_match_reports_bindings_and_frequency(
+        self, pattern_file, events_file, capsys
+    ):
+        assert main(["match", pattern_file, events_file]) == 0
+        out = capsys.readouterr().out
+        assert "match at t=%d" % (8 * H) in out
+        assert "1/2 login occurrences matched" in out
+        assert "frequency 0.500" in out
+
+
+class TestMine:
+    def test_mine_finds_solution(
+        self, tmp_path, pair_structure, events_file, capsys
+    ):
+        problem = EventDiscoveryProblem(pair_structure, 0.3, "login")
+        path = str(tmp_path / "problem.json")
+        dump_json(problem_to_dict(problem), path)
+        assert main(["mine", path, events_file]) == 0
+        out = capsys.readouterr().out
+        solutions = [json.loads(line.split("  ", 1)[1])
+                     for line in out.strip().splitlines() if "  " in line]
+        assert {"A": "login", "B": "logout"} in solutions
+
+
+class TestConvert:
+    def test_convert_day_to_seconds(self, capsys):
+        assert main(["convert", "0", "0", "day", "second"]) == 0
+        assert "[0,86399]second" in capsys.readouterr().out
+
+    def test_convert_with_expression(self, capsys):
+        assert main(["convert", "1", "1", "group(month,3)", "month"]) == 0
+        out = capsys.readouterr().out
+        assert "3-month" in out and "month" in out
+
+    def test_infeasible_conversion(self, capsys):
+        assert main(["convert", "0", "1", "day", "b-day"]) == 1
+        assert "no implied constraint" in capsys.readouterr().out
+
+    def test_parse_error(self, capsys):
+        assert main(["convert", "0", "1", "lunar(3)", "day"]) == 2
+
+
+class TestErrorHandling:
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["check", "/nonexistent/structure.json"]) == 2
+        assert "file not found" in capsys.readouterr().err
+
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["check", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_payload_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"variables": ["A"]}')
+        assert main(["check", str(path)]) == 2
+
+    def test_bad_csv_exits_2(self, tmp_path, pattern_file, capsys):
+        events = tmp_path / "bad.csv"
+        # First row may pass as a header; the second row is malformed.
+        events.write_text("event_type,timestamp\nonly-one-column\n")
+        assert main(["match", pattern_file, str(events)]) == 2
+
+
+class TestMineReport:
+    def test_report_flag(self, tmp_path, pair_structure, events_file, capsys):
+        problem = EventDiscoveryProblem(pair_structure, 0.3, "login")
+        path = str(tmp_path / "problem.json")
+        dump_json(problem_to_dict(problem), path)
+        assert main(["mine", path, events_file, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "freq" in out and "anchors" in out
+
+
+class TestParserRobustness:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_help_paths(self, capsys):
+        for args in (["--help"], ["mine", "--help"], ["convert", "--help"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(args)
+            assert excinfo.value.code == 0
+            assert capsys.readouterr().out
+
+    def test_bad_screen_depth_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["mine", "p.json", "e.csv", "--screen-depth", "7"])
+
+
+class TestAnalyze:
+    def test_tightness_and_disjunctions(self, tmp_path, system, capsys):
+        month = system.get("month")
+        year = system.get("year")
+        gadget = EventStructure(
+            ["X0", "X1", "X2", "X3"],
+            {
+                ("X0", "X1"): [TCG(11, 11, month), TCG(0, 0, year)],
+                ("X0", "X2"): [TCG(0, 12, month)],
+                ("X2", "X3"): [TCG(11, 11, month), TCG(0, 0, year)],
+            },
+        )
+        path = str(tmp_path / "gadget.json")
+        dump_json(structure_to_dict(gadget), path)
+        assert main(
+            [
+                "analyze",
+                path,
+                "--granularity",
+                "month",
+                "--window-days",
+                "1098",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "X0 -> X2" in out
+        assert "hidden disjunctions" in out
+        assert "[0, 12]" in out
+
+    def test_no_disjunctions_message(self, structure_file, capsys):
+        assert main(
+            ["analyze", structure_file, "--window-days", "30"]
+        ) == 0
+        assert "no hidden disjunctions" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_then_mine_roundtrip(
+        self, tmp_path, pair_structure, pattern_file, capsys
+    ):
+        out_csv = str(tmp_path / "generated.csv")
+        assert main(
+            [
+                "generate",
+                pattern_file,
+                out_csv,
+                "--roots",
+                "10",
+                "--confidence",
+                "1.0",
+                "--seed",
+                "3",
+                "--noise",
+                "chatter,ping",
+            ]
+        ) == 0
+        # The generated log feeds straight back into `match`.
+        assert main(["match", pattern_file, out_csv]) == 0
+        out = capsys.readouterr().out
+        assert "10/10 login occurrences matched" in out
+
+
+class TestDot:
+    def test_structure_dot(self, structure_file, capsys):
+        assert main(["dot", structure_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_pattern_tag_dot(self, pattern_file, capsys):
+        assert main(["dot", pattern_file, "--tag"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "login" in out
+
+    def test_pattern_structure_dot(self, pattern_file, capsys):
+        assert main(["dot", pattern_file]) == 0
+        assert '"A"' in capsys.readouterr().out

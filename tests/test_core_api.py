@@ -1,0 +1,116 @@
+"""Tests for the high-level facade (repro.core)."""
+
+import random
+
+import pytest
+
+from repro import (
+    TCG,
+    EventSequence,
+    EventStructure,
+    check_consistency,
+    compile_pattern,
+    count_pattern,
+    mine,
+    pattern_frequency,
+)
+from repro.constraints import ComplexEventType
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import planted_sequence
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def chain(system):
+    return EventStructure(
+        ["A", "B"],
+        {("A", "B"): [TCG(0, 0, system.get("day"))]},
+    )
+
+
+class TestCheckConsistency:
+    def test_consistent(self, chain, system):
+        assert check_consistency(chain, system)
+
+    def test_inconsistent(self, system):
+        bad = EventStructure(
+            ["A", "B"],
+            {
+                ("A", "B"): [
+                    TCG(10, 10, system.get("day")),
+                    TCG(0, 0, system.get("week")),
+                ]
+            },
+        )
+        assert not check_consistency(bad, system)
+
+    def test_default_system(self, chain):
+        assert check_consistency(chain)
+
+
+class TestCompileAndMatch:
+    def test_same_day_pattern(self, chain, system):
+        matcher = compile_pattern(chain, {"A": "login", "B": "logout"}, system)
+        seq = EventSequence(
+            [
+                ("login", 8 * H),
+                ("logout", 20 * H),        # same day: match
+                ("login", D + 23 * H),
+                ("logout", 2 * D + 1 * H),  # crosses midnight: no match
+            ]
+        )
+        assert count_pattern(matcher, seq) == 1
+        assert pattern_frequency(matcher, seq) == pytest.approx(0.5)
+
+    def test_horizon_derived(self, chain, system):
+        matcher = compile_pattern(chain, {"A": "a", "B": "b"}, system)
+        assert matcher.horizon_seconds is not None
+        assert matcher.horizon_seconds < 2 * D
+
+    def test_frequency_zero_without_reference(self, chain, system):
+        matcher = compile_pattern(chain, {"A": "a", "B": "b"}, system)
+        assert pattern_frequency(matcher, EventSequence([("x", 5)])) == 0.0
+
+
+class TestStreamPattern:
+    def test_streaming_facade(self, chain, system):
+        from repro import EventSequence
+        from repro.core import stream_pattern
+
+        streaming = stream_pattern(chain, {"A": "login", "B": "logout"}, system)
+        assert streaming.horizon_seconds is not None
+        detections = streaming.feed_sequence(
+            EventSequence([("login", 8 * H), ("logout", 20 * H)])
+        )
+        assert len(detections) == 1
+        assert detections[0].bindings == {"A": 8 * H, "B": 20 * H}
+
+
+class TestMine:
+    def test_end_to_end(self, system, chain):
+        cet = ComplexEventType(chain, {"A": "alert", "B": "ack"})
+        rng = random.Random(21)
+        seq, _ = planted_sequence(
+            cet,
+            system,
+            n_roots=10,
+            confidence=1.0,
+            rng=rng,
+            noise_types=["ack", "other"],
+            noise_events_per_root=3,
+        )
+        outcome = mine(chain, "alert", seq, min_confidence=0.7, system=system)
+        assert {"A": "alert", "B": "ack"} in outcome.solution_assignments()
+
+    def test_mine_with_candidates(self, system, chain):
+        seq = EventSequence([("alert", 8 * H), ("ack", 9 * H)])
+        outcome = mine(
+            chain,
+            "alert",
+            seq,
+            min_confidence=0.5,
+            candidates={"B": frozenset(["ack"])},
+            system=system,
+        )
+        assert outcome.solution_assignments() == [{"A": "alert", "B": "ack"}]

@@ -1,0 +1,272 @@
+"""Cross-module integration tests: the paper's full workflows.
+
+These tests exercise whole pipelines (granularities -> constraints ->
+automata -> mining) on the paper's own examples, rather than individual
+modules.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import TagMatcher, build_tag
+from repro.automata.structmatch import find_occurrence
+from repro.constraints import (
+    TCG,
+    ComplexEventType,
+    EventStructure,
+    check_consistency_exact,
+    propagate,
+)
+from repro.granularity import standard_system
+from repro.granularity.gregorian import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.mining import (
+    EventDiscoveryProblem,
+    discover,
+    naive_discover,
+    planted_sequence,
+)
+
+D, H = SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def example1(figure_1a):
+    return ComplexEventType(
+        figure_1a,
+        {
+            "X0": "IBM-rise",
+            "X1": "IBM-earnings-report",
+            "X2": "HP-rise",
+            "X3": "IBM-fall",
+        },
+    )
+
+
+class TestExample2EndToEnd:
+    """The paper's Example 2: discover what happens between an IBM rise
+    and fall at confidence 0.8, with X3 pinned to IBM-fall."""
+
+    def test_discovers_planted_relationship(self, system, figure_1a, example1):
+        rng = random.Random(2024)
+        sequence, planted = planted_sequence(
+            example1,
+            system,
+            n_roots=25,
+            confidence=0.9,
+            rng=rng,
+            noise_types=["HP-fall", "DEC-rise", "DEC-fall"],
+            noise_events_per_root=5,
+        )
+        assert planted >= 20
+        problem = EventDiscoveryProblem(
+            figure_1a,
+            0.8,
+            "IBM-rise",
+            {"X3": frozenset(["IBM-fall"])},
+        )
+        outcome = discover(problem, sequence, system)
+        assert dict(example1.assignment) in outcome.solution_assignments()
+
+    def test_naive_and_optimised_agree(self, system, figure_1a, example1):
+        rng = random.Random(77)
+        sequence, _ = planted_sequence(
+            example1,
+            system,
+            n_roots=12,
+            confidence=0.85,
+            rng=rng,
+            noise_types=["HP-fall"],
+            noise_events_per_root=4,
+        )
+        problem = EventDiscoveryProblem(
+            figure_1a, 0.6, "IBM-rise", {"X3": frozenset(["IBM-fall"])}
+        )
+        naive = naive_discover(problem, sequence, system)
+        optimised = discover(problem, sequence, system)
+        assert sorted(map(str, naive.solution_assignments())) == sorted(
+            map(str, optimised.solution_assignments())
+        )
+        assert optimised.automaton_starts <= naive.automaton_starts
+
+
+class TestPropagationTightensMatching:
+    """Derived constraints define the same matches (soundness in situ)."""
+
+    def test_derived_structure_matches_same_roots(self, system, figure_1a, example1):
+        rng = random.Random(31)
+        sequence, _ = planted_sequence(
+            example1, system, n_roots=8, confidence=1.0, rng=rng
+        )
+        derived = propagate(figure_1a, system).derived_structure()
+        derived_cet = ComplexEventType(derived, dict(example1.assignment))
+        original = TagMatcher(build_tag(example1))
+        tightened = TagMatcher(build_tag(derived_cet))
+        for index in sequence.occurrence_indices("IBM-rise"):
+            if original.occurs_at(sequence, index):
+                assert tightened.occurs_at(sequence, index)
+
+
+class TestConsistencyBeforeMining:
+    def test_exact_and_approx_agree_on_examples(self, system, figure_1a, figure_1b):
+        assert propagate(figure_1a, system).consistent
+        report = check_consistency_exact(
+            figure_1a, system, window_seconds=60 * D
+        )
+        assert report.completed and report.consistent
+        assert propagate(figure_1b, system).consistent
+        report_b = check_consistency_exact(
+            figure_1b, system, window_seconds=3 * 366 * D
+        )
+        assert report_b.completed and report_b.consistent
+
+
+class TestExoticGranularitiesEndToEnd:
+    """Combinator-built and periodic types flow through the pipeline."""
+
+    def test_monday_pattern(self):
+        """Matching with a FilteredType ('Mondays') granularity."""
+        from repro.granularity import FilteredType, day
+
+        system = standard_system()
+        mondays = system.register(
+            FilteredType(day(), lambda i: i % 7 == 0, "monday")
+        )
+        structure = EventStructure(
+            ["kickoff", "retro"],
+            {("kickoff", "retro"): [TCG(1, 1, mondays)]},
+        )
+        cet = ComplexEventType(
+            structure, {"kickoff": "kickoff", "retro": "retro"}
+        )
+        matcher = TagMatcher(build_tag(cet))
+        from repro.mining import EventSequence
+
+        seq = EventSequence(
+            [
+                ("kickoff", 0 * D + 10 * H),      # Monday week 0
+                ("retro", 7 * D + 16 * H),        # Monday week 1: match
+                ("kickoff", 14 * D + 10 * H),
+                ("retro", 22 * D + 16 * H),       # a Tuesday: no match
+            ]
+        )
+        assert matcher.occurs_at(seq, 0)
+        assert not matcher.occurs_at(seq, 2)
+
+    def test_business_hours_pattern(self):
+        """Matching with an IntersectionType granularity."""
+        from repro.granularity import BusinessDayType, business_hours
+
+        system = standard_system()
+        office = system.register(business_hours(BusinessDayType()))
+        structure = EventStructure(
+            ["req", "resp"], {("req", "resp"): [TCG(0, 0, office)]}
+        )
+        cet = ComplexEventType(structure, {"req": "req", "resp": "resp"})
+        matcher = TagMatcher(build_tag(cet))
+        from repro.mining import EventSequence
+
+        seq = EventSequence(
+            [
+                ("req", 10 * H),           # Monday 10:00
+                ("resp", 16 * H),          # Monday 16:00: same office day
+                ("req", 1 * D + 16 * H),   # Tuesday 16:00
+                ("resp", 1 * D + 18 * H),  # Tuesday 18:00: closed
+            ]
+        )
+        assert matcher.occurs_at(seq, 0)
+        assert not matcher.occurs_at(seq, 2)
+
+    def test_shift_pattern_discovery(self):
+        """Mining with a periodic duty-cycle granularity."""
+        from repro.granularity import shifts
+        from repro.mining import EventDiscoveryProblem, EventSequence, discover
+
+        system = standard_system()
+        duty = system.register(shifts("duty", 8 * H, 16 * H))
+        structure = EventStructure(
+            ["handover", "incident"],
+            {("handover", "incident"): [TCG(0, 0, duty)]},
+        )
+        events = []
+        for day_index in range(8):
+            base = day_index * D
+            events.append(("handover", base + 1 * H))
+            events.append(("incident", base + 5 * H))  # same shift
+        sequence = EventSequence(events)
+        problem = EventDiscoveryProblem(structure, 0.9, "handover")
+        outcome = discover(problem, sequence, system)
+        assert {"handover": "handover", "incident": "incident"} in (
+            outcome.solution_assignments()
+        )
+
+
+class TestCoarseGranularityPatterns:
+    """Year/month-scale patterns exercise long windows end to end."""
+
+    def test_same_year_reviews(self, system):
+        year = system.get("year")
+        month = system.get("month")
+        structure = EventStructure(
+            ["kickoff", "review"],
+            {("kickoff", "review"): [TCG(0, 0, year), TCG(6, 9, month)]},
+        )
+        cet = ComplexEventType(
+            structure, {"kickoff": "kickoff", "review": "review"}
+        )
+        matcher = TagMatcher(build_tag(cet))
+        from repro.mining import EventSequence
+
+        jan = 10 * D
+        # 2000 is a leap year: month 7 (August) starts on day 213.
+        aug = 215 * D
+        next_feb = 400 * D
+        seq = EventSequence(
+            [
+                ("kickoff", jan),
+                ("review", aug),       # same year, 7 months later: match
+                ("kickoff", 340 * D),  # December kickoff
+                ("review", next_feb),  # review lands next year: no match
+            ]
+        )
+        assert matcher.occurs_at(seq, 0)
+        assert not matcher.occurs_at(seq, 2)
+
+    def test_propagation_derives_second_window_for_year_pattern(self, system):
+        from repro.granularity import second
+
+        year = system.get("year")
+        structure = EventStructure(
+            ["a", "b"], {("a", "b"): [TCG(0, 0, year)]}
+        )
+        result = propagate(structure, system, extra_granularities=[second()])
+        lo, hi = result.interval("a", "b", "second")
+        assert lo == 0
+        assert hi == 366 * 86400 - 1  # within one (leap) year
+    """Six-day trading week with a holiday: the whole stack adapts."""
+
+    def test_pipeline_with_custom_system(self):
+        system = standard_system(
+            workdays=(0, 1, 2, 3, 4, 5), holidays=[2]
+        )
+        bday = system.get("b-day")
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(1, 1, bday)]}
+        )
+        cet = ComplexEventType(structure, {"A": "open", "B": "close"})
+        matcher = TagMatcher(build_tag(cet))
+        from repro.mining import EventSequence
+
+        seq = EventSequence(
+            [
+                ("open", 1 * D + 9 * H),   # Tuesday
+                ("close", 3 * D + 9 * H),  # Thursday (Wed is a holiday)
+                ("open", 4 * D + 9 * H),   # Friday
+                ("close", 5 * D + 9 * H),  # Saturday: a workday here
+            ]
+        )
+        assert matcher.occurs_at(seq, 0)  # Tue -> Thu is 1 b-day apart
+        assert matcher.occurs_at(seq, 2)  # Fri -> Sat consecutive
+        # Reference matcher agrees throughout.
+        for index in (0, 2):
+            assert find_occurrence(cet, seq, index) is not None
