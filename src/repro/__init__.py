@@ -16,6 +16,9 @@ Layers (each importable on its own):
 * :mod:`repro.mining` - event-discovery problems, the naive and the
   optimised five-step solver, the MTV95-style baseline, generators;
 * :mod:`repro.hardness` - the Theorem 1 SUBSET SUM reduction;
+* :mod:`repro.resilience` - reorder buffers with watermarks,
+  degradation policies, quarantine channels and fault injection that
+  keep the streaming path alive under dirty real-world feeds;
 * :mod:`repro.core` - a small facade for the common path.
 """
 
@@ -37,6 +40,13 @@ from .core import (
 )
 from .granularity import GranularitySystem, TemporalType, standard_system
 from .mining import Event, EventDiscoveryProblem, EventSequence, discover
+from .resilience import (
+    EventValidationError,
+    FaultInjector,
+    Quarantine,
+    ReorderBuffer,
+    StreamFeedError,
+)
 
 __version__ = "1.0.0"
 
@@ -63,4 +73,9 @@ __all__ = [
     "pattern_frequency",
     "mine",
     "stream_pattern",
+    "EventValidationError",
+    "StreamFeedError",
+    "Quarantine",
+    "ReorderBuffer",
+    "FaultInjector",
 ]

@@ -3,22 +3,41 @@
 The batch :class:`~repro.automata.matching.TagMatcher` answers "does
 the pattern occur anchored at this index" over a stored sequence; real
 monitoring systems instead *consume events as they arrive*.  This
-module provides that mode: a :class:`StreamingMatcher` is fed events in
-timestamp order, maintains one configuration set per live anchor (each
-root-type event opens one - the paper's "start one copy of the TAG at
-every occurrence of E0"), and emits a detection the first time an
-anchor's run reaches acceptance.
+module provides that mode: a :class:`StreamingMatcher` is fed events,
+maintains one configuration set per live anchor (each root-type event
+opens one - the paper's "start one copy of the TAG at every occurrence
+of E0"), and emits a detection the first time an anchor's run reaches
+acceptance.
 
 Anchors retire when they accept, when their configuration set dies, or
 when the (propagation-derived or user-supplied) horizon passes - so
 memory is bounded by the number of anchors inside one horizon window.
+
+Resilience (see :mod:`repro.resilience` and docs/RESILIENCE.md):
+
+* events are validated at the edge (:class:`EventValidationError` on a
+  malformed type or timestamp, before any state is touched);
+* with ``max_lateness`` set, a bounded reorder buffer with watermarks
+  absorbs timestamp jitter: out-of-order events within the lateness
+  bound are reordered, events beyond it are counted and dropped
+  instead of raising;
+* anchor overflow follows a degradation policy (``raise`` keeps the
+  historical fail-fast behaviour; ``shed-oldest`` / ``shed-newest`` /
+  ``sample`` shed load and count what they dropped);
+* the full matcher state checkpoints to a JSON payload
+  (:meth:`StreamingMatcher.checkpoint`) and restores with
+  :meth:`StreamingMatcher.from_checkpoint`, so a crashed monitor
+  resumes without replaying the stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from ..resilience.errors import StreamFeedError, validate_event
+from ..resilience.policies import apply_overflow, normalize_overflow_policy
+from ..resilience.reorder import ReorderBuffer
 from .builder import TagBuild
 from .tag import Configuration
 
@@ -48,6 +67,17 @@ class StreamingMatcher:
     keeps anchors until their configuration sets die, which for
     patterns with bounded constraints happens naturally but may take
     long on sparse streams - prefer a horizon).
+
+    ``max_lateness`` (seconds) enables the reorder buffer: None means
+    the historical strict mode (out-of-order input raises ValueError);
+    any value >= 0 means events up to that much behind the newest
+    timestamp seen are reordered and fed in order, later ones are
+    dropped and counted in :attr:`late_events_dropped`.  Call
+    :meth:`flush` at end of stream to drain the buffer.
+
+    ``overflow_policy`` picks the degradation behaviour when live
+    anchors exceed ``max_live_anchors``; see
+    :mod:`repro.resilience.policies`.
     """
 
     def __init__(
@@ -56,24 +86,103 @@ class StreamingMatcher:
         strict: bool = False,
         horizon_seconds: Optional[int] = None,
         max_live_anchors: int = 10_000,
+        max_lateness: Optional[int] = None,
+        overflow_policy: str = "raise",
     ):
         self.build = build
         self.tag = build.tag
         self.strict = strict
         self.horizon_seconds = horizon_seconds
         self.max_live_anchors = max_live_anchors
+        self.overflow_policy = normalize_overflow_policy(overflow_policy)
+        self._buffer = (
+            ReorderBuffer(max_lateness) if max_lateness is not None else None
+        )
         self._anchors: List[_Anchor] = []
         self._last_time: Optional[int] = None
+        self.events_received = 0
         self.events_processed = 0
         self.detections_emitted = 0
+        self.anchors_shed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_lateness(self) -> Optional[int]:
+        """The reorder-buffer lateness bound (None in strict mode)."""
+        return self._buffer.max_lateness if self._buffer else None
+
+    @property
+    def late_events_dropped(self) -> int:
+        """Events that arrived below the watermark and were dropped."""
+        return self._buffer.late_dropped if self._buffer else 0
+
+    @property
+    def pending_reordered(self) -> int:
+        """Events held in the reorder buffer awaiting the watermark."""
+        return self._buffer.pending if self._buffer else 0
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Timestamps below this are final (processed or dropped)."""
+        if self._buffer is not None:
+            return self._buffer.watermark
+        return self._last_time
+
+    @property
+    def live_anchors(self) -> int:
+        """Number of anchors still awaiting completion."""
+        return len(self._anchors)
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters, suitable for logging/metrics export."""
+        return {
+            "events_received": self.events_received,
+            "events_processed": self.events_processed,
+            "detections_emitted": self.detections_emitted,
+            "live_anchors": self.live_anchors,
+            "anchors_shed": self.anchors_shed,
+            "late_events_dropped": self.late_events_dropped,
+            "pending_reordered": self.pending_reordered,
+            "watermark": self.watermark,
+        }
 
     # ------------------------------------------------------------------
     def feed(self, etype: str, time: int) -> List[Detection]:
-        """Consume one event; return detections it completed."""
-        if self._last_time is not None and time < self._last_time:
-            raise ValueError(
-                "events must arrive in non-decreasing timestamp order"
-            )
+        """Consume one event; return detections it completed.
+
+        Raises :class:`~repro.resilience.EventValidationError` on a
+        malformed event (state untouched).  Without a reorder buffer,
+        an out-of-order timestamp raises ValueError as before; with
+        one, the event is buffered/reordered/dropped per the watermark.
+        """
+        validate_event(etype, time)
+        self.events_received += 1
+        if self._buffer is None:
+            if self._last_time is not None and time < self._last_time:
+                raise ValueError(
+                    "events must arrive in non-decreasing timestamp order"
+                )
+            return self._advance(etype, time)
+        detections: List[Detection] = []
+        for ready_etype, ready_time in self._buffer.push(etype, time):
+            detections.extend(self._advance(ready_etype, ready_time))
+        return detections
+
+    def flush(self) -> List[Detection]:
+        """Drain the reorder buffer (end of stream); returns detections.
+
+        A no-op (empty list) in strict mode.
+        """
+        if self._buffer is None:
+            return []
+        detections: List[Detection] = []
+        for etype, time in self._buffer.flush():
+            detections.extend(self._advance(etype, time))
+        return detections
+
+    # ------------------------------------------------------------------
+    def _advance(self, etype: str, time: int) -> List[Detection]:
+        """Advance the automaton state on one in-order event."""
         self._last_time = time
         self.events_processed += 1
         detections: List[Detection] = []
@@ -147,21 +256,62 @@ class StreamingMatcher:
             elif opened:
                 self._anchors.append(_Anchor(time, opened))
                 if len(self._anchors) > self.max_live_anchors:
-                    raise RuntimeError(
-                        "more than %d live anchors; set a horizon"
-                        % self.max_live_anchors
+                    self._anchors, shed = apply_overflow(
+                        self._anchors,
+                        self.max_live_anchors,
+                        self.overflow_policy,
                     )
+                    self.anchors_shed += shed
         self.detections_emitted += len(detections)
         return detections
 
+    # ------------------------------------------------------------------
     def feed_sequence(self, events) -> List[Detection]:
-        """Convenience: feed an iterable of events, collect detections."""
+        """Convenience: feed an iterable of events, collect detections.
+
+        A failure is re-raised as
+        :class:`~repro.resilience.StreamFeedError` carrying the
+        offending event's position, type and timestamp (the original
+        error is chained as ``__cause__``).
+        """
         detections: List[Detection] = []
-        for event in events:
-            detections.extend(self.feed(event.etype, event.time))
+        for index, event in enumerate(events):
+            etype = getattr(event, "etype", None)
+            time = getattr(event, "time", None)
+            if etype is None and time is None:
+                try:
+                    etype, time = event[0], event[1]
+                except (TypeError, IndexError, KeyError) as exc:
+                    raise StreamFeedError(index, None, None, exc) from exc
+            try:
+                detections.extend(self.feed(etype, time))
+            except StreamFeedError:
+                raise
+            except (ValueError, RuntimeError) as exc:
+                raise StreamFeedError(index, etype, time, exc) from exc
         return detections
 
-    @property
-    def live_anchors(self) -> int:
-        """Number of anchors still awaiting completion."""
-        return len(self._anchors)
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of the full matcher state.
+
+        Includes the pattern (so the TAG can be rebuilt), every live
+        anchor's configurations, the reorder buffer, and all counters.
+        Restoring with :meth:`from_checkpoint` and feeding the rest of
+        the stream yields exactly the detections of an uninterrupted
+        run.
+        """
+        from ..io.serialize import streaming_checkpoint_to_dict
+
+        return streaming_checkpoint_to_dict(self)
+
+    @classmethod
+    def from_checkpoint(
+        cls, payload: Dict[str, Any], system=None
+    ) -> "StreamingMatcher":
+        """Rebuild a matcher from :meth:`checkpoint` output."""
+        from ..io.serialize import streaming_matcher_from_checkpoint
+
+        return streaming_matcher_from_checkpoint(payload, system=system)

@@ -4,6 +4,7 @@ Usage (also available as ``python -m repro.cli``)::
 
     repro check STRUCTURE.json            # Theorem 2 consistency filter
     repro match PATTERN.json EVENTS.csv   # anchored TAG matching
+    repro replay PATTERN.json EVENTS.csv  # streaming (online) detection
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
     repro dot STRUCTURE.json              # Graphviz export
@@ -53,10 +54,23 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _load_events(args):
+    """Read the CSV log, strictly or with a quarantine channel."""
+    if not getattr(args, "skip_bad_rows", False):
+        return read_events(args.events)
+    from .resilience import Quarantine
+
+    quarantine = Quarantine(source=args.events)
+    sequence = read_events(args.events, quarantine=quarantine)
+    if quarantine:
+        print(quarantine.summary(), file=sys.stderr)
+    return sequence
+
+
 def _cmd_match(args) -> int:
     system = standard_system()
     cet = complex_event_type_from_dict(load_json(args.pattern), system)
-    sequence = read_events(args.events)
+    sequence = _load_events(args)
     matcher = TagMatcher(build_tag(cet))
     root_type = cet.event_type(cet.structure.root)
     total = sequence.count(root_type)
@@ -75,10 +89,63 @@ def _cmd_match(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from .core.api import stream_pattern
+    from .io.serialize import dump_json, streaming_matcher_from_checkpoint
+
+    system = standard_system()
+    if args.resume:
+        matcher = streaming_matcher_from_checkpoint(
+            load_json(args.resume), system
+        )
+    else:
+        cet = complex_event_type_from_dict(load_json(args.pattern), system)
+        matcher = stream_pattern(
+            cet.structure,
+            cet.assignment,
+            system,
+            max_lateness=args.max_lateness,
+            overflow_policy=args.overflow_policy,
+            max_live_anchors=args.max_live_anchors,
+        )
+        if args.horizon is not None:
+            matcher.horizon_seconds = args.horizon
+    sequence = _load_events(args)
+    detections = matcher.feed_sequence(sequence)
+    detections.extend(matcher.flush())
+    for detection in detections:
+        print(
+            "detected anchor t=%d at t=%d: %s"
+            % (
+                detection.anchor_time,
+                detection.detected_at,
+                json.dumps(detection.bindings, sort_keys=True),
+            )
+        )
+    if args.checkpoint_out:
+        dump_json(matcher.checkpoint(), args.checkpoint_out)
+        print("checkpoint written to %s" % args.checkpoint_out,
+              file=sys.stderr)
+    stats = matcher.stats()
+    print(
+        "# events %d, detections %d, live anchors %d, "
+        "late dropped %d, anchors shed %d"
+        % (
+            stats["events_received"],
+            stats["detections_emitted"],
+            stats["live_anchors"],
+            stats["late_events_dropped"],
+            stats["anchors_shed"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_mine(args) -> int:
     system = standard_system()
     problem = problem_from_dict(load_json(args.problem), system)
-    sequence = read_events(args.events)
+    sequence = _load_events(args)
     outcome = discover(
         problem, sequence, system, screen_depth=args.screen_depth
     )
@@ -230,7 +297,61 @@ def build_parser() -> argparse.ArgumentParser:
     match = sub.add_parser("match", help="match a pattern against a log")
     match.add_argument("pattern", help="complex-event-type JSON file")
     match.add_argument("events", help="CSV event log")
+    match.add_argument(
+        "--skip-bad-rows",
+        action="store_true",
+        help="quarantine malformed CSV rows instead of aborting",
+    )
     match.set_defaults(func=_cmd_match)
+
+    replay = sub.add_parser(
+        "replay",
+        help="stream a log through the online matcher (resilience knobs)",
+    )
+    replay.add_argument(
+        "pattern",
+        help="complex-event-type JSON file (ignored with --resume, which "
+        "carries the pattern inside the checkpoint)",
+    )
+    replay.add_argument("events", help="CSV event log")
+    replay.add_argument(
+        "--max-lateness",
+        type=int,
+        default=None,
+        metavar="SECONDS",
+        help="tolerate out-of-order events up to this many seconds late "
+        "(default: strict ordering)",
+    )
+    replay.add_argument(
+        "--overflow-policy",
+        choices=("raise", "shed-oldest", "shed-newest", "sample"),
+        default="raise",
+        help="what to do when live anchors exceed --max-live-anchors",
+    )
+    replay.add_argument("--max-live-anchors", type=int, default=10_000)
+    replay.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="SECONDS",
+        help="override the propagation-derived anchor horizon",
+    )
+    replay.add_argument(
+        "--skip-bad-rows",
+        action="store_true",
+        help="quarantine malformed CSV rows instead of aborting",
+    )
+    replay.add_argument(
+        "--checkpoint-out",
+        metavar="FILE",
+        help="write the final matcher state as a JSON checkpoint",
+    )
+    replay.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="restore matcher state from a checkpoint before replaying",
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     mine = sub.add_parser("mine", help="run a discovery problem")
     mine.add_argument("problem", help="discovery-problem JSON file")
@@ -246,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="print a formatted report instead of raw solution lines",
+    )
+    mine.add_argument(
+        "--skip-bad-rows",
+        action="store_true",
+        help="quarantine malformed CSV rows instead of aborting",
     )
     mine.set_defaults(func=_cmd_mine)
 

@@ -62,17 +62,31 @@ def stream_pattern(
     structure: EventStructure,
     assignment: Mapping[str, str],
     system: Optional[GranularitySystem] = None,
+    max_lateness: Optional[int] = None,
+    overflow_policy: str = "raise",
+    max_live_anchors: int = 10_000,
 ):
     """Compile a pattern into an online :class:`StreamingMatcher`.
 
     The anchor-retirement horizon is derived by propagation like
     :func:`compile_pattern`'s scan horizon.
+
+    The resilience knobs pass straight through to the matcher:
+    ``max_lateness`` enables the reorder buffer (tolerate out-of-order
+    events up to that many seconds late), ``overflow_policy`` picks
+    the degradation behaviour when live anchors exceed
+    ``max_live_anchors`` (``raise`` | ``shed-oldest`` |
+    ``shed-newest`` | ``sample``).  See docs/RESILIENCE.md.
     """
     from ..automata.streaming import StreamingMatcher
 
     batch = compile_pattern(structure, assignment, system)
     return StreamingMatcher(
-        batch.build, horizon_seconds=batch.horizon_seconds
+        batch.build,
+        horizon_seconds=batch.horizon_seconds,
+        max_lateness=max_lateness,
+        overflow_policy=overflow_policy,
+        max_live_anchors=max_live_anchors,
     )
 
 

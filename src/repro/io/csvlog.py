@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import csv
 import re
-from typing import IO, Iterable, List, Tuple, Union
+from typing import IO, Iterable, List, Optional, Tuple, Union
 
 from ..granularity import gregorian as greg
 from ..mining.events import Event, EventSequence
+from ..resilience.quarantine import Quarantine
 
 _STAMP = re.compile(
     r"^(\d{4})-(\d{2})-(\d{2})(?:[ T](\d{2}):(\d{2})(?::(\d{2}))?)?$"
@@ -76,15 +77,28 @@ def format_timestamp(seconds: int) -> str:
     )
 
 
-def read_events(source: Union[str, IO], has_header: bool = None) -> EventSequence:
+def read_events(
+    source: Union[str, IO],
+    has_header: bool = None,
+    quarantine: Optional[Quarantine] = None,
+) -> EventSequence:
     """Read an event sequence from CSV.
 
     ``has_header`` None (default) auto-detects a header row by checking
     whether the second column of the first row parses as a timestamp.
+
+    Without a ``quarantine`` the read is strict: the first malformed
+    row raises :class:`CsvFormatError` (historical behaviour).  With
+    one, malformed rows (too few columns, unparseable timestamps,
+    empty event types) are recorded there - line number, reason, raw
+    row - and reading continues (dead-letter semantics, shared with
+    :meth:`repro.store.EventStore.load_jsonl`).
     """
     if isinstance(source, str):
         with open(source, newline="") as handle:
-            return read_events(handle, has_header=has_header)
+            return read_events(
+                handle, has_header=has_header, quarantine=quarantine
+            )
     rows = list(csv.reader(source))
     events: List[Event] = []
     start = 0
@@ -99,8 +113,16 @@ def read_events(source: Union[str, IO], has_header: bool = None) -> EventSequenc
     for number, row in enumerate(rows[start:], start=start + 1):
         if not row or (len(row) == 1 and not row[0].strip()):
             continue  # blank line
-        _require_two(row, line=number)
-        events.append(Event(row[0].strip(), parse_timestamp(row[1])))
+        try:
+            _require_two(row, line=number)
+            etype = row[0].strip()
+            if not etype:
+                raise CsvFormatError("line %d: empty event type" % number)
+            events.append(Event(etype, parse_timestamp(row[1])))
+        except CsvFormatError as exc:
+            if quarantine is None:
+                raise
+            quarantine.add(str(exc), raw=list(row), line=number)
     return EventSequence(events)
 
 

@@ -14,7 +14,7 @@ construction recipe.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Mapping, Union
+from typing import Any, Dict, IO, List, Mapping, Optional, Union
 
 from ..constraints.structure import ComplexEventType, EventStructure
 from ..constraints.tcg import TCG
@@ -292,6 +292,173 @@ def sequence_from_dict(payload: Mapping[str, Any]) -> EventSequence:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError("malformed sequence payload: %s" % exc)
+
+
+# ----------------------------------------------------------------------
+# Streaming-matcher checkpoints
+# ----------------------------------------------------------------------
+#: Payload format version for streaming checkpoints.
+CHECKPOINT_VERSION = 1
+
+
+def _encode_tag_state(state: Any) -> Any:
+    """Encode a TAG state for JSON (builder states are int tuples).
+
+    Tuples nest as ``{"t": [...]}`` so they survive the JSON round
+    trip distinguishably from lists; ints and strings pass through.
+    """
+    if isinstance(state, tuple):
+        return {"t": [_encode_tag_state(item) for item in state]}
+    if isinstance(state, (int, str)):
+        return state
+    raise SerializationError(
+        "cannot checkpoint TAG state %r (only tuples/ints/strings)"
+        % (state,)
+    )
+
+
+def _decode_tag_state(payload: Any) -> Any:
+    if isinstance(payload, Mapping) and "t" in payload:
+        return tuple(_decode_tag_state(item) for item in payload["t"])
+    if isinstance(payload, (int, str)):
+        return payload
+    raise SerializationError("malformed TAG state payload %r" % (payload,))
+
+
+def configuration_to_dict(config) -> Dict[str, Any]:
+    """Encode one automaton configuration (state, clocks, bindings)."""
+    return {
+        "state": _encode_tag_state(config.state),
+        "reset_times": dict(config.reset_times),
+        "last_time": config.last_time,
+        "bindings": [[variable, time] for variable, time in config.bindings],
+    }
+
+
+def configuration_from_dict(payload: Mapping[str, Any]):
+    """Decode :func:`configuration_to_dict` output."""
+    from ..automata.tag import Configuration
+
+    try:
+        return Configuration(
+            state=_decode_tag_state(payload["state"]),
+            reset_times={
+                str(name): int(time)
+                for name, time in payload["reset_times"].items()
+            },
+            last_time=int(payload["last_time"]),
+            bindings=tuple(
+                (str(variable), int(time))
+                for variable, time in payload.get("bindings", ())
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            "malformed configuration payload: %s" % exc
+        )
+
+
+def streaming_checkpoint_to_dict(matcher) -> Dict[str, Any]:
+    """Snapshot a :class:`~repro.automata.streaming.StreamingMatcher`.
+
+    The payload carries the pattern (so the TAG is rebuilt on
+    restore), the matcher's tuning parameters, every live anchor's
+    configuration set (bindings included - they become detection
+    output), the reorder buffer, and all counters.  It is pure JSON:
+    write it with :func:`dump_json`, read it back with
+    :func:`load_json`.
+    """
+    return {
+        "version": CHECKPOINT_VERSION,
+        "pattern": complex_event_type_to_dict(
+            matcher.build.complex_event_type
+        ),
+        "strict": matcher.strict,
+        "horizon_seconds": matcher.horizon_seconds,
+        "max_live_anchors": matcher.max_live_anchors,
+        "overflow_policy": matcher.overflow_policy,
+        "last_time": matcher._last_time,
+        "counters": {
+            "events_received": matcher.events_received,
+            "events_processed": matcher.events_processed,
+            "detections_emitted": matcher.detections_emitted,
+            "anchors_shed": matcher.anchors_shed,
+        },
+        "anchors": [
+            {
+                "time": anchor.time,
+                "configs": [
+                    configuration_to_dict(config)
+                    for config in anchor.configs
+                ],
+            }
+            for anchor in matcher._anchors
+        ],
+        "reorder": (
+            matcher._buffer.to_dict() if matcher._buffer is not None else None
+        ),
+    }
+
+
+def streaming_matcher_from_checkpoint(
+    payload: Mapping[str, Any],
+    system: Optional[GranularitySystem] = None,
+):
+    """Rebuild a matcher from :func:`streaming_checkpoint_to_dict`.
+
+    ``system`` defaults to :func:`repro.granularity.standard_system`;
+    pass the original system when the pattern uses custom
+    granularities registered there.
+    """
+    from ..automata.builder import build_tag
+    from ..automata.streaming import StreamingMatcher, _Anchor
+    from ..granularity.registry import standard_system
+    from ..resilience.reorder import ReorderBuffer
+
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise SerializationError(
+            "unsupported checkpoint version %r (expected %d)"
+            % (version, CHECKPOINT_VERSION)
+        )
+    system = system if system is not None else standard_system()
+    try:
+        cet = complex_event_type_from_dict(payload["pattern"], system)
+        horizon = payload.get("horizon_seconds")
+        matcher = StreamingMatcher(
+            build_tag(cet),
+            strict=bool(payload.get("strict", False)),
+            horizon_seconds=int(horizon) if horizon is not None else None,
+            max_live_anchors=int(payload.get("max_live_anchors", 10_000)),
+            overflow_policy=payload.get("overflow_policy", "raise"),
+        )
+        last_time = payload.get("last_time")
+        matcher._last_time = int(last_time) if last_time is not None else None
+        counters = payload.get("counters", {})
+        matcher.events_received = int(counters.get("events_received", 0))
+        matcher.events_processed = int(counters.get("events_processed", 0))
+        matcher.detections_emitted = int(
+            counters.get("detections_emitted", 0)
+        )
+        matcher.anchors_shed = int(counters.get("anchors_shed", 0))
+        matcher._anchors = [
+            _Anchor(
+                int(anchor["time"]),
+                [
+                    configuration_from_dict(config)
+                    for config in anchor["configs"]
+                ],
+            )
+            for anchor in payload.get("anchors", ())
+        ]
+        reorder = payload.get("reorder")
+        if reorder is not None:
+            matcher._buffer = ReorderBuffer.from_dict(reorder)
+        return matcher
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError("malformed checkpoint payload: %s" % exc)
 
 
 # ----------------------------------------------------------------------

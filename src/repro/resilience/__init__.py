@@ -1,0 +1,51 @@
+"""Resilience layer for the streaming/ingestion path.
+
+The paper's data-mining application consumes real feeds (computer
+accesses, bank transactions); real feeds are dirty.  This package
+holds the pieces that keep detection running under jitter, bursts and
+malformed records:
+
+* :mod:`repro.resilience.errors` - edge validation and the shared
+  :class:`EventValidationError` / :class:`StreamFeedError` types;
+* :mod:`repro.resilience.reorder` - the bounded reorder buffer with
+  watermarks that absorbs timestamp jitter;
+* :mod:`repro.resilience.policies` - anchor-overflow degradation
+  policies (``raise`` / ``shed-oldest`` / ``shed-newest`` /
+  ``sample``);
+* :mod:`repro.resilience.quarantine` - the dead-letter channel for
+  malformed JSONL/CSV records;
+* :mod:`repro.resilience.faults` - the deterministic fault-injection
+  harness used by the chaos tests.
+
+See docs/RESILIENCE.md for the operational guide.
+"""
+
+from .errors import (
+    EventValidationError,
+    StreamFeedError,
+    describe_invalid,
+    validate_event,
+)
+from .faults import FaultInjector, InjectionResult
+from .policies import (
+    OVERFLOW_POLICIES,
+    apply_overflow,
+    normalize_overflow_policy,
+)
+from .quarantine import Quarantine, QuarantinedRecord
+from .reorder import ReorderBuffer
+
+__all__ = [
+    "EventValidationError",
+    "StreamFeedError",
+    "validate_event",
+    "describe_invalid",
+    "ReorderBuffer",
+    "OVERFLOW_POLICIES",
+    "normalize_overflow_policy",
+    "apply_overflow",
+    "Quarantine",
+    "QuarantinedRecord",
+    "FaultInjector",
+    "InjectionResult",
+]

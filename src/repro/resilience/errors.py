@@ -1,0 +1,87 @@
+"""Shared error types and edge validation for the ingestion path.
+
+Every layer that accepts raw events from the outside world (the
+streaming matcher, the event store, the file loaders) funnels its
+input through :func:`validate_event`, so a bad record fails with one
+well-known exception type - :class:`EventValidationError` - instead of
+corrupting indexes or automata state downstream.  Both error classes
+subclass :class:`ValueError` so existing ``except ValueError`` call
+sites keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class EventValidationError(ValueError):
+    """A raw event failed edge validation (bad type or timestamp).
+
+    Carries the offending values so quarantine channels can report
+    *why* a record was rejected without re-parsing it.
+    """
+
+    def __init__(self, reason: str, etype: Any = None, time: Any = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.etype = etype
+        self.time = time
+
+
+class StreamFeedError(ValueError):
+    """A failure while feeding a sequence, with event provenance.
+
+    Wraps the underlying error (available as ``__cause__``) together
+    with the position, type and timestamp of the offending event so a
+    failure deep in a long replay is diagnosable.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        etype: Any,
+        time: Any,
+        cause: Exception,
+    ):
+        super().__init__(
+            "event #%d (%r @ %r): %s" % (index, etype, time, cause)
+        )
+        self.index = index
+        self.etype = etype
+        self.time = time
+
+
+def validate_event(etype: Any, time: Any) -> None:
+    """Reject malformed raw events before they touch any state.
+
+    Rules: ``etype`` must be a non-empty string; ``time`` must be a
+    non-negative integer (``bool`` is excluded even though it is an
+    ``int`` subclass).  Raises :class:`EventValidationError`.
+    """
+    if not isinstance(etype, str) or not etype:
+        raise EventValidationError(
+            "event type must be a non-empty string, got %r" % (etype,),
+            etype=etype,
+            time=time,
+        )
+    if isinstance(time, bool) or not isinstance(time, int):
+        raise EventValidationError(
+            "timestamp must be an integer, got %r" % (time,),
+            etype=etype,
+            time=time,
+        )
+    if time < 0:
+        raise EventValidationError(
+            "timestamp must be non-negative, got %d" % time,
+            etype=etype,
+            time=time,
+        )
+
+
+def describe_invalid(etype: Any, time: Any) -> Optional[str]:
+    """The validation failure reason for a raw event, or None if valid."""
+    try:
+        validate_event(etype, time)
+    except EventValidationError as exc:
+        return exc.reason
+    return None

@@ -1,0 +1,138 @@
+"""Deterministic fault injection for chaos-style stream testing.
+
+A :class:`FaultInjector` takes a clean, time-ordered event stream and a
+seed, and produces the dirty arrival stream a real feed would deliver:
+events dropped, duplicated, delayed (arriving out of timestamp order),
+or corrupted (malformed type/timestamp that must be quarantined).  The
+transformation is a pure function of ``(seed, parameters, input)``, so
+every chaos test is replayable from its seed.
+
+Delays are expressed in *seconds of arrival lateness*: a delayed event
+keeps its timestamp ``t`` but arrives as if emitted at ``t + delay``
+with ``delay <= max_delay``.  Therefore a reorder buffer with
+``max_lateness >= max_delay`` is guaranteed to reorder every delayed
+event back into place - the invariant the chaos acceptance test
+checks.
+
+Alongside the dirty ``stream``, :meth:`FaultInjector.inject` returns
+the ``clean`` reference - the surviving valid events in timestamp
+order - which is exactly what an uninterrupted, fault-free matcher
+would consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+@dataclass
+class InjectionResult:
+    """The dirty arrival stream plus its fault bookkeeping.
+
+    ``stream`` is what the system under test receives (arrival order;
+    corrupt records keep their slot).  ``clean`` is the reference: all
+    surviving valid events (duplicates included) in timestamp order.
+    """
+
+    stream: List[Tuple[Any, Any]]
+    clean: List[Tuple[str, int]]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Seeded drop/duplicate/delay/corrupt transformation of a stream."""
+
+    def __init__(
+        self,
+        seed: int,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        max_delay: int = 0,
+        corrupt_rate: float = 0.0,
+    ):
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_rate", delay_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1]" % name)
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.max_delay = max_delay
+        self.corrupt_rate = corrupt_rate
+
+    # ------------------------------------------------------------------
+    def inject(self, events: Iterable[Any]) -> InjectionResult:
+        """Apply the faults to a clean stream; see module docstring."""
+        rng = random.Random(self.seed)
+        stats = {
+            "total": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "corrupted": 0,
+            "emitted": 0,
+        }
+        #: (arrival_time, sequence, payload, valid, etype, time)
+        emitted: List[Tuple[int, int, Tuple[Any, Any], bool, str, int]] = []
+        sequence = 0
+        for event in events:
+            etype, time = event[0], event[1]
+            stats["total"] += 1
+            if rng.random() < self.drop_rate:
+                stats["dropped"] += 1
+                continue
+            copies = 1
+            if rng.random() < self.duplicate_rate:
+                stats["duplicated"] += 1
+                copies = 2
+            for _ in range(copies):
+                delay = 0
+                if self.max_delay and rng.random() < self.delay_rate:
+                    delay = rng.randint(1, self.max_delay)
+                    stats["delayed"] += 1
+                payload: Tuple[Any, Any] = (etype, time)
+                valid = True
+                if rng.random() < self.corrupt_rate:
+                    payload = self._corrupt(rng, etype, time)
+                    valid = False
+                    stats["corrupted"] += 1
+                emitted.append(
+                    (time + delay, sequence, payload, valid, etype, time)
+                )
+                sequence += 1
+        emitted.sort(key=lambda item: (item[0], item[1]))
+        stream = [item[2] for item in emitted]
+        clean = sorted(
+            (
+                (item[4], item[5])
+                for item in emitted
+                if item[3]
+            ),
+            key=lambda pair: pair[1],
+        )
+        stats["emitted"] = len(stream)
+        return InjectionResult(stream=stream, clean=clean, stats=stats)
+
+    @staticmethod
+    def _corrupt(
+        rng: random.Random, etype: str, time: int
+    ) -> Tuple[Any, Any]:
+        """One malformed variant of the event, chosen by the rng."""
+        mode = rng.randrange(4)
+        if mode == 0:
+            return ("", time)  # empty type
+        if mode == 1:
+            return (None, time)  # non-string type
+        if mode == 2:
+            return (etype, -1 - time)  # negative timestamp
+        return (etype, "not-a-timestamp")  # non-integer timestamp

@@ -1,0 +1,71 @@
+"""Degradation policies for anchor overflow.
+
+A streaming matcher opens one anchor per root-type event; under bursty
+traffic the live-anchor population can exceed any fixed budget.  The
+policies here decide what happens at that point:
+
+* ``raise`` - refuse (the historical behaviour): fail fast with
+  :class:`RuntimeError` and tell the operator to set a horizon;
+* ``shed-oldest`` - drop the oldest live anchors (keep recent roots:
+  right for monitors where fresh activity matters most);
+* ``shed-newest`` - refuse new anchors while at capacity (keep the
+  oldest in-flight candidates: right when near-complete detections
+  are more valuable than new starts);
+* ``sample`` - keep an evenly spaced subset across the whole window
+  (an unbiased-ish census under overload).
+
+``sample`` is deterministic (index-stride decimation, no RNG) so that
+checkpoint/restore and replay stay reproducible.  All shedding reports
+how many anchors were dropped; callers surface the count through their
+stats so degraded detection is visible, never silent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TypeVar
+
+AnchorT = TypeVar("AnchorT")
+
+RAISE = "raise"
+SHED_OLDEST = "shed-oldest"
+SHED_NEWEST = "shed-newest"
+SAMPLE = "sample"
+
+#: The accepted overflow-policy names, in documentation order.
+OVERFLOW_POLICIES = (RAISE, SHED_OLDEST, SHED_NEWEST, SAMPLE)
+
+
+def normalize_overflow_policy(name: str) -> str:
+    """Validate a policy name; raises ValueError on an unknown one."""
+    if name not in OVERFLOW_POLICIES:
+        raise ValueError(
+            "unknown overflow policy %r (expected one of %s)"
+            % (name, ", ".join(OVERFLOW_POLICIES))
+        )
+    return name
+
+
+def apply_overflow(
+    anchors: List[AnchorT], max_live: int, policy: str
+) -> Tuple[List[AnchorT], int]:
+    """Reduce ``anchors`` (oldest first) to at most ``max_live``.
+
+    Returns ``(kept, shed_count)``.  For ``raise`` the overflow is a
+    :class:`RuntimeError`, matching the historical fail-fast message.
+    """
+    excess = len(anchors) - max_live
+    if excess <= 0:
+        return anchors, 0
+    if policy == RAISE:
+        raise RuntimeError(
+            "more than %d live anchors; set a horizon" % max_live
+        )
+    if policy == SHED_OLDEST:
+        return anchors[excess:], excess
+    if policy == SHED_NEWEST:
+        return anchors[:max_live], excess
+    if policy == SAMPLE:
+        total = len(anchors)
+        kept = [anchors[i * total // max_live] for i in range(max_live)]
+        return kept, excess
+    raise ValueError("unknown overflow policy %r" % (policy,))

@@ -1,0 +1,116 @@
+"""A quarantine (dead-letter) channel for malformed input records.
+
+Loading a million-line event log must not abort on line 317's typo.
+Callers pass a :class:`Quarantine` to the loaders
+(:meth:`repro.store.EventStore.load_jsonl`,
+:func:`repro.io.csvlog.read_events`) or maintain one around a
+streaming feed; each malformed record is captured with its source line
+number, a human-readable reason, and the raw payload, and loading
+continues.  The channel is inspectable afterwards (count, per-reason
+summary) and can be persisted for replay once the upstream bug is
+fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One rejected input record: where, why, and what it was."""
+
+    reason: str
+    raw: Any = None
+    line: Optional[int] = None
+    source: Optional[str] = None
+
+    def __str__(self) -> str:
+        location = "line %s" % self.line if self.line is not None else "?"
+        if self.source:
+            location = "%s:%s" % (self.source, location)
+        return "[%s] %s: %r" % (location, self.reason, self.raw)
+
+
+class Quarantine:
+    """Collects rejected records instead of aborting a load or a feed."""
+
+    def __init__(self, source: Optional[str] = None):
+        self.source = source
+        self._records: List[QuarantinedRecord] = []
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        reason: str,
+        raw: Any = None,
+        line: Optional[int] = None,
+    ) -> QuarantinedRecord:
+        """Record one rejection; returns the stored entry."""
+        record = QuarantinedRecord(
+            reason=reason, raw=raw, line=line, source=self.source
+        )
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def __iter__(self) -> Iterator[QuarantinedRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[QuarantinedRecord]:
+        return list(self._records)
+
+    def reasons(self) -> Dict[str, int]:
+        """Histogram of rejection reasons (first line of each reason)."""
+        histogram: Dict[str, int] = {}
+        for record in self._records:
+            key = record.reason.splitlines()[0]
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def summary(self) -> str:
+        """One-paragraph human summary for logs and CLI output."""
+        if not self._records:
+            return "quarantine empty"
+        lines = ["quarantined %d record(s):" % len(self._records)]
+        for reason, count in sorted(self.reasons().items()):
+            lines.append("  %4d x %s" % (count, reason))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def save_jsonl(self, target: Union[str, IO]) -> None:
+        """Persist the dead letters, one JSON object per line."""
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                self.save_jsonl(handle)
+            return
+        for record in self._records:
+            target.write(
+                json.dumps(
+                    {
+                        "reason": record.reason,
+                        "raw": _jsonable(record.raw),
+                        "line": record.line,
+                        "source": record.source,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)

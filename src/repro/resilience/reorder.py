@@ -1,0 +1,124 @@
+"""A bounded reorder buffer with watermarks for jittery event feeds.
+
+Real feeds deliver events out of timestamp order (network races,
+sharded producers, clock skew).  The automata layer requires
+non-decreasing timestamps, so the buffer sits between the two: it holds
+events until the *low watermark* - the newest timestamp seen minus a
+configured ``max_lateness`` - passes them, then releases them in
+timestamp order.  An event arriving with a timestamp already below the
+watermark is too late to reorder soundly; it is counted and dropped
+(never raised), which keeps detection best-effort under arbitrarily
+dirty input while the counters make the degradation observable.
+
+Equal timestamps are released in arrival order (a stable tie-break via
+an arrival sequence number), so replaying the same arrival stream is
+deterministic - a property the checkpoint/restore path relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ReorderBuffer:
+    """Buffer out-of-order (etype, time) events; release in time order.
+
+    ``max_lateness`` is the maximum age (in seconds behind the newest
+    timestamp seen) an event may have and still be accepted.  ``0``
+    still tolerates *ties* arriving late, but any regression is
+    dropped; larger values trade detection latency for tolerance.
+    """
+
+    def __init__(self, max_lateness: int):
+        if max_lateness < 0:
+            raise ValueError("max_lateness must be non-negative")
+        self.max_lateness = max_lateness
+        self._heap: List[Tuple[int, int, str]] = []
+        self._arrivals = 0
+        self._max_seen: Optional[int] = None
+        self.late_dropped = 0
+        self.last_late: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> Optional[int]:
+        """Low watermark: events below this timestamp are final.
+
+        None until the first event arrives.
+        """
+        if self._max_seen is None:
+            return None
+        return self._max_seen - self.max_lateness
+
+    @property
+    def pending(self) -> int:
+        """Events currently held in the buffer."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    def push(self, etype: str, time: int) -> List[Tuple[str, int]]:
+        """Accept one event; return the events it makes releasable.
+
+        Released events have timestamps ``<=`` the (possibly advanced)
+        watermark and come out in non-decreasing timestamp order.  A
+        too-late event is dropped and counted; the return is then
+        empty.
+        """
+        watermark = self.watermark
+        if watermark is not None and time < watermark:
+            self.late_dropped += 1
+            self.last_late = (etype, time)
+            return []
+        heapq.heappush(self._heap, (time, self._arrivals, etype))
+        self._arrivals += 1
+        if self._max_seen is None or time > self._max_seen:
+            self._max_seen = time
+        return self._release(self.watermark)
+
+    def flush(self) -> List[Tuple[str, int]]:
+        """Release everything still buffered (end of stream)."""
+        released = []
+        while self._heap:
+            time, _, etype = heapq.heappop(self._heap)
+            released.append((etype, time))
+        return released
+
+    def _release(self, watermark: Optional[int]) -> List[Tuple[str, int]]:
+        released = []
+        while self._heap and self._heap[0][0] <= watermark:
+            time, _, etype = heapq.heappop(self._heap)
+            released.append((etype, time))
+        return released
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the buffer's full state."""
+        return {
+            "max_lateness": self.max_lateness,
+            "heap": [[t, seq, etype] for t, seq, etype in self._heap],
+            "arrivals": self._arrivals,
+            "max_seen": self._max_seen,
+            "late_dropped": self.late_dropped,
+            "last_late": list(self.last_late) if self.last_late else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReorderBuffer":
+        """Rebuild a buffer from :meth:`to_dict` output."""
+        buffer = cls(int(payload["max_lateness"]))
+        buffer._heap = [
+            (int(t), int(seq), str(etype))
+            for t, seq, etype in payload.get("heap", [])
+        ]
+        heapq.heapify(buffer._heap)
+        buffer._arrivals = int(payload.get("arrivals", len(buffer._heap)))
+        max_seen = payload.get("max_seen")
+        buffer._max_seen = int(max_seen) if max_seen is not None else None
+        buffer.late_dropped = int(payload.get("late_dropped", 0))
+        last_late = payload.get("last_late")
+        if last_late:
+            buffer.last_late = (str(last_late[0]), int(last_late[1]))
+        return buffer

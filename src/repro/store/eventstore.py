@@ -30,10 +30,18 @@ from typing import (
 )
 
 from ..mining.events import Event, EventSequence
+from ..resilience.errors import validate_event
+from ..resilience.quarantine import Quarantine
 
 
 class EventRecord:
-    """One stored event: id, type, timestamp, and free-form attributes."""
+    """One stored event: id, type, timestamp, and free-form attributes.
+
+    Construction validates the event at the edge (non-empty string
+    type, non-negative integer timestamp) with the shared
+    :class:`~repro.resilience.EventValidationError`, so malformed
+    input never corrupts the store's indexes.
+    """
 
     __slots__ = ("record_id", "etype", "time", "attributes")
 
@@ -44,8 +52,7 @@ class EventRecord:
         time: int,
         attributes: Optional[Mapping[str, Any]] = None,
     ):
-        if time < 0:
-            raise ValueError("timestamps are non-negative")
+        validate_event(etype, time)
         self.record_id = record_id
         self.etype = etype
         self.time = time
@@ -72,6 +79,7 @@ class EventStore:
         self._sorted = True  # records currently in time order
         self._times: List[int] = []
         self._by_type: Dict[str, List[int]] = {}
+        self._by_id: Dict[int, EventRecord] = {}
         self._indexed = True
 
     # ------------------------------------------------------------------
@@ -93,7 +101,12 @@ class EventStore:
         return record
 
     def extend(self, events: Iterable[Union[Event, Tuple[str, int]]]) -> int:
-        """Bulk-append (type, time) pairs; returns the count added."""
+        """Bulk-append (type, time) pairs; returns the count added.
+
+        Each event is validated at the edge
+        (:class:`~repro.resilience.EventValidationError` on the first
+        malformed one; events before it stay appended).
+        """
         count = 0
         for event in events:
             etype, time = event[0], event[1]
@@ -110,8 +123,10 @@ class EventStore:
             self._sorted = True
         self._times = [record.time for record in self._records]
         self._by_type = {}
+        self._by_id = {}
         for position, record in enumerate(self._records):
             self._by_type.setdefault(record.etype, []).append(position)
+            self._by_id[record.record_id] = record
         self._indexed = True
 
     def _ensure_index(self) -> None:
@@ -173,11 +188,13 @@ class EventStore:
         return result
 
     def get(self, record_id: int) -> EventRecord:
-        """Look up a record by id; raises KeyError when absent."""
-        for record in self._records:
-            if record.record_id == record_id:
-                return record
-        raise KeyError(record_id)
+        """Look up a record by id in O(1); raises KeyError when absent.
+
+        Backed by the id map maintained in :meth:`_reindex` (rebuilt
+        lazily after writes, like the time/type indexes).
+        """
+        self._ensure_index()
+        return self._by_id[record_id]
 
     # ------------------------------------------------------------------
     # Mining integration
@@ -211,11 +228,17 @@ class EventStore:
         return store
 
     @classmethod
-    def from_csv(cls, source) -> "EventStore":
-        """A store loaded from a two-column CSV event log."""
+    def from_csv(
+        cls, source, quarantine: Optional[Quarantine] = None
+    ) -> "EventStore":
+        """A store loaded from a two-column CSV event log.
+
+        A ``quarantine`` makes the read tolerant of malformed rows;
+        see :func:`repro.io.csvlog.read_events`.
+        """
         from ..io.csvlog import read_events
 
-        return cls.from_sequence(read_events(source))
+        return cls.from_sequence(read_events(source, quarantine=quarantine))
 
     # ------------------------------------------------------------------
     # Persistence (JSON lines)
@@ -242,24 +265,47 @@ class EventStore:
             )
 
     @classmethod
-    def load_jsonl(cls, source: Union[str, IO]) -> "EventStore":
-        """Rebuild a store from :meth:`save_jsonl` output."""
+    def load_jsonl(
+        cls,
+        source: Union[str, IO],
+        quarantine: Optional[Quarantine] = None,
+    ) -> "EventStore":
+        """Rebuild a store from :meth:`save_jsonl` output.
+
+        Without a ``quarantine`` the load is strict: the first
+        malformed line aborts it (historical behaviour).  With one,
+        every malformed line (broken JSON, missing fields, bad types)
+        is recorded there - line number, reason, raw text - and the
+        load continues with the remaining records (dead-letter
+        semantics, shared with :func:`repro.io.csvlog.read_events`).
+        """
         if isinstance(source, str):
             with open(source) as handle:
-                return cls.load_jsonl(handle)
+                return cls.load_jsonl(handle, quarantine=quarantine)
         store = cls()
         max_id = -1
-        for line in source:
+        for number, line in enumerate(source, start=1):
             line = line.strip()
             if not line:
                 continue
-            payload = json.loads(line)
-            record = EventRecord(
-                int(payload["id"]),
-                payload["etype"],
-                int(payload["time"]),
-                payload.get("attributes"),
-            )
+            try:
+                payload = json.loads(line)
+                record = EventRecord(
+                    int(payload["id"]),
+                    payload["etype"],
+                    int(payload["time"]),
+                    payload.get("attributes"),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                if quarantine is None:
+                    raise
+                reason = (
+                    "missing field %s" % exc
+                    if isinstance(exc, KeyError)
+                    else str(exc)
+                )
+                quarantine.add(reason, raw=line, line=number)
+                continue
             if store._records and record.time < store._records[-1].time:
                 store._sorted = False
             store._records.append(record)

@@ -103,6 +103,64 @@ class TestBasics:
             matcher.feed("a", 2)
 
 
+class TestHorizonBoundary:
+    def test_event_exactly_at_horizon_stays_live(self, chain_cet):
+        """time == anchor.time + horizon must NOT expire the anchor."""
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), horizon_seconds=2 * H
+        )
+        matcher.feed("a", 0)
+        matcher.feed("b", H)
+        detections = matcher.feed("c", 2 * H)  # on the boundary
+        assert [d.anchor_time for d in detections] == [0]
+
+    def test_noise_at_boundary_keeps_anchor(self, chain_cet):
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), horizon_seconds=2 * H
+        )
+        matcher.feed("a", 0)
+        matcher.feed("noise", 2 * H)
+        assert matcher.live_anchors == 1
+
+    def test_one_second_past_horizon_expires(self, chain_cet):
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), horizon_seconds=2 * H
+        )
+        matcher.feed("a", 0)
+        matcher.feed("noise", 2 * H + 1)
+        assert matcher.live_anchors == 0
+
+
+class TestDuplicateTimestampAnchors:
+    def test_two_roots_at_same_time_open_two_anchors(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 100)
+        matcher.feed("a", 100)
+        assert matcher.live_anchors == 2
+
+    def test_both_duplicate_anchors_complete(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 100)
+        matcher.feed("a", 100)
+        matcher.feed("b", 100 + H)
+        detections = matcher.feed("c", 100 + 2 * H)
+        assert [d.anchor_time for d in detections] == [100, 100]
+        assert all(
+            d.bindings == {"A": 100, "B": 100 + H, "C": 100 + 2 * H}
+            for d in detections
+        )
+        assert matcher.live_anchors == 0
+
+    def test_duplicate_anchors_expire_together(self, chain_cet):
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), horizon_seconds=H
+        )
+        matcher.feed("a", 100)
+        matcher.feed("a", 100)
+        matcher.feed("noise", 100 + H + 1)
+        assert matcher.live_anchors == 0
+
+
 class TestAgainstBatchMatcher:
     @pytest.mark.parametrize("seed", range(5))
     def test_detections_match_batch_counts(self, system, chain_cet, seed):

@@ -1,0 +1,20 @@
+"""Shared fixtures for the resilience-layer tests."""
+
+import pytest
+
+from repro.constraints import TCG, ComplexEventType, EventStructure
+
+
+@pytest.fixture
+def chain_cet(system):
+    """a -> b -> c, each hop within [0, 2] hours (the streaming-test
+    workhorse pattern)."""
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(0, 2, hour)],
+            ("B", "C"): [TCG(0, 2, hour)],
+        },
+    )
+    return ComplexEventType(structure, {"A": "a", "B": "b", "C": "c"})

@@ -1,0 +1,164 @@
+"""Chaos acceptance tests: detection under injected faults.
+
+The contract (ISSUE 1): with seeded drop/duplicate/delay/corrupt
+injection the matcher never raises, quarantines every corrupt record
+with a reason, and emits the same detections as a clean run over the
+surviving events for everything within the watermark; a checkpoint and
+restore mid-stream yields byte-identical detections to an
+uninterrupted run.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.automata import StreamingMatcher, build_tag
+from repro.resilience import (
+    EventValidationError,
+    FaultInjector,
+    Quarantine,
+)
+from repro.io.serialize import streaming_matcher_from_checkpoint
+
+STEP = 60  # seconds between consecutive stream events
+MAX_DELAY = 10 * STEP  # arrival lateness bound the injector guarantees
+
+
+def make_stream(seed, n=400):
+    """A clean stream on a fixed time grid (unique timestamps)."""
+    rng = random.Random(seed)
+    types = ["a", "b", "c", "n"]
+    return [(rng.choice(types), i * STEP) for i in range(n)]
+
+
+def chaos_feed(matcher, stream, quarantine):
+    """Feed a dirty stream; quarantine rejects instead of raising."""
+    detections = []
+    for position, (etype, time) in enumerate(stream):
+        try:
+            detections.extend(matcher.feed(etype, time))
+        except EventValidationError as exc:
+            quarantine.add(exc.reason, raw=(etype, time), line=position)
+    detections.extend(matcher.flush())
+    return detections
+
+
+def reference_run(chain_cet, clean_events):
+    """What an uninterrupted fault-free matcher detects."""
+    matcher = StreamingMatcher(build_tag(chain_cet))
+    return [d for e, t in clean_events for d in matcher.feed(e, t)]
+
+
+def as_json(detections):
+    return json.dumps(
+        [
+            [d.anchor_time, d.detected_at, sorted(d.bindings.items())]
+            for d in detections
+        ],
+        sort_keys=True,
+    )
+
+
+class TestChaosAcceptance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_faulted_stream_matches_clean_reference(self, chain_cet, seed):
+        injector = FaultInjector(
+            seed,
+            drop_rate=0.05,
+            duplicate_rate=0.05,
+            delay_rate=0.25,
+            max_delay=MAX_DELAY,
+            corrupt_rate=0.05,
+        )
+        result = injector.inject(make_stream(seed))
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), max_lateness=MAX_DELAY
+        )
+        quarantine = Quarantine(source="chaos")
+        detections = chaos_feed(matcher, result.stream, quarantine)
+
+        # Never raised (we got here), every corrupt record quarantined
+        # with a reason ...
+        assert len(quarantine) == result.stats["corrupted"]
+        assert all(record.reason for record in quarantine)
+        # ... nothing fell past the watermark (lateness bound respected)
+        assert matcher.late_events_dropped == 0
+        # ... and detections equal the clean run over surviving events.
+        expected = reference_run(chain_cet, result.clean)
+        assert as_json(detections) == as_json(expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_checkpoint_restore_mid_chaos_is_byte_identical(
+        self, system, chain_cet, seed
+    ):
+        injector = FaultInjector(
+            seed + 100,
+            drop_rate=0.05,
+            duplicate_rate=0.05,
+            delay_rate=0.25,
+            max_delay=MAX_DELAY,
+            corrupt_rate=0.05,
+        )
+        result = injector.inject(make_stream(seed + 100))
+        stream = result.stream
+        cut = len(stream) // 2
+
+        uninterrupted = StreamingMatcher(
+            build_tag(chain_cet), max_lateness=MAX_DELAY
+        )
+        full = chaos_feed(uninterrupted, stream, Quarantine())
+
+        first = StreamingMatcher(
+            build_tag(chain_cet), max_lateness=MAX_DELAY
+        )
+        quarantine = Quarantine()
+        collected = []
+        for position, (etype, time) in enumerate(stream[:cut]):
+            try:
+                collected.extend(first.feed(etype, time))
+            except EventValidationError as exc:
+                quarantine.add(exc.reason, raw=(etype, time), line=position)
+        # Crash: state survives only as JSON text.
+        payload = json.loads(json.dumps(first.checkpoint()))
+        resumed = streaming_matcher_from_checkpoint(payload, system)
+        for position, (etype, time) in enumerate(stream[cut:], start=cut):
+            try:
+                collected.extend(resumed.feed(etype, time))
+            except EventValidationError as exc:
+                quarantine.add(exc.reason, raw=(etype, time), line=position)
+        collected.extend(resumed.flush())
+
+        assert as_json(collected) == as_json(full)
+        assert len(quarantine) == result.stats["corrupted"]
+
+    def test_lateness_beyond_watermark_degrades_not_raises(self, chain_cet):
+        """With a too-small lateness bound events get dropped, counted,
+        and every detection that still fires is one the clean run has."""
+        injector = FaultInjector(
+            7, delay_rate=0.4, max_delay=MAX_DELAY
+        )
+        result = injector.inject(make_stream(7))
+        matcher = StreamingMatcher(
+            build_tag(chain_cet), max_lateness=STEP  # far below MAX_DELAY
+        )
+        detections = chaos_feed(matcher, result.stream, Quarantine())
+        assert matcher.late_events_dropped > 0
+        # Dropping events can postpone or lose completions but never
+        # invent anchors the clean run would not detect.
+        expected = {
+            d.anchor_time for d in reference_run(chain_cet, result.clean)
+        }
+        got = {d.anchor_time for d in detections}
+        assert got <= expected
+
+    def test_heavy_corruption_only_reduces_throughput(self, chain_cet):
+        injector = FaultInjector(13, corrupt_rate=0.5)
+        result = injector.inject(make_stream(13, n=200))
+        matcher = StreamingMatcher(build_tag(chain_cet), max_lateness=0)
+        quarantine = Quarantine()
+        detections = chaos_feed(matcher, result.stream, quarantine)
+        assert len(quarantine) == result.stats["corrupted"]
+        assert matcher.events_processed == len(result.clean)
+        expected = reference_run(chain_cet, result.clean)
+        assert as_json(detections) == as_json(expected)

@@ -1,0 +1,84 @@
+"""The deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.resilience import FaultInjector, describe_invalid
+
+
+def grid_stream(n=200, step=60):
+    types = ["a", "b", "c", "n"]
+    return [(types[i % 4], i * step) for i in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        kwargs = dict(
+            drop_rate=0.1,
+            duplicate_rate=0.1,
+            delay_rate=0.3,
+            max_delay=600,
+            corrupt_rate=0.1,
+        )
+        first = FaultInjector(42, **kwargs).inject(grid_stream())
+        second = FaultInjector(42, **kwargs).inject(grid_stream())
+        assert first.stream == second.stream
+        assert first.clean == second.clean
+        assert first.stats == second.stats
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(drop_rate=0.2, delay_rate=0.3, max_delay=600)
+        first = FaultInjector(1, **kwargs).inject(grid_stream())
+        second = FaultInjector(2, **kwargs).inject(grid_stream())
+        assert first.stream != second.stream
+
+
+class TestBookkeeping:
+    def test_stats_add_up(self):
+        result = FaultInjector(
+            5, drop_rate=0.2, duplicate_rate=0.2, corrupt_rate=0.2
+        ).inject(grid_stream())
+        stats = result.stats
+        assert stats["total"] == 200
+        assert stats["emitted"] == (
+            stats["total"] - stats["dropped"] + stats["duplicated"]
+        )
+        assert len(result.stream) == stats["emitted"]
+        assert len(result.clean) == stats["emitted"] - stats["corrupted"]
+
+    def test_no_faults_is_identity(self):
+        stream = grid_stream()
+        result = FaultInjector(0).inject(stream)
+        assert result.stream == stream
+        assert result.clean == stream
+
+    def test_clean_reference_is_time_sorted_survivors(self):
+        result = FaultInjector(
+            9, drop_rate=0.1, delay_rate=0.5, max_delay=900
+        ).inject(grid_stream())
+        stamps = [time for _, time in result.clean]
+        assert stamps == sorted(stamps)
+
+    def test_corrupt_records_fail_validation(self):
+        result = FaultInjector(3, corrupt_rate=1.0).inject(grid_stream(50))
+        assert result.stats["corrupted"] == 50
+        for etype, time in result.stream:
+            assert describe_invalid(etype, time) is not None
+        assert result.clean == []
+
+    def test_delay_bounded_by_max_delay(self):
+        """Arrival lateness of valid events never exceeds max_delay."""
+        max_delay = 600
+        result = FaultInjector(
+            11, delay_rate=0.5, max_delay=max_delay
+        ).inject(grid_stream())
+        max_seen = None
+        for etype, time in result.stream:
+            if max_seen is not None:
+                assert max_seen - time <= max_delay
+            max_seen = time if max_seen is None else max(max_seen, time)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0, drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(0, max_delay=-1)

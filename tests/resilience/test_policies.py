@@ -1,0 +1,93 @@
+"""Anchor-overflow degradation policies."""
+
+import pytest
+
+from repro.automata import StreamingMatcher, build_tag
+from repro.granularity.gregorian import SECONDS_PER_HOUR
+from repro.resilience import apply_overflow, normalize_overflow_policy
+
+H = SECONDS_PER_HOUR
+
+
+class TestApplyOverflow:
+    def test_under_cap_is_identity(self):
+        anchors = [1, 2, 3]
+        kept, shed = apply_overflow(anchors, 5, "shed-oldest")
+        assert kept == [1, 2, 3] and shed == 0
+
+    def test_shed_oldest_keeps_tail(self):
+        kept, shed = apply_overflow(list(range(10)), 4, "shed-oldest")
+        assert kept == [6, 7, 8, 9] and shed == 6
+
+    def test_shed_newest_keeps_head(self):
+        kept, shed = apply_overflow(list(range(10)), 4, "shed-newest")
+        assert kept == [0, 1, 2, 3] and shed == 6
+
+    def test_sample_is_evenly_spaced_and_deterministic(self):
+        kept, shed = apply_overflow(list(range(10)), 4, "sample")
+        assert kept == [0, 2, 5, 7] and shed == 6
+        again, _ = apply_overflow(list(range(10)), 4, "sample")
+        assert again == kept
+
+    def test_raise_policy_raises(self):
+        with pytest.raises(RuntimeError):
+            apply_overflow(list(range(3)), 2, "raise")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_overflow_policy("drop-everything")
+
+
+class TestMatcherDegradation:
+    def _flood(self, chain_cet, policy, cap=3, roots=10):
+        matcher = StreamingMatcher(
+            build_tag(chain_cet),
+            max_live_anchors=cap,
+            overflow_policy=policy,
+        )
+        for i in range(roots):
+            matcher.feed("a", i)
+        return matcher
+
+    def test_raise_is_still_the_default(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_live_anchors=2)
+        matcher.feed("a", 0)
+        matcher.feed("a", 1)
+        with pytest.raises(RuntimeError):
+            matcher.feed("a", 2)
+
+    def test_shed_oldest_keeps_newest_roots(self, chain_cet):
+        matcher = self._flood(chain_cet, "shed-oldest")
+        assert matcher.live_anchors == 3
+        assert matcher.anchors_shed == 7
+        matcher.feed("b", H)
+        detections = matcher.feed("c", 2 * H)
+        assert {d.anchor_time for d in detections} == {7, 8, 9}
+
+    def test_shed_newest_keeps_oldest_roots(self, chain_cet):
+        matcher = self._flood(chain_cet, "shed-newest")
+        assert matcher.live_anchors == 3
+        assert matcher.anchors_shed == 7
+        matcher.feed("b", H)
+        detections = matcher.feed("c", 2 * H)
+        assert {d.anchor_time for d in detections} == {0, 1, 2}
+
+    def test_sample_never_raises_and_is_deterministic(self, chain_cet):
+        first = self._flood(chain_cet, "sample")
+        second = self._flood(chain_cet, "sample")
+        assert first.live_anchors == 3
+        assert first.anchors_shed == 7
+        first.feed("b", H)
+        second.feed("b", H)
+        anchors_a = {d.anchor_time for d in first.feed("c", 2 * H)}
+        anchors_b = {d.anchor_time for d in second.feed("c", 2 * H)}
+        assert anchors_a == anchors_b
+        assert len(anchors_a) == 3
+
+    def test_shed_counter_in_stats(self, chain_cet):
+        matcher = self._flood(chain_cet, "shed-oldest")
+        assert matcher.stats()["anchors_shed"] == 7
+
+    def test_unknown_policy_rejected_at_construction(self, chain_cet):
+        with pytest.raises(ValueError):
+            StreamingMatcher(build_tag(chain_cet), overflow_policy="bogus")

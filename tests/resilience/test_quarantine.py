@@ -1,0 +1,125 @@
+"""Quarantine (dead-letter) channel for malformed JSONL/CSV records."""
+
+import io
+import json
+
+import pytest
+
+from repro.io.csvlog import CsvFormatError, read_events
+from repro.resilience import Quarantine
+from repro.store import EventStore
+
+
+GOOD = {"id": 0, "etype": "login", "time": 100, "attributes": {}}
+
+
+def jsonl(*lines):
+    return io.StringIO("\n".join(lines) + "\n")
+
+
+class TestLoadJsonl:
+    def test_strict_load_still_aborts(self):
+        source = jsonl(json.dumps(GOOD), "{broken json")
+        with pytest.raises(ValueError):
+            EventStore.load_jsonl(source)
+
+    def test_quarantine_collects_and_continues(self):
+        source = jsonl(
+            json.dumps(GOOD),
+            "{broken json",
+            json.dumps({"etype": "x", "time": 5}),  # missing id
+            json.dumps({"id": 2, "etype": "", "time": 5}),  # empty type
+            json.dumps({"id": 3, "etype": "ok", "time": -4}),  # bad time
+            json.dumps({"id": 4, "etype": "logout", "time": 900}),
+        )
+        quarantine = Quarantine(source="events.jsonl")
+        store = EventStore.load_jsonl(source, quarantine=quarantine)
+        assert [r.etype for r in store] == ["login", "logout"]
+        assert store._next_id == 5
+        assert len(quarantine) == 4
+        assert [r.line for r in quarantine] == [2, 3, 4, 5]
+        for record in quarantine:
+            assert record.reason
+            assert record.source == "events.jsonl"
+
+    def test_quarantined_raw_is_the_line_text(self):
+        source = jsonl(json.dumps(GOOD), "oops")
+        quarantine = Quarantine()
+        EventStore.load_jsonl(source, quarantine=quarantine)
+        (record,) = quarantine.records
+        assert record.raw == "oops"
+
+    def test_all_bad_lines_yield_empty_store(self):
+        source = jsonl("nope", "also nope")
+        quarantine = Quarantine()
+        store = EventStore.load_jsonl(source, quarantine=quarantine)
+        assert len(store) == 0
+        assert len(quarantine) == 2
+
+
+class TestReadEventsCsv:
+    TEXT = (
+        "event_type,timestamp\n"
+        "a,100\n"
+        "only-one-column\n"
+        "b,not-a-stamp\n"
+        ",300\n"
+        "c,2000-01-02\n"
+    )
+
+    def test_strict_read_still_aborts(self):
+        with pytest.raises(CsvFormatError):
+            read_events(io.StringIO(self.TEXT))
+
+    def test_quarantine_collects_and_continues(self):
+        quarantine = Quarantine(source="log.csv")
+        sequence = read_events(io.StringIO(self.TEXT), quarantine=quarantine)
+        assert [e.etype for e in sequence] == ["a", "c"]
+        assert len(quarantine) == 3
+        assert [r.line for r in quarantine] == [3, 4, 5]
+        reasons = " | ".join(r.reason for r in quarantine)
+        assert "expected" in reasons  # column-count failure
+        assert "unparseable timestamp" in reasons
+        assert "empty event type" in reasons
+
+    def test_from_csv_passthrough(self):
+        quarantine = Quarantine()
+        store = EventStore.from_csv(io.StringIO(self.TEXT), quarantine)
+        assert [r.etype for r in store] == ["a", "c"]
+        assert len(quarantine) == 3
+
+
+class TestQuarantineChannel:
+    def test_summary_and_reasons_histogram(self):
+        quarantine = Quarantine()
+        assert quarantine.summary() == "quarantine empty"
+        quarantine.add("bad timestamp", raw="x,-1", line=1)
+        quarantine.add("bad timestamp", raw="y,-2", line=2)
+        quarantine.add("empty event type", raw=",3", line=3)
+        assert quarantine.reasons() == {
+            "bad timestamp": 2,
+            "empty event type": 1,
+        }
+        summary = quarantine.summary()
+        assert "3 record(s)" in summary
+        assert "2 x bad timestamp" in summary
+
+    def test_save_jsonl_roundtrips_through_json(self, tmp_path):
+        quarantine = Quarantine(source="feed")
+        quarantine.add("broken", raw={"id": object()}, line=7)
+        quarantine.add("broken", raw=["plain", 1], line=8)
+        path = tmp_path / "dead-letters.jsonl"
+        quarantine.save_jsonl(str(path))
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[0]["line"] == 7
+        assert lines[1]["raw"] == ["plain", 1]
+
+    def test_boolean_protocol(self):
+        quarantine = Quarantine()
+        assert not quarantine
+        quarantine.add("x")
+        assert quarantine

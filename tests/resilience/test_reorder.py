@@ -1,0 +1,131 @@
+"""Reorder buffer: watermarks, lateness accounting, matcher wiring."""
+
+import random
+
+import pytest
+
+from repro.automata import StreamingMatcher, build_tag
+from repro.granularity.gregorian import SECONDS_PER_HOUR
+from repro.resilience import ReorderBuffer
+
+H = SECONDS_PER_HOUR
+
+
+class TestBufferUnit:
+    def test_in_order_passthrough(self):
+        buffer = ReorderBuffer(max_lateness=0)
+        assert buffer.push("a", 10) == [("a", 10)]
+        assert buffer.push("b", 20) == [("b", 20)]
+        assert buffer.late_dropped == 0
+        assert buffer.pending == 0
+
+    def test_jitter_reordered(self):
+        buffer = ReorderBuffer(max_lateness=100)
+        released = []
+        for etype, time in [("a", 50), ("b", 140), ("c", 90), ("d", 200)]:
+            released.extend(buffer.push(etype, time))
+        released.extend(buffer.flush())
+        assert released == [("a", 50), ("c", 90), ("b", 140), ("d", 200)]
+        assert buffer.late_dropped == 0
+
+    def test_release_order_is_nondecreasing(self):
+        rng = random.Random(3)
+        buffer = ReorderBuffer(max_lateness=500)
+        times = [rng.randrange(0, 5000) for _ in range(300)]
+        released = []
+        for time in times:
+            released.extend(buffer.push("x", time))
+        released.extend(buffer.flush())
+        stamps = [time for _, time in released]
+        assert stamps == sorted(stamps)
+        assert len(released) + buffer.late_dropped == len(times)
+
+    def test_too_late_dropped_and_counted(self):
+        buffer = ReorderBuffer(max_lateness=50)
+        buffer.push("a", 1000)
+        assert buffer.push("late", 900) == []
+        assert buffer.late_dropped == 1
+        assert buffer.last_late == ("late", 900)
+
+    def test_event_at_watermark_accepted(self):
+        buffer = ReorderBuffer(max_lateness=100)
+        buffer.push("a", 1000)
+        assert buffer.watermark == 900
+        released = buffer.push("edge", 900)
+        assert ("edge", 900) in released
+        assert buffer.late_dropped == 0
+
+    def test_ties_release_in_arrival_order(self):
+        buffer = ReorderBuffer(max_lateness=1000)
+        buffer.push("first", 500)
+        buffer.push("second", 500)
+        assert buffer.flush() == [("first", 500), ("second", 500)]
+
+    def test_watermark_none_before_first_event(self):
+        buffer = ReorderBuffer(max_lateness=10)
+        assert buffer.watermark is None
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(max_lateness=-1)
+
+    def test_checkpoint_roundtrip_mid_stream(self):
+        buffer = ReorderBuffer(max_lateness=300)
+        buffer.push("a", 100)
+        buffer.push("b", 500)
+        buffer.push("too-late", 50)
+        restored = ReorderBuffer.from_dict(buffer.to_dict())
+        assert restored.watermark == buffer.watermark
+        assert restored.late_dropped == 1
+        assert restored.flush() == buffer.flush()
+
+
+class TestMatcherWithBuffer:
+    def test_jittered_stream_matches_clean_run(self, chain_cet):
+        events = [("a", 0), ("b", H), ("c", 2 * H), ("a", 3 * H),
+                  ("b", 4 * H), ("c", 5 * H)]
+        rng = random.Random(7)
+        jittered = list(events)
+        # Swap adjacent pairs: worst-case lateness is one grid step.
+        for i in range(0, len(jittered) - 1, 2):
+            if rng.random() < 0.8:
+                jittered[i], jittered[i + 1] = jittered[i + 1], jittered[i]
+        clean = StreamingMatcher(build_tag(chain_cet))
+        expected = [d for e, t in events for d in clean.feed(e, t)]
+        tolerant = StreamingMatcher(build_tag(chain_cet), max_lateness=2 * H)
+        got = [d for e, t in jittered for d in tolerant.feed(e, t)]
+        got.extend(tolerant.flush())
+        assert got == expected
+        assert tolerant.late_events_dropped == 0
+
+    def test_out_of_order_no_longer_raises(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_lateness=H)
+        matcher.feed("a", 10 * H)
+        assert matcher.feed("b", 0) == []  # beyond lateness: dropped
+        assert matcher.late_events_dropped == 1
+        assert matcher.stats()["late_events_dropped"] == 1
+
+    def test_strict_mode_unchanged(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 100)
+        with pytest.raises(ValueError):
+            matcher.feed("b", 50)
+        assert matcher.flush() == []  # no buffer: flush is a no-op
+
+    def test_watermark_exposed(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_lateness=60)
+        assert matcher.watermark is None
+        matcher.feed("a", 1000)
+        assert matcher.watermark == 940
+        assert matcher.pending_reordered == 1  # held until watermark passes
+
+    def test_detection_waits_for_watermark(self, chain_cet):
+        """Completions are only emitted once their events are final."""
+        matcher = StreamingMatcher(build_tag(chain_cet), max_lateness=H)
+        assert matcher.feed("a", 0) == []
+        assert matcher.feed("b", H) == []
+        detections = matcher.feed("c", 2 * H)  # c itself is not final yet
+        later = matcher.feed("noise", 4 * H)  # advances watermark past c
+        assert detections == []
+        assert [d.anchor_time for d in later] == [0]
+        assert matcher.flush() == []

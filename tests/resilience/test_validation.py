@@ -1,0 +1,117 @@
+"""Edge validation: one shared error type across matcher and store."""
+
+import pytest
+
+from repro.automata import StreamingMatcher, build_tag
+from repro.granularity.gregorian import SECONDS_PER_HOUR
+from repro.mining.events import Event
+from repro.resilience import (
+    EventValidationError,
+    StreamFeedError,
+    describe_invalid,
+    validate_event,
+)
+from repro.store import EventStore
+
+H = SECONDS_PER_HOUR
+
+BAD_EVENTS = [
+    ("", 10),
+    (None, 10),
+    (42, 10),
+    ("ok", -1),
+    ("ok", 1.5),
+    ("ok", "10"),
+    ("ok", True),
+    ("ok", None),
+]
+
+
+class TestValidateEvent:
+    @pytest.mark.parametrize("etype,time", BAD_EVENTS)
+    def test_rejects(self, etype, time):
+        with pytest.raises(EventValidationError):
+            validate_event(etype, time)
+        assert describe_invalid(etype, time) is not None
+
+    def test_accepts_valid(self):
+        validate_event("x", 0)
+        validate_event("x", 10**12)
+        assert describe_invalid("x", 0) is None
+
+    def test_error_carries_offending_values(self):
+        with pytest.raises(EventValidationError) as excinfo:
+            validate_event("", 7)
+        assert excinfo.value.etype == ""
+        assert excinfo.value.time == 7
+
+    def test_is_a_value_error(self):
+        assert issubclass(EventValidationError, ValueError)
+
+
+class TestMatcherEdge:
+    @pytest.mark.parametrize("etype,time", BAD_EVENTS)
+    def test_feed_rejects_with_shared_type(self, chain_cet, etype, time):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        with pytest.raises(EventValidationError):
+            matcher.feed(etype, time)
+        # State untouched: nothing counted, no anchors opened.
+        assert matcher.events_received == 0
+        assert matcher.live_anchors == 0
+
+    def test_rejected_even_with_reorder_buffer(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_lateness=H)
+        with pytest.raises(EventValidationError):
+            matcher.feed("", 5)
+        assert matcher.pending_reordered == 0
+
+
+class TestStoreEdge:
+    @pytest.mark.parametrize("etype,time", BAD_EVENTS)
+    def test_extend_rejects_with_shared_type(self, etype, time):
+        store = EventStore()
+        with pytest.raises(EventValidationError):
+            store.extend([("good", 1), (etype, time)])
+        assert len(store) == 1  # events before the bad one stay
+
+    def test_append_rejects_too(self):
+        with pytest.raises(EventValidationError):
+            EventStore().append("", 3)
+
+
+class TestFeedSequenceProvenance:
+    def test_wraps_validation_failure_with_position(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        events = [Event("a", 0), Event("b", H), ("", 2 * H)]
+        with pytest.raises(StreamFeedError) as excinfo:
+            matcher.feed_sequence(events)
+        error = excinfo.value
+        assert error.index == 2
+        assert error.etype == ""
+        assert error.time == 2 * H
+        assert isinstance(error.__cause__, EventValidationError)
+        assert "#2" in str(error)
+
+    def test_wraps_out_of_order_failure(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        with pytest.raises(StreamFeedError) as excinfo:
+            matcher.feed_sequence([("a", 100), ("b", 50)])
+        assert excinfo.value.index == 1
+        assert excinfo.value.time == 50
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_wraps_overflow_failure(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_live_anchors=1)
+        with pytest.raises(StreamFeedError) as excinfo:
+            matcher.feed_sequence([("a", 0), ("a", 1)])
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_is_a_value_error(self):
+        assert issubclass(StreamFeedError, ValueError)
+
+    def test_success_path_unchanged(self, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        detections = matcher.feed_sequence(
+            [Event("a", 0), Event("b", H), Event("c", 2 * H)]
+        )
+        assert len(detections) == 1

@@ -55,3 +55,10 @@ class TestApiDocSnippets:
         blocks = python_blocks(REPO_ROOT / "docs" / "API.md")
         assert blocks
         run_blocks(blocks, tmp_path, monkeypatch)
+
+
+class TestResilienceSnippets:
+    def test_all_blocks_execute(self, tmp_path, monkeypatch):
+        blocks = python_blocks(REPO_ROOT / "docs" / "RESILIENCE.md")
+        assert len(blocks) >= 5
+        run_blocks(blocks, tmp_path, monkeypatch)

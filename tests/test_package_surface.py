@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.automata",
     "repro.mining",
     "repro.hardness",
+    "repro.resilience",
     "repro.simulation",
     "repro.store",
     "repro.io",
