@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..constraints.structure import ComplexEventType, EventStructure
+from ..granularity.registry import GranularitySystem
 from .clocks import And, Clock, ClockConstraint, TrueConstraint, within
 from .tag import ANY, TAG, Transition
 
@@ -58,8 +59,18 @@ class TagBuild:
         return self.complex_event_type.event_type(self.structure.root)
 
 
-def build_tag(complex_event_type: ComplexEventType) -> TagBuild:
-    """Construct the TAG recognising occurrences of a complex event type."""
+def build_tag(
+    complex_event_type: ComplexEventType,
+    system: Optional[GranularitySystem] = None,
+) -> TagBuild:
+    """Construct the TAG recognising occurrences of a complex event type.
+
+    When a granularity ``system`` is given, clock granularities are
+    resolved through it, so every clock of every TAG built against the
+    same system shares the registered type instances (and therefore the
+    system's size tables and the process-wide conversion cache) instead
+    of holding private copies.
+    """
     structure = complex_event_type.structure
     chains = structure.chains()
     variable_positions: Dict[str, List[Tuple[int, int]]] = {}
@@ -69,7 +80,7 @@ def build_tag(complex_event_type: ComplexEventType) -> TagBuild:
                 (chain_index, position)
             )
 
-    clocks = _chain_clocks(structure, chains)
+    clocks = _chain_clocks(structure, chains, system)
     chain_clock_names = [
         frozenset(
             name
@@ -144,7 +155,9 @@ def build_tag(complex_event_type: ComplexEventType) -> TagBuild:
 
 
 def _chain_clocks(
-    structure: EventStructure, chains: Sequence[Tuple[str, ...]]
+    structure: EventStructure,
+    chains: Sequence[Tuple[str, ...]],
+    system: Optional[GranularitySystem] = None,
 ) -> Dict[str, Clock]:
     """One clock per (chain, granularity appearing in that chain)."""
     clocks: Dict[str, Clock] = {}
@@ -153,5 +166,10 @@ def _chain_clocks(
             for tcg in structure.tcgs(chain[position - 1], chain[position]):
                 name = clock_name(chain_index, tcg.label)
                 if name not in clocks:
-                    clocks[name] = Clock(name, tcg.granularity)
+                    granularity = (
+                        system.resolve(tcg.granularity)
+                        if system is not None
+                        else tcg.granularity
+                    )
+                    clocks[name] = Clock(name, granularity)
     return clocks

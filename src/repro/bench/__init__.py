@@ -1,0 +1,29 @@
+"""Benchmark regression harness for the X1-X10 experiment suite.
+
+See :mod:`repro.bench.harness` for the machinery and
+``docs/PERFORMANCE.md`` for how to run it and read its reports.
+"""
+
+from .harness import (
+    EXPERIMENT_NAMES,
+    PROFILES,
+    BenchmarkRegression,
+    assert_no_regressions,
+    compare_payloads,
+    format_comparison,
+    load_payload,
+    run_suite,
+    save_payload,
+)
+
+__all__ = [
+    "EXPERIMENT_NAMES",
+    "PROFILES",
+    "BenchmarkRegression",
+    "assert_no_regressions",
+    "compare_payloads",
+    "format_comparison",
+    "load_payload",
+    "run_suite",
+    "save_payload",
+]

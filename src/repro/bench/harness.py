@@ -1,0 +1,515 @@
+"""The X1-X10 regression harness behind ``repro bench``.
+
+Unlike the pytest-benchmark suites in ``benchmarks/`` (which exist to
+*regenerate paper artifacts* with statistical care), this module is a
+fast, dependency-free sweep of the same ten experiments designed for
+regression gating: each experiment runs a small pinned workload a few
+times, records the median wall time plus its work counters, and the
+result is written as a ``BENCH_*.json`` file that later runs (or CI)
+compare against with a configurable tolerance.
+
+Two profiles are provided: ``quick`` (seconds, the CI gate) and
+``full`` (larger workloads for local investigation).  Workloads are
+pinned by seed, so counter columns are bitwise reproducible; wall times
+are machine-dependent, which is why the CI gate compares two runs from
+the *same* machine rather than a checked-in timing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..constraints import (
+    TCG,
+    ComplexEventType,
+    EventStructure,
+    propagate,
+)
+from ..constraints.propagation import resolve_engine
+from ..granularity import GranularitySystem, standard_system
+
+#: Payload format version (bump when the JSON layout changes).
+SCHEMA_VERSION = 1
+
+#: repeats per experiment, and the scale knob each workload interprets.
+PROFILES: Dict[str, Dict[str, int]] = {
+    "quick": {"repeats": 3, "scale": 1},
+    "full": {"repeats": 7, "scale": 2},
+}
+
+
+class BenchmarkRegression(RuntimeError):
+    """Raised (by the CLI path) when a run regresses past tolerance."""
+
+
+@dataclass
+class _Workload:
+    """One prepared experiment: a closure to time plus fixed counters."""
+
+    run: Callable[[], Dict[str, object]]
+
+
+def _figure_1a(system: GranularitySystem) -> EventStructure:
+    bday = system.get("b-day")
+    hour = system.get("hour")
+    week = system.get("week")
+    return EventStructure(
+        ["X0", "X1", "X2", "X3"],
+        {
+            ("X0", "X1"): [TCG(1, 1, bday)],
+            ("X1", "X3"): [TCG(0, 1, week)],
+            ("X0", "X2"): [TCG(0, 5, bday)],
+            ("X2", "X3"): [TCG(0, 8, hour)],
+        },
+    )
+
+
+def _figure_1b(system: GranularitySystem) -> EventStructure:
+    month = system.get("month")
+    year = system.get("year")
+    return EventStructure(
+        ["X0", "X1", "X2", "X3"],
+        {
+            ("X0", "X1"): [TCG(11, 11, month), TCG(0, 0, year)],
+            ("X0", "X2"): [TCG(0, 12, month)],
+            ("X2", "X3"): [TCG(11, 11, month), TCG(0, 0, year)],
+        },
+    )
+
+
+def _example1_cet(system: GranularitySystem) -> ComplexEventType:
+    return ComplexEventType(
+        _figure_1a(system),
+        {
+            "X0": "IBM-rise",
+            "X1": "IBM-earnings-report",
+            "X2": "HP-rise",
+            "X3": "IBM-fall",
+        },
+    )
+
+
+def _random_dag(
+    n: int, system: GranularitySystem, rng: random.Random
+) -> EventStructure:
+    """The X4 workload shape: rooted DAG, ~1.5 n arcs, 4 granularities."""
+    labels = ["hour", "day", "week", "b-day"]
+    names = ["V%d" % i for i in range(n)]
+    constraints = {}
+    for i in range(1, n):
+        parent = names[rng.randrange(0, i)]
+        m = rng.randrange(0, 3)
+        constraints[(parent, names[i])] = [
+            TCG(m, m + rng.randrange(0, 4), system.get(rng.choice(labels)))
+        ]
+    for _ in range(n // 2):
+        a, b = sorted(rng.sample(range(n), 2))
+        arc = (names[a], names[b])
+        if arc not in constraints:
+            constraints[arc] = [TCG(0, 30 * n, system.get("day"))]
+    return EventStructure(names, constraints)
+
+
+def _consistent_random_dag(
+    n: int, system: GranularitySystem, rng: random.Random
+) -> EventStructure:
+    for _ in range(50):
+        structure = _random_dag(n, system, rng)
+        if propagate(structure, system, engine="python").consistent:
+            return structure
+    raise RuntimeError("no consistent random structure in 50 draws")
+
+
+def _planted_workload(
+    system: GranularitySystem, n_roots: int, seed: int
+):
+    from ..mining.generator import planted_sequence
+
+    cet = _example1_cet(system)
+    sequence, _ = planted_sequence(
+        cet,
+        system,
+        n_roots=n_roots,
+        confidence=0.9,
+        rng=random.Random(seed),
+        noise_types=["HP-fall", "DEC-rise", "DEC-fall", "SUN-rise"],
+    )
+    return cet, sequence
+
+
+# ----------------------------------------------------------------------
+# Experiment definitions
+# ----------------------------------------------------------------------
+def _x1(system, engine, scale) -> _Workload:
+    """Figure 1(a) propagation (the Section 5.1 worked numbers)."""
+    structure = _figure_1a(system)
+
+    def run():
+        result = propagate(structure, system, engine=engine)
+        return {
+            "iterations": result.iterations,
+            "conversions": result.conversions_performed,
+            "cache_hits": result.conversion_cache_hits,
+        }
+
+    return _Workload(run)
+
+
+def _x2(system, engine, scale) -> _Workload:
+    """Figure 1(b): the gadget propagation provably cannot refute."""
+    structure = _figure_1b(system)
+
+    def run():
+        result = propagate(structure, system, engine=engine)
+        return {
+            "iterations": result.iterations,
+            "consistent": result.consistent,
+        }
+
+    return _Workload(run)
+
+
+def _x3(system, engine, scale) -> _Workload:
+    """A small exact consistency search (the Theorem 1 machinery)."""
+    from ..constraints import check_consistency_exact
+    from ..granularity.gregorian import SECONDS_PER_DAY
+
+    structure = _figure_1a(system)
+
+    def run():
+        report = check_consistency_exact(
+            structure, system, window_seconds=30 * SECONDS_PER_DAY
+        )
+        return {"consistent": report.consistent}
+
+    return _Workload(run)
+
+
+def _x4(system, engine, scale) -> _Workload:
+    """Propagation on a random 48/64-node DAG: the fast-path showcase.
+
+    Times the selected engine but also medians the pure-Python
+    reference on the same structure, so the payload records the
+    engine's speedup (the PR-2 acceptance number).
+    """
+    n = 48 * scale
+    structure = _consistent_random_dag(n, system, random.Random(n))
+
+    def run():
+        reference_times = []
+        for _ in range(3):
+            start = time.perf_counter()
+            propagate(structure, system, engine="python")
+            reference_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        result = propagate(structure, system, engine=engine)
+        fast_seconds = time.perf_counter() - start
+        reference_seconds = statistics.median(reference_times)
+        return {
+            "n_variables": n,
+            "iterations": result.iterations,
+            "closures_full": result.closures_full,
+            "closures_incremental": result.closures_incremental,
+            "reference_median_seconds": reference_seconds,
+            "engine_seconds": fast_seconds,
+            "speedup_vs_reference": (
+                reference_seconds / fast_seconds if fast_seconds else 0.0
+            ),
+        }
+
+    return _Workload(run)
+
+
+def _x5(system, engine, scale) -> _Workload:
+    """TAG construction for the Example 1 pattern (Theorem 3)."""
+    from ..automata.builder import build_tag
+
+    cet = _example1_cet(system)
+
+    def run():
+        build = build_tag(cet, system=system)
+        return {
+            "states": len(build.tag.states),
+            "transitions": len(build.tag.transitions),
+        }
+
+    return _Workload(run)
+
+
+def _x6(system, engine, scale) -> _Workload:
+    """TAG matching over a planted log (Theorem 4)."""
+    from ..automata.builder import build_tag
+    from ..automata.matching import TagMatcher
+
+    cet, sequence = _planted_workload(system, n_roots=10 * scale, seed=6)
+    matcher = TagMatcher(build_tag(cet, system=system))
+
+    def run():
+        return {"matches": matcher.count_occurrences(sequence)}
+
+    return _Workload(run)
+
+
+def _x7(system, engine, scale) -> _Workload:
+    """The optimised discovery pipeline (Section 5 steps 1-5)."""
+    from ..mining.discovery import EventDiscoveryProblem, discover
+
+    cet, sequence = _planted_workload(system, n_roots=10 * scale, seed=7)
+
+    def run():
+        problem = EventDiscoveryProblem(
+            structure=cet.structure,
+            min_confidence=0.5,
+            reference_type="IBM-rise",
+        )
+        outcome = discover(problem, sequence, system, engine=engine)
+        return {
+            "solutions": len(outcome.solutions),
+            "candidates_evaluated": outcome.candidates_evaluated,
+            "automaton_starts": outcome.automaton_starts,
+        }
+
+    return _Workload(run)
+
+
+def _x8(system, engine, scale) -> _Workload:
+    """The naive baseline on the same problem (the X7 contrast)."""
+    from ..mining.discovery import EventDiscoveryProblem, naive_discover
+
+    cet, sequence = _planted_workload(system, n_roots=6 * scale, seed=8)
+
+    def run():
+        problem = EventDiscoveryProblem(
+            structure=cet.structure,
+            min_confidence=0.5,
+            reference_type="IBM-rise",
+        )
+        outcome = naive_discover(problem, sequence, system)
+        return {
+            "solutions": len(outcome.solutions),
+            "candidates_evaluated": outcome.candidates_evaluated,
+        }
+
+    return _Workload(run)
+
+
+def _x9(system, engine, scale) -> _Workload:
+    """Examples 1 and 2 end to end via the top-level API."""
+    from ..core.api import mine
+
+    cet, sequence = _planted_workload(system, n_roots=10 * scale, seed=9)
+
+    def run():
+        outcome = mine(
+            cet.structure,
+            "IBM-rise",
+            sequence,
+            min_confidence=0.5,
+            engine=engine,
+        )
+        return {"solutions": len(outcome.solutions)}
+
+    return _Workload(run)
+
+
+def _x10(system, engine, scale) -> _Workload:
+    """Ablation: propagation with a cold vs the warm conversion cache."""
+    from ..granularity.convcache import ConversionCache
+
+    structure = _consistent_random_dag(24 * scale, system, random.Random(10))
+
+    def run():
+        cold_system = standard_system(cache=ConversionCache())
+        cold = propagate(structure, cold_system, engine=engine)
+        warm = propagate(structure, cold_system, engine=engine)
+        return {
+            "cold_cache_misses": cold.conversion_cache_misses,
+            "warm_cache_misses": warm.conversion_cache_misses,
+            "warm_cache_hits": warm.conversion_cache_hits,
+        }
+
+    return _Workload(run)
+
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "X1": _x1,
+    "X2": _x2,
+    "X3": _x3,
+    "X4": _x4,
+    "X5": _x5,
+    "X6": _x6,
+    "X7": _x7,
+    "X8": _x8,
+    "X9": _x9,
+    "X10": _x10,
+}
+
+EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
+
+
+# ----------------------------------------------------------------------
+# Running and comparing
+# ----------------------------------------------------------------------
+def run_suite(
+    engine: str = "auto",
+    profile: str = "quick",
+    experiments: Optional[Sequence[str]] = None,
+    system: Optional[GranularitySystem] = None,
+) -> Dict[str, object]:
+    """Run the suite and return the ``BENCH_*.json`` payload.
+
+    ``experiments`` restricts the run to a subset of names (e.g.
+    ``["X1", "X4"]``); the default runs all ten.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            "unknown profile %r (expected one of %r)"
+            % (profile, sorted(PROFILES))
+        )
+    chosen = list(experiments) if experiments is not None else list(
+        EXPERIMENT_NAMES
+    )
+    unknown = [name for name in chosen if name not in _EXPERIMENTS]
+    if unknown:
+        raise ValueError("unknown experiments %r" % (unknown,))
+    resolved_engine = resolve_engine(engine)
+    repeats = PROFILES[profile]["repeats"]
+    scale = PROFILES[profile]["scale"]
+    system = system if system is not None else standard_system()
+    payload: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "profile": profile,
+        "engine": resolved_engine,
+        "repeats": repeats,
+        "experiments": {},
+    }
+    for name in chosen:
+        workload = _EXPERIMENTS[name](system, resolved_engine, scale)
+        times = []
+        counters: Dict[str, object] = {}
+        for _ in range(repeats):
+            start = time.perf_counter()
+            counters = workload.run()
+            times.append(time.perf_counter() - start)
+        payload["experiments"][name] = {
+            "median_seconds": statistics.median(times),
+            "repeats": repeats,
+            "counters": counters,
+        }
+    payload["conversion_cache"] = system.conversion_cache.stats()
+    payload["size_tables"] = system.size_table_stats()
+    return payload
+
+
+def compare_payloads(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.25,
+    min_delta_seconds: float = 0.005,
+) -> List[Dict[str, object]]:
+    """Per-experiment comparison rows against a baseline payload.
+
+    An experiment *regresses* when its median wall time exceeds the
+    baseline's by more than ``tolerance`` (0.25 = +25%) *and* by more
+    than ``min_delta_seconds`` in absolute terms - the floor keeps
+    scheduler jitter on sub-millisecond experiments from tripping the
+    gate (a 0.4 ms experiment can easily double without meaning
+    anything).  Experiments missing from either payload are reported
+    with ``ratio`` None and never count as regressions (so suites can
+    grow).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    rows: List[Dict[str, object]] = []
+    current_runs = current.get("experiments", {})
+    baseline_runs = baseline.get("experiments", {})
+    for name in EXPERIMENT_NAMES:
+        cur = current_runs.get(name)
+        base = baseline_runs.get(name)
+        if cur is None or base is None:
+            if cur is not None or base is not None:
+                rows.append(
+                    {
+                        "experiment": name,
+                        "current_seconds": cur and cur["median_seconds"],
+                        "baseline_seconds": base and base["median_seconds"],
+                        "ratio": None,
+                        "regressed": False,
+                    }
+                )
+            continue
+        cur_s = float(cur["median_seconds"])
+        base_s = float(base["median_seconds"])
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        rows.append(
+            {
+                "experiment": name,
+                "current_seconds": cur_s,
+                "baseline_seconds": base_s,
+                "ratio": ratio,
+                "regressed": (
+                    ratio > 1.0 + tolerance
+                    and cur_s - base_s > min_delta_seconds
+                ),
+            }
+        )
+    return rows
+
+
+def format_comparison(rows: Sequence[Dict[str, object]]) -> str:
+    """A fixed-width text table of :func:`compare_payloads` rows."""
+    lines = [
+        "%-6s %12s %12s %8s %s"
+        % ("exp", "current[s]", "baseline[s]", "ratio", "verdict")
+    ]
+    for row in rows:
+        ratio = row["ratio"]
+        lines.append(
+            "%-6s %12s %12s %8s %s"
+            % (
+                row["experiment"],
+                _fmt_seconds(row["current_seconds"]),
+                _fmt_seconds(row["baseline_seconds"]),
+                "%.2fx" % ratio if ratio is not None else "-",
+                "REGRESSED" if row["regressed"] else "ok",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt_seconds(value) -> str:
+    return "%.4f" % value if value is not None else "-"
+
+
+def assert_no_regressions(rows: Sequence[Dict[str, object]]) -> None:
+    """Raise :class:`BenchmarkRegression` when any comparison row
+    regressed (the programmatic form of the CLI's exit code 1)."""
+    regressed = [row["experiment"] for row in rows if row["regressed"]]
+    if regressed:
+        raise BenchmarkRegression(
+            "benchmark regression in %s" % ", ".join(map(str, regressed))
+        )
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    """Read a ``BENCH_*.json`` payload (validating the schema field)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported benchmark payload schema %r in %s (expected %d)"
+            % (payload.get("schema"), path, SCHEMA_VERSION)
+        )
+    return payload
+
+
+def save_payload(payload: Dict[str, object], path: str) -> None:
+    """Write a payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -7,7 +7,12 @@ Usage (also available as ``python -m repro.cli``)::
     repro replay PATTERN.json EVENTS.csv  # streaming (online) detection
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
+    repro bench --output BENCH.json       # X1-X10 regression harness
     repro dot STRUCTURE.json              # Graphviz export
+
+``check`` and ``mine`` accept ``--engine auto|python|numpy|fallback``
+to pick the propagation engine (a pure performance knob; see
+docs/PERFORMANCE.md).
 
 Structures/patterns/problems are the JSON payloads of
 :mod:`repro.io.serialize`; event logs are two-column CSV
@@ -25,7 +30,9 @@ from typing import List, Optional
 
 from .automata.builder import build_tag
 from .automata.matching import TagMatcher
-from .constraints.propagation import propagate
+from .bench.harness import PROFILES
+from .constraints.propagation import ENGINES, propagate
+from .constraints.stp import EngineUnavailable
 from .granularity.parser import GranularityParseError, parse_type
 from .granularity.registry import standard_system
 from .io.csvlog import read_events
@@ -39,10 +46,20 @@ from .io.serialize import (
 from .mining.discovery import discover
 
 
+def _add_engine_option(subparser) -> None:
+    subparser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="propagation engine (auto picks numpy when available; "
+        "every engine derives identical constraints)",
+    )
+
+
 def _cmd_check(args) -> int:
     system = standard_system()
     structure = structure_from_dict(load_json(args.structure), system)
-    result = propagate(structure, system)
+    result = propagate(structure, system, engine=args.engine)
     if not result.consistent:
         print("INCONSISTENT (refuted by approximate propagation)")
         return 1
@@ -147,7 +164,11 @@ def _cmd_mine(args) -> int:
     problem = problem_from_dict(load_json(args.problem), system)
     sequence = _load_events(args)
     outcome = discover(
-        problem, sequence, system, screen_depth=args.screen_depth
+        problem,
+        sequence,
+        system,
+        screen_depth=args.screen_depth,
+        engine=args.engine,
     )
     if not outcome.stats.consistent:
         print("structure is inconsistent; nothing to mine")
@@ -179,6 +200,55 @@ def _cmd_mine(args) -> int:
         ),
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import (
+        compare_payloads,
+        format_comparison,
+        load_payload,
+        run_suite,
+        save_payload,
+    )
+
+    experiments = (
+        [name.strip() for name in args.experiments.split(",") if name.strip()]
+        if args.experiments
+        else None
+    )
+    payload = run_suite(
+        engine=args.engine, profile=args.profile, experiments=experiments
+    )
+    for name, record in payload["experiments"].items():
+        print(
+            "%-4s median %.4fs  %s"
+            % (
+                name,
+                record["median_seconds"],
+                json.dumps(record["counters"], sort_keys=True),
+            )
+        )
+    if args.output:
+        save_payload(payload, args.output)
+        print("wrote %s" % args.output, file=sys.stderr)
+    if args.baseline:
+        baseline = load_payload(args.baseline)
+        rows = compare_payloads(
+            payload,
+            baseline,
+            tolerance=args.tolerance,
+            min_delta_seconds=args.min_delta,
+        )
+        print(format_comparison(rows))
+        if any(row["regressed"] for row in rows):
+            print(
+                "FAIL: regression beyond %.0f%% tolerance"
+                % (args.tolerance * 100),
+                file=sys.stderr,
+            )
+            return 1
+        print("no regression beyond %.0f%% tolerance" % (args.tolerance * 100))
     return 0
 
 
@@ -292,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "-v", "--verbose", action="store_true", help="print derived TCGs"
     )
+    _add_engine_option(check)
     check.set_defaults(func=_cmd_check)
 
     match = sub.add_parser("match", help="match a pattern against a log")
@@ -373,7 +444,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="quarantine malformed CSV rows instead of aborting",
     )
+    _add_engine_option(mine)
     mine.set_defaults(func=_cmd_mine)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the X1-X10 regression harness (see docs/PERFORMANCE.md)",
+    )
+    _add_engine_option(bench)
+    bench.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="quick",
+        help="workload size and repeat count",
+    )
+    bench.add_argument(
+        "--experiments",
+        default="",
+        metavar="NAMES",
+        help="comma-separated subset (e.g. X1,X4); default: all ten",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the run as a BENCH_*.json payload",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="compare against a previous BENCH_*.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed median-time growth vs the baseline (0.25 = +25%%)",
+    )
+    bench.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="absolute slowdown floor below which no experiment counts "
+        "as regressed (jitter guard for sub-millisecond workloads)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     generate = sub.add_parser(
         "generate", help="generate a synthetic log with planted patterns"
@@ -444,6 +559,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except FileNotFoundError as exc:
         print("error: file not found: %s" % exc.filename, file=sys.stderr)
+        return 2
+    except EngineUnavailable as exc:
+        print("error: %s" % exc, file=sys.stderr)
         return 2
     except (SerializationError, CsvFormatError, ValueError) as exc:
         # json.JSONDecodeError and GranularityParseError are ValueError

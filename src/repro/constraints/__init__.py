@@ -29,11 +29,20 @@ from .consistency import (
 from .entailment import entails, subsumes
 from .minimize import UnsatisfiableConjunction, dominates, minimal_tcg_set
 from .propagation import (
+    ENGINES,
     PropagationResult,
     check_consistency_approx,
     propagate,
+    resolve_engine,
 )
-from .stp import INF, STP, InconsistentSTP, solve_intervals
+from .stp import (
+    INF,
+    STP,
+    EngineUnavailable,
+    InconsistentSTP,
+    have_numpy,
+    solve_intervals,
+)
 from .structure import ComplexEventType, EventStructure
 from .tcg import TCG, tcg
 
@@ -44,9 +53,13 @@ __all__ = [
     "ComplexEventType",
     "STP",
     "InconsistentSTP",
+    "EngineUnavailable",
     "INF",
+    "have_numpy",
     "solve_intervals",
     "propagate",
+    "ENGINES",
+    "resolve_engine",
     "PropagationResult",
     "check_consistency_approx",
     "check_consistency_exact",

@@ -15,6 +15,26 @@ Guarantees (Theorem 2, all verified by the test suite):
 It is deliberately *incomplete*: Theorem 1 makes complete propagation
 NP-hard, and Figure 1(b)'s month/year gadget (test suite, experiment X2)
 exhibits the gap.
+
+Two interchangeable engines implement the loop (``engine=`` parameter):
+
+``python``
+    the paper-faithful reference: rebuild and fully re-close every
+    granularity group's STP each iteration;
+``numpy`` / ``fallback``
+    the fast path: per-group distance matrices persist across
+    iterations, groups whose arcs did not tighten since their last
+    closure are skipped outright, and tightened arcs are relaxed
+    incrementally in ``O(n^2)`` per arc instead of a full ``O(n^3)``
+    re-closure (``numpy`` additionally vectorises the initial full
+    closures; ``fallback`` is the same fast path on pure Python);
+``auto``
+    ``numpy`` when importable, ``fallback`` otherwise.
+
+The engines produce exactly equal derived intervals and consistency
+verdicts - the invariant enforced case-by-case by the differential
+oracle in ``tests/differential/`` - so callers may treat the engine
+choice as a pure performance knob.
 """
 
 from __future__ import annotations
@@ -24,12 +44,39 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..granularity.base import TemporalType
 from ..granularity.registry import GranularitySystem
-from .stp import STP, InconsistentSTP
+from .stp import (
+    STP,
+    EngineUnavailable,
+    InconsistentSTP,
+    have_numpy,
+    resolve_kernel,
+)
 from .structure import EventStructure
 from .tcg import TCG
 
 Arc = Tuple[str, str]
 Interval = Tuple[int, int]
+
+#: Engine names accepted by :func:`propagate` (and the CLI ``--engine``).
+ENGINES = ("auto", "python", "numpy", "fallback")
+
+
+def resolve_engine(engine: str) -> str:
+    """Normalise an engine name; ``auto`` prefers numpy.
+
+    Raises :class:`~repro.constraints.stp.EngineUnavailable` when
+    ``numpy`` is requested explicitly but not importable.
+    """
+    if engine == "auto":
+        return "numpy" if have_numpy() else "fallback"
+    if engine not in ENGINES:
+        raise ValueError(
+            "unknown propagation engine %r (expected one of %r)"
+            % (engine, ENGINES)
+        )
+    if engine == "numpy":
+        resolve_kernel("numpy")  # raises EngineUnavailable when absent
+    return engine
 
 
 @dataclass
@@ -38,6 +85,16 @@ class PropagationResult:
 
     ``consistent`` is False only when an inconsistency was *detected*;
     True means "not refuted" (the check is sound, not complete).
+
+    Work counters: ``conversions_performed`` counts *attempted*
+    conversions (every source-interval/target-granularity pair the loop
+    visited, whether or not the process-wide cache already knew the
+    answer); ``conversion_cache_hits`` / ``conversion_cache_misses``
+    split those attempts by cache outcome, so
+    ``conversion_cache_misses`` is the number of conversions actually
+    computed on behalf of this call.  ``closures_full`` and
+    ``closures_incremental`` count STP re-closures by kind (the
+    reference engine only ever performs full closures).
     """
 
     structure: EventStructure
@@ -47,6 +104,11 @@ class PropagationResult:
     iterations: int = 0
     conversions_performed: int = 0
     system: Optional[GranularitySystem] = None
+    engine: str = "python"
+    conversion_cache_hits: int = 0
+    conversion_cache_misses: int = 0
+    closures_full: int = 0
+    closures_incremental: int = 0
 
     def interval(self, x: str, y: str, label: str) -> Optional[Interval]:
         """Derived ``[lo, hi]`` for ``tick(y) - tick(x)`` in a granularity."""
@@ -129,10 +191,12 @@ def _initial_groups(
 
 
 def _close_group(
-    variables: Sequence[str], group: Dict[Arc, Interval]
+    variables: Sequence[str],
+    group: Dict[Arc, Interval],
+    kernel: str = "python",
 ) -> Optional[Dict[Arc, Interval]]:
     """STP closure of one granularity group; None when inconsistent."""
-    stp = STP(variables)
+    stp = STP(variables, kernel=kernel)
     try:
         for (x, y), (lo, hi) in group.items():
             stp.add(x, y, lo, hi)
@@ -142,88 +206,125 @@ def _close_group(
     return stp.finite_intervals()
 
 
-def propagate(
-    structure: EventStructure,
-    system: GranularitySystem,
-    extra_granularities: Sequence[TemporalType] = (),
-    max_iterations: int = 10_000,
-) -> PropagationResult:
-    """Run the Section 3.2 approximate propagation to fixpoint.
+class _PropagationSetup:
+    """The state both engines share: groups, types, ordered pairs."""
 
-    ``extra_granularities`` adds target types beyond those appearing in
-    the structure (the mining layer passes ``second`` here to obtain
-    concrete scan windows).
+    def __init__(
+        self,
+        structure: EventStructure,
+        system: GranularitySystem,
+        extra_granularities: Sequence[TemporalType],
+        engine: str,
+    ):
+        groups, types = _initial_groups(structure, system)
+        for extra in extra_granularities:
+            resolved = system.resolve(extra)
+            types.setdefault(resolved.label, resolved)
+            groups.setdefault(resolved.label, {})
+        self.groups = groups
+        self.types = types
+        self.labels = sorted(types)
+        self.result = PropagationResult(
+            structure=structure,
+            consistent=True,
+            groups=groups,
+            types=types,
+            system=system,
+            engine=engine,
+        )
+        # A TCG [m, n]_mu asserts the time order t1 <= t2 in addition to
+        # the tick distance, so a derived STP interval is a valid TCG
+        # only for pairs ordered by the DAG (timestamps are
+        # non-decreasing along paths).  Keeping reversed/unordered pairs
+        # would be unsound.
+        variables = structure.variables
+        self.ordered_pairs = {
+            (x, y)
+            for x in variables
+            for y in variables
+            if x != y and structure.has_path(x, y)
+        }
+
+
+def _convert_step(
+    setup: _PropagationSetup,
+    system: GranularitySystem,
+    pending: Optional[Dict[str, List[Tuple[Arc, Interval]]]] = None,
+) -> Optional[bool]:
+    """Step 2: cross-granularity conversion (shared by both engines).
+
+    Merges every feasible conversion into the destination groups.
+    Returns None when an inconsistency was detected (the caller must
+    stop), otherwise whether any destination interval changed.  When
+    ``pending`` is given, every tightened ``(arc, interval)`` is also
+    recorded there per destination label (the fast path's incremental
+    re-closure input).
     """
-    groups, types = _initial_groups(structure, system)
-    for extra in extra_granularities:
-        resolved = system.resolve(extra)
-        types.setdefault(resolved.label, resolved)
-        groups.setdefault(resolved.label, {})
-    labels = sorted(types)
-    result = PropagationResult(
-        structure=structure,
-        consistent=True,
-        groups=groups,
-        types=types,
-        system=system,
-    )
-    if not groups:
-        return result
-    variables = structure.variables
-    # A TCG [m, n]_mu asserts the time order t1 <= t2 in addition to the
-    # tick distance, so a derived STP interval is a valid TCG only for
-    # pairs ordered by the DAG (timestamps are non-decreasing along
-    # paths).  Keeping reversed/unordered pairs would be unsound.
-    ordered_pairs = {
-        (x, y)
-        for x in variables
-        for y in variables
-        if x != y and structure.has_path(x, y)
-    }
+    result = setup.result
+    groups = setup.groups
+    types = setup.types
+    changed = False
+    for src_label in setup.labels:
+        for dst_label in setup.labels:
+            if src_label == dst_label:
+                continue
+            src_type = types[src_label]
+            dst_type = types[dst_label]
+            if not system.conversion_feasible(src_type, dst_type):
+                continue
+            dst_group = groups[dst_label]
+            for arc, (lo, hi) in groups[src_label].items():
+                outcome = system.convert(lo, hi, src_type, dst_type)
+                result.conversions_performed += 1
+                if outcome.empty:
+                    result.consistent = False
+                    return None
+                if outcome.interval is None:
+                    continue
+                new_lo, new_hi = outcome.interval
+                old = dst_group.get(arc)
+                if old is not None:
+                    new_lo = max(new_lo, old[0])
+                    new_hi = min(new_hi, old[1])
+                    if new_lo > new_hi:
+                        result.consistent = False
+                        return None
+                if old is None or (new_lo, new_hi) != old:
+                    dst_group[arc] = (new_lo, new_hi)
+                    if pending is not None:
+                        pending[dst_label].append((arc, (new_lo, new_hi)))
+                    changed = True
+    return changed
+
+
+def _propagate_reference(
+    setup: _PropagationSetup,
+    system: GranularitySystem,
+    max_iterations: int,
+) -> PropagationResult:
+    """The paper-faithful loop: full re-closure of every group, every
+    iteration (pure Python)."""
+    result = setup.result
+    groups = setup.groups
+    variables = setup.result.structure.variables
     for iteration in range(1, max_iterations + 1):
         result.iterations = iteration
         # Step 1: path consistency inside each group.
-        for label in labels:
+        for label in setup.labels:
             closed = _close_group(variables, groups[label])
+            result.closures_full += 1
             if closed is None:
                 result.consistent = False
                 return result
             groups[label] = {
                 arc: interval
                 for arc, interval in closed.items()
-                if arc in ordered_pairs
+                if arc in setup.ordered_pairs
             }
+        setup.result.groups = groups
         # Step 2: cross-granularity conversion.
-        changed = False
-        for src_label in labels:
-            for dst_label in labels:
-                if src_label == dst_label:
-                    continue
-                src_type = types[src_label]
-                dst_type = types[dst_label]
-                if not system.conversion_feasible(src_type, dst_type):
-                    continue
-                dst_group = groups[dst_label]
-                for arc, (lo, hi) in groups[src_label].items():
-                    outcome = system.convert(lo, hi, src_type, dst_type)
-                    result.conversions_performed += 1
-                    if outcome.empty:
-                        result.consistent = False
-                        return result
-                    if outcome.interval is None:
-                        continue
-                    new_lo, new_hi = outcome.interval
-                    old = dst_group.get(arc)
-                    if old is not None:
-                        new_lo = max(new_lo, old[0])
-                        new_hi = min(new_hi, old[1])
-                        if new_lo > new_hi:
-                            result.consistent = False
-                            return result
-                    if old is None or (new_lo, new_hi) != old:
-                        dst_group[arc] = (new_lo, new_hi)
-                        changed = True
-        if not changed:
+        changed = _convert_step(setup, system)
+        if changed is None or not changed:
             return result
     raise RuntimeError(
         "propagation did not converge within %d iterations; this "
@@ -232,9 +333,121 @@ def propagate(
     )
 
 
+def _propagate_fast(
+    setup: _PropagationSetup,
+    system: GranularitySystem,
+    max_iterations: int,
+    kernel: str,
+) -> PropagationResult:
+    """The fast path: persistent per-group matrices, clean-group
+    skipping, and incremental re-closure of tightened arcs.
+
+    Exactness relies on two provable facts about the reference loop
+    (see ``tests/differential/``): every arc a group dict ever holds
+    joins DAG-ordered variables whose closed interval is finite with a
+    non-negative lower bound, hence survives the per-iteration
+    filtering; and therefore the closure matrix of the filtered group
+    equals the persisted closure matrix entry-for-entry, so relaxing
+    only the arcs that tightened reproduces the reference's full
+    re-closure result exactly.
+    """
+    result = setup.result
+    groups = setup.groups
+    variables = setup.result.structure.variables
+    stps: Dict[str, STP] = {}
+    pending: Dict[str, List[Tuple[Arc, Interval]]] = {
+        label: [] for label in setup.labels
+    }
+    for iteration in range(1, max_iterations + 1):
+        result.iterations = iteration
+        # Step 1: path consistency inside each group - full closure the
+        # first time a group is seen, incremental afterwards, skipped
+        # entirely when nothing tightened since the last closure.
+        for label in setup.labels:
+            stp = stps.get(label)
+            if stp is None:
+                stp = STP(variables, kernel=kernel)
+                try:
+                    for (x, y), (lo, hi) in groups[label].items():
+                        stp.add(x, y, lo, hi)
+                    stp.closure()
+                except InconsistentSTP:
+                    result.consistent = False
+                    return result
+                stps[label] = stp
+                result.closures_full += 1
+            else:
+                updates = pending[label]
+                if not updates:
+                    # Clean group: its dict already holds the filtered
+                    # fixpoint of its own closure - nothing to do.
+                    continue
+                try:
+                    stp.tighten_many(
+                        [(arc, lo, hi) for arc, (lo, hi) in updates]
+                    )
+                except InconsistentSTP:
+                    result.consistent = False
+                    return result
+                result.closures_incremental += 1
+                pending[label] = []
+            groups[label] = {
+                arc: interval
+                for arc, interval in stp.finite_intervals().items()
+                if arc in setup.ordered_pairs
+            }
+        setup.result.groups = groups
+        # Step 2: cross-granularity conversion, recording tightened
+        # arcs for the next round's incremental re-closure.
+        changed = _convert_step(setup, system, pending=pending)
+        if changed is None or not changed:
+            return result
+    raise RuntimeError(
+        "propagation did not converge within %d iterations; this "
+        "contradicts Theorem 2 and indicates a conversion-table bug"
+        % max_iterations
+    )
+
+
+def propagate(
+    structure: EventStructure,
+    system: GranularitySystem,
+    extra_granularities: Sequence[TemporalType] = (),
+    max_iterations: int = 10_000,
+    engine: str = "auto",
+) -> PropagationResult:
+    """Run the Section 3.2 approximate propagation to fixpoint.
+
+    ``extra_granularities`` adds target types beyond those appearing in
+    the structure (the mining layer passes ``second`` here to obtain
+    concrete scan windows).  ``engine`` selects the propagation engine
+    (see the module docstring); every engine returns exactly the same
+    intervals and consistency verdict.
+    """
+    resolved = resolve_engine(engine)
+    setup = _PropagationSetup(
+        structure, system, extra_granularities, resolved
+    )
+    cache = system.conversion_cache
+    hits_before, misses_before = cache.snapshot()
+    try:
+        if not setup.groups:
+            return setup.result
+        if resolved == "python":
+            return _propagate_reference(setup, system, max_iterations)
+        kernel = "numpy" if resolved == "numpy" else "python"
+        return _propagate_fast(setup, system, max_iterations, kernel)
+    finally:
+        hits_after, misses_after = cache.snapshot()
+        setup.result.conversion_cache_hits = hits_after - hits_before
+        setup.result.conversion_cache_misses = misses_after - misses_before
+
+
 def check_consistency_approx(
-    structure: EventStructure, system: GranularitySystem
+    structure: EventStructure,
+    system: GranularitySystem,
+    engine: str = "auto",
 ) -> bool:
     """Sound (incomplete) consistency check: False means *proven*
     inconsistent, True means not refuted."""
-    return propagate(structure, system).consistent
+    return propagate(structure, system, engine=engine).consistent

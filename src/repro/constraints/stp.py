@@ -8,20 +8,101 @@ in ``O(|V|^3)`` and detects inconsistency as a negative cycle.
 
 This is the propagation primitive the paper's Section 3.2 algorithm runs
 inside each granularity group.
+
+Two closure kernels are available (see :func:`resolve_kernel`):
+
+``python``
+    the reference triple loop, exactly as the paper-faithful engine has
+    always run it;
+``numpy``
+    a vectorized Floyd-Warshall (one ``minimum`` broadcast per pivot)
+    that produces bit-identical distance matrices for all bounds whose
+    magnitude fits exactly in a float64 (``< 2**52``; larger inputs
+    silently fall back to the python loop so exactness is never lost).
+
+On top of full closure, :meth:`STP.tighten_many` restores the minimal
+network *incrementally* after a batch of arcs tightened - ``O(n^2)``
+per tightened arc instead of the ``O(n^3)`` re-closure - which is the
+work-saving primitive of the fast-path propagation engine.
+
+Set the environment variable ``REPRO_NO_NUMPY`` to any non-empty value
+to ignore an installed numpy (used by CI to prove the pure-Python
+fallback path).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+import os
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 Interval = Tuple[int, int]
 
 #: Sentinel for "no bound" in the distance matrix.
 INF = float("inf")
 
+#: Largest magnitude exactly representable as consecutive integers in a
+#: float64; beyond it the numpy kernel falls back to exact python.
+_FLOAT_EXACT_LIMIT = 2 ** 52
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    if os.environ.get("REPRO_NO_NUMPY"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in dev envs
+    _np = None
+
+#: Closure kernels selectable on :class:`STP`.
+KERNELS = ("python", "numpy")
+
 
 class InconsistentSTP(Exception):
     """Raised when an STP's distance graph contains a negative cycle."""
+
+
+class EngineUnavailable(RuntimeError):
+    """An explicitly requested kernel/engine cannot run here."""
+
+
+def have_numpy() -> bool:
+    """Is the vectorized kernel available in this process?"""
+    return _np is not None
+
+
+def default_kernel() -> str:
+    """The kernel ``"auto"`` resolves to: numpy when available."""
+    return "numpy" if _np is not None else "python"
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Normalise a kernel name (``auto`` picks the best available).
+
+    Raises :class:`EngineUnavailable` when ``numpy`` is requested
+    explicitly but the import failed (or was disabled via
+    ``REPRO_NO_NUMPY``).
+    """
+    if kernel == "auto":
+        return default_kernel()
+    if kernel not in KERNELS:
+        raise ValueError(
+            "unknown closure kernel %r (expected one of %r or 'auto')"
+            % (kernel, KERNELS)
+        )
+    if kernel == "numpy" and _np is None:
+        raise EngineUnavailable(
+            "the numpy closure kernel was requested but numpy is not "
+            "importable (or REPRO_NO_NUMPY is set)"
+        )
+    return kernel
 
 
 class STP:
@@ -30,11 +111,17 @@ class STP:
     Constraints are intervals on differences: ``add(x, y, lo, hi)``
     asserts ``lo <= y - x <= hi``.  :meth:`closure` computes the minimal
     network (tightest implied intervals for every ordered pair).
+
+    ``kernel`` selects the closure implementation (``"python"``,
+    ``"numpy"`` or ``"auto"``); every kernel yields exactly the same
+    minimal network, which the differential test oracle in
+    ``tests/differential/`` verifies case by case.
     """
 
-    def __init__(self, variables: Iterable[Hashable]):
+    def __init__(self, variables: Iterable[Hashable], kernel: str = "python"):
         self.variables: List[Hashable] = list(dict.fromkeys(variables))
         self._index = {v: i for i, v in enumerate(self.variables)}
+        self.kernel = resolve_kernel(kernel)
         n = len(self.variables)
         # dist[i][j] = tightest known upper bound on var_j - var_i.
         self._dist = [
@@ -53,8 +140,23 @@ class STP:
         if -lo < self._dist[j][i]:
             self._dist[j][i] = -lo
 
+    # ------------------------------------------------------------------
+    # Closure
+    # ------------------------------------------------------------------
     def closure(self) -> None:
         """Floyd-Warshall path consistency; raises on negative cycles."""
+        if self.kernel == "numpy" and self._numpy_exact():
+            self._closure_numpy()
+        else:
+            self._closure_python()
+        dist = self._dist
+        for i in range(len(dist)):
+            if dist[i][i] < 0:
+                raise InconsistentSTP(
+                    "negative cycle through %r" % (self.variables[i],)
+                )
+
+    def _closure_python(self) -> None:
         dist = self._dist
         n = len(dist)
         for k in range(n):
@@ -68,12 +170,131 @@ class STP:
                     candidate = dik + dk[j]
                     if candidate < di[j]:
                         di[j] = candidate
+
+    def _closure_numpy(self) -> None:
+        n = len(self._dist)
+        if n == 0:
+            return
+        a = _np.array(self._dist, dtype=_np.float64)
+        for k in range(n):
+            _np.minimum(a, a[:, k : k + 1] + a[k : k + 1, :], out=a)
+        self._write_back(a)
+
+    def _numpy_exact(self) -> bool:
+        """Can float64 arithmetic reproduce the python loop exactly?
+
+        True when every finite bound (and hence every path sum, which
+        the per-node magnitude bound caps at ``n`` times the largest
+        edge) stays within the float64 exact-integer range.
+        """
+        n = len(self._dist)
+        worst = 0
+        for row in self._dist:
+            for value in row:
+                if value != INF and value == value:  # finite
+                    magnitude = abs(value)
+                    if magnitude > worst:
+                        worst = magnitude
+        return worst * max(n, 1) < _FLOAT_EXACT_LIMIT
+
+    def _write_back(self, array) -> None:
+        """Store a float64 matrix back as python ints/INF rows."""
+        dist = self._dist
+        n = len(dist)
+        isinf = _np.isinf(array)
         for i in range(n):
+            row = dist[i]
+            arow = array[i]
+            irow = isinf[i]
+            for j in range(n):
+                if irow[j]:
+                    row[j] = INF
+                else:
+                    value = arow[j]
+                    as_int = int(value)
+                    row[j] = as_int if as_int == value else float(value)
+
+    # ------------------------------------------------------------------
+    # Incremental re-closure
+    # ------------------------------------------------------------------
+    def tighten_many(
+        self,
+        updates: Sequence[Tuple[Tuple[Hashable, Hashable], float, float]],
+    ) -> None:
+        """Apply tightened arcs to an already-closed STP, restoring the
+        minimal network incrementally.
+
+        ``updates`` is a sequence of ``((x, y), lo, hi)`` entries.  The
+        matrix must currently be path-consistent (i.e. :meth:`closure`
+        ran and did not raise); each arc is then relaxed against the
+        closed matrix in ``O(n^2)``, which is the standard exact
+        incremental all-pairs update for an edge-weight decrease.
+        Raises :class:`InconsistentSTP` when a tightening creates a
+        negative cycle (the matrix contents are then unspecified, like
+        a failed :meth:`closure`).
+
+        Large batches switch to a plain re-closure: ``k`` tightened
+        arcs cost ``O(k n^2)`` incrementally but only ``O(n^3)`` (and
+        vectorized, on the numpy kernel) as one full closure, so past
+        ``2 k >= n`` the full pass is the cheaper *and* equally exact
+        route - both compute the unique minimal network of the same
+        updated constraint graph.
+        """
+        n = len(self._dist)
+        if 2 * len(updates) >= n:
+            for (x, y), lo, hi in updates:
+                self.add(x, y, lo, hi)
+            self.closure()
+            return
+        for (x, y), lo, hi in updates:
+            if lo > hi:
+                raise InconsistentSTP(
+                    "empty interval [%r, %r] on (%r, %r)" % (lo, hi, x, y)
+                )
+            i, j = self._index[x], self._index[y]
+            self._relax_edge(i, j, hi)
+            self._relax_edge(j, i, -lo)
+        dist = self._dist
+        for i in range(len(dist)):
             if dist[i][i] < 0:
                 raise InconsistentSTP(
                     "negative cycle through %r" % (self.variables[i],)
                 )
 
+    def tighten(self, x: Hashable, y: Hashable, lo: float, hi: float) -> None:
+        """Single-arc convenience form of :meth:`tighten_many`."""
+        self.tighten_many([((x, y), lo, hi)])
+
+    def _relax_edge(self, u: int, v: int, weight: float) -> None:
+        """Relax every pair through a new/tightened edge ``u -> v``.
+
+        For a closed matrix, ``dist[a][b] = min(dist[a][b],
+        dist[a][u] + weight + dist[v][b])`` over all pairs restores
+        closure after the single edge decrease.
+        """
+        dist = self._dist
+        if weight >= dist[u][v]:
+            # Not actually tighter: by the triangle inequality of the
+            # closed matrix, no pair can improve through this edge.
+            return
+        n = len(dist)
+        for a in range(n):
+            dau = dist[a][u]
+            if dau is INF or dau == INF:
+                continue
+            base = dau + weight
+            if base == INF:
+                continue
+            da = dist[a]
+            dv = dist[v]
+            for b in range(n):
+                candidate = base + dv[b]
+                if candidate < da[b]:
+                    da[b] = candidate
+
+    # ------------------------------------------------------------------
+    # Reading the network
+    # ------------------------------------------------------------------
     def interval(self, x: Hashable, y: Hashable) -> Tuple[float, float]:
         """Tightest known ``[lo, hi]`` for ``y - x`` (call closure first)."""
         i, j = self._index[x], self._index[y]
@@ -107,13 +328,14 @@ class STP:
 def solve_intervals(
     variables: Iterable[Hashable],
     constraints: Mapping[Tuple[Hashable, Hashable], Interval],
+    kernel: str = "python",
 ) -> Optional[Dict[Tuple[Hashable, Hashable], Interval]]:
     """One-shot convenience: closure of a constraint map, or None.
 
     Returns the minimal network's finite forward intervals, or None when
     the STP is inconsistent.
     """
-    stp = STP(variables)
+    stp = STP(variables, kernel=kernel)
     try:
         for (x, y), (lo, hi) in constraints.items():
             stp.add(x, y, lo, hi)

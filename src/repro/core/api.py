@@ -19,22 +19,27 @@ from ..mining.events import EventSequence
 
 
 def check_consistency(
-    structure: EventStructure, system: Optional[GranularitySystem] = None
+    structure: EventStructure,
+    system: Optional[GranularitySystem] = None,
+    engine: str = "auto",
 ) -> bool:
     """Sound consistency check via approximate propagation (Theorem 2).
 
     False means the structure is *proven* inconsistent (safe to discard
     before mining); True means not refuted - the exact check is NP-hard
     (Theorem 1), see :func:`repro.constraints.check_consistency_exact`.
+    ``engine`` selects the propagation engine (a pure performance knob;
+    every engine returns the same verdict).
     """
     system = system if system is not None else standard_system()
-    return propagate(structure, system).consistent
+    return propagate(structure, system, engine=engine).consistent
 
 
 def compile_pattern(
     structure: EventStructure,
     assignment: Mapping[str, str],
     system: Optional[GranularitySystem] = None,
+    engine: str = "auto",
 ) -> TagMatcher:
     """Compile a complex event type into a ready-to-run TAG matcher.
 
@@ -43,8 +48,10 @@ def compile_pattern(
     """
     system = system if system is not None else standard_system()
     cet = ComplexEventType(structure, assignment)
-    build: TagBuild = build_tag(cet)
-    result = propagate(structure, system, extra_granularities=[second()])
+    build: TagBuild = build_tag(cet, system=system)
+    result = propagate(
+        structure, system, extra_granularities=[second()], engine=engine
+    )
     horizon = None
     if result.consistent:
         seconds = result.groups.get("second", {})
@@ -114,6 +121,7 @@ def mine(
     min_confidence: float,
     candidates: Optional[Mapping[str, FrozenSet[str]]] = None,
     system: Optional[GranularitySystem] = None,
+    engine: str = "auto",
 ) -> DiscoveryOutcome:
     """Solve an event-discovery problem with the optimised pipeline."""
     system = system if system is not None else standard_system()
@@ -123,4 +131,4 @@ def mine(
         reference_type=reference_type,
         candidates=dict(candidates) if candidates else {},
     )
-    return discover(problem, sequence, system)
+    return discover(problem, sequence, system, engine=engine)

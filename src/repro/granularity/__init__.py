@@ -27,6 +27,11 @@ from .calendar import (
     year,
 )
 from .combinators import FilteredType, GroupedType
+from .convcache import (
+    ConversionCache,
+    global_conversion_cache,
+    reset_global_conversion_cache,
+)
 from .conversion import ConversionOutcome, convert_interval, covers_prefix
 from .customcal import (
     CustomCalendar,
@@ -55,6 +60,9 @@ __all__ = [
     "FilteredType",
     "SizeTable",
     "ConversionOutcome",
+    "ConversionCache",
+    "global_conversion_cache",
+    "reset_global_conversion_cache",
     "convert_interval",
     "covers_prefix",
     "GranularitySystem",

@@ -1,0 +1,99 @@
+"""Process-wide memoisation of Figure 3 conversion outcomes.
+
+Interval conversion between granularities (appendix A.1 / the direct
+boundary scan) is the single hottest primitive shared by constraint
+propagation, mining candidate evaluation and TAG horizon derivation:
+the same ``(mu1, mu2, m, n)`` queries recur across every fixpoint
+iteration and every candidate.  :class:`ConversionCache` memoises the
+outcomes once per process so all of those layers share one table, and
+keeps hit/miss counters that the propagation engine surfaces on
+``PropagationResult`` and the benchmark harness records per experiment.
+
+Keys are namespaced per :class:`~repro.granularity.registry.
+GranularitySystem` (two systems may register behaviourally different
+types under the same label - e.g. business days over different holiday
+lists - so raw label keys would be unsound across systems).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Optional, Tuple
+
+from .conversion import ConversionOutcome
+
+#: (namespace, m, n, source label, target label, mode)
+CacheKey = Tuple[int, int, int, str, str, str]
+
+_namespace_counter = itertools.count()
+
+
+def new_namespace() -> int:
+    """A fresh cache namespace token (one per granularity system)."""
+    return next(_namespace_counter)
+
+
+class ConversionCache:
+    """A memo table for conversion outcomes with hit/miss counters.
+
+    Thread-safe for the simple get/put pattern used here (the GIL makes
+    dict operations atomic; the lock only guards the compound
+    read-modify-write of the counters during :meth:`clear`).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[CacheKey, ConversionOutcome] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey) -> Optional[ConversionOutcome]:
+        """The cached outcome, or None (counts a hit or a miss)."""
+        outcome = self._data.get(key)
+        if outcome is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return outcome
+
+    def put(self, key: CacheKey, outcome: ConversionOutcome) -> None:
+        """Store one outcome (overwrites are idempotent by design)."""
+        self._data[key] = outcome
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Current ``(hits, misses)`` - subtract two snapshots to get
+        the traffic of a region of code."""
+        return self.hits, self.misses
+
+    def stats(self) -> Dict[str, int]:
+        """Counters in a JSON-friendly form (for benchmarks/metrics)."""
+        return {
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_GLOBAL = ConversionCache()
+
+
+def global_conversion_cache() -> ConversionCache:
+    """The process-wide cache every granularity system shares by
+    default (pass ``cache=`` to ``GranularitySystem`` to isolate)."""
+    return _GLOBAL
+
+
+def reset_global_conversion_cache() -> None:
+    """Clear the process-wide cache (test isolation hook)."""
+    _GLOBAL.clear()

@@ -20,6 +20,7 @@ from .conversion import (
     covers_prefix,
     direct_convert_interval,
 )
+from .convcache import ConversionCache, global_conversion_cache, new_namespace
 from .sizes import SizeTable
 
 #: Conversion strategies: "direct" scans actual boundary positions
@@ -36,6 +37,7 @@ class GranularitySystem:
         types: Iterable[TemporalType] = (),
         horizon: int = 512,
         conversion_mode: str = "direct",
+        cache: Optional[ConversionCache] = None,
     ):
         if conversion_mode not in CONVERSION_MODES:
             raise ValueError(
@@ -46,11 +48,19 @@ class GranularitySystem:
         self._types: Dict[str, TemporalType] = {}
         self._tables: Dict[str, SizeTable] = {}
         self._covers: Dict[Tuple[str, str], bool] = {}
-        self._conversions: Dict[
-            Tuple[int, int, str, str, str], ConversionOutcome
-        ] = {}
+        # Conversion outcomes live in a process-wide ConversionCache
+        # shared across propagation, mining and TAG construction; each
+        # system gets its own key namespace because equal labels may
+        # name behaviourally different types across systems.
+        self._cache = cache if cache is not None else global_conversion_cache()
+        self._cache_namespace = new_namespace()
         for ttype in types:
             self.register(ttype)
+
+    @property
+    def conversion_cache(self) -> ConversionCache:
+        """The cache this system stores conversion outcomes in."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -135,8 +145,8 @@ class GranularitySystem:
         mode = mode if mode is not None else self.conversion_mode
         if mode not in CONVERSION_MODES:
             raise ValueError("unknown conversion mode %r" % (mode,))
-        key = (m, n, src.label, tgt.label, mode)
-        cached = self._conversions.get(key)
+        key = (self._cache_namespace, m, n, src.label, tgt.label, mode)
+        cached = self._cache.get(key)
         if cached is not None:
             return cached
         if not self.conversion_feasible(src, tgt):
@@ -154,8 +164,15 @@ class GranularitySystem:
                 outcome = convert_interval(
                     m, n, self.table(src), self.table(tgt)
                 )
-        self._conversions[key] = outcome
+        self._cache.put(key, outcome)
         return outcome
+
+    def size_table_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-label probe counters of the instantiated size tables."""
+        return {
+            label: table.probe_stats()
+            for label, table in sorted(self._tables.items())
+        }
 
 
 def _same_prefix(a: TemporalType, b: TemporalType, ticks: int = 8) -> bool:
@@ -181,6 +198,7 @@ def standard_system(
     workdays: Tuple[int, ...] = (0, 1, 2, 3, 4),
     horizon: int = 512,
     conversion_mode: str = "direct",
+    cache: Optional[ConversionCache] = None,
 ) -> GranularitySystem:
     """The paper's working granularity system.
 
@@ -205,5 +223,6 @@ def standard_system(
         ],
         horizon=horizon,
         conversion_mode=conversion_mode,
+        cache=cache,
     )
     return system

@@ -71,6 +71,18 @@ class SizeTable:
         self._minsize_cache: dict = {}
         self._maxsize_cache: dict = {}
         self._mingap_cache: dict = {}
+        #: Probe counters: total table lookups vs. the ones answered
+        #: from the memo dicts (surfaced by the benchmark harness).
+        self.probes = 0
+        self.probe_hits = 0
+
+    def probe_stats(self) -> dict:
+        """JSON-friendly counters of table probes and memo hits."""
+        return {
+            "probes": self.probes,
+            "memo_hits": self.probe_hits,
+            "scanned_ticks": len(self._first),
+        }
 
     # ------------------------------------------------------------------
     # Boundary scanning
@@ -145,8 +157,10 @@ class SizeTable:
             raise ValueError("k must be non-negative")
         if k == 0:
             return 0
+        self.probes += 1
         cached = self._minsize_cache.get(k)
         if cached is not None:
+            self.probe_hits += 1
             return cached
         n = self._scanned()
         if n == 0:
@@ -179,8 +193,10 @@ class SizeTable:
             raise ValueError("k must be non-negative")
         if k == 0:
             return 0
+        self.probes += 1
         cached = self._maxsize_cache.get(k)
         if cached is not None:
+            self.probe_hits += 1
             return cached
         n = self._scanned()
         if n == 0:
@@ -208,8 +224,10 @@ class SizeTable:
         """
         if k < 0:
             raise ValueError("k must be non-negative")
+        self.probes += 1
         cached = self._mingap_cache.get(k)
         if cached is not None:
+            self.probe_hits += 1
             return cached
         n = self._scanned()
         if n == 0:

@@ -239,7 +239,7 @@ def naive_discover(
         return outcome
     for assignment in candidate_assignments(problem, sequence):
         cet = ComplexEventType(structure, assignment)
-        matcher = TagMatcher(build_tag(cet), strict=strict)
+        matcher = TagMatcher(build_tag(cet, system=system), strict=strict)
         outcome.candidates_evaluated += 1
         frequency, starts = _frequency(matcher, sequence, roots, total)
         outcome.automaton_starts += starts
@@ -255,11 +255,14 @@ def discover(
     system: GranularitySystem,
     screen_depth: int = 2,
     strict: bool = False,
+    engine: str = "auto",
 ) -> DiscoveryOutcome:
     """The optimised pipeline (Section 5 steps 1-5).
 
     ``screen_depth`` 0 disables candidate screening, 1 enables the
     per-variable windows screen, 2 adds the sub-chain pair screen.
+    ``engine`` selects the propagation engine used by the consistency
+    gate (every engine derives identical windows).
     """
     structure = problem.structure
     allowed = problem.allowed_types()
@@ -274,7 +277,9 @@ def discover(
         return outcome
 
     # Step 1: consistency gate.
-    consistent, propagation = consistency_gate(structure, system)
+    consistent, propagation = consistency_gate(
+        structure, system, engine=engine
+    )
     stats.consistent = consistent
     if not consistent:
         stats.sequence_events_after = len(sequence)
@@ -343,7 +348,9 @@ def discover(
     ):
         cet = ComplexEventType(structure, assignment)
         matcher = TagMatcher(
-            build_tag(cet), strict=strict, horizon_seconds=horizon
+            build_tag(cet, system=system),
+            strict=strict,
+            horizon_seconds=horizon,
         )
         outcome.candidates_evaluated += 1
         frequency, starts = _frequency(matcher, reduced, roots, total)

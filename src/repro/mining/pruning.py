@@ -46,11 +46,16 @@ class PruningStats:
 
 
 def consistency_gate(
-    structure: EventStructure, system: GranularitySystem
+    structure: EventStructure,
+    system: GranularitySystem,
+    engine: str = "auto",
 ) -> Tuple[bool, PropagationResult]:
     """Step 1: propagate; report detected inconsistency and the derived
-    constraints (reused by every later step)."""
-    result = propagate(structure, system, extra_granularities=[second()])
+    constraints (reused by every later step).  ``engine`` selects the
+    propagation engine (see :func:`repro.constraints.propagate`)."""
+    result = propagate(
+        structure, system, extra_granularities=[second()], engine=engine
+    )
     return result.consistent, result
 
 

@@ -92,9 +92,16 @@ def propagation_report(result: PropagationResult) -> str:
                 rows.append(
                     ("%s -> %s" % (x, y), " & ".join(str(c) for c in tcgs))
                 )
-    header = "consistent (fixpoint after %d iterations, %d conversions)" % (
-        result.iterations,
-        result.conversions_performed,
+    header = (
+        "consistent (fixpoint after %d iterations, %d conversions "
+        "attempted: %d cached, %d computed; engine=%s)"
+        % (
+            result.iterations,
+            result.conversions_performed,
+            result.conversion_cache_hits,
+            result.conversion_cache_misses,
+            result.engine,
+        )
     )
     return header + "\n" + format_table(("pair", "derived TCGs"), rows)
 

@@ -1,0 +1,168 @@
+"""Unit tests for the benchmark harness and its regression gate."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENT_NAMES,
+    PROFILES,
+    BenchmarkRegression,
+    assert_no_regressions,
+    compare_payloads,
+    format_comparison,
+    load_payload,
+    run_suite,
+    save_payload,
+)
+from repro.bench.harness import SCHEMA_VERSION
+
+
+def _payload(medians):
+    return {
+        "schema": SCHEMA_VERSION,
+        "profile": "quick",
+        "engine": "fallback",
+        "repeats": 1,
+        "experiments": {
+            name: {"median_seconds": s, "repeats": 1, "counters": {}}
+            for name, s in medians.items()
+        },
+    }
+
+
+class TestRunSuite:
+    def test_subset_run_shape(self):
+        payload = run_suite(engine="fallback", experiments=["X1", "X5"])
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["engine"] == "fallback"
+        assert payload["repeats"] == PROFILES["quick"]["repeats"]
+        assert sorted(payload["experiments"]) == ["X1", "X5"]
+        for run in payload["experiments"].values():
+            assert run["median_seconds"] >= 0
+            assert run["counters"]
+        assert "conversion_cache" in payload
+        assert "size_tables" in payload
+
+    def test_counters_are_deterministic(self):
+        first = run_suite(engine="fallback", experiments=["X1"])
+        second = run_suite(engine="fallback", experiments=["X1"])
+        assert (
+            first["experiments"]["X1"]["counters"]
+            == second["experiments"]["X1"]["counters"]
+        )
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(profile="warp-speed")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(experiments=["X1", "X99"])
+
+    def test_all_ten_experiments_registered(self):
+        assert EXPERIMENT_NAMES == tuple(
+            "X%d" % i for i in range(1, 11)
+        )
+
+
+class TestComparePayloads:
+    def test_equal_payloads_never_regress(self):
+        payload = _payload({"X1": 0.5, "X4": 2.0})
+        rows = compare_payloads(payload, payload)
+        assert rows and not any(row["regressed"] for row in rows)
+
+    def test_large_slowdown_regresses(self):
+        rows = compare_payloads(
+            _payload({"X4": 1.0}), _payload({"X4": 0.5})
+        )
+        (row,) = rows
+        assert row["ratio"] == pytest.approx(2.0)
+        assert row["regressed"]
+
+    def test_within_tolerance_is_ok(self):
+        rows = compare_payloads(
+            _payload({"X4": 1.2}), _payload({"X4": 1.0}), tolerance=0.25
+        )
+        assert not rows[0]["regressed"]
+
+    def test_jitter_floor_protects_tiny_experiments(self):
+        """A 0.4 ms experiment tripling stays under the absolute
+        floor: jitter, not a regression."""
+        rows = compare_payloads(
+            _payload({"X3": 0.0012}), _payload({"X3": 0.0004})
+        )
+        assert rows[0]["ratio"] == pytest.approx(3.0)
+        assert not rows[0]["regressed"]
+        rows = compare_payloads(
+            _payload({"X3": 0.0012}),
+            _payload({"X3": 0.0004}),
+            min_delta_seconds=0.0,
+        )
+        assert rows[0]["regressed"]
+
+    def test_missing_experiments_never_regress(self):
+        rows = compare_payloads(
+            _payload({"X1": 0.5, "X2": 0.5}), _payload({"X1": 0.5})
+        )
+        by_name = {row["experiment"]: row for row in rows}
+        assert by_name["X2"]["ratio"] is None
+        assert not by_name["X2"]["regressed"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_payloads(_payload({}), _payload({}), tolerance=-0.1)
+
+    def test_assert_no_regressions_raises_with_names(self):
+        rows = compare_payloads(
+            _payload({"X4": 10.0}), _payload({"X4": 1.0})
+        )
+        with pytest.raises(BenchmarkRegression, match="X4"):
+            assert_no_regressions(rows)
+        assert_no_regressions([])
+
+    def test_format_comparison_mentions_verdicts(self):
+        rows = compare_payloads(
+            _payload({"X1": 0.5, "X4": 10.0}),
+            _payload({"X1": 0.5, "X4": 1.0}),
+        )
+        table = format_comparison(rows)
+        assert "REGRESSED" in table
+        assert "ok" in table
+        assert "X4" in table
+
+
+class TestPayloadIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        payload = _payload({"X1": 0.125})
+        path = str(tmp_path / "BENCH_test.json")
+        save_payload(payload, path)
+        assert load_payload(path) == payload
+
+    def test_saved_json_is_stable(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        save_payload(_payload({"X1": 0.125}), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            _payload({"X1": 0.125}), indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "BENCH_bad.json")
+        payload = _payload({})
+        payload["schema"] = 99
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError):
+            load_payload(path)
+
+    def test_checked_in_payload_loads(self):
+        """The committed BENCH_pr2.json stays loadable and claims the
+        X4 speedup the acceptance gate requires on this hardware."""
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        payload = load_payload(os.path.join(root, "BENCH_pr2.json"))
+        counters = payload["experiments"]["X4"]["counters"]
+        assert counters["speedup_vs_reference"] >= 1.0

@@ -1,0 +1,147 @@
+"""Edge cases for redundancy removal and entailment.
+
+Degenerate inputs the main suites never hit: empty conjunctions and
+structures, single-node structures, networks whose intervals are all
+infinite, and inconsistent inputs (where the witness pair of the
+contradiction must be reported).
+"""
+
+import pytest
+
+from repro.constraints import (
+    INF,
+    STP,
+    TCG,
+    ComplexEventType,
+    EventStructure,
+    propagate,
+)
+from repro.constraints.entailment import entails, subsumes
+from repro.constraints.minimize import (
+    UnsatisfiableConjunction,
+    dominates,
+    minimal_tcg_set,
+)
+
+
+@pytest.fixture
+def hour(system):
+    return system.get("hour")
+
+
+@pytest.fixture
+def day(system):
+    return system.get("day")
+
+
+class TestMinimizeEdges:
+    def test_empty_conjunction(self, system):
+        assert minimal_tcg_set([], system) == []
+
+    def test_singleton_survives(self, system, hour):
+        only = TCG(1, 5, hour)
+        assert minimal_tcg_set([only], system) == [only]
+
+    def test_exact_duplicates_collapse(self, system, hour):
+        tcgs = [TCG(1, 5, hour), TCG(1, 5, hour), TCG(1, 5, hour)]
+        assert minimal_tcg_set(tcgs, system) == [TCG(1, 5, hour)]
+
+    def test_same_granularity_intersection(self, system, day):
+        kept = minimal_tcg_set([TCG(0, 9, day), TCG(3, 20, day)], system)
+        assert kept == [TCG(3, 9, day)]
+
+    def test_unsatisfiable_reports_witness_pair(self, system, day):
+        """The exception message names both offending constraints -
+        the witness of the contradiction."""
+        with pytest.raises(UnsatisfiableConjunction) as info:
+            minimal_tcg_set([TCG(0, 2, day), TCG(5, 9, day)], system)
+        message = str(info.value)
+        assert "[0,2]day" in message
+        assert "[5,9]day" in message
+
+    def test_near_infinite_bound_is_dominated(self, system, hour, day):
+        """A practically unbounded hour constraint adds nothing next to
+        any finite day constraint."""
+        wide = TCG(0, 10 ** 9, hour)
+        tight = TCG(0, 5, day)
+        assert dominates(tight, wide, system)
+        assert minimal_tcg_set([wide, tight], system) == [tight]
+
+    def test_nothing_dominates_itself(self, system, hour):
+        constraint = TCG(2, 4, hour)
+        assert not dominates(constraint, constraint, system)
+
+
+class TestAllInfiniteIntervals:
+    """A network with no constraints at all: every interval is
+    infinite, nothing is derived, and nothing is inconsistent."""
+
+    def test_unconstrained_stp(self):
+        stp = STP(["a", "b", "c"])
+        stp.closure()
+        assert stp.interval("a", "b") == (-INF, INF)
+        assert stp.finite_intervals() == {}
+
+    def test_single_node_structure_propagates(self, system):
+        structure = EventStructure(["A"], {})
+        result = propagate(structure, system)
+        assert result.consistent
+        assert result.groups == {}
+        assert result.conversions_performed == 0
+
+    def test_single_node_entails_itself(self, system):
+        structure = EventStructure(["A"], {})
+        assert entails(structure, structure, system)
+
+    def test_single_node_entailed_by_anything(self, system, hour):
+        specific = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 2, hour)]}
+        )
+        general = EventStructure(["A"], {})
+        assert entails(specific, general, system)
+        # ... but not the other way around: B is unknown to ``general``.
+        assert not entails(general, specific, system)
+
+
+class TestEntailmentEdges:
+    def test_strictly_looser_general_always_entailed(self, system, hour):
+        specific = EventStructure(
+            ["A", "B", "C"],
+            {("A", "B"): [TCG(0, 2, hour)], ("B", "C"): [TCG(0, 2, hour)]},
+        )
+        general = EventStructure(
+            ["A", "C"], {("A", "C"): [TCG(0, 100, hour)]}
+        )
+        assert entails(specific, general, system)
+
+    def test_unrelated_pair_not_proven(self, system, hour):
+        """``general`` constrains a pair with no path in ``specific``:
+        no proof, even with an extremely loose requirement."""
+        specific = EventStructure(
+            ["A", "B", "C"],
+            {("A", "B"): [TCG(0, 2, hour)], ("A", "C"): [TCG(0, 2, hour)]},
+        )
+        general = EventStructure(
+            ["B", "C"], {("B", "C"): [TCG(0, 10 ** 9, hour)]}
+        )
+        assert not entails(specific, general, system)
+
+    def test_inconsistent_specific_entails_vacuously(self, system, hour, day):
+        contradiction = EventStructure(
+            ["A", "B"],
+            {("A", "B"): [TCG(0, 0, hour), TCG(2, 4, day)]},
+        )
+        assert not propagate(contradiction, system).consistent
+        demanding = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(3, 3, day)]}
+        )
+        assert entails(contradiction, demanding, system)
+
+    def test_subsumes_requires_matching_event_types(self, system, hour):
+        structure = EventStructure(
+            ["A", "B"], {("A", "B"): [TCG(0, 2, hour)]}
+        )
+        fills = ComplexEventType(structure, {"A": "buy", "B": "sell"})
+        other = ComplexEventType(structure, {"A": "buy", "B": "cancel"})
+        assert subsumes(fills, fills, system)
+        assert not subsumes(fills, other, system)

@@ -3,8 +3,12 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.automata import StreamingMatcher, build_tag
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.granularity import standard_system
 from repro.granularity.gregorian import SECONDS_PER_HOUR
 from repro.io.serialize import (
     SerializationError,
@@ -14,6 +18,25 @@ from repro.io.serialize import (
 )
 
 H = SECONDS_PER_HOUR
+
+SYSTEM = standard_system()
+
+
+def _module_chain_cet():
+    """Module-level twin of the ``chain_cet`` fixture, for Hypothesis
+    tests (which cannot take function-scoped fixtures)."""
+    hour = SYSTEM.get("hour")
+    structure = EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(0, 2, hour)],
+            ("B", "C"): [TCG(0, 2, hour)],
+        },
+    )
+    return ComplexEventType(structure, {"A": "a", "B": "b", "C": "c"})
+
+
+CHAIN_CET = _module_chain_cet()
 
 
 def detections_as_json(detections):
@@ -133,3 +156,72 @@ class TestCheckpointRestore:
         dump_json(matcher.checkpoint(), str(path))
         restored = StreamingMatcher.from_checkpoint(load_json(str(path)))
         assert restored.stats() == matcher.stats()
+
+
+@st.composite
+def checkpoint_scenarios(draw):
+    """An in-order stream over the chain alphabet, a cut point, and
+    matcher parameters: everything a crash/restart needs."""
+    count = draw(st.integers(min_value=0, max_value=30))
+    time = draw(st.integers(min_value=0, max_value=2 * H))
+    events = []
+    for _ in range(count):
+        symbol = draw(st.sampled_from(["a", "b", "c", "noise"]))
+        events.append((symbol, time))
+        time += draw(st.integers(min_value=0, max_value=3 * H))
+    cut = draw(st.integers(min_value=0, max_value=count))
+    max_lateness = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=4 * H))
+    )
+    horizon = draw(
+        st.one_of(st.none(), st.integers(min_value=H, max_value=12 * H))
+    )
+    return events, cut, max_lateness, horizon
+
+
+class TestCheckpointRoundTripProperty:
+    """Hypothesis: checkpoint + restore at *any* cut point of *any*
+    in-order stream is indistinguishable from never crashing."""
+
+    @given(scenario=checkpoint_scenarios())
+    @settings(max_examples=200, deadline=None)
+    def test_resume_equals_uninterrupted(self, scenario):
+        events, cut, max_lateness, horizon = scenario
+
+        def fresh():
+            return StreamingMatcher(
+                build_tag(CHAIN_CET, system=SYSTEM),
+                horizon_seconds=horizon,
+                max_lateness=max_lateness,
+            )
+
+        uninterrupted = fresh()
+        full = [d for e, t in events for d in uninterrupted.feed(e, t)]
+        full.extend(uninterrupted.flush())
+
+        first = fresh()
+        collected = [d for e, t in events[:cut] for d in first.feed(e, t)]
+        payload = json.loads(json.dumps(first.checkpoint()))
+        resumed = streaming_matcher_from_checkpoint(payload, SYSTEM)
+        collected += [d for e, t in events[cut:] for d in resumed.feed(e, t)]
+        collected.extend(resumed.flush())
+
+        assert detections_as_json(collected) == detections_as_json(full)
+        assert resumed.stats() == uninterrupted.stats()
+
+    @given(scenario=checkpoint_scenarios())
+    @settings(max_examples=50, deadline=None)
+    def test_checkpoint_of_restored_matcher_is_stable(self, scenario):
+        """checkpoint(restore(checkpoint(m))) == checkpoint(m): the
+        payload is a fixpoint of the round trip."""
+        events, cut, max_lateness, horizon = scenario
+        matcher = StreamingMatcher(
+            build_tag(CHAIN_CET, system=SYSTEM),
+            horizon_seconds=horizon,
+            max_lateness=max_lateness,
+        )
+        for etype, time in events[:cut]:
+            matcher.feed(etype, time)
+        payload = json.loads(json.dumps(matcher.checkpoint()))
+        restored = streaming_matcher_from_checkpoint(payload, SYSTEM)
+        assert json.loads(json.dumps(restored.checkpoint())) == payload

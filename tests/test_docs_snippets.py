@@ -57,6 +57,13 @@ class TestApiDocSnippets:
         run_blocks(blocks, tmp_path, monkeypatch)
 
 
+class TestPerformanceSnippets:
+    def test_all_blocks_execute(self, tmp_path, monkeypatch):
+        blocks = python_blocks(REPO_ROOT / "docs" / "PERFORMANCE.md")
+        assert len(blocks) >= 4
+        run_blocks(blocks, tmp_path, monkeypatch)
+
+
 class TestResilienceSnippets:
     def test_all_blocks_execute(self, tmp_path, monkeypatch):
         blocks = python_blocks(REPO_ROOT / "docs" / "RESILIENCE.md")
