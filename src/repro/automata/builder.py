@@ -30,8 +30,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..constraints.structure import ComplexEventType, EventStructure
 from ..granularity.registry import GranularitySystem
+from ..obs import counter, span
 from .clocks import And, Clock, ClockConstraint, TrueConstraint, within
 from .tag import ANY, TAG, Transition
+
+_BUILDS = counter("repro_tag_builds_total", "TAG constructions")
+_STATES = counter(
+    "repro_tag_states_total", "Reachable product states constructed"
+)
+_TRANSITIONS_BUILT = counter(
+    "repro_tag_transitions_built_total", "Transitions constructed"
+)
 
 
 def clock_name(chain_index: int, granularity_label: str) -> str:
@@ -72,6 +81,26 @@ def build_tag(
     of holding private copies.
     """
     structure = complex_event_type.structure
+    with span(
+        "tag.build", variables=len(structure.variables)
+    ) as build_span:
+        build = _build_tag(complex_event_type, structure, system)
+        build_span.set(
+            states=len(build.tag.states),
+            transitions=len(build.tag.transitions),
+            chains=len(build.chains),
+        )
+    _BUILDS.inc()
+    _STATES.add(len(build.tag.states))
+    _TRANSITIONS_BUILT.add(len(build.tag.transitions))
+    return build
+
+
+def _build_tag(
+    complex_event_type: ComplexEventType,
+    structure: EventStructure,
+    system: Optional[GranularitySystem],
+) -> TagBuild:
     chains = structure.chains()
     variable_positions: Dict[str, List[Tuple[int, int]]] = {}
     for chain_index, chain in enumerate(chains):

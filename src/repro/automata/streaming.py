@@ -35,11 +35,45 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
+from ..obs import counter, gauge
 from ..resilience.errors import StreamFeedError, validate_event
 from ..resilience.policies import apply_overflow, normalize_overflow_policy
 from ..resilience.reorder import ReorderBuffer
 from .builder import TagBuild
 from .tag import Configuration
+
+# Process-wide stream health metrics.  Counters aggregate across every
+# matcher in the process; the gauges reflect the most recently fed
+# matcher (one live matcher per process is the normal deployment).
+_EVENTS_RECEIVED = counter(
+    "repro_stream_events_received_total", "Events offered to feed()"
+)
+_EVENTS_PROCESSED = counter(
+    "repro_stream_events_processed_total",
+    "Events advanced through the automaton (post reorder buffer)",
+)
+_DETECTIONS = counter(
+    "repro_stream_detections_total", "Detections emitted"
+)
+_ANCHORS_SHED = counter(
+    "repro_stream_anchors_shed_total",
+    "Live anchors dropped by the overflow policy",
+)
+_LATE_DROPPED = counter(
+    "repro_stream_late_events_dropped_total",
+    "Events dropped below the reorder watermark",
+)
+_LIVE_ANCHORS = gauge(
+    "repro_stream_live_anchors", "Anchors awaiting completion"
+)
+_BUFFER_DEPTH = gauge(
+    "repro_stream_reorder_buffer_depth",
+    "Events held in the reorder buffer",
+)
+_WATERMARK_LAG = gauge(
+    "repro_stream_watermark_lag_seconds",
+    "Newest timestamp seen minus the watermark",
+)
 
 
 @dataclass(frozen=True)
@@ -100,6 +134,7 @@ class StreamingMatcher:
         )
         self._anchors: List[_Anchor] = []
         self._last_time: Optional[int] = None
+        self._max_time_seen: Optional[int] = None
         self.events_received = 0
         self.events_processed = 0
         self.detections_emitted = 0
@@ -133,6 +168,23 @@ class StreamingMatcher:
         """Number of anchors still awaiting completion."""
         return len(self._anchors)
 
+    @property
+    def watermark_lag(self) -> int:
+        """Seconds between the newest timestamp seen and the watermark.
+
+        How far behind real (stream) time finalisation is running; 0
+        in strict mode or before any event arrives.
+        """
+        mark = self.watermark
+        if mark is None or self._max_time_seen is None:
+            return 0
+        return max(0, self._max_time_seen - mark)
+
+    def _export_gauges(self) -> None:
+        _LIVE_ANCHORS.set(len(self._anchors))
+        _BUFFER_DEPTH.set(self.pending_reordered)
+        _WATERMARK_LAG.set(self.watermark_lag)
+
     def stats(self) -> Dict[str, Any]:
         """Operational counters, suitable for logging/metrics export."""
         return {
@@ -157,15 +209,23 @@ class StreamingMatcher:
         """
         validate_event(etype, time)
         self.events_received += 1
+        _EVENTS_RECEIVED.inc()
+        if self._max_time_seen is None or time > self._max_time_seen:
+            self._max_time_seen = time
         if self._buffer is None:
             if self._last_time is not None and time < self._last_time:
                 raise ValueError(
                     "events must arrive in non-decreasing timestamp order"
                 )
-            return self._advance(etype, time)
+            detections = self._advance(etype, time)
+            self._export_gauges()
+            return detections
+        dropped_before = self._buffer.late_dropped
         detections: List[Detection] = []
         for ready_etype, ready_time in self._buffer.push(etype, time):
             detections.extend(self._advance(ready_etype, ready_time))
+        _LATE_DROPPED.add(self._buffer.late_dropped - dropped_before)
+        self._export_gauges()
         return detections
 
     def flush(self) -> List[Detection]:
@@ -178,6 +238,7 @@ class StreamingMatcher:
         detections: List[Detection] = []
         for etype, time in self._buffer.flush():
             detections.extend(self._advance(etype, time))
+        self._export_gauges()
         return detections
 
     # ------------------------------------------------------------------
@@ -185,6 +246,7 @@ class StreamingMatcher:
         """Advance the automaton state on one in-order event."""
         self._last_time = time
         self.events_processed += 1
+        _EVENTS_PROCESSED.inc()
         detections: List[Detection] = []
 
         # Advance live anchors.
@@ -262,7 +324,9 @@ class StreamingMatcher:
                         self.overflow_policy,
                     )
                     self.anchors_shed += shed
+                    _ANCHORS_SHED.add(shed)
         self.detections_emitted += len(detections)
+        _DETECTIONS.add(len(detections))
         return detections
 
     # ------------------------------------------------------------------

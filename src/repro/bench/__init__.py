@@ -10,6 +10,7 @@ from .harness import (
     BenchmarkRegression,
     assert_no_regressions,
     compare_payloads,
+    comparison_delta_table,
     format_comparison,
     load_payload,
     run_suite,
@@ -22,6 +23,7 @@ __all__ = [
     "BenchmarkRegression",
     "assert_no_regressions",
     "compare_payloads",
+    "comparison_delta_table",
     "format_comparison",
     "load_payload",
     "run_suite",

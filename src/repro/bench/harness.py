@@ -32,6 +32,7 @@ from ..constraints import (
 )
 from ..constraints.propagation import resolve_engine
 from ..granularity import GranularitySystem, standard_system
+from ..obs import counter_deltas, metrics_snapshot
 
 #: Payload format version (bump when the JSON layout changes).
 SCHEMA_VERSION = 1
@@ -392,6 +393,7 @@ def run_suite(
         workload = _EXPERIMENTS[name](system, resolved_engine, scale)
         times = []
         counters: Dict[str, object] = {}
+        before_metrics = metrics_snapshot()
         for _ in range(repeats):
             start = time.perf_counter()
             counters = workload.run()
@@ -400,9 +402,15 @@ def run_suite(
             "median_seconds": statistics.median(times),
             "repeats": repeats,
             "counters": counters,
+            # What this experiment (all repeats) added to the global
+            # registry; empty under REPRO_OBS=off.
+            "metrics_delta": counter_deltas(
+                before_metrics, metrics_snapshot()
+            ),
         }
     payload["conversion_cache"] = system.conversion_cache.stats()
     payload["size_tables"] = system.size_table_stats()
+    payload["metrics"] = metrics_snapshot()
     return payload
 
 
@@ -459,6 +467,42 @@ def compare_payloads(
             }
         )
     return rows
+
+
+def comparison_delta_table(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """A nested mapping of the comparison, one subtree per experiment.
+
+    Renders through :func:`repro.obs.format_tree` (the ``repro bench
+    --baseline`` output): timing verdicts plus the work-counter deltas
+    between the two payloads, so a slowdown can be read next to the
+    counter that moved.
+    """
+    current_runs = current.get("experiments", {})
+    baseline_runs = baseline.get("experiments", {})
+    table: Dict[str, object] = {}
+    for row in rows:
+        name = str(row["experiment"])
+        ratio = row["ratio"]
+        entry: Dict[str, object] = {
+            "current_seconds": _fmt_seconds(row["current_seconds"]),
+            "baseline_seconds": _fmt_seconds(row["baseline_seconds"]),
+            "ratio": "%.2fx" % ratio if ratio is not None else "-",
+            "verdict": "REGRESSED" if row["regressed"] else "ok",
+        }
+        cur = current_runs.get(name)
+        base = baseline_runs.get(name)
+        if cur is not None and base is not None:
+            deltas = counter_deltas(
+                base.get("counters", {}), cur.get("counters", {})
+            )
+            if deltas:
+                entry["counter_deltas"] = deltas
+        table[name] = entry
+    return table
 
 
 def format_comparison(rows: Sequence[Dict[str, object]]) -> str:

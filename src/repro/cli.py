@@ -9,10 +9,17 @@ Usage (also available as ``python -m repro.cli``)::
     repro convert M N SRC DST             # implied-interval conversion
     repro bench --output BENCH.json       # X1-X10 regression harness
     repro dot STRUCTURE.json              # Graphviz export
+    repro obs TRACE.json                  # pretty-print a --trace file
 
 ``check`` and ``mine`` accept ``--engine auto|python|numpy|fallback``
 to pick the propagation engine (a pure performance knob; see
-docs/PERFORMANCE.md).
+docs/PERFORMANCE.md).  ``mine`` is also available as ``discover``.
+
+Every command accepts ``--trace FILE`` (write the span tree of the run
+as JSON; inspect with ``repro obs``), ``--metrics`` (print the metrics
+registry in Prometheus text format after the command) and
+``--metrics-out FILE``; the flags work both before and after the
+subcommand name.  See docs/OBSERVABILITY.md.
 
 Structures/patterns/problems are the JSON payloads of
 :mod:`repro.io.serialize`; event logs are two-column CSV
@@ -25,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -44,6 +52,36 @@ from .io.serialize import (
     structure_from_dict,
 )
 from .mining.discovery import discover
+
+
+def _add_obs_options(subparser) -> None:
+    """The observability flags, repeated on a subparser.
+
+    The root parser declares the same flags with real defaults;
+    ``SUPPRESS`` here means an omitted subcommand-level flag leaves the
+    root's value alone, so both ``repro --trace f.json mine ...`` and
+    ``repro mine ... --trace f.json`` work.
+    """
+    subparser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help="write a span-tree trace of this run as JSON "
+        "(inspect with 'repro obs FILE')",
+    )
+    subparser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="print the metrics registry (Prometheus text format) "
+        "after the command",
+    )
+    subparser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=argparse.SUPPRESS,
+        help="write the metrics dump to FILE",
+    )
 
 
 def _add_engine_option(subparser) -> None:
@@ -206,11 +244,12 @@ def _cmd_mine(args) -> int:
 def _cmd_bench(args) -> int:
     from .bench import (
         compare_payloads,
-        format_comparison,
+        comparison_delta_table,
         load_payload,
         run_suite,
         save_payload,
     )
+    from .obs import format_tree
 
     experiments = (
         [name.strip() for name in args.experiments.split(",") if name.strip()]
@@ -220,15 +259,15 @@ def _cmd_bench(args) -> int:
     payload = run_suite(
         engine=args.engine, profile=args.profile, experiments=experiments
     )
-    for name, record in payload["experiments"].items():
-        print(
-            "%-4s median %.4fs  %s"
-            % (
-                name,
-                record["median_seconds"],
-                json.dumps(record["counters"], sort_keys=True),
-            )
+    summary = {
+        name: dict(
+            {"median_seconds": "%.4f" % record["median_seconds"]},
+            **record["counters"],
         )
+        for name, record in payload["experiments"].items()
+    }
+    print(format_tree(summary, title="bench (%s, %s engine)"
+                      % (args.profile, payload["engine"])))
     if args.output:
         save_payload(payload, args.output)
         print("wrote %s" % args.output, file=sys.stderr)
@@ -240,7 +279,12 @@ def _cmd_bench(args) -> int:
             tolerance=args.tolerance,
             min_delta_seconds=args.min_delta,
         )
-        print(format_comparison(rows))
+        print(
+            format_tree(
+                comparison_delta_table(payload, baseline, rows),
+                title="vs baseline %s" % args.baseline,
+            )
+        )
         if any(row["regressed"] for row in rows):
             print(
                 "FAIL: regression beyond %.0f%% tolerance"
@@ -333,6 +377,14 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from .obs import format_span_tree, load_trace
+
+    payload = load_trace(args.trace_file)
+    print(format_span_tree(payload, max_children=args.max_children))
+    return 0
+
+
 def _cmd_dot(args) -> int:
     system = standard_system()
     payload = load_json(args.structure)
@@ -354,6 +406,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-granularity temporal constraints and mining",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a span-tree trace of the run as JSON "
+        "(inspect with 'repro obs FILE')",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        default=False,
+        help="print the metrics registry (Prometheus text format) "
+        "after the command",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics dump to FILE",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -424,7 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.set_defaults(func=_cmd_replay)
 
-    mine = sub.add_parser("mine", help="run a discovery problem")
+    mine = sub.add_parser(
+        "mine",
+        aliases=["discover"],
+        help="run a discovery problem (alias: discover)",
+    )
     mine.add_argument("problem", help="discovery-problem JSON file")
     mine.add_argument("events", help="CSV event log")
     mine.add_argument(
@@ -540,6 +616,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the compiled TAG of a pattern instead",
     )
     dot.set_defaults(func=_cmd_dot)
+
+    obs = sub.add_parser(
+        "obs", help="pretty-print a --trace JSON file as a span tree"
+    )
+    obs.add_argument(
+        "trace_file", help="trace JSON written by --trace FILE"
+    )
+    obs.add_argument(
+        "--max-children",
+        type=int,
+        default=12,
+        help="siblings shown per parent before collapsing the rest",
+    )
+    obs.set_defaults(func=_cmd_obs)
+
+    for subparser in (check, match, replay, mine, bench, generate,
+                      convert, analyze, dot, obs):
+        _add_obs_options(subparser)
     return parser
 
 
@@ -552,10 +646,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     from .io.csvlog import CsvFormatError
     from .io.serialize import SerializationError
+    from .obs import (
+        Tracer,
+        activate_tracer,
+        prometheus_text,
+        span,
+        write_trace,
+    )
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    tracer = Tracer() if trace_path else None
     try:
+        if tracer is not None:
+            with activate_tracer(tracer):
+                with span("cli.%s" % args.command):
+                    return args.func(args)
         return args.func(args)
     except FileNotFoundError as exc:
         print("error: file not found: %s" % exc.filename, file=sys.stderr)
@@ -568,6 +675,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         # subclasses, so malformed inputs of every kind land here.
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro obs trace.json | head``).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        # Trace and metrics flush even when the command failed - a trace
+        # of a failed run shows where it failed.
+        if tracer is not None:
+            write_trace(tracer, trace_path)
+            print(
+                "trace written to %s (%d spans)"
+                % (trace_path, tracer.total_spans()),
+                file=sys.stderr,
+            )
+        metrics_out = getattr(args, "metrics_out", None)
+        if getattr(args, "metrics", False) or metrics_out:
+            text = prometheus_text()
+            if metrics_out:
+                with open(metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                print(
+                    "metrics written to %s" % metrics_out, file=sys.stderr
+                )
+            if getattr(args, "metrics", False):
+                print(text, end="")
 
 
 if __name__ == "__main__":  # pragma: no cover - direct invocation

@@ -39,11 +39,13 @@ choice as a pure performance knob.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..granularity.base import TemporalType
 from ..granularity.registry import GranularitySystem
+from ..obs import counter, histogram, span
 from .stp import (
     STP,
     EngineUnavailable,
@@ -59,6 +61,43 @@ Interval = Tuple[int, int]
 
 #: Engine names accepted by :func:`propagate` (and the CLI ``--engine``).
 ENGINES = ("auto", "python", "numpy", "fallback")
+
+# Process-wide propagation metrics (docs/OBSERVABILITY.md catalog).
+# The per-call counters are added once per propagate() call, from the
+# PropagationResult fields - so for any run the registry totals are
+# exactly the sum of the per-call fields (the acceptance invariant the
+# obs CLI test checks), and the result fields double as per-call views
+# over the same counters.
+_RUNS = counter("repro_propagation_runs_total", "propagate() calls")
+_ITERATIONS = counter(
+    "repro_propagation_iterations_total", "Fixpoint iterations"
+)
+_CLOSURES_FULL = counter(
+    "repro_propagation_closures_full_total", "Full STP re-closures"
+)
+_CLOSURES_INCREMENTAL = counter(
+    "repro_propagation_closures_incremental_total",
+    "Incremental STP re-closures",
+)
+_CONVERSIONS = counter(
+    "repro_propagation_conversions_total",
+    "Attempted cross-granularity conversions",
+)
+_CACHE_HITS = counter(
+    "repro_propagation_conversion_cache_hits_total",
+    "Conversion cache hits attributed to propagation",
+)
+_CACHE_MISSES = counter(
+    "repro_propagation_conversion_cache_misses_total",
+    "Conversion cache misses attributed to propagation",
+)
+_INCONSISTENT = counter(
+    "repro_propagation_inconsistent_total",
+    "Propagations that refuted their structure",
+)
+_SECONDS = histogram(
+    "repro_propagation_seconds", "propagate() wall time per call"
+)
 
 
 def resolve_engine(engine: str) -> str:
@@ -309,23 +348,26 @@ def _propagate_reference(
     variables = setup.result.structure.variables
     for iteration in range(1, max_iterations + 1):
         result.iterations = iteration
-        # Step 1: path consistency inside each group.
-        for label in setup.labels:
-            closed = _close_group(variables, groups[label])
-            result.closures_full += 1
-            if closed is None:
-                result.consistent = False
+        with span("propagate.iteration", iteration=iteration):
+            # Step 1: path consistency inside each group.
+            for label in setup.labels:
+                with span("stp.close", granularity=label, kind="full"):
+                    closed = _close_group(variables, groups[label])
+                result.closures_full += 1
+                if closed is None:
+                    result.consistent = False
+                    return result
+                groups[label] = {
+                    arc: interval
+                    for arc, interval in closed.items()
+                    if arc in setup.ordered_pairs
+                }
+            setup.result.groups = groups
+            # Step 2: cross-granularity conversion.
+            with span("propagate.convert", iteration=iteration):
+                changed = _convert_step(setup, system)
+            if changed is None or not changed:
                 return result
-            groups[label] = {
-                arc: interval
-                for arc, interval in closed.items()
-                if arc in setup.ordered_pairs
-            }
-        setup.result.groups = groups
-        # Step 2: cross-granularity conversion.
-        changed = _convert_step(setup, system)
-        if changed is None or not changed:
-            return result
     raise RuntimeError(
         "propagation did not converge within %d iterations; this "
         "contradicts Theorem 2 and indicates a conversion-table bug"
@@ -360,48 +402,61 @@ def _propagate_fast(
     }
     for iteration in range(1, max_iterations + 1):
         result.iterations = iteration
-        # Step 1: path consistency inside each group - full closure the
-        # first time a group is seen, incremental afterwards, skipped
-        # entirely when nothing tightened since the last closure.
-        for label in setup.labels:
-            stp = stps.get(label)
-            if stp is None:
-                stp = STP(variables, kernel=kernel)
-                try:
-                    for (x, y), (lo, hi) in groups[label].items():
-                        stp.add(x, y, lo, hi)
-                    stp.closure()
-                except InconsistentSTP:
-                    result.consistent = False
-                    return result
-                stps[label] = stp
-                result.closures_full += 1
-            else:
-                updates = pending[label]
-                if not updates:
-                    # Clean group: its dict already holds the filtered
-                    # fixpoint of its own closure - nothing to do.
-                    continue
-                try:
-                    stp.tighten_many(
-                        [(arc, lo, hi) for arc, (lo, hi) in updates]
-                    )
-                except InconsistentSTP:
-                    result.consistent = False
-                    return result
-                result.closures_incremental += 1
-                pending[label] = []
-            groups[label] = {
-                arc: interval
-                for arc, interval in stp.finite_intervals().items()
-                if arc in setup.ordered_pairs
-            }
-        setup.result.groups = groups
-        # Step 2: cross-granularity conversion, recording tightened
-        # arcs for the next round's incremental re-closure.
-        changed = _convert_step(setup, system, pending=pending)
-        if changed is None or not changed:
-            return result
+        with span("propagate.iteration", iteration=iteration):
+            # Step 1: path consistency inside each group - full closure
+            # the first time a group is seen, incremental afterwards,
+            # skipped entirely when nothing tightened since the last
+            # closure.
+            for label in setup.labels:
+                stp = stps.get(label)
+                if stp is None:
+                    stp = STP(variables, kernel=kernel)
+                    try:
+                        with span(
+                            "stp.close", granularity=label, kind="full"
+                        ):
+                            for (x, y), (lo, hi) in groups[label].items():
+                                stp.add(x, y, lo, hi)
+                            stp.closure()
+                    except InconsistentSTP:
+                        result.consistent = False
+                        return result
+                    stps[label] = stp
+                    result.closures_full += 1
+                else:
+                    updates = pending[label]
+                    if not updates:
+                        # Clean group: its dict already holds the
+                        # filtered fixpoint of its own closure -
+                        # nothing to do.
+                        continue
+                    try:
+                        with span(
+                            "stp.close",
+                            granularity=label,
+                            kind="incremental",
+                            arcs=len(updates),
+                        ):
+                            stp.tighten_many(
+                                [(arc, lo, hi) for arc, (lo, hi) in updates]
+                            )
+                    except InconsistentSTP:
+                        result.consistent = False
+                        return result
+                    result.closures_incremental += 1
+                    pending[label] = []
+                groups[label] = {
+                    arc: interval
+                    for arc, interval in stp.finite_intervals().items()
+                    if arc in setup.ordered_pairs
+                }
+            setup.result.groups = groups
+            # Step 2: cross-granularity conversion, recording tightened
+            # arcs for the next round's incremental re-closure.
+            with span("propagate.convert", iteration=iteration):
+                changed = _convert_step(setup, system, pending=pending)
+            if changed is None or not changed:
+                return result
     raise RuntimeError(
         "propagation did not converge within %d iterations; this "
         "contradicts Theorem 2 and indicates a conversion-table bug"
@@ -429,18 +484,47 @@ def propagate(
         structure, system, extra_granularities, resolved
     )
     cache = system.conversion_cache
-    hits_before, misses_before = cache.snapshot()
-    try:
-        if not setup.groups:
-            return setup.result
-        if resolved == "python":
-            return _propagate_reference(setup, system, max_iterations)
-        kernel = "numpy" if resolved == "numpy" else "python"
-        return _propagate_fast(setup, system, max_iterations, kernel)
-    finally:
-        hits_after, misses_after = cache.snapshot()
-        setup.result.conversion_cache_hits = hits_after - hits_before
-        setup.result.conversion_cache_misses = misses_after - misses_before
+    before = cache.snapshot()
+    started = time.perf_counter()
+    result = setup.result
+    with span(
+        "propagate",
+        engine=resolved,
+        variables=len(structure.variables),
+        granularities=len(setup.labels),
+    ) as propagate_span:
+        try:
+            if not setup.groups:
+                return result
+            if resolved == "python":
+                result = _propagate_reference(setup, system, max_iterations)
+            else:
+                kernel = "numpy" if resolved == "numpy" else "python"
+                result = _propagate_fast(
+                    setup, system, max_iterations, kernel
+                )
+            return result
+        finally:
+            after = cache.snapshot()
+            result.conversion_cache_hits = after.hits - before.hits
+            result.conversion_cache_misses = after.misses - before.misses
+            propagate_span.set(
+                iterations=result.iterations,
+                consistent=result.consistent,
+            )
+            # Mirror the per-call counters into the process-wide
+            # registry; the PropagationResult fields stay the per-call
+            # views over exactly these increments.
+            _RUNS.inc()
+            _ITERATIONS.add(result.iterations)
+            _CLOSURES_FULL.add(result.closures_full)
+            _CLOSURES_INCREMENTAL.add(result.closures_incremental)
+            _CONVERSIONS.add(result.conversions_performed)
+            _CACHE_HITS.add(result.conversion_cache_hits)
+            _CACHE_MISSES.add(result.conversion_cache_misses)
+            if not result.consistent:
+                _INCONSISTENT.inc()
+            _SECONDS.observe(time.perf_counter() - started)
 
 
 def check_consistency_approx(

@@ -44,10 +44,29 @@ from typing import (
     Tuple,
 )
 
+from ..obs import counter as _obs_counter
+
 Interval = Tuple[int, int]
 
 #: Sentinel for "no bound" in the distance matrix.
 INF = float("inf")
+
+# Per-(kind, kernel) closure counters, created lazily and cached so the
+# hot path is one dict lookup plus a gated increment.
+_CLOSURE_COUNTERS: Dict[Tuple[str, str], object] = {}
+
+
+def _count_closure(kind: str, kernel: str) -> None:
+    key = (kind, kernel)
+    metric = _CLOSURE_COUNTERS.get(key)
+    if metric is None:
+        metric = _obs_counter(
+            "repro_stp_closures_total",
+            "STP minimal-network computations by kind and kernel",
+            labels={"kind": kind, "kernel": kernel},
+        )
+        _CLOSURE_COUNTERS[key] = metric
+    metric.inc()
 
 #: Largest magnitude exactly representable as consecutive integers in a
 #: float64; beyond it the numpy kernel falls back to exact python.
@@ -146,8 +165,12 @@ class STP:
     def closure(self) -> None:
         """Floyd-Warshall path consistency; raises on negative cycles."""
         if self.kernel == "numpy" and self._numpy_exact():
+            _count_closure("full", "numpy")
             self._closure_numpy()
         else:
+            # Counts what actually ran: a numpy STP outside the exact
+            # float64 range executes (and records) the python loop.
+            _count_closure("full", "python")
             self._closure_python()
         dist = self._dist
         for i in range(len(dist)):
@@ -246,6 +269,7 @@ class STP:
                 self.add(x, y, lo, hi)
             self.closure()
             return
+        _count_closure("incremental", "python")
         for (x, y), lo, hi in updates:
             if lo > hi:
                 raise InconsistentSTP(

@@ -28,6 +28,7 @@ from ..automata.builder import build_tag
 from ..automata.matching import TagMatcher
 from ..constraints.structure import ComplexEventType, EventStructure
 from ..granularity.registry import GranularitySystem
+from ..obs import counter, span
 from .events import EventSequence
 from .pruning import (
     PruningStats,
@@ -37,6 +38,22 @@ from .pruning import (
     screen_candidate_pairs,
     screen_candidates,
     seconds_windows,
+)
+
+
+_MINE_RUNS = counter(
+    "repro_mine_runs_total", "Discovery pipeline invocations"
+)
+_CANDIDATES_EVALUATED = counter(
+    "repro_mine_candidates_evaluated_total",
+    "Candidate assignments that reached the TAG scan",
+)
+_AUTOMATON_STARTS = counter(
+    "repro_mine_automaton_starts_total",
+    "Anchored automaton runs started by discovery",
+)
+_SOLUTIONS = counter(
+    "repro_mine_solutions_total", "Frequent complex event types found"
 )
 
 
@@ -209,10 +226,12 @@ def _frequency(
     """Fraction of reference occurrences anchoring a match."""
     hits = 0
     starts = 0
-    for index in root_indices:
-        starts += 1
-        if matcher.occurs_at(sequence, index):
-            hits += 1
+    with span("tag.match", total_roots=total_roots) as match_span:
+        for index in root_indices:
+            starts += 1
+            if matcher.occurs_at(sequence, index):
+                hits += 1
+        match_span.set(starts=starts, hits=hits)
     if total_roots == 0:
         return 0.0, starts
     return hits / total_roots, starts
@@ -226,27 +245,50 @@ def naive_discover(
 ) -> DiscoveryOutcome:
     """The paper's naive algorithm: every candidate, every root."""
     structure = problem.structure
-    roots = sequence.occurrence_indices(problem.reference_type)
-    total = len(roots)
-    stats = PruningStats(
-        sequence_events_before=len(sequence),
-        sequence_events_after=len(sequence),
-        roots_before=total,
-        roots_after=total,
-    )
-    outcome = DiscoveryOutcome(solutions=[], frequencies={}, stats=stats)
-    if total == 0:
-        return outcome
-    for assignment in candidate_assignments(problem, sequence):
-        cet = ComplexEventType(structure, assignment)
-        matcher = TagMatcher(build_tag(cet, system=system), strict=strict)
-        outcome.candidates_evaluated += 1
-        frequency, starts = _frequency(matcher, sequence, roots, total)
-        outcome.automaton_starts += starts
-        if frequency > problem.min_confidence:
-            outcome.solutions.append(cet)
-            outcome.frequencies[cet] = frequency
+    with span(
+        "mine.naive",
+        variables=len(structure.variables),
+        events=len(sequence),
+    ) as mine_span:
+        roots = sequence.occurrence_indices(problem.reference_type)
+        total = len(roots)
+        stats = PruningStats(
+            sequence_events_before=len(sequence),
+            sequence_events_after=len(sequence),
+            roots_before=total,
+            roots_after=total,
+        )
+        outcome = DiscoveryOutcome(
+            solutions=[], frequencies={}, stats=stats
+        )
+        if total > 0:
+            for assignment in candidate_assignments(problem, sequence):
+                cet = ComplexEventType(structure, assignment)
+                matcher = TagMatcher(
+                    build_tag(cet, system=system), strict=strict
+                )
+                outcome.candidates_evaluated += 1
+                frequency, starts = _frequency(
+                    matcher, sequence, roots, total
+                )
+                outcome.automaton_starts += starts
+                if frequency > problem.min_confidence:
+                    outcome.solutions.append(cet)
+                    outcome.frequencies[cet] = frequency
+        mine_span.set(
+            candidates=outcome.candidates_evaluated,
+            solutions=len(outcome.solutions),
+        )
+    _record_outcome(outcome)
     return outcome
+
+
+def _record_outcome(outcome: DiscoveryOutcome) -> None:
+    """Flush one discovery run's work counts to the registry."""
+    _MINE_RUNS.inc()
+    _CANDIDATES_EVALUATED.add(outcome.candidates_evaluated)
+    _AUTOMATON_STARTS.add(outcome.automaton_starts)
+    _SOLUTIONS.add(len(outcome.solutions))
 
 
 def discover(
@@ -264,6 +306,33 @@ def discover(
     ``engine`` selects the propagation engine used by the consistency
     gate (every engine derives identical windows).
     """
+    with span(
+        "mine",
+        variables=len(problem.structure.variables),
+        events=len(sequence),
+        screen_depth=screen_depth,
+    ) as mine_span:
+        outcome = _discover(
+            problem, sequence, system, screen_depth, strict, engine
+        )
+        mine_span.set(
+            consistent=outcome.stats.consistent,
+            candidates=outcome.candidates_evaluated,
+            automaton_starts=outcome.automaton_starts,
+            solutions=len(outcome.solutions),
+        )
+    _record_outcome(outcome)
+    return outcome
+
+
+def _discover(
+    problem: EventDiscoveryProblem,
+    sequence: EventSequence,
+    system: GranularitySystem,
+    screen_depth: int,
+    strict: bool,
+    engine: str,
+) -> DiscoveryOutcome:
     structure = problem.structure
     allowed = problem.allowed_types()
     roots_all = sequence.occurrence_indices(problem.reference_type)
@@ -277,9 +346,10 @@ def discover(
         return outcome
 
     # Step 1: consistency gate.
-    consistent, propagation = consistency_gate(
-        structure, system, engine=engine
-    )
+    with span("mine.consistency_gate", engine=engine):
+        consistent, propagation = consistency_gate(
+            structure, system, engine=engine
+        )
     stats.consistent = consistent
     if not consistent:
         stats.sequence_events_after = len(sequence)
@@ -287,14 +357,18 @@ def discover(
     windows = seconds_windows(propagation)
 
     # Step 2: sequence reduction.
-    reduced = reduce_sequence(structure, sequence, allowed)
-    stats.sequence_events_after = len(reduced)
-    roots = list(reduced.occurrence_indices(problem.reference_type))
+    with span("mine.reduce", events_before=len(sequence)) as reduce_span:
+        reduced = reduce_sequence(structure, sequence, allowed)
+        stats.sequence_events_after = len(reduced)
+        roots = list(reduced.occurrence_indices(problem.reference_type))
 
-    # Step 3: reference-occurrence reduction.
-    roots = filter_reference_occurrences(
-        structure, reduced, roots, windows, allowed
-    )
+        # Step 3: reference-occurrence reduction.
+        roots = filter_reference_occurrences(
+            structure, reduced, roots, windows, allowed
+        )
+        reduce_span.set(
+            events_after=len(reduced), roots_after=len(roots)
+        )
     stats.roots_after = len(roots)
     if not roots:
         return outcome
@@ -312,30 +386,32 @@ def discover(
             else len(reduced.types())
         )
     if screen_depth >= 1:
-        survivors = screen_candidates(
-            structure,
-            reduced,
-            roots,
-            total,
-            windows,
-            allowed,
-            problem.min_confidence,
-        )
+        with span("mine.screen", depth=1):
+            survivors = screen_candidates(
+                structure,
+                reduced,
+                roots,
+                total,
+                windows,
+                allowed,
+                problem.min_confidence,
+            )
         stats.candidates_after_depth1 = {
             v: len(pool) for v, pool in survivors.items()
         }
         if any(not pool for pool in survivors.values()):
             return outcome
     if screen_depth >= 2 and survivors is not None:
-        allowed_pairs = screen_candidate_pairs(
-            propagation,
-            reduced,
-            roots,
-            total,
-            survivors,
-            problem.reference_type,
-            problem.min_confidence,
-        )
+        with span("mine.screen", depth=2):
+            allowed_pairs = screen_candidate_pairs(
+                propagation,
+                reduced,
+                roots,
+                total,
+                survivors,
+                problem.reference_type,
+                problem.min_confidence,
+            )
         stats.pairs_screened = len(allowed_pairs)
         stats.pairs_kept = sum(len(kept) for kept in allowed_pairs.values())
 
@@ -343,19 +419,33 @@ def discover(
     horizon = None
     if windows and len(windows) == len(structure.variables) - 1:
         horizon = max(hi for _, hi in windows.values())
-    for assignment in candidate_assignments(
-        problem, reduced, survivors=survivors, allowed_pairs=allowed_pairs
-    ):
-        cet = ComplexEventType(structure, assignment)
-        matcher = TagMatcher(
-            build_tag(cet, system=system),
-            strict=strict,
-            horizon_seconds=horizon,
-        )
-        outcome.candidates_evaluated += 1
-        frequency, starts = _frequency(matcher, reduced, roots, total)
-        outcome.automaton_starts += starts
-        if frequency > problem.min_confidence:
-            outcome.solutions.append(cet)
-            outcome.frequencies[cet] = frequency
+    with span("mine.scan", roots=len(roots)) as scan_span:
+        for assignment in candidate_assignments(
+            problem, reduced, survivors=survivors, allowed_pairs=allowed_pairs
+        ):
+            cet = ComplexEventType(structure, assignment)
+            with span(
+                "mine.candidate",
+                assignment=" ".join(
+                    "%s=%s" % item for item in sorted(assignment.items())
+                ),
+            ) as candidate_span:
+                matcher = TagMatcher(
+                    build_tag(cet, system=system),
+                    strict=strict,
+                    horizon_seconds=horizon,
+                )
+                outcome.candidates_evaluated += 1
+                frequency, starts = _frequency(
+                    matcher, reduced, roots, total
+                )
+                outcome.automaton_starts += starts
+                frequent = frequency > problem.min_confidence
+                candidate_span.set(
+                    frequency=round(frequency, 6), frequent=frequent
+                )
+            if frequent:
+                outcome.solutions.append(cet)
+                outcome.frequencies[cet] = frequency
+        scan_span.set(candidates=outcome.candidates_evaluated)
     return outcome

@@ -1,0 +1,79 @@
+"""repro.obs: zero-dependency tracing, metrics and profiling.
+
+The observability layer the rest of the pipeline is instrumented with
+(see docs/OBSERVABILITY.md for the span taxonomy and metric catalog):
+
+* **spans** - ``with span("propagate", engine=...)`` context managers
+  collected into a tree by a :class:`Tracer` activated per thread
+  (:func:`activate_tracer`); a no-op unless someone is tracing;
+* **metrics** - a process-wide :class:`MetricsRegistry` of named
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments,
+  default-on and cheap (the overhead-guard benchmark bounds them);
+* **exporters** - structured JSON traces (:func:`write_trace`), human
+  tree summaries (:func:`format_span_tree`), and Prometheus text dumps
+  (:func:`prometheus_text`, validated by :func:`lint_prometheus_text`).
+
+``REPRO_OBS=off`` (or :func:`configure(enabled=False) <configure>`)
+turns the whole layer into a no-op fast path; instrumented code keeps
+returning bit-identical results either way (enforced by the
+differential test in ``tests/obs/``).
+"""
+
+from .export import (
+    format_span_tree,
+    format_tree,
+    lint_prometheus_text,
+    load_trace,
+    metrics_snapshot,
+    prometheus_text,
+    write_trace,
+)
+from .metrics import (
+    CallbackMetric,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    counter_deltas,
+    gauge,
+    global_metrics,
+    histogram,
+    sample_name,
+)
+from .runtime import configure, obs_enabled
+from .trace import (
+    Span,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    span,
+)
+
+__all__ = [
+    "configure",
+    "obs_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CallbackMetric",
+    "MetricsRegistry",
+    "global_metrics",
+    "counter",
+    "gauge",
+    "histogram",
+    "counter_deltas",
+    "sample_name",
+    "Span",
+    "Tracer",
+    "span",
+    "activate_tracer",
+    "current_tracer",
+    "write_trace",
+    "load_trace",
+    "format_span_tree",
+    "format_tree",
+    "prometheus_text",
+    "lint_prometheus_text",
+    "metrics_snapshot",
+]

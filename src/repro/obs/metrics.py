@@ -1,0 +1,418 @@
+"""Named counters, gauges and histograms with a process-wide registry.
+
+The design follows the Prometheus data model closely enough that the
+text exporter in :mod:`repro.obs.export` is a direct serialisation:
+
+* metric *names* follow ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* a metric may carry a frozen set of *labels* (``kind="full"``); all
+  children with the same name share one kind and one HELP string;
+* :class:`Counter` only goes up, :class:`Gauge` goes anywhere,
+  :class:`Histogram` keeps count/sum/min/max plus a bounded window of
+  recent observations for quantile estimates.
+
+Updates are guarded by a per-metric lock (counters are incremented from
+the streaming path, which users may drive from several threads) and
+checked against the global :data:`~repro.obs.runtime.STATE` switch
+first, so ``REPRO_OBS=off`` reduces every update to one attribute read
+and a branch.
+
+Callback metrics (:meth:`MetricsRegistry.counter_callback` /
+:meth:`MetricsRegistry.gauge_callback`) read their value from a
+function at export time instead of being pushed to - the conversion
+cache uses them so its hot path pays nothing for the mirror.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .runtime import STATE
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Frozen, sorted label items - the registry key component.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+Number = Union[int, float]
+
+
+def normalize_labels(
+    labels: Optional[Mapping[str, object]]
+) -> LabelItems:
+    """Sorted, stringified label items; validates label names."""
+    if not labels:
+        return ()
+    items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for key, _ in items:
+        if not _LABEL_RE.match(key):
+            raise ValueError("invalid label name %r" % key)
+    return items
+
+
+def sample_name(name: str, labels: LabelItems) -> str:
+    """``name{k="v",...}`` - the flat key used in snapshots."""
+    if not labels:
+        return name
+    inner = ",".join('%s="%s"' % (k, v) for k, v in labels)
+    return "%s{%s}" % (name, inner)
+
+
+class Metric:
+    """Base: a named, optionally labelled instrument."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "labels", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelItems = (),
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError("invalid metric name %r" % name)
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    def value(self) -> object:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(%r)" % (type(self).__name__, sample_name(
+            self.name, self.labels
+        ))
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help="", labels=()):
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def add(self, amount: Number = 1) -> None:
+        """Increase by ``amount`` (>= 0); a no-op when obs is off."""
+        if not STATE.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up (got %r)" % (amount,))
+        with self._lock:
+            self._value += amount
+
+    def inc(self) -> None:
+        self.add(1)
+
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(Metric):
+    """A value that can go up and down (depths, lags, sizes)."""
+
+    kind = "gauge"
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help="", labels=()):
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def set(self, value: Number) -> None:
+        if not STATE.enabled:
+            return
+        self._value = value
+
+    def add(self, amount: Number = 1) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Histogram(Metric):
+    """Count/sum/min/max plus a bounded window for quantiles.
+
+    The window keeps the most recent ``max_window`` observations
+    (FIFO), so quantiles are *recent-window* estimates - exact while
+    fewer than ``max_window`` values were observed, which covers every
+    use in this codebase.  ``quantile(q)`` interpolates linearly
+    between order statistics (the same convention as
+    ``statistics.quantiles(..., method='inclusive')``).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("_count", "_sum", "_min", "_max", "_window", "max_window")
+
+    def __init__(self, name, help="", labels=(), max_window: int = 1024):
+        super().__init__(name, help, labels)
+        if max_window < 1:
+            raise ValueError("max_window must be >= 1")
+        self.max_window = max_window
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[Number] = None
+        self._max: Optional[Number] = None
+        self._window: List[Number] = []
+
+    def observe(self, value: Number) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._window.append(value)
+            if len(self._window) > self.max_window:
+                del self._window[0]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Linear-interpolated ``q``-quantile of the recent window.
+
+        ``q`` must lie in [0, 1]; returns None with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            window = sorted(self._window)
+        if not window:
+            return None
+        if len(window) == 1:
+            return float(window[0])
+        position = q * (len(window) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(window) - 1)
+        fraction = position - lower
+        return float(
+            window[lower] + (window[upper] - window[lower]) * fraction
+        )
+
+    def value(self) -> Dict[str, object]:
+        """JSON-friendly summary (the snapshot form)."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+            self._window = []
+
+
+class CallbackMetric(Metric):
+    """A counter/gauge whose value is computed at read time."""
+
+    __slots__ = ("_fn", "_kind")
+
+    def __init__(self, name, fn: Callable[[], Number], kind: str,
+                 help="", labels=()):
+        super().__init__(name, help, labels)
+        self._fn = fn
+        self._kind = kind
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self._kind
+
+    def value(self) -> Number:
+        return self._fn()
+
+    def reset(self) -> None:
+        """Callback metrics mirror external state; nothing to reset."""
+
+
+class MetricsRegistry:
+    """A named collection of metrics (one per ``(name, labels)``).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling the
+    same name twice returns the same instance, and asking for a name
+    already registered with a different kind raises ValueError.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name, kind, labels, factory) -> Metric:
+        key = (name, normalize_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        "metric %r already registered as %s, not %s"
+                        % (name, existing.kind, kind)
+                    )
+                return existing
+            registered_kind = self._kinds.get(name)
+            if registered_kind is not None and registered_kind != kind:
+                raise ValueError(
+                    "metric family %r already registered as %s, not %s"
+                    % (name, registered_kind, kind)
+                )
+            metric = factory(key[1])
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            return metric
+
+    def counter(self, name, help="", labels=None) -> Counter:
+        return self._get_or_create(
+            name, "counter", labels,
+            lambda items: Counter(name, help, items),
+        )
+
+    def gauge(self, name, help="", labels=None) -> Gauge:
+        return self._get_or_create(
+            name, "gauge", labels,
+            lambda items: Gauge(name, help, items),
+        )
+
+    def histogram(
+        self, name, help="", labels=None, max_window: int = 1024
+    ) -> Histogram:
+        return self._get_or_create(
+            name, "histogram", labels,
+            lambda items: Histogram(name, help, items, max_window),
+        )
+
+    def counter_callback(
+        self, name, fn: Callable[[], Number], help="", labels=None
+    ) -> CallbackMetric:
+        return self._get_or_create(
+            name, "counter", labels,
+            lambda items: CallbackMetric(name, fn, "counter", help, items),
+        )
+
+    def gauge_callback(
+        self, name, fn: Callable[[], Number], help="", labels=None
+    ) -> CallbackMetric:
+        return self._get_or_create(
+            name, "gauge", labels,
+            lambda items: CallbackMetric(name, fn, "gauge", help, items),
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name, labels=None) -> Optional[Metric]:
+        """The registered metric, or None."""
+        return self._metrics.get((name, normalize_labels(labels)))
+
+    def metrics(self) -> List[Metric]:
+        """Every registered metric, ordered by (name, labels)."""
+        with self._lock:
+            values = list(self._metrics.items())
+        return [metric for _, metric in sorted(values, key=lambda kv: kv[0])]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``{"name{labels}": value}`` mapping (JSON-friendly)."""
+        return {
+            sample_name(metric.name, metric.labels): metric.value()
+            for metric in self.metrics()
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (test-isolation hook; keeps registrations)."""
+        for metric in self.metrics():
+            metric.reset()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-wide registry every instrumented layer shares.
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry (exported by ``repro --metrics``)."""
+    return _GLOBAL
+
+
+def counter(name, help="", labels=None) -> Counter:
+    """Get-or-create a counter in the global registry."""
+    return _GLOBAL.counter(name, help, labels)
+
+
+def gauge(name, help="", labels=None) -> Gauge:
+    """Get-or-create a gauge in the global registry."""
+    return _GLOBAL.gauge(name, help, labels)
+
+
+def histogram(name, help="", labels=None, max_window: int = 1024) -> Histogram:
+    """Get-or-create a histogram in the global registry."""
+    return _GLOBAL.histogram(name, help, labels, max_window)
+
+
+def counter_deltas(
+    before: Mapping[str, object], after: Mapping[str, object]
+) -> Dict[str, Number]:
+    """Numeric differences between two registry snapshots.
+
+    Only plain-number samples (counters/gauges) participate; histogram
+    summaries are skipped.  Samples absent from ``before`` count from
+    zero; unchanged samples are omitted.
+    """
+    deltas: Dict[str, Number] = {}
+    for key, value in after.items():
+        if not isinstance(value, (int, float)):
+            continue
+        previous = before.get(key, 0)
+        if not isinstance(previous, (int, float)):
+            continue
+        if value != previous:
+            deltas[key] = value - previous
+    return deltas

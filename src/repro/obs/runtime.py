@@ -1,0 +1,56 @@
+"""The observability on/off switch (``REPRO_OBS``).
+
+Everything in :mod:`repro.obs` consults one process-wide flag.  The
+default is *on*: counters and gauges are cheap enough to leave enabled
+in production (the bound is enforced by the overhead-guard benchmark in
+``tests/obs/test_overhead.py``).  Spans additionally require an active
+:class:`~repro.obs.trace.Tracer`, so tracing costs nothing until a
+caller opts in with ``repro --trace`` or :func:`~repro.obs.trace.
+activate_tracer`.
+
+Set the environment variable ``REPRO_OBS=off`` (also ``0``, ``false``,
+``no``, ``disabled``) before the process starts to turn the whole layer
+into a no-op; :func:`configure` flips the flag at run time (tests and
+the overhead guard use it to A/B the same workload in one process).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_OFF_VALUES = ("off", "0", "false", "no", "disabled")
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_OBS", "on").strip().lower()
+    return value not in _OFF_VALUES
+
+
+class _ObsState:
+    """Mutable holder so hot paths read one attribute, not a module
+    global that could be rebound under them."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+
+
+#: The process-wide switch every metric and span consults.
+STATE = _ObsState()
+
+
+def obs_enabled() -> bool:
+    """Is the observability layer currently recording?"""
+    return STATE.enabled
+
+
+def configure(enabled: Optional[bool] = None) -> bool:
+    """Set (or re-read) the process-wide switch; returns the new value.
+
+    ``configure()`` with no argument re-reads ``REPRO_OBS`` from the
+    environment - the hook tests use after monkeypatching the variable.
+    """
+    STATE.enabled = _env_enabled() if enabled is None else bool(enabled)
+    return STATE.enabled

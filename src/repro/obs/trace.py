@@ -1,0 +1,222 @@
+"""Hierarchical spans with monotonic timings.
+
+A :class:`Tracer` collects a tree of :class:`Span` records.  Code is
+instrumented with the :func:`span` context manager::
+
+    with span("propagate", engine="numpy"):
+        with span("stp.close", granularity="day", kind="full"):
+            ...
+
+``span()`` is engineered to cost almost nothing when nobody is
+listening: without an active tracer (or with ``REPRO_OBS=off``) it
+returns a shared no-op context manager - one thread-local read and a
+branch.  Tracers are activated per thread with :func:`activate_tracer`
+(a context manager), so concurrent pipelines trace independently.
+
+Spans survive exceptions: the ``with`` block re-raises, but the span is
+closed with ``status="error"`` and the exception type recorded, so a
+trace of a failed run shows *where* it failed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .runtime import STATE
+
+#: Trace payload format version (bump when the JSON layout changes).
+TRACE_SCHEMA_VERSION = 1
+
+_local = threading.local()
+
+
+class Span:
+    """One timed region: name, attributes, duration, children."""
+
+    __slots__ = ("name", "attributes", "start_ns", "end_ns", "status",
+                 "children")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.start_ns: int = 0
+        self.end_ns: Optional[int] = None
+        self.status = "ok"
+        self.children: List["Span"] = []
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes after the span opened."""
+        self.attributes.update(attributes)
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        """Elapsed monotonic nanoseconds (None while still open)."""
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_seconds(self) -> Optional[float]:
+        duration = self.duration_ns
+        return duration / 1e9 if duration is not None else None
+
+    def total_spans(self) -> int:
+        """This span plus all descendants."""
+        return 1 + sum(child.total_spans() for child in self.children)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (attributes are stringified defensively)."""
+        return {
+            "name": self.name,
+            "attributes": {
+                key: value
+                if isinstance(value, (str, int, float, bool, type(None)))
+                else str(value)
+                for key, value in self.attributes.items()
+            },
+            "duration_ns": self.duration_ns,
+            "status": self.status,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Span(%r, children=%d)" % (self.name, len(self.children))
+
+
+class Tracer:
+    """Collects a forest of spans for one traced region of work.
+
+    Not thread-safe by itself: activate one tracer per thread (the
+    usual shape - ``repro --trace`` activates one around the whole CLI
+    command).
+    """
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def open_span(self, name: str, attributes=None) -> Span:
+        span_ = Span(name, attributes)
+        if self._stack:
+            self._stack[-1].children.append(span_)
+        else:
+            self.roots.append(span_)
+        self._stack.append(span_)
+        span_.start_ns = time.perf_counter_ns()
+        return span_
+
+    def close_span(self, span_: Span) -> None:
+        span_.end_ns = time.perf_counter_ns()
+        if self._stack and self._stack[-1] is span_:
+            self._stack.pop()
+        elif span_ in self._stack:  # pragma: no cover - defensive
+            # Mis-nested exit: unwind to (and including) the span.
+            while self._stack:
+                if self._stack.pop() is span_:
+                    break
+
+    def total_spans(self) -> int:
+        return sum(root.total_spans() for root in self.roots)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``--trace`` JSON payload."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+
+# ----------------------------------------------------------------------
+# Activation
+# ----------------------------------------------------------------------
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active on this thread, or None."""
+    return getattr(_local, "tracer", None)
+
+
+class activate_tracer:
+    """Context manager installing a tracer on the current thread::
+
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            run_pipeline()
+        print(format_span_tree(tracer.to_dict()))
+    """
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = getattr(_local, "tracer", None)
+        _local.tracer = self.tracer
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _local.tracer = self._previous
+        return False
+
+
+# ----------------------------------------------------------------------
+# The span() entry point
+# ----------------------------------------------------------------------
+class _NoopSpan:
+    """Shared do-nothing span handed out when nobody is tracing."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return {}
+
+
+class _NoopSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP = _NoopSpanContext()
+
+
+class _LiveSpanContext:
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, attributes):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.open_span(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span_ = self._span
+        if span_ is not None:
+            if exc_type is not None:
+                span_.status = "error"
+                span_.attributes.setdefault(
+                    "exception", exc_type.__name__
+                )
+            self._tracer.close_span(span_)
+        return False  # never swallow
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the active tracer (no-op when none is active)."""
+    tracer = getattr(_local, "tracer", None)
+    if tracer is None or not STATE.enabled:
+        return _NOOP
+    return _LiveSpanContext(tracer, name, attributes)

@@ -1,0 +1,23 @@
+"""Shared fixtures: explicit on/off switches that restore the
+process-wide state, so this suite passes under any ``REPRO_OBS``
+setting (CI runs tier-1 with it off)."""
+
+import pytest
+
+from repro.obs import configure, obs_enabled
+
+
+@pytest.fixture
+def obs_on():
+    previous = obs_enabled()
+    configure(True)
+    yield
+    configure(previous)
+
+
+@pytest.fixture
+def obs_off():
+    previous = obs_enabled()
+    configure(False)
+    yield
+    configure(previous)

@@ -1,0 +1,156 @@
+"""Exporters: Prometheus text format, its linter, and the tree views."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    format_tree,
+    lint_prometheus_text,
+    prometheus_text,
+)
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_families(self, obs_on):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "Runs so far").add(3)
+        registry.gauge("depth", "Current depth").set(2)
+        text = prometheus_text(registry)
+        assert "# HELP runs_total Runs so far\n" in text
+        assert "# TYPE runs_total counter\n" in text
+        assert "runs_total 3\n" in text
+        assert "# TYPE depth gauge\n" in text
+        assert "depth 2\n" in text
+
+    def test_labelled_samples(self, obs_on):
+        registry = MetricsRegistry()
+        registry.counter(
+            "closures_total", "STP closures", labels={"kind": "full"}
+        ).add(5)
+        registry.counter(
+            "closures_total", labels={"kind": "incremental"}
+        ).add(7)
+        text = prometheus_text(registry)
+        assert text.count("# TYPE closures_total counter") == 1
+        assert 'closures_total{kind="full"} 5\n' in text
+        assert 'closures_total{kind="incremental"} 7\n' in text
+
+    def test_histogram_exports_as_summary(self, obs_on):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_seconds", "Latency")
+        for value in [1.0, 2.0, 3.0]:
+            h.observe(value)
+        text = prometheus_text(registry)
+        assert "# TYPE latency_seconds summary\n" in text
+        assert 'latency_seconds{quantile="0.5"} 2.0\n' in text
+        assert "latency_seconds_sum 6.0\n" in text
+        assert "latency_seconds_count 3\n" in text
+
+    def test_label_value_escaping(self, obs_on):
+        registry = MetricsRegistry()
+        registry.counter(
+            "odd_total", labels={"path": 'a"b\\c\nd'}
+        ).add(1)
+        text = prometheus_text(registry)
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+        assert lint_prometheus_text(text) == []
+
+    def test_help_escaping(self, obs_on):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two \\ slash")
+        text = prometheus_text(registry)
+        assert "# HELP c_total line one\\nline two \\\\ slash\n" in text
+        assert lint_prometheus_text(text) == []
+
+    def test_non_finite_values(self, obs_on):
+        registry = MetricsRegistry()
+        registry.gauge_callback("inf_gauge", lambda: float("inf"))
+        registry.gauge_callback("nan_gauge", lambda: float("nan"))
+        text = prometheus_text(registry)
+        assert "inf_gauge +Inf\n" in text
+        assert "nan_gauge NaN\n" in text
+        assert lint_prometheus_text(text) == []
+
+    def test_empty_registry_is_empty_text(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_global_dump_lints_clean(self, obs_on):
+        # Import the instrumented layers so their families register,
+        # then lint the real process-wide dump (the CI format-lint).
+        import repro.automata.matching  # noqa: F401
+        import repro.automata.streaming  # noqa: F401
+        import repro.constraints.propagation  # noqa: F401
+        import repro.granularity.convcache  # noqa: F401
+        import repro.mining.discovery  # noqa: F401
+
+        text = prometheus_text()
+        assert "repro_propagation_runs_total" in text
+        assert lint_prometheus_text(text) == []
+
+
+class TestLinter:
+    def test_accepts_well_formed(self):
+        text = (
+            "# HELP a_total Things.\n"
+            "# TYPE a_total counter\n"
+            'a_total{kind="x"} 5\n'
+        )
+        assert lint_prometheus_text(text) == []
+
+    def test_rejects_malformed_comment(self):
+        errors = lint_prometheus_text("# TIPE a counter\n")
+        assert any("malformed comment" in error for error in errors)
+
+    def test_rejects_bad_sample_value(self):
+        text = "# TYPE a counter\na five\n"
+        errors = lint_prometheus_text(text)
+        assert any("invalid sample value" in error for error in errors)
+
+    def test_rejects_unquoted_label(self):
+        text = "# TYPE a counter\na{kind=full} 1\n"
+        errors = lint_prometheus_text(text)
+        assert any("malformed labels" in error for error in errors)
+
+    def test_rejects_duplicate_type(self):
+        text = "# TYPE a counter\n# TYPE a counter\na 1\n"
+        errors = lint_prometheus_text(text)
+        assert any("duplicate TYPE" in error for error in errors)
+
+    def test_rejects_sample_without_type(self):
+        text = "# TYPE a counter\na 1\nb 2\n"
+        errors = lint_prometheus_text(text)
+        assert any("no preceding TYPE" in error for error in errors)
+
+    def test_summary_suffixes_fold_to_family(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat{quantile="0.5"} 1.0\n'
+            "lat_sum 2.0\n"
+            "lat_count 2\n"
+        )
+        assert lint_prometheus_text(text) == []
+
+
+class TestFormatTree:
+    def test_nested_mapping_renders_with_glyphs(self):
+        text = format_tree(
+            {"X1": {"hits": 3, "misses": 1}, "X2": {"hits": 0}},
+            title="bench",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "bench"
+        assert "|- X1" in lines[1]
+        assert any("`- misses: 1" in line for line in lines)
+        assert any("`- X2" in line for line in lines)
+
+    def test_scalar_values_inline(self):
+        text = format_tree({"only": 7})
+        assert text == "`- only: 7"
+
+
+class TestGlobalSnapshotHelpers:
+    def test_metrics_snapshot_reads_global(self, obs_on):
+        from repro.obs import counter, metrics_snapshot
+
+        counter("snapshot_probe_total").inc()
+        assert metrics_snapshot()["snapshot_probe_total"] >= 1

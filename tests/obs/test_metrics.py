@@ -1,0 +1,189 @@
+"""Counters, gauges, histograms, and the registry contract."""
+
+import pytest
+
+from repro.obs import (
+    CallbackMetric,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_deltas,
+    sample_name,
+)
+
+
+class TestCounter:
+    def test_counts_up(self, obs_on):
+        c = Counter("c_total")
+        c.inc()
+        c.add(4)
+        assert c.value() == 5
+
+    def test_rejects_negative(self, obs_on):
+        c = Counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.add(-1)
+
+    def test_noop_when_disabled(self, obs_off):
+        c = Counter("c_total")
+        c.inc()
+        c.add(10)
+        assert c.value() == 0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("9starts-with-digit")
+
+
+class TestGauge:
+    def test_set_and_add(self, obs_on):
+        g = Gauge("g")
+        g.set(7)
+        g.add(-3)
+        assert g.value() == 4
+
+    def test_noop_when_disabled(self, obs_off):
+        g = Gauge("g")
+        g.set(7)
+        assert g.value() == 0
+
+
+class TestHistogramQuantiles:
+    def test_exact_quantiles_small_window(self, obs_on):
+        h = Histogram("h_seconds")
+        for value in [1, 2, 3, 4, 5]:
+            h.observe(value)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 3.0
+        assert h.quantile(1.0) == 5.0
+        # Linear interpolation between order statistics: position
+        # 0.25 * 4 = 1.0 -> exactly the second value.
+        assert h.quantile(0.25) == 2.0
+        # 0.9 * 4 = 3.6 -> 4 + 0.6 * (5 - 4).
+        assert h.quantile(0.9) == pytest.approx(4.6)
+
+    def test_single_observation(self, obs_on):
+        h = Histogram("h")
+        h.observe(42)
+        assert h.quantile(0.5) == 42.0
+        assert h.quantile(0.99) == 42.0
+
+    def test_empty_histogram_has_no_quantiles(self, obs_on):
+        h = Histogram("h")
+        assert h.quantile(0.5) is None
+
+    def test_quantile_range_validated(self, obs_on):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_count_sum_min_max(self, obs_on):
+        h = Histogram("h")
+        for value in [3, 1, 2]:
+            h.observe(value)
+        summary = h.value()
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1
+        assert summary["max"] == 3
+
+    def test_window_is_bounded_but_count_is_not(self, obs_on):
+        h = Histogram("h", max_window=4)
+        for value in range(100):
+            h.observe(value)
+        assert h.count == 100
+        # The window holds the most recent four: 96..99.
+        assert h.quantile(0.0) == 96.0
+        assert h.quantile(1.0) == 99.0
+
+    def test_noop_when_disabled(self, obs_off):
+        h = Histogram("h")
+        h.observe(1.0)
+        assert h.count == 0
+        assert h.quantile(0.5) is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a_total")
+
+    def test_family_kind_clash_across_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", labels={"kind": "full"})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("a_total", labels={"kind": "inc"})
+
+    def test_labelled_children_are_distinct(self, obs_on):
+        registry = MetricsRegistry()
+        full = registry.counter("closures", labels={"kind": "full"})
+        inc = registry.counter("closures", labels={"kind": "incremental"})
+        assert full is not inc
+        full.inc()
+        assert inc.value() == 0
+
+    def test_snapshot_uses_flat_sample_names(self, obs_on):
+        registry = MetricsRegistry()
+        registry.counter("plain").add(2)
+        registry.counter("fam", labels={"kind": "full"}).add(3)
+        snap = registry.snapshot()
+        assert snap["plain"] == 2
+        assert snap['fam{kind="full"}'] == 3
+
+    def test_reset_zeroes_but_keeps_registrations(self, obs_on):
+        registry = MetricsRegistry()
+        registry.counter("a_total").add(5)
+        registry.reset()
+        assert registry.snapshot()["a_total"] == 0
+        assert len(registry) == 1
+
+    def test_callback_metrics_read_at_export_time(self):
+        registry = MetricsRegistry()
+        box = {"value": 0}
+        registry.counter_callback("cb_total", lambda: box["value"])
+        box["value"] = 9
+        assert registry.snapshot()["cb_total"] == 9
+
+    def test_callback_kind_participates_in_clash_check(self):
+        registry = MetricsRegistry()
+        registry.gauge_callback("depth", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("depth")
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("a", labels={"bad-name": "x"})
+
+
+class TestSampleName:
+    def test_plain(self):
+        assert sample_name("a_total", ()) == "a_total"
+
+    def test_labelled_sorted(self):
+        metric = Counter(
+            "a", labels=(("engine", "numpy"), ("kind", "full"))
+        )
+        assert (
+            sample_name(metric.name, metric.labels)
+            == 'a{engine="numpy",kind="full"}'
+        )
+
+
+class TestCounterDeltas:
+    def test_reports_only_changed_numeric_samples(self):
+        before = {"a": 1, "b": 2, "h": {"count": 1}}
+        after = {"a": 4, "b": 2, "h": {"count": 9}, "new": 7}
+        deltas = counter_deltas(before, after)
+        assert deltas == {"a": 3, "new": 7}
+
+    def test_callbackmetric_exposes_kind(self):
+        metric = CallbackMetric("m", lambda: 1, "gauge")
+        assert metric.kind == "gauge"

@@ -1,0 +1,175 @@
+"""Spans: nesting, exception safety, activation, no-op fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    format_span_tree,
+    load_trace,
+    span,
+    write_trace,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION, _NOOP
+
+
+class TestNesting:
+    def test_children_attach_to_the_enclosing_span(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("outer"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == [
+            "inner.a",
+            "inner.b",
+        ]
+        assert tracer.total_spans() == 3
+
+    def test_siblings_after_close_become_new_roots(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_are_monotonic_and_closed(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("timed"):
+                pass
+        timed = tracer.roots[0]
+        assert timed.duration_ns is not None
+        assert timed.duration_ns >= 0
+        assert timed.duration_seconds == timed.duration_ns / 1e9
+
+    def test_attributes_at_open_and_via_set(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("propagate", engine="numpy") as current:
+                current.set(iterations=3)
+        assert tracer.roots[0].attributes == {
+            "engine": "numpy",
+            "iterations": 3,
+        }
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_with_error_status(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        doomed = tracer.roots[0]
+        assert doomed.status == "error"
+        assert doomed.attributes["exception"] == "RuntimeError"
+        assert doomed.duration_ns is not None
+
+    def test_exception_unwinds_nesting(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with pytest.raises(ValueError):
+                with span("outer"):
+                    with span("inner"):
+                        raise ValueError
+            # The stack fully unwound: new spans are roots again.
+            with span("after"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer", "after"]
+        assert tracer.roots[0].children[0].status == "error"
+
+    def test_exception_is_never_swallowed(self, obs_on):
+        with pytest.raises(KeyError):
+            with activate_tracer(Tracer()):
+                with span("s"):
+                    raise KeyError("k")
+
+
+class TestActivation:
+    def test_span_without_tracer_is_shared_noop(self, obs_on):
+        assert current_tracer() is None
+        assert span("anything", attr=1) is _NOOP
+
+    def test_span_with_obs_off_is_noop_even_with_tracer(self, obs_off):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            assert span("anything") is _NOOP
+        assert tracer.total_spans() == 0
+
+    def test_noop_span_accepts_set(self, obs_on):
+        with span("unrecorded") as noop:
+            noop.set(anything="goes")
+        assert noop.attributes == {}
+
+    def test_activation_restores_previous_tracer(self, obs_on):
+        outer, inner = Tracer(), Tracer()
+        with activate_tracer(outer):
+            with activate_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is None
+
+    def test_tracers_are_thread_local(self, obs_on):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            seen["tracer"] = current_tracer()
+
+        with activate_tracer(tracer):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["tracer"] is None
+
+
+class TestSerialization:
+    def test_roundtrip_through_file(self, obs_on, tmp_path):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("root", engine="python"):
+                with span("child"):
+                    pass
+        path = str(tmp_path / "trace.json")
+        write_trace(tracer, path)
+        payload = load_trace(path)
+        assert payload["schema"] == TRACE_SCHEMA_VERSION
+        assert payload["spans"][0]["name"] == "root"
+        assert payload["spans"][0]["children"][0]["name"] == "child"
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999, "spans": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(str(path))
+
+    def test_non_json_attributes_are_stringified(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("s", payload={1, 2}):
+                pass
+        attributes = tracer.to_dict()["spans"][0]["attributes"]
+        assert isinstance(attributes["payload"], str)
+
+    def test_format_span_tree_collapses_excess_children(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("parent"):
+                for index in range(20):
+                    with span("child%d" % index):
+                        pass
+        text = format_span_tree(tracer.to_dict(), max_children=5)
+        assert "child0" in text
+        assert "child19" not in text
+        assert "more spans collapsed" in text
+        assert text.startswith("trace: 21 spans")

@@ -69,3 +69,10 @@ class TestResilienceSnippets:
         blocks = python_blocks(REPO_ROOT / "docs" / "RESILIENCE.md")
         assert len(blocks) >= 5
         run_blocks(blocks, tmp_path, monkeypatch)
+
+
+class TestObservabilitySnippets:
+    def test_all_blocks_execute(self, tmp_path, monkeypatch):
+        blocks = python_blocks(REPO_ROOT / "docs" / "OBSERVABILITY.md")
+        assert len(blocks) >= 6
+        run_blocks(blocks, tmp_path, monkeypatch)
