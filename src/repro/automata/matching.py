@@ -21,7 +21,15 @@ are covered by every clock granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..obs import counter
 from .builder import TagBuild
@@ -105,6 +113,14 @@ class TagMatcher:
         events after ``t0 + horizon_seconds``; sound when the value is
         an upper bound on the root-to-anything distance in seconds (the
         mining layer derives one from constraint propagation).
+    anchor_requirements:
+        Optional ``(etype, lo, hi)`` triples: any match anchored at
+        ``t0`` must witness an ``etype`` event in ``[t0 + lo, t0 + hi]``
+        (sound when derived from propagated windows, as
+        :func:`repro.core.api.compile_pattern` does).
+        :meth:`matching_roots` then consults the sequence's
+        :class:`~repro.store.anchorindex.AnchorIndex` to enumerate only
+        viable anchors, skipping doomed automaton runs entirely.
     max_configurations:
         Safety valve on the configuration set size.
     """
@@ -114,12 +130,16 @@ class TagMatcher:
         build: TagBuild,
         strict: bool = False,
         horizon_seconds: Optional[int] = None,
+        anchor_requirements: Optional[Sequence[Tuple[str, int, int]]] = None,
         max_configurations: int = 100_000,
     ):
         self.build = build
         self.tag = build.tag
         self.strict = strict
         self.horizon_seconds = horizon_seconds
+        self.anchor_requirements = (
+            tuple(anchor_requirements) if anchor_requirements else ()
+        )
         self.max_configurations = max_configurations
 
     # ------------------------------------------------------------------
@@ -288,10 +308,23 @@ class TagMatcher:
         return self.match_from(sequence, root_index).matched
 
     def matching_roots(self, sequence: "EventSequence") -> Iterator[int]:
-        """Indices of root-type occurrences that anchor a match."""
-        for index in sequence.occurrence_indices(self.build.root_symbol):
-            if self.occurs_at(sequence, index):
-                yield index
+        """Indices of root-type occurrences that anchor a match.
+
+        With :attr:`anchor_requirements` set, root occurrences whose
+        windows the anchor index refutes are skipped without starting
+        an automaton run (the screen is a sound over-approximation, so
+        the yielded set is unchanged).
+        """
+        anchors = sequence.occurrence_indices(self.build.root_symbol)
+        if self.anchor_requirements:
+            index = sequence.anchor_index()
+            anchors = index.viable_anchors(
+                [(position, sequence[position].time) for position in anchors],
+                self.anchor_requirements,
+            )
+        for position in anchors:
+            if self.occurs_at(sequence, position):
+                yield position
 
     def count_occurrences(self, sequence: "EventSequence") -> int:
         """Paper-style count: matched root occurrences (each counted once)."""

@@ -1,4 +1,4 @@
-"""Benchmark regression harness for the X1-X10 experiment suite.
+"""Benchmark regression harness for the X1-X12 experiment suite.
 
 See :mod:`repro.bench.harness` for the machinery and
 ``docs/PERFORMANCE.md`` for how to run it and read its reports.

@@ -1,8 +1,8 @@
-"""The X1-X10 regression harness behind ``repro bench``.
+"""The X1-X12 regression harness behind ``repro bench``.
 
 Unlike the pytest-benchmark suites in ``benchmarks/`` (which exist to
 *regenerate paper artifacts* with statistical care), this module is a
-fast, dependency-free sweep of the same ten experiments designed for
+fast, dependency-free sweep of the same experiments designed for
 regression gating: each experiment runs a small pinned workload a few
 times, records the median wall time plus its work counters, and the
 result is written as a ``BENCH_*.json`` file that later runs (or CI)
@@ -319,6 +319,153 @@ def _x9(system, engine, scale) -> _Workload:
 
 
 def _x10(system, engine, scale) -> _Workload:
+    """The sharded-mining showcase (the PR-4 acceptance number).
+
+    Times the pre-index serial scan (anchor screening off, one
+    process) against the indexed parallel engine at 4 workers on the
+    same discovery problem, asserting the outcomes agree; the payload
+    records both wall times and their ratio.  The candidate pool is
+    left wide (low confidence threshold, depth-1 screening only) so
+    the step-5 TAG scan dominates - the regime the anchor index and
+    the worker pool were built for.
+    """
+    from ..mining.discovery import EventDiscoveryProblem, discover
+    from ..mining.generator import planted_sequence
+
+    cet = _example1_cet(system)
+    sequence, _ = planted_sequence(
+        cet,
+        system,
+        n_roots=60 * scale,
+        confidence=0.6,
+        rng=random.Random(10),
+        noise_types=[
+            "HP-fall",
+            "DEC-rise",
+            "DEC-fall",
+            "SUN-rise",
+            "MSFT-rise",
+            "MSFT-fall",
+        ],
+        noise_events_per_root=6,
+    )
+    problem = EventDiscoveryProblem(
+        structure=cet.structure,
+        min_confidence=0.05,
+        reference_type="IBM-rise",
+    )
+
+    def run():
+        start = time.perf_counter()
+        reference = discover(
+            problem,
+            sequence,
+            system,
+            screen_depth=1,
+            engine=engine,
+            anchor_screen=False,
+        )
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        outcome = discover(
+            problem,
+            sequence,
+            system,
+            screen_depth=1,
+            engine=engine,
+            parallel=4,
+        )
+        parallel_seconds = time.perf_counter() - start
+        report = outcome.parallelism or {}
+        return {
+            "solutions": len(outcome.solutions),
+            "candidates_evaluated": outcome.candidates_evaluated,
+            "workers": report.get("workers", 1),
+            "shards": report.get("shards", 0),
+            "identical_to_serial": (
+                outcome.solution_assignments()
+                == reference.solution_assignments()
+                and sorted(outcome.frequencies.values())
+                == sorted(reference.frequencies.values())
+            ),
+            "serial_median_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup_vs_serial": (
+                serial_seconds / parallel_seconds if parallel_seconds else 0.0
+            ),
+        }
+
+    return _Workload(run)
+
+
+def _x11(system, engine, scale) -> _Workload:
+    """Store-scale mining: a generated 10^5-event store end to end.
+
+    Builds an :class:`~repro.store.EventStore` of 100k x scale events
+    (planted hour-granularity pattern, rare decoy candidates, heavy
+    background noise) and mines it through the parallel engine - the
+    posting-list index absorbs the store size, sequence reduction
+    strips the noise, and the shard planner spreads the scan.
+    """
+    from ..mining.discovery import EventDiscoveryProblem
+    from ..store import EventStore
+
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["X0", "X1", "X2"],
+        {
+            ("X0", "X1"): [TCG(1, 2, hour)],
+            ("X1", "X2"): [TCG(0, 3, hour)],
+        },
+    )
+    rng = random.Random(11)
+    n_roots = 2000 * scale
+    n_events = 100_000 * scale
+    span_seconds = n_roots * 7200
+    events = []
+    for index in range(n_roots):
+        t = index * 7200
+        events.append(("EV-A", t))
+        if rng.random() < 0.7:
+            events.append(("EV-B", t + 3600 + rng.randrange(0, 3600)))
+            events.append(("EV-C", t + 7200 + rng.randrange(0, 7200)))
+    for _ in range(800 * scale):
+        events.append(("EV-D", rng.randrange(0, span_seconds)))
+        events.append(("EV-E", rng.randrange(0, span_seconds)))
+    noise_types = ["BG1", "BG2", "BG3", "BG4", "BG5"]
+    while len(events) < n_events:
+        events.append(
+            (rng.choice(noise_types), rng.randrange(0, span_seconds))
+        )
+    store = EventStore()
+    store.extend(sorted(events, key=lambda event: event[1]))
+    problem = EventDiscoveryProblem(
+        structure=structure,
+        min_confidence=0.5,
+        reference_type="EV-A",
+        candidates={
+            "X1": frozenset(["EV-B", "EV-D"]),
+            "X2": frozenset(["EV-C", "EV-E"]),
+        },
+    )
+
+    def run():
+        outcome = store.mine(problem, system, engine=engine, parallel=4)
+        report = outcome.parallelism or {}
+        return {
+            "store_events": len(store),
+            "events_after_reduction": outcome.stats.sequence_events_after,
+            "roots": outcome.stats.roots_after,
+            "solutions": len(outcome.solutions),
+            "automaton_starts": outcome.automaton_starts,
+            "workers": report.get("workers", 1),
+            "shards": report.get("shards", 0),
+        }
+
+    return _Workload(run)
+
+
+def _x12(system, engine, scale) -> _Workload:
     """Ablation: propagation with a cold vs the warm conversion cache."""
     from ..granularity.convcache import ConversionCache
 
@@ -348,6 +495,8 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "X8": _x8,
     "X9": _x9,
     "X10": _x10,
+    "X11": _x11,
+    "X12": _x12,
 }
 
 EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
@@ -365,7 +514,7 @@ def run_suite(
     """Run the suite and return the ``BENCH_*.json`` payload.
 
     ``experiments`` restricts the run to a subset of names (e.g.
-    ``["X1", "X4"]``); the default runs all ten.
+    ``["X1", "X4"]``); the default runs all twelve.
     """
     if profile not in PROFILES:
         raise ValueError(
@@ -427,29 +576,49 @@ def compare_payloads(
     than ``min_delta_seconds`` in absolute terms - the floor keeps
     scheduler jitter on sub-millisecond experiments from tripping the
     gate (a 0.4 ms experiment can easily double without meaning
-    anything).  Experiments missing from either payload are reported
-    with ``ratio`` None and never count as regressions (so suites can
-    grow).
+    anything).
+
+    The iteration covers the *union* of registered experiment names and
+    whatever keys appear in either payload, so nothing is silently
+    dropped: an experiment missing from one payload, or one this
+    harness version does not know (a baseline recorded by a newer or
+    older harness), still produces a row, with a human-readable
+    ``warning`` explaining the asymmetry.  Such rows have ``ratio``
+    None when unmeasurable and never count as regressions (so suites
+    can grow and shrink without tripping the gate).
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
     rows: List[Dict[str, object]] = []
     current_runs = current.get("experiments", {})
     baseline_runs = baseline.get("experiments", {})
-    for name in EXPERIMENT_NAMES:
+    extras = sorted(
+        (set(current_runs) | set(baseline_runs)) - set(EXPERIMENT_NAMES)
+    )
+    for name in list(EXPERIMENT_NAMES) + extras:
         cur = current_runs.get(name)
         base = baseline_runs.get(name)
+        if cur is None and base is None:
+            continue
+        warnings = []
+        if name not in _EXPERIMENTS:
+            warnings.append("unknown experiment (not in this harness)")
+        if cur is None:
+            warnings.append("missing from current run")
+        if base is None:
+            warnings.append("missing from baseline")
+        warning = "; ".join(warnings) if warnings else None
         if cur is None or base is None:
-            if cur is not None or base is not None:
-                rows.append(
-                    {
-                        "experiment": name,
-                        "current_seconds": cur and cur["median_seconds"],
-                        "baseline_seconds": base and base["median_seconds"],
-                        "ratio": None,
-                        "regressed": False,
-                    }
-                )
+            rows.append(
+                {
+                    "experiment": name,
+                    "current_seconds": cur and cur["median_seconds"],
+                    "baseline_seconds": base and base["median_seconds"],
+                    "ratio": None,
+                    "regressed": False,
+                    "warning": warning,
+                }
+            )
             continue
         cur_s = float(cur["median_seconds"])
         base_s = float(base["median_seconds"])
@@ -464,6 +633,7 @@ def compare_payloads(
                     ratio > 1.0 + tolerance
                     and cur_s - base_s > min_delta_seconds
                 ),
+                "warning": warning,
             }
         )
     return rows
@@ -493,6 +663,8 @@ def comparison_delta_table(
             "ratio": "%.2fx" % ratio if ratio is not None else "-",
             "verdict": "REGRESSED" if row["regressed"] else "ok",
         }
+        if row.get("warning"):
+            entry["warning"] = row["warning"]
         cur = current_runs.get(name)
         base = baseline_runs.get(name)
         if cur is not None and base is not None:
@@ -513,6 +685,9 @@ def format_comparison(rows: Sequence[Dict[str, object]]) -> str:
     ]
     for row in rows:
         ratio = row["ratio"]
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        if row.get("warning"):
+            verdict += "  [warning: %s]" % row["warning"]
         lines.append(
             "%-6s %12s %12s %8s %s"
             % (
@@ -520,7 +695,7 @@ def format_comparison(rows: Sequence[Dict[str, object]]) -> str:
                 _fmt_seconds(row["current_seconds"]),
                 _fmt_seconds(row["baseline_seconds"]),
                 "%.2fx" % ratio if ratio is not None else "-",
-                "REGRESSED" if row["regressed"] else "ok",
+                verdict,
             )
         )
     return "\n".join(lines)

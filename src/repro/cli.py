@@ -7,13 +7,16 @@ Usage (also available as ``python -m repro.cli``)::
     repro replay PATTERN.json EVENTS.csv  # streaming (online) detection
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
-    repro bench --output BENCH.json       # X1-X10 regression harness
+    repro bench --output BENCH.json       # X1-X12 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
 
 ``check`` and ``mine`` accept ``--engine auto|python|numpy|fallback``
 to pick the propagation engine (a pure performance knob; see
-docs/PERFORMANCE.md).  ``mine`` is also available as ``discover``.
+docs/PERFORMANCE.md).  ``mine`` is also available as ``discover`` and
+accepts ``--parallel N|auto`` / ``--shard-size N|auto`` to run the
+final TAG scan on a worker pool (identical output to the serial
+engine; ``REPRO_PARALLEL=off`` is the environment kill switch).
 
 Every command accepts ``--trace FILE`` (write the span tree of the run
 as JSON; inspect with ``repro obs``), ``--metrics`` (print the metrics
@@ -197,6 +200,18 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _parse_count(value: Optional[str], flag: str):
+    """``--parallel`` / ``--shard-size`` values: an integer or "auto"."""
+    if value is None or value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            "%s expects an integer or 'auto', got %r" % (flag, value)
+        )
+
+
 def _cmd_mine(args) -> int:
     system = standard_system()
     problem = problem_from_dict(load_json(args.problem), system)
@@ -207,6 +222,8 @@ def _cmd_mine(args) -> int:
         system,
         screen_depth=args.screen_depth,
         engine=args.engine,
+        parallel=_parse_count(args.parallel, "--parallel"),
+        shard_size=_parse_count(args.shard_size, "--shard-size"),
     )
     if not outcome.stats.consistent:
         print("structure is inconsistent; nothing to mine")
@@ -511,6 +528,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-screening depth (Section 5.1)",
     )
     mine.add_argument(
+        "--parallel",
+        default=None,
+        metavar="N|auto",
+        help="run the TAG scan on N worker processes ('auto' = CPU "
+        "count; default: serial, or the REPRO_PARALLEL env default). "
+        "Output is identical to the serial engine.",
+    )
+    mine.add_argument(
+        "--shard-size",
+        default="auto",
+        metavar="N|auto",
+        help="anchors per time shard for the parallel scan "
+        "(default: auto-sized from the worker count)",
+    )
+    mine.add_argument(
         "--report",
         action="store_true",
         help="print a formatted report instead of raw solution lines",
@@ -525,7 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the X1-X10 regression harness (see docs/PERFORMANCE.md)",
+        help="run the X1-X12 regression harness (see docs/PERFORMANCE.md)",
     )
     _add_engine_option(bench)
     bench.add_argument(
@@ -538,7 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         default="",
         metavar="NAMES",
-        help="comma-separated subset (e.g. X1,X4); default: all ten",
+        help="comma-separated subset (e.g. X1,X4); default: all twelve",
     )
     bench.add_argument(
         "--output",

@@ -44,7 +44,10 @@ def compile_pattern(
     """Compile a complex event type into a ready-to-run TAG matcher.
 
     A seconds horizon is derived by propagation when every variable has
-    a finite window, so matching stops scanning as early as possible.
+    a finite window, so matching stops scanning as early as possible;
+    the same windows become anchor requirements, so
+    :meth:`~repro.automata.matching.TagMatcher.matching_roots`
+    enumerates only anchors the posting-list index cannot refute.
     """
     system = system if system is not None else standard_system()
     cet = ComplexEventType(structure, assignment)
@@ -53,16 +56,24 @@ def compile_pattern(
         structure, system, extra_granularities=[second()], engine=engine
     )
     horizon = None
+    requirements = []
     if result.consistent:
         seconds = result.groups.get("second", {})
-        bounds = [
-            seconds.get((structure.root, v))
-            for v in structure.variables
-            if v != structure.root
-        ]
-        if all(b is not None for b in bounds) and bounds:
+        bounds = []
+        for variable in structure.variables:
+            if variable == structure.root:
+                continue
+            interval = seconds.get((structure.root, variable))
+            bounds.append(interval)
+            if interval is not None:
+                requirements.append(
+                    (assignment[variable], interval[0], interval[1])
+                )
+        if bounds and all(b is not None for b in bounds):
             horizon = max(hi for _, hi in bounds)
-    return TagMatcher(build, horizon_seconds=horizon)
+    return TagMatcher(
+        build, horizon_seconds=horizon, anchor_requirements=requirements
+    )
 
 
 def stream_pattern(

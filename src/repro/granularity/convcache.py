@@ -156,6 +156,55 @@ class ConversionCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    # ------------------------------------------------------------------
+    # Cross-process warming and merging (the parallel engine protocol)
+    # ------------------------------------------------------------------
+    def export_entries(
+        self, namespace: Optional[int] = None
+    ) -> list:
+        """Entries as a picklable list (optionally one namespace only).
+
+        Each item is ``((m, n, source, target, mode), outcome)`` with
+        the namespace stripped - namespaces are process-local tokens,
+        so the importing side rebinds entries to *its* namespace for
+        the same system.  The parallel engine serialises a system's
+        namespace once and pre-warms every worker with it.
+        """
+        return [
+            (key[1:], outcome)
+            for key, outcome in list(self._data.items())
+            if namespace is None or key[0] == namespace
+        ]
+
+    def preload(self, namespace: int, entries) -> int:
+        """Install exported entries under ``namespace``; returns count.
+
+        Pre-warming counts neither hits nor misses - the entries were
+        paid for in the exporting process - so merged statistics stay
+        exact.
+        """
+        count = 0
+        for suffix, outcome in entries:
+            self._data[(namespace,) + tuple(suffix)] = outcome
+            count += 1
+        return count
+
+    def merge_counts(
+        self, hits: int = 0, misses: int = 0, evictions: int = 0
+    ) -> None:
+        """Fold a worker's counter deltas into this cache.
+
+        Worker processes accumulate hits/misses in their (forked) cache
+        copies; the parent adds the deltas back so process-wide cache
+        statistics account for all work, serial or parallel.
+        """
+        if min(hits, misses, evictions) < 0:
+            raise ValueError("cache counter deltas cannot be negative")
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+            self._evictions += evictions
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:

@@ -62,6 +62,15 @@ class GranularitySystem:
         """The cache this system stores conversion outcomes in."""
         return self._cache
 
+    @property
+    def cache_namespace(self) -> int:
+        """This system's key namespace in the conversion cache.
+
+        A process-local token: the parallel engine exports entries for
+        this namespace to warm workers and rebinds them on import.
+        """
+        return self._cache_namespace
+
     # ------------------------------------------------------------------
     # Registration and lookup
     # ------------------------------------------------------------------

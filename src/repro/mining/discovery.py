@@ -156,13 +156,22 @@ class EventDiscoveryProblem:
 
 @dataclass
 class DiscoveryOutcome:
-    """Solutions plus the per-step work statistics of the pipeline."""
+    """Solutions plus the per-step work statistics of the pipeline.
+
+    ``parallelism`` describes how the TAG scan was executed (workers,
+    shards, tasks, executor mode) when the parallel engine ran; it is
+    None for plain serial scans and excluded from serial-vs-parallel
+    equivalence comparisons - everything else is bit-identical.
+    """
 
     solutions: List[ComplexEventType]
     frequencies: Dict[ComplexEventType, float]
     stats: PruningStats
     automaton_starts: int = 0
     candidates_evaluated: int = 0
+    parallelism: Optional[Dict[str, object]] = field(
+        default=None, compare=False
+    )
 
     def solution_assignments(self) -> List[Dict[str, str]]:
         """Plain dict form of the solutions, for display and tests."""
@@ -298,6 +307,9 @@ def discover(
     screen_depth: int = 2,
     strict: bool = False,
     engine: str = "auto",
+    parallel: Optional[object] = None,
+    shard_size: Optional[object] = "auto",
+    anchor_screen: bool = True,
 ) -> DiscoveryOutcome:
     """The optimised pipeline (Section 5 steps 1-5).
 
@@ -305,6 +317,14 @@ def discover(
     per-variable windows screen, 2 adds the sub-chain pair screen.
     ``engine`` selects the propagation engine used by the consistency
     gate (every engine derives identical windows).
+
+    ``parallel`` requests the sharded scan engine: an int worker count,
+    ``"auto"`` (one per CPU), or None (serial unless ``REPRO_PARALLEL``
+    sets a default; ``REPRO_PARALLEL=off`` always forces serial).
+    ``shard_size`` is roots per time shard (``"auto"`` load-balances).
+    ``anchor_screen`` toggles the posting-list anchor viability filter;
+    it runs in both the serial and parallel engines, so results are
+    bit-identical for any worker count.
     """
     with span(
         "mine",
@@ -313,7 +333,15 @@ def discover(
         screen_depth=screen_depth,
     ) as mine_span:
         outcome = _discover(
-            problem, sequence, system, screen_depth, strict, engine
+            problem,
+            sequence,
+            system,
+            screen_depth,
+            strict,
+            engine,
+            parallel=parallel,
+            shard_size=shard_size,
+            anchor_screen=anchor_screen,
         )
         mine_span.set(
             consistent=outcome.stats.consistent,
@@ -332,6 +360,9 @@ def _discover(
     screen_depth: int,
     strict: bool,
     engine: str,
+    parallel: Optional[object] = None,
+    shard_size: Optional[object] = "auto",
+    anchor_screen: bool = True,
 ) -> DiscoveryOutcome:
     structure = problem.structure
     allowed = problem.allowed_types()
@@ -419,7 +450,59 @@ def _discover(
     horizon = None
     if windows and len(windows) == len(structure.variables) - 1:
         horizon = max(hi for _, hi in windows.values())
-    with span("mine.scan", roots=len(roots)) as scan_span:
+    from ..parallel.engine import (
+        candidate_requirements,
+        parallel_scan,
+        resolve_workers,
+    )
+
+    workers = resolve_workers(parallel)
+    with span("mine.scan", roots=len(roots), workers=workers) as scan_span:
+        if workers > 1:
+            candidates = list(
+                candidate_assignments(
+                    problem,
+                    reduced,
+                    survivors=survivors,
+                    allowed_pairs=allowed_pairs,
+                )
+            )
+            results, report = parallel_scan(
+                reduced,
+                system,
+                structure,
+                candidates,
+                windows,
+                roots,
+                horizon,
+                strict=strict,
+                workers=workers,
+                shard_size=shard_size,
+                anchor_screen=anchor_screen,
+            )
+            outcome.parallelism = report
+            for result in results:  # candidate-enumeration order
+                cet = ComplexEventType(structure, result.assignment)
+                outcome.candidates_evaluated += 1
+                outcome.automaton_starts += result.starts
+                frequency = result.hits / total if total else 0.0
+                frequent = frequency > problem.min_confidence
+                with span(
+                    "mine.candidate",
+                    assignment=" ".join(
+                        "%s=%s" % item
+                        for item in sorted(result.assignment.items())
+                    ),
+                ) as candidate_span:
+                    candidate_span.set(
+                        frequency=round(frequency, 6), frequent=frequent
+                    )
+                if frequent:
+                    outcome.solutions.append(cet)
+                    outcome.frequencies[cet] = frequency
+            scan_span.set(candidates=outcome.candidates_evaluated)
+            return outcome
+        index = reduced.anchor_index() if anchor_screen and windows else None
         for assignment in candidate_assignments(
             problem, reduced, survivors=survivors, allowed_pairs=allowed_pairs
         ):
@@ -436,8 +519,20 @@ def _discover(
                     horizon_seconds=horizon,
                 )
                 outcome.candidates_evaluated += 1
+                # The anchor screen: start automata only at roots whose
+                # propagated windows the posting-list index can witness
+                # for *this* assignment (the parallel engine applies the
+                # identical filter, keeping the two bit-identical).
+                viable = roots
+                if index is not None:
+                    viable = index.viable_anchors(
+                        [(root, reduced[root].time) for root in roots],
+                        candidate_requirements(
+                            assignment, windows, structure.root
+                        ),
+                    )
                 frequency, starts = _frequency(
-                    matcher, reduced, roots, total
+                    matcher, reduced, viable, total
                 )
                 outcome.automaton_starts += starts
                 frequent = frequency > problem.min_confidence

@@ -39,8 +39,13 @@ class EventSequence:
         self._events: List[Event] = sorted(events, key=lambda e: e.time)
         self._times: List[int] = [e.time for e in self._events]
         self._by_type: Dict[str, List[int]] = {}
+        self._times_by_type: Dict[str, List[int]] = {}
         for index, event in enumerate(self._events):
             self._by_type.setdefault(event.etype, []).append(index)
+            self._times_by_type.setdefault(event.etype, []).append(
+                event.time
+            )
+        self._anchor_index = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -100,17 +105,42 @@ class EventSequence:
     def has_type_in_window(self, etype: str, start: int, stop: int) -> bool:
         """Is there an event of ``etype`` with timestamp in [start, stop]?
 
-        Runs in O(log occurrences) via the per-type index.
+        One O(log occurrences) bisect on the per-type timestamp list -
+        the hot primitive behind root filtering, candidate screening
+        and anchor viability.
         """
-        indices = self._by_type.get(etype)
-        if not indices:
+        times = self._times_by_type.get(etype)
+        if not times:
             return False
-        lo = bisect_left(self._times, start)
-        hi = bisect_right(self._times, stop)
-        if lo >= hi:
-            return False
-        pos = bisect_left(indices, lo)
-        return pos < len(indices) and indices[pos] < hi
+        pos = bisect_left(times, start)
+        return pos < len(times) and times[pos] <= stop
+
+    def count_type_in_window(self, etype: str, start: int, stop: int) -> int:
+        """Number of ``etype`` events with timestamp in [start, stop]."""
+        times = self._times_by_type.get(etype)
+        if not times or stop < start:
+            return 0
+        return bisect_right(times, stop) - bisect_left(times, start)
+
+    def anchor_index(self) -> "AnchorIndex":
+        """The per-type posting-list/skip index (built once, cached)."""
+        if self._anchor_index is None:
+            from ..store.anchorindex import AnchorIndex
+
+            self._anchor_index = AnchorIndex.from_events(
+                (e.etype, e.time) for e in self._events
+            )
+        return self._anchor_index
+
+    def slice_positions(self, lo: int, hi: int) -> "EventSequence":
+        """A new sequence holding positions ``[lo, hi)`` of this one.
+
+        Position ``p`` of the parent maps to ``p - lo`` in the slice
+        (order is preserved: a slice of a time-sorted list is sorted,
+        and the constructor's sort is stable).  The parallel engine's
+        slice mode uses this to hand a worker only its shard's window.
+        """
+        return EventSequence(self._events[lo:hi])
 
     def filtered(self, keep) -> "EventSequence":
         """A new sequence with the events satisfying the predicate."""

@@ -39,9 +39,10 @@ from .metrics import (
     gauge,
     global_metrics,
     histogram,
+    parse_sample_name,
     sample_name,
 )
-from .runtime import configure, obs_enabled
+from .runtime import configure, obs_debug, obs_enabled
 from .trace import (
     Span,
     Tracer,
@@ -53,6 +54,8 @@ from .trace import (
 __all__ = [
     "configure",
     "obs_enabled",
+    "obs_debug",
+    "parse_sample_name",
     "Counter",
     "Gauge",
     "Histogram",

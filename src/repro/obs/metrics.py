@@ -69,6 +69,28 @@ def sample_name(name: str, labels: LabelItems) -> str:
     return "%s{%s}" % (name, inner)
 
 
+_SAMPLE_RE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+                        r'(?:\{(?P<labels>.*)\})?$')
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_sample_name(sample: str) -> Tuple[str, LabelItems]:
+    """Invert :func:`sample_name`: ``name{k="v"}`` -> (name, items).
+
+    Raises ValueError on strings that no snapshot could have produced.
+    """
+    match = _SAMPLE_RE.match(sample)
+    if match is None:
+        raise ValueError("unparseable sample name %r" % sample)
+    raw = match.group("labels")
+    if not raw:
+        return match.group("name"), ()
+    items = tuple(_LABEL_PAIR_RE.findall(raw))
+    if not items:
+        raise ValueError("unparseable labels in sample %r" % sample)
+    return match.group("name"), items
+
+
 class Metric:
     """Base: a named, optionally labelled instrument."""
 
@@ -368,6 +390,40 @@ class MetricsRegistry:
         """Zero every metric (test-isolation hook; keeps registrations)."""
         for metric in self.metrics():
             metric.reset()
+
+    def merge_counter_deltas(
+        self, deltas: Mapping[str, Number]
+    ) -> Dict[str, Number]:
+        """Fold counter deltas from another process into this registry.
+
+        ``deltas`` is the :func:`counter_deltas` of two snapshots taken
+        around a region of work in a *worker* process; merging them here
+        keeps the parent's counters exact under parallel execution.
+        Only plain :class:`Counter` samples participate: callback
+        counters mirror external state (their sources are merged
+        separately), gauges describe a single process, and negative
+        deltas cannot belong to a counter.  Returns the samples
+        actually applied.
+        """
+        applied: Dict[str, Number] = {}
+        for sample, delta in deltas.items():
+            if not isinstance(delta, (int, float)) or delta <= 0:
+                continue
+            try:
+                name, items = parse_sample_name(sample)
+            except ValueError:
+                continue
+            metric = self._metrics.get((name, items))
+            if metric is None:
+                registered = self._kinds.get(name)
+                if registered not in (None, "counter"):
+                    continue
+                metric = self.counter(name, labels=dict(items))
+            if type(metric) is not Counter:
+                continue
+            metric.add(delta)
+            applied[sample] = delta
+        return applied
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -12,6 +12,11 @@ Set the environment variable ``REPRO_OBS=off`` (also ``0``, ``false``,
 ``no``, ``disabled``) before the process starts to turn the whole layer
 into a no-op; :func:`configure` flips the flag at run time (tests and
 the overhead guard use it to A/B the same workload in one process).
+
+``REPRO_OBS=debug`` keeps the layer on *and* arms the expensive
+self-checks that are too slow for production: the event-store index
+invariant verifier and the shard-planner soundness checks consult
+:func:`obs_debug` before running.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import os
 from typing import Optional
 
 _OFF_VALUES = ("off", "0", "false", "no", "disabled")
+_DEBUG_VALUES = ("debug", "verify")
 
 
 def _env_enabled() -> bool:
@@ -27,14 +33,20 @@ def _env_enabled() -> bool:
     return value not in _OFF_VALUES
 
 
+def _env_debug() -> bool:
+    value = os.environ.get("REPRO_OBS", "on").strip().lower()
+    return value in _DEBUG_VALUES
+
+
 class _ObsState:
     """Mutable holder so hot paths read one attribute, not a module
     global that could be rebound under them."""
 
-    __slots__ = ("enabled",)
+    __slots__ = ("enabled", "debug")
 
     def __init__(self) -> None:
         self.enabled = _env_enabled()
+        self.debug = _env_debug()
 
 
 #: The process-wide switch every metric and span consults.
@@ -46,11 +58,29 @@ def obs_enabled() -> bool:
     return STATE.enabled
 
 
-def configure(enabled: Optional[bool] = None) -> bool:
+def obs_debug() -> bool:
+    """Are the expensive debug self-checks armed (``REPRO_OBS=debug``)?"""
+    return STATE.debug
+
+
+def configure(
+    enabled: Optional[bool] = None, debug: Optional[bool] = None
+) -> bool:
     """Set (or re-read) the process-wide switch; returns the new value.
 
-    ``configure()`` with no argument re-reads ``REPRO_OBS`` from the
+    ``configure()`` with no arguments re-reads ``REPRO_OBS`` from the
     environment - the hook tests use after monkeypatching the variable.
+    ``debug`` arms the expensive invariant checks independently of the
+    recording switch (debug implies enabled when read from the env).
     """
-    STATE.enabled = _env_enabled() if enabled is None else bool(enabled)
+    if enabled is None and debug is None:
+        STATE.enabled = _env_enabled()
+        STATE.debug = _env_debug()
+        return STATE.enabled
+    if enabled is not None:
+        STATE.enabled = bool(enabled)
+        if not STATE.enabled:
+            STATE.debug = False
+    if debug is not None:
+        STATE.debug = bool(debug)
     return STATE.enabled

@@ -81,6 +81,27 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a closed span from its :meth:`to_dict` form.
+
+        Used to graft spans recorded in a *different* process (the
+        parallel mining workers serialise their local trace and the
+        parent re-attaches it under ``mine.scan``).  Start offsets are
+        not preserved across processes - only durations are meaningful
+        - so the rebuilt span starts at 0.
+        """
+        span_ = cls(str(payload.get("name", "?")),
+                    payload.get("attributes") or {})
+        duration = payload.get("duration_ns")
+        span_.start_ns = 0
+        span_.end_ns = int(duration) if duration is not None else 0
+        span_.status = str(payload.get("status", "ok"))
+        span_.children = [
+            cls.from_dict(child) for child in payload.get("children", ())
+        ]
+        return span_
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Span(%r, children=%d)" % (self.name, len(self.children))
 
@@ -116,6 +137,18 @@ class Tracer:
             while self._stack:
                 if self._stack.pop() is span_:
                     break
+
+    def attach(self, span_: Span) -> None:
+        """Graft an already-closed span under the innermost open span
+        (or as a new root when nothing is open).
+
+        The parallel engine uses this to nest worker-recorded spans
+        under the parent's ``mine.scan`` span.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span_)
+        else:
+            self.roots.append(span_)
 
     def total_spans(self) -> int:
         return sum(root.total_spans() for root in self.roots)

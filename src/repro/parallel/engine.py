@@ -1,0 +1,452 @@
+"""The work-sharded mining scan (candidates x time shards -> workers).
+
+The paper's step 5 is embarrassingly parallel once two facts are pinned
+down: candidate assignments are independent, and anchored runs are
+time-local (a run started at root ``t0`` with horizon ``H`` never reads
+past ``t0 + H``).  This module exploits both:
+
+* the surviving candidates and the planned time shards
+  (:mod:`repro.parallel.shards`) form a task grid; each task scans one
+  shard's owned roots for one candidate;
+* before any TAG starts, the shard's roots are filtered through the
+  :class:`~repro.store.anchorindex.AnchorIndex` against the candidate's
+  propagated windows - the *anchor screen* - so only viable anchors pay
+  for an automaton run (the same screen runs in the serial engine, which
+  keeps serial and parallel results bit-identical);
+* tasks fan out over a fork-based ``ProcessPoolExecutor``.  Workers
+  inherit the reduced sequence, the granularity system and the warmed
+  conversion cache through fork (nothing large is pickled; tasks are
+  two-integer tuples), and return per-task hit counts plus their local
+  observability state: metric counter deltas, conversion-cache counter
+  deltas, and serialized spans.  The parent merges all three back -
+  counters via :meth:`~repro.obs.metrics.MetricsRegistry.
+  merge_counter_deltas`, cache traffic via :meth:`~repro.granularity.
+  convcache.ConversionCache.merge_counts`, spans by grafting under the
+  open ``mine.scan`` span - so process-wide accounting stays exact.
+
+Results merge deterministically: ``pool.map`` preserves task order and
+hits are summed per candidate in shard order, so a parallel run's
+solutions, frequencies and work counters equal the serial run's
+exactly, for any worker count or shard size.
+
+``REPRO_PARALLEL=off`` (or a platform without fork) degrades to the
+inline executor: the same task grid runs in-process, still
+bit-identical, with no pool overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..automata.builder import build_tag
+from ..automata.matching import TagMatcher
+from ..constraints.structure import ComplexEventType, EventStructure
+from ..granularity.registry import GranularitySystem
+from ..mining.events import EventSequence
+from ..obs import (
+    Span,
+    Tracer,
+    activate_tracer,
+    counter,
+    counter_deltas,
+    current_tracer,
+    gauge,
+    global_metrics,
+    obs_debug,
+    span,
+)
+from ..store.anchorindex import Requirement
+from .shards import Shard, check_shard_invariants, plan_shards
+
+_SHARDS_TOTAL = counter(
+    "repro_mine_shards_total",
+    "Time shards planned by the parallel mining engine",
+)
+_TASKS_TOTAL = counter(
+    "repro_parallel_tasks_total",
+    "Candidate x shard scan tasks executed (pool or inline)",
+)
+_FALLBACK_TOTAL = counter(
+    "repro_parallel_fallback_total",
+    "Parallel scans that degraded to the inline executor",
+)
+_WORKERS_GAUGE = gauge(
+    "repro_parallel_workers",
+    "Worker processes used by the most recent parallel scan",
+)
+
+#: Values of ``REPRO_PARALLEL`` that force the serial engine.
+_OFF_VALUES = ("off", "0", "false", "no")
+
+
+def parallel_disabled() -> bool:
+    """Is the ``REPRO_PARALLEL`` kill switch engaged?"""
+    return os.environ.get("REPRO_PARALLEL", "").strip().lower() in _OFF_VALUES
+
+
+def resolve_workers(parallel: Union[int, str, None] = None) -> int:
+    """Worker count from the request and the environment.
+
+    ``parallel`` is the CLI/API request: an int, ``"auto"`` (one worker
+    per CPU) or None (defer to ``REPRO_PARALLEL``, default serial).
+    ``REPRO_PARALLEL=off|0|false|no`` forces 1 regardless of the
+    request (the kill switch); ``REPRO_PARALLEL_MAX_WORKERS`` caps the
+    result (the CI uses it to bound pool width).
+    """
+    env = os.environ.get("REPRO_PARALLEL", "").strip().lower()
+    if env in _OFF_VALUES:
+        return 1
+    if parallel in (None, ""):
+        if env == "":
+            workers = 1
+        elif env == "auto":
+            workers = os.cpu_count() or 1
+        else:
+            workers = int(env)
+    elif parallel == "auto":
+        workers = os.cpu_count() or 1
+    else:
+        workers = int(parallel)
+    if workers < 1:
+        raise ValueError("worker count must be >= 1 (got %r)" % (workers,))
+    cap = os.environ.get("REPRO_PARALLEL_MAX_WORKERS", "").strip()
+    if cap:
+        workers = min(workers, max(1, int(cap)))
+    return workers
+
+
+def fork_available() -> bool:
+    """Can this platform run the fork-based worker pool?"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def candidate_requirements(
+    assignment: Dict[str, str],
+    windows: Dict[str, Tuple[int, int]],
+    root: str,
+) -> Tuple[Requirement, ...]:
+    """The anchor-screen requirements of one candidate assignment.
+
+    For each non-root variable with a propagated window ``[lo, hi]``
+    (seconds from the root), any match must witness an event of the
+    *assigned* type inside the window - the per-candidate sharpening of
+    the step-3 any-allowed-type filter.
+    """
+    return tuple(
+        (assignment[variable], lo, hi)
+        for variable, (lo, hi) in sorted(windows.items())
+        if variable != root and variable in assignment
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side state
+# ----------------------------------------------------------------------
+@dataclass
+class ScanContext:
+    """Everything a worker needs, inherited through fork.
+
+    Installed as the module-global :data:`_CTX` in the parent before
+    the pool is created; submitted tasks are two-integer tuples indexing
+    into ``candidates`` and ``shards``.
+    """
+
+    sequence: EventSequence
+    system: GranularitySystem
+    structure: EventStructure
+    candidates: List[Dict[str, str]]
+    requirements: List[Tuple[Requirement, ...]]
+    shards: List[Shard]
+    horizon: Optional[int]
+    strict: bool
+    trace: bool
+
+
+_CTX: Optional[ScanContext] = None
+
+#: Per-worker matcher memo: each worker builds one TAG per candidate it
+#: touches, however many shards of that candidate it scans (the
+#: per-worker dedup of construction work).
+_MATCHERS: Dict[int, TagMatcher] = {}
+
+
+def _matcher_for(ctx: ScanContext, candidate_index: int) -> TagMatcher:
+    matcher = _MATCHERS.get(candidate_index)
+    if matcher is None:
+        cet = ComplexEventType(ctx.structure, ctx.candidates[candidate_index])
+        matcher = TagMatcher(
+            build_tag(cet, system=ctx.system),
+            strict=ctx.strict,
+            horizon_seconds=ctx.horizon,
+        )
+        _MATCHERS[candidate_index] = matcher
+    return matcher
+
+
+def _scan_shard(
+    ctx: ScanContext, candidate_index: int, shard_index: int
+) -> Tuple[int, int]:
+    """One task: scan one shard's owned roots for one candidate.
+
+    Returns (hits, starts); starts counts the roots that survived the
+    anchor screen (each starts exactly one automaton run, matching the
+    serial engine's accounting).
+    """
+    shard = ctx.shards[shard_index]
+    matcher = _matcher_for(ctx, candidate_index)
+    index = ctx.sequence.anchor_index()
+    viable = index.viable_anchors(
+        [(root, ctx.sequence[root].time) for root in shard.roots],
+        ctx.requirements[candidate_index],
+    )
+    hits = 0
+    with span(
+        "tag.match", roots=len(shard.roots), shard=shard.index
+    ) as match_span:
+        for root in viable:
+            if matcher.occurs_at(ctx.sequence, root):
+                hits += 1
+        match_span.set(starts=len(viable), hits=hits)
+    return hits, len(viable)
+
+
+def _warm_worker(namespace: int, entries) -> None:
+    """Pool initializer: install the exported conversion-cache entries.
+
+    Redundant under fork (the entries arrived with the address space)
+    but load-bearing for any start method that builds workers fresh -
+    either way no worker recomputes a conversion the parent already
+    paid for.  Preloading counts neither hits nor misses.
+    """
+    ctx = _CTX
+    if ctx is not None:
+        ctx.system.conversion_cache.preload(namespace, entries)
+
+
+def _pool_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
+    """Worker entry point: run a contiguous slice of the task grid.
+
+    Batching keeps IPC and bookkeeping off the per-task path: the
+    observability state (metric counter deltas, cache counter deltas,
+    serialized spans) is captured once around the whole batch, and one
+    result dict crosses the pipe per batch instead of per task.
+    """
+    ctx = _CTX
+    if ctx is None:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "worker scan context missing (fork inheritance failed)"
+        )
+    registry = global_metrics()
+    before = registry.snapshot()
+    cache = ctx.system.conversion_cache
+    cache_before = cache.snapshot()
+    tracer = Tracer() if ctx.trace else None
+    results: List[Tuple[int, int, int, int]] = []
+
+    def run_tasks() -> None:
+        for candidate_index, shard_index in batch:
+            with span(
+                "mine.worker",
+                pid=os.getpid(),
+                candidate=candidate_index,
+                shard=shard_index,
+            ) as worker_span:
+                hits, starts = _scan_shard(ctx, candidate_index, shard_index)
+                worker_span.set(hits=hits, starts=starts)
+            results.append((candidate_index, shard_index, hits, starts))
+
+    if tracer is not None:
+        with activate_tracer(tracer):
+            run_tasks()
+    else:
+        run_tasks()
+    cache_after = cache.snapshot()
+    return {
+        "results": results,
+        "counter_deltas": counter_deltas(before, registry.snapshot()),
+        "cache_deltas": {
+            "hits": cache_after.hits - cache_before.hits,
+            "misses": cache_after.misses - cache_before.misses,
+            "evictions": cache_after.evictions - cache_before.evictions,
+        },
+        "spans": [root.to_dict() for root in tracer.roots] if tracer else [],
+    }
+
+
+def _inline_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
+    """The in-process twin of :func:`_pool_batch`.
+
+    Counters hit the parent registry directly and spans nest under the
+    already-active tracer, so nothing is captured for merging.
+    """
+    results: List[Tuple[int, int, int, int]] = []
+    for candidate_index, shard_index in batch:
+        with span(
+            "mine.worker",
+            pid=os.getpid(),
+            candidate=candidate_index,
+            shard=shard_index,
+            inline=True,
+        ) as worker_span:
+            hits, starts = _scan_shard(_CTX, candidate_index, shard_index)
+            worker_span.set(hits=hits, starts=starts)
+        results.append((candidate_index, shard_index, hits, starts))
+    return {
+        "results": results,
+        "counter_deltas": {},
+        "cache_deltas": {},
+        "spans": [],
+    }
+
+
+def _plan_batches(
+    tasks: Sequence[Tuple[int, int]], workers: int
+) -> List[List[Tuple[int, int]]]:
+    """Contiguous batches of the task grid, ~4 per worker.
+
+    Contiguity keeps each worker on few distinct candidates (the
+    matcher memo stays hot); ~4 batches per worker rebalances
+    stragglers without per-task IPC.
+    """
+    target = max(1, -(-len(tasks) // max(1, workers * 4)))
+    return [
+        list(tasks[start:start + target])
+        for start in range(0, len(tasks), target)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Orchestration (parent side)
+# ----------------------------------------------------------------------
+@dataclass
+class CandidateResult:
+    """Merged scan outcome of one candidate (shard sums, task order)."""
+
+    assignment: Dict[str, str]
+    hits: int = 0
+    starts: int = 0
+
+
+def parallel_scan(
+    sequence: EventSequence,
+    system: GranularitySystem,
+    structure: EventStructure,
+    candidates: Sequence[Dict[str, str]],
+    windows: Dict[str, Tuple[int, int]],
+    roots: Sequence[int],
+    horizon: Optional[int],
+    strict: bool = False,
+    workers: int = 1,
+    shard_size: Union[int, str, None] = "auto",
+    anchor_screen: bool = True,
+    executor: str = "auto",
+) -> Tuple[List[CandidateResult], Dict[str, object]]:
+    """Scan every candidate over every shard; merge deterministically.
+
+    Returns per-candidate results in candidate order plus a report dict
+    (workers, shards, tasks, executor mode) the caller can surface.
+    ``executor`` is ``"auto"`` (pool when it would help and fork
+    exists), ``"pool"`` or ``"inline"`` (the test hook).
+    """
+    global _CTX, _MATCHERS
+    requirements = [
+        candidate_requirements(assignment, windows, structure.root)
+        if anchor_screen
+        else ()
+        for assignment in candidates
+    ]
+    if shard_size in (None, "auto") and roots:
+        # The task grid is candidates x shards: candidates already
+        # provide parallel grain, so plan only enough time shards to
+        # fill ~4 batches per worker overall.
+        desired = max(1, -(-workers * 4 // max(1, len(candidates))))
+        shard_size = max(1, -(-len(roots) // desired))
+    shards = plan_shards(
+        sequence, list(roots), horizon, shard_size=shard_size, workers=workers
+    )
+    if obs_debug():
+        check_shard_invariants(shards, sequence, list(roots), horizon)
+    tasks = [
+        (candidate_index, shard.index)
+        for candidate_index in range(len(candidates))
+        for shard in shards
+    ]
+    mode = executor
+    if mode == "auto":
+        mode = "pool" if workers > 1 and len(tasks) > 1 else "inline"
+    if mode == "pool" and not fork_available():
+        mode = "inline"
+        _FALLBACK_TOTAL.inc()
+    workers_used = max(1, min(workers, len(tasks))) if mode == "pool" else 1
+    _SHARDS_TOTAL.add(len(shards))
+    _TASKS_TOTAL.add(len(tasks))
+    _WORKERS_GAUGE.set(workers_used)
+
+    ctx = ScanContext(
+        sequence=sequence,
+        system=system,
+        structure=structure,
+        candidates=list(candidates),
+        requirements=requirements,
+        shards=shards,
+        horizon=horizon,
+        strict=strict,
+        trace=current_tracer() is not None,
+    )
+    batches = _plan_batches(tasks, workers_used)
+    _CTX = ctx
+    _MATCHERS = {}
+    try:
+        if mode == "pool":
+            namespace = system.cache_namespace
+            entries = system.conversion_cache.export_entries(namespace)
+            with ProcessPoolExecutor(
+                max_workers=workers_used,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_warm_worker,
+                initargs=(namespace, entries),
+            ) as pool:
+                raw = list(pool.map(_pool_batch, batches))
+        else:
+            raw = [_inline_batch(batch) for batch in batches]
+    finally:
+        _CTX = None
+        _MATCHERS = {}
+
+    results = [
+        CandidateResult(assignment=assignment) for assignment in candidates
+    ]
+    merged_counters: Dict[str, float] = {}
+    cache_hits = cache_misses = cache_evictions = 0
+    tracer = current_tracer()
+    for record in raw:  # pool.map preserves submission order
+        for candidate_index, _shard, hits, starts in record["results"]:
+            result = results[candidate_index]
+            result.hits += hits
+            result.starts += starts
+        for sample, delta in record["counter_deltas"].items():
+            merged_counters[sample] = merged_counters.get(sample, 0) + delta
+        deltas = record["cache_deltas"]
+        cache_hits += deltas.get("hits", 0)
+        cache_misses += deltas.get("misses", 0)
+        cache_evictions += deltas.get("evictions", 0)
+        if tracer is not None:
+            for payload in record["spans"]:
+                tracer.attach(Span.from_dict(payload))
+    if merged_counters:
+        global_metrics().merge_counter_deltas(merged_counters)
+    if cache_hits or cache_misses or cache_evictions:
+        system.conversion_cache.merge_counts(
+            hits=cache_hits, misses=cache_misses, evictions=cache_evictions
+        )
+    report = {
+        "workers": workers_used,
+        "shards": len(shards),
+        "tasks": len(tasks),
+        "executor": mode,
+    }
+    return results, report

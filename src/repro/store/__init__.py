@@ -1,5 +1,6 @@
 """An in-memory temporal event store (the paper's data substrate)."""
 
+from .anchorindex import AnchorIndex
 from .eventstore import EventRecord, EventStore
 
-__all__ = ["EventStore", "EventRecord"]
+__all__ = ["EventStore", "EventRecord", "AnchorIndex"]

@@ -1,0 +1,201 @@
+"""Per-type anchor indexing for event sequences and stores.
+
+The paper's mining step 5 starts one TAG copy at every reference
+occurrence.  Most of those runs are doomed from the first event: the
+candidate assigns type ``E`` to a variable whose propagated window
+(anchored at the root) contains no ``E`` event at all.  The anchor
+index answers exactly that question - *"is there an event of type E
+with a timestamp in [lo, hi]?"* - without touching the sequence:
+
+* a **posting list** per event type: the sorted positions and
+  timestamps of that type's occurrences;
+* a **time-bucketed skip index**: the set of coarse time buckets each
+  type occurs in, so a window that misses every bucket is rejected in
+  O(1) before any binary search runs.
+
+Both structures are immutable once built; :class:`~repro.mining.events.
+EventSequence` and :class:`~repro.store.eventstore.EventStore` build
+one lazily and cache it.  The mining scan, the TAG matcher's anchor
+enumeration and the candidate screens all consult the same index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+#: One anchor requirement: an event of ``etype`` must exist with a
+#: timestamp in ``[anchor_time + lo, anchor_time + hi]``.
+Requirement = Tuple[str, int, int]
+
+#: Beyond this many buckets per window the skip check costs more than
+#: the binary search it would save; fall straight through to bisect.
+_MAX_BUCKET_PROBES = 8
+
+
+def _pick_shift(span_seconds: int, n_events: int) -> int:
+    """Bucket width as a power of two: aim for ~1 event per bucket.
+
+    Wider buckets on sparse data, narrower on dense data; floors at
+    64 s so minute-aligned feeds don't degenerate to one bucket per
+    event timestamp.
+    """
+    width = max(64, span_seconds // max(n_events, 1))
+    shift = 6
+    while (1 << shift) < width and shift < 40:
+        shift += 1
+    return shift
+
+
+class AnchorIndex:
+    """Immutable posting-list + skip index over one event snapshot."""
+
+    __slots__ = ("_positions", "_times", "_buckets", "_shift", "_count")
+
+    def __init__(
+        self,
+        positions_by_type: Dict[str, Sequence[int]],
+        times_by_type: Dict[str, Sequence[int]],
+        shift: int,
+    ) -> None:
+        self._positions: Dict[str, Tuple[int, ...]] = {
+            etype: tuple(positions)
+            for etype, positions in positions_by_type.items()
+        }
+        self._times: Dict[str, Tuple[int, ...]] = {
+            etype: tuple(times) for etype, times in times_by_type.items()
+        }
+        self._shift = shift
+        self._buckets: Dict[str, FrozenSet[int]] = {
+            etype: frozenset(t >> shift for t in times)
+            for etype, times in self._times.items()
+        }
+        self._count = sum(len(t) for t in self._times.values())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls, events: Iterable[Tuple[str, int]]
+    ) -> "AnchorIndex":
+        """Build from time-ordered ``(etype, time)`` pairs."""
+        positions: Dict[str, List[int]] = {}
+        times: Dict[str, List[int]] = {}
+        last = None
+        count = 0
+        for position, (etype, time) in enumerate(events):
+            positions.setdefault(etype, []).append(position)
+            times.setdefault(etype, []).append(time)
+            last = time
+            if count == 0:
+                first = time
+            count += 1
+        span = (last - first) if count else 0
+        return cls(positions, times, _pick_shift(span, count))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bucket_seconds(self) -> int:
+        """Width of one skip-index bucket in seconds."""
+        return 1 << self._shift
+
+    def types(self) -> FrozenSet[str]:
+        return frozenset(self._times)
+
+    def positions(self, etype: str) -> Tuple[int, ...]:
+        """Sorted sequence positions of a type (the posting list)."""
+        return self._positions.get(etype, ())
+
+    def may_contain(self, etype: str, start: int, stop: int) -> bool:
+        """Skip-index probe: False means *definitely* no occurrence.
+
+        True means "possibly" - a bucket hit still needs the exact
+        bisect.  Windows spanning many buckets skip the probe (the
+        bisect is cheaper than a long membership scan).
+        """
+        buckets = self._buckets.get(etype)
+        if not buckets:
+            return False
+        b0 = max(start, 0) >> self._shift
+        b1 = stop >> self._shift
+        if b1 - b0 > _MAX_BUCKET_PROBES:
+            return True
+        return any(b in buckets for b in range(b0, b1 + 1))
+
+    def has_in_window(self, etype: str, start: int, stop: int) -> bool:
+        """Exact: is there an ``etype`` event with time in [start, stop]?"""
+        if stop < start:
+            return False
+        if not self.may_contain(etype, start, stop):
+            return False
+        times = self._times.get(etype)
+        if not times:
+            return False
+        i = bisect_left(times, start)
+        return i < len(times) and times[i] <= stop
+
+    def count_in_window(self, etype: str, start: int, stop: int) -> int:
+        """Exact count of ``etype`` events with time in [start, stop]."""
+        if stop < start:
+            return 0
+        times = self._times.get(etype)
+        if not times or not self.may_contain(etype, start, stop):
+            return 0
+        return bisect_right(times, stop) - bisect_left(times, start)
+
+    def positions_in_window(
+        self, etype: str, start: int, stop: int
+    ) -> Tuple[int, ...]:
+        """Sequence positions of ``etype`` events with time in the window."""
+        if stop < start:
+            return ()
+        times = self._times.get(etype)
+        if not times:
+            return ()
+        lo = bisect_left(times, start)
+        hi = bisect_right(times, stop)
+        return self._positions[etype][lo:hi]
+
+    # ------------------------------------------------------------------
+    # Anchor viability (the mining primitive)
+    # ------------------------------------------------------------------
+    def viable(
+        self, anchor_time: int, requirements: Sequence[Requirement]
+    ) -> bool:
+        """Can a match anchored at ``anchor_time`` possibly exist?
+
+        Every requirement ``(etype, lo, hi)`` must be witnessed by an
+        event of that type in ``[anchor_time + lo, anchor_time + hi]``.
+        Requirements come from sound over-approximations (propagated
+        windows), so False proves no match; True proves nothing.
+        """
+        for etype, lo, hi in requirements:
+            if not self.has_in_window(
+                etype, anchor_time + lo, anchor_time + hi
+            ):
+                return False
+        return True
+
+    def viable_anchors(
+        self,
+        anchors: Sequence[Tuple[int, int]],
+        requirements: Sequence[Requirement],
+    ) -> List[int]:
+        """Filter ``(position, time)`` anchors down to the viable ones.
+
+        Returns positions, preserving input order.  With no
+        requirements every anchor is viable (nothing to refute).
+        """
+        if not requirements:
+            return [position for position, _ in anchors]
+        return [
+            position
+            for position, time in anchors
+            if self.viable(time, requirements)
+        ]

@@ -30,8 +30,10 @@ from typing import (
 )
 
 from ..mining.events import Event, EventSequence
+from ..obs import obs_debug
 from ..resilience.errors import validate_event
 from ..resilience.quarantine import Quarantine
+from .anchorindex import AnchorIndex, _pick_shift
 
 
 class EventRecord:
@@ -79,8 +81,10 @@ class EventStore:
         self._sorted = True  # records currently in time order
         self._times: List[int] = []
         self._by_type: Dict[str, List[int]] = {}
+        self._times_by_type: Dict[str, List[int]] = {}
         self._by_id: Dict[int, EventRecord] = {}
         self._indexed = True
+        self._anchor_index: Optional[AnchorIndex] = None
 
     # ------------------------------------------------------------------
     # Writes
@@ -91,13 +95,28 @@ class EventStore:
         time: int,
         attributes: Optional[Mapping[str, Any]] = None,
     ) -> EventRecord:
-        """Store one event; returns the record (with its id)."""
+        """Store one event; returns the record (with its id).
+
+        In-order appends (the common case for feeds) extend the
+        posting-list indexes incrementally in O(1) amortised; an
+        out-of-order append marks them dirty and the next read rebuilds
+        them once.
+        """
         record = EventRecord(self._next_id, etype, time, attributes)
         self._next_id += 1
         if self._records and time < self._records[-1].time:
             self._sorted = False
+            self._indexed = False
         self._records.append(record)
-        self._indexed = False
+        self._anchor_index = None
+        if self._indexed:
+            position = len(self._records) - 1
+            self._times.append(time)
+            self._by_type.setdefault(etype, []).append(position)
+            self._times_by_type.setdefault(etype, []).append(time)
+            self._by_id[record.record_id] = record
+            if obs_debug():
+                self._check_index_invariants()
         return record
 
     def extend(self, events: Iterable[Union[Event, Tuple[str, int]]]) -> int:
@@ -123,15 +142,67 @@ class EventStore:
             self._sorted = True
         self._times = [record.time for record in self._records]
         self._by_type = {}
+        self._times_by_type = {}
         self._by_id = {}
         for position, record in enumerate(self._records):
             self._by_type.setdefault(record.etype, []).append(position)
+            self._times_by_type.setdefault(record.etype, []).append(
+                record.time
+            )
             self._by_id[record.record_id] = record
         self._indexed = True
+        self._anchor_index = None
+        if obs_debug():
+            self._check_index_invariants()
 
     def _ensure_index(self) -> None:
         if not self._indexed:
             self._reindex()
+
+    def _check_index_invariants(self) -> None:
+        """Verify the incremental indexes against a from-scratch rebuild.
+
+        O(n) per call, so it only runs under ``REPRO_OBS=debug``.
+        Raises AssertionError on any divergence - the contract the
+        incremental maintenance in :meth:`append` must uphold.
+        """
+        assert self._times == [r.time for r in self._records], (
+            "time index diverged from records"
+        )
+        assert all(
+            self._times[i] <= self._times[i + 1]
+            for i in range(len(self._times) - 1)
+        ), "time index not sorted"
+        by_type: Dict[str, List[int]] = {}
+        times_by_type: Dict[str, List[int]] = {}
+        for position, record in enumerate(self._records):
+            by_type.setdefault(record.etype, []).append(position)
+            times_by_type.setdefault(record.etype, []).append(record.time)
+        assert self._by_type == by_type, "posting lists diverged"
+        assert self._times_by_type == times_by_type, (
+            "per-type time index diverged"
+        )
+        assert self._by_id == {
+            r.record_id: r for r in self._records
+        }, "id map diverged"
+
+    def anchor_index(self) -> AnchorIndex:
+        """The per-type posting-list/skip index over current contents.
+
+        Built from the incrementally maintained posting lists (no extra
+        pass over the records) and invalidated by any write.
+        """
+        self._ensure_index()
+        if self._anchor_index is None:
+            span = (
+                self._times[-1] - self._times[0] if self._times else 0
+            )
+            self._anchor_index = AnchorIndex(
+                self._by_type,
+                self._times_by_type,
+                _pick_shift(span, len(self._records)),
+            )
+        return self._anchor_index
 
     # ------------------------------------------------------------------
     # Reads

@@ -61,9 +61,9 @@ class TestRunSuite:
         with pytest.raises(ValueError):
             run_suite(experiments=["X1", "X99"])
 
-    def test_all_ten_experiments_registered(self):
+    def test_all_twelve_experiments_registered(self):
         assert EXPERIMENT_NAMES == tuple(
-            "X%d" % i for i in range(1, 11)
+            "X%d" % i for i in range(1, 13)
         )
 
 
@@ -109,6 +109,54 @@ class TestComparePayloads:
         by_name = {row["experiment"]: row for row in rows}
         assert by_name["X2"]["ratio"] is None
         assert not by_name["X2"]["regressed"]
+        assert by_name["X2"]["warning"] == "missing from baseline"
+        assert by_name["X1"]["warning"] is None
+
+    def test_missing_from_current_is_flagged(self):
+        rows = compare_payloads(
+            _payload({"X1": 0.5}), _payload({"X1": 0.5, "X3": 0.2})
+        )
+        by_name = {row["experiment"]: row for row in rows}
+        assert by_name["X3"]["ratio"] is None
+        assert not by_name["X3"]["regressed"]
+        assert by_name["X3"]["warning"] == "missing from current run"
+
+    def test_unknown_experiment_keys_are_reported_not_dropped(self):
+        """A payload from a different harness version (unknown keys)
+        still produces rows, with a warning, instead of silently
+        vanishing from the delta table."""
+        rows = compare_payloads(
+            _payload({"X1": 0.5, "X99": 1.0}),
+            _payload({"X1": 0.5, "X99": 0.9}),
+        )
+        by_name = {row["experiment"]: row for row in rows}
+        assert "X99" in by_name
+        row = by_name["X99"]
+        assert row["ratio"] == pytest.approx(1.0 / 0.9)
+        assert not row["regressed"]
+        assert "unknown experiment" in row["warning"]
+        table = format_comparison(rows)
+        assert "X99" in table
+        assert "warning" in table
+
+    def test_unknown_and_missing_warnings_combine(self):
+        rows = compare_payloads(
+            _payload({"X99": 1.0}), _payload({})
+        )
+        (row,) = rows
+        assert "unknown experiment" in row["warning"]
+        assert "missing from baseline" in row["warning"]
+        assert row["ratio"] is None
+
+    def test_warning_surfaces_in_delta_table(self):
+        from repro.bench.harness import comparison_delta_table
+
+        current = _payload({"X99": 1.0})
+        baseline = _payload({"X99": 0.9})
+        rows = compare_payloads(current, baseline)
+        table = comparison_delta_table(current, baseline, rows)
+        assert "warning" in table["X99"]
+        assert "unknown experiment" in table["X99"]["warning"]
 
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,139 @@
+"""The posting-list anchor index: exactness, screening, maintenance."""
+
+import random
+
+import pytest
+
+from repro.automata.builder import build_tag
+from repro.automata.matching import TagMatcher
+from repro.constraints import TCG, ComplexEventType, EventStructure
+from repro.core.api import compile_pattern
+from repro.mining.events import EventSequence
+from repro.store import EventStore
+from repro.store.anchorindex import AnchorIndex
+
+
+def _random_events(rng, n=200, types=("a", "b", "c"), span=10_000):
+    times = sorted(rng.randrange(0, span) for _ in range(n))
+    return [(rng.choice(types), t) for t in times]
+
+
+class TestAnchorIndexQueries:
+    def test_has_in_window_agrees_with_brute_force(self):
+        rng = random.Random(7)
+        events = _random_events(rng)
+        index = AnchorIndex.from_events(events)
+        for _ in range(300):
+            etype = rng.choice(["a", "b", "c", "zzz"])
+            start = rng.randrange(-100, 10_100)
+            stop = start + rng.randrange(-10, 500)
+            expected = any(
+                e == etype and start <= t <= stop for e, t in events
+            )
+            assert index.has_in_window(etype, start, stop) == expected
+
+    def test_count_and_positions_agree_with_brute_force(self):
+        rng = random.Random(8)
+        events = _random_events(rng)
+        index = AnchorIndex.from_events(events)
+        for _ in range(200):
+            etype = rng.choice(["a", "b", "c"])
+            start = rng.randrange(0, 10_000)
+            stop = start + rng.randrange(0, 800)
+            expected = [
+                position
+                for position, (e, t) in enumerate(events)
+                if e == etype and start <= t <= stop
+            ]
+            assert list(
+                index.positions_in_window(etype, start, stop)
+            ) == expected
+            assert index.count_in_window(etype, start, stop) == len(expected)
+
+    def test_empty_and_inverted_windows(self):
+        index = AnchorIndex.from_events([("a", 10)])
+        assert not index.has_in_window("a", 20, 5)
+        assert index.count_in_window("a", 20, 5) == 0
+        assert index.positions_in_window("a", 20, 5) == ()
+        assert not index.has_in_window("missing", 0, 100)
+
+    def test_viable_anchors_without_requirements_is_passthrough(self):
+        index = AnchorIndex.from_events([("a", 10)])
+        anchors = [(3, 10), (9, 400)]
+        assert index.viable_anchors(anchors, ()) == [3, 9]
+
+    def test_viable_anchors_preserve_order_and_refute_soundly(self):
+        events = [("r", 0), ("a", 50), ("r", 1000), ("r", 2000), ("a", 2040)]
+        index = AnchorIndex.from_events(events)
+        anchors = [(0, 0), (2, 1000), (3, 2000)]
+        viable = index.viable_anchors(anchors, [("a", 0, 100)])
+        # Roots at t=0 and t=2000 have an "a" within 100 s; t=1000 not.
+        assert viable == [0, 3]
+
+
+class TestMatcherAnchorRequirements:
+    def test_screen_never_changes_the_matched_set(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "A"], {("R", "A"): [TCG(0, 1, hour)]}
+        )
+        rng = random.Random(3)
+        events = sorted(
+            [("r", rng.randrange(0, 200_000)) for _ in range(30)]
+            + [("a", rng.randrange(0, 200_000)) for _ in range(30)],
+            key=lambda event: event[1],
+        )
+        sequence = EventSequence(events)
+        cet = ComplexEventType(structure, {"R": "r", "A": "a"})
+        plain = TagMatcher(build_tag(cet, system=system))
+        screened = compile_pattern(structure, cet.assignment, system)
+        assert screened.anchor_requirements
+        assert list(screened.matching_roots(sequence)) == list(
+            plain.matching_roots(sequence)
+        )
+        assert screened.count_occurrences(
+            sequence
+        ) == plain.count_occurrences(sequence)
+
+    def test_compile_pattern_derives_requirements(self, system):
+        hour = system.get("hour")
+        structure = EventStructure(
+            ["R", "A"], {("R", "A"): [TCG(0, 2, hour)]}
+        )
+        matcher = compile_pattern(structure, {"R": "r", "A": "a"}, system)
+        ((etype, lo, hi),) = matcher.anchor_requirements
+        assert etype == "a"
+        assert lo <= 0 and hi >= 3600  # the window covers 0..2 hours
+
+
+class TestStoreIndexMaintenance:
+    def test_incremental_append_matches_rebuilt_index(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "debug")
+        store = EventStore()
+        rng = random.Random(5)
+        t = 0
+        for _ in range(120):
+            t += rng.randrange(0, 50)
+            store.append(rng.choice(["a", "b"]), t)
+        incremental = store.anchor_index()
+        rebuilt = EventStore.from_sequence(store.snapshot()).anchor_index()
+        for etype in ("a", "b"):
+            assert incremental.positions(etype) == rebuilt.positions(etype)
+
+    def test_out_of_order_append_still_yields_a_correct_index(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS", "debug")
+        store = EventStore()
+        for etype, time in [("a", 100), ("b", 50), ("a", 75), ("b", 200)]:
+            store.append(etype, time)
+        index = store.anchor_index()
+        assert index.has_in_window("b", 40, 60)
+        assert index.count_in_window("a", 0, 100) == 2
+
+    def test_snapshot_index_sees_extended_events(self):
+        store = EventStore()
+        store.extend([("a", 10), ("a", 20)])
+        assert store.anchor_index().count_in_window("a", 0, 100) == 2
+        store.extend([("a", 30)])
+        assert store.anchor_index().count_in_window("a", 0, 100) == 3
