@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..granularity.base import TemporalType
+from ..granularity.normalform import clock_distance, clock_tick_of
 
 
 @dataclass(frozen=True)
@@ -29,9 +30,19 @@ class Clock:
 
         The paper's per-step update ``t + ceil(t_i) - ceil(t_{i-1})``
         telescopes to ``ceil(now) - ceil(reset_time)``; None when either
-        timestamp is uncovered by the clock's granularity.
+        timestamp is uncovered by the clock's granularity.  Routed
+        through the compiled normal form (O(log period) bisection) when
+        the backend is active and the type certifies exact coverage.
         """
-        return self.granularity.distance(reset_time, now)
+        return clock_distance(self.granularity, reset_time, now)
+
+    def covers(self, timestamp: int) -> bool:
+        """Is ``timestamp`` inside a tick of this clock's granularity?
+
+        The strict-mode run check; same compiled-form fast path as
+        :meth:`value`.
+        """
+        return clock_tick_of(self.granularity, timestamp) is not None
 
     def __str__(self) -> str:
         return "%s[%s]" % (self.name, self.granularity.label)

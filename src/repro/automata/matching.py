@@ -80,7 +80,7 @@ class _LazyValuation:
         clock = self.clocks.get(name)
         if clock is None:
             return default
-        value = clock.granularity.distance(self.reset_times[name], self.now)
+        value = clock.value(self.reset_times[name], self.now)
         self._cache[name] = value
         return value
 
@@ -214,7 +214,7 @@ class TagMatcher:
                 break
             events_scanned += 1
             if self.strict and any(
-                clock.granularity.tick_of(event.time) is None
+                not clock.covers(event.time)
                 for clock in clocks.values()
             ):
                 # The paper's literal run definition: an uncovered

@@ -163,7 +163,7 @@ class TAG:
             raise ValueError("timestamps must be non-decreasing")
         if strict:
             for clock in self.clocks.values():
-                if clock.granularity.tick_of(timestamp) is None:
+                if not clock.covers(timestamp):
                     return []
         values = evaluate_clocks(self.clocks, config.reset_times, timestamp)
         successors = []

@@ -1,4 +1,4 @@
-"""The X1-X12 regression harness behind ``repro bench``.
+"""The X1-X14 regression harness behind ``repro bench``.
 
 Unlike the pytest-benchmark suites in ``benchmarks/`` (which exist to
 *regenerate paper artifacts* with statistical care), this module is a
@@ -484,6 +484,151 @@ def _x12(system, engine, scale) -> _Workload:
     return _Workload(run)
 
 
+def _x13(system, engine, scale) -> _Workload:
+    """Cold size-table construction: compiled normal form vs sweep.
+
+    A second-resolution periodic type (960 telemetry windows per day)
+    put through the cold path every table pays once per process or
+    fork-pool worker: build the table, answer a spread of
+    minsize/maxsize/mingap queries and two searches.  Every probed k
+    stays inside the sweep's exact region, so the two backends must
+    agree bit for bit (``identical_to_sweep``); the compiled backend
+    skips the 3-periods-plus-two boundary scan entirely (structural
+    lowering) and answers each residue from the doubled boundary
+    arrays (the PR-5 acceptance number).
+    """
+    from ..granularity.normalform import CompiledSizeTable
+    from ..granularity.periodic import PeriodicPatternType
+    from ..granularity.sizes import SizeTable
+
+    segments = 960 * scale
+    ks = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610,
+          960, 1500, 1900)
+
+    def make_type():
+        return PeriodicPatternType(
+            "telemetry-90s",
+            86400 * scale,
+            [(i * 90, 40) for i in range(segments)],
+        )
+
+    def query(table):
+        out = []
+        for k in ks:
+            if k >= 3 * segments:
+                continue
+            out.append(table.minsize(k))
+            out.append(table.maxsize(k))
+            out.append(table.mingap(k))
+        out.append(table.min_k_with_minsize_at_least(43_200))
+        out.append(table.min_k_with_maxsize_greater(20_000))
+        return out
+
+    def run():
+        start = time.perf_counter()
+        sweep_table = SizeTable(make_type())
+        sweep_values = query(sweep_table)
+        sweep_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        compiled_table = CompiledSizeTable(make_type())
+        compiled_values = query(compiled_table)
+        compiled_seconds = time.perf_counter() - start
+        return {
+            "period_ticks": segments,
+            "queries": len(sweep_values),
+            "identical_to_sweep": sweep_values == compiled_values,
+            "sweep_seconds": sweep_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup_vs_sweep": (
+                sweep_seconds / compiled_seconds if compiled_seconds else 0.0
+            ),
+            "sweep_probe_stats": sweep_table.probe_stats(),
+            "compiled_probe_stats": compiled_table.probe_stats(),
+        }
+
+    return _Workload(run)
+
+
+def _x14(system, engine, scale) -> _Workload:
+    """Strict TAG matching with second-granularity clocks.
+
+    Every event of a strict-mode run pays one coverage check and one
+    distance per clock; with a second-resolution periodic clock the
+    sweep backend routes those through the type's own ``tick_of``
+    while the compiled backend answers by bisection over one period
+    of boundary offsets.  Both passes must agree on every match.
+    """
+    import os
+
+    from ..automata.builder import build_tag
+    from ..automata.matching import TagMatcher
+    from ..granularity.convcache import ConversionCache
+    from ..granularity.periodic import PeriodicPatternType
+    from ..mining.events import EventSequence
+
+    window = PeriodicPatternType(
+        "obs-window", 3600, [(i * 90, 40) for i in range(40)]
+    )
+
+    def build(backend):
+        bench_system = standard_system(
+            cache=ConversionCache(), sizetable_backend=backend
+        )
+        bench_system.register(window)
+        structure = EventStructure(
+            ["X0", "X1", "X2"],
+            {
+                ("X0", "X1"): [TCG(0, 6, window)],
+                ("X1", "X2"): [TCG(0, 12, window)],
+            },
+        )
+        cet = ComplexEventType(
+            structure, {"X0": "probe", "X1": "echo", "X2": "ack"}
+        )
+        return TagMatcher(
+            build_tag(cet, system=bench_system), strict=True
+        )
+
+    rng = random.Random(14)
+    events = []
+    for index in range(300 * scale):
+        t = index * 450
+        events.append(("probe", t))
+        events.append(("echo", t + 90 + rng.randrange(0, 180)))
+        events.append(("ack", t + 270 + rng.randrange(0, 120)))
+    sequence = EventSequence(sorted(events, key=lambda event: event[1]))
+
+    def timed_pass(backend):
+        previous = os.environ.get("REPRO_SIZETABLE")
+        os.environ["REPRO_SIZETABLE"] = backend
+        try:
+            matcher = build(backend)
+            start = time.perf_counter()
+            matches = matcher.count_occurrences(sequence)
+            return matches, time.perf_counter() - start
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SIZETABLE", None)
+            else:
+                os.environ["REPRO_SIZETABLE"] = previous
+
+    def run():
+        sweep_matches, sweep_seconds = timed_pass("sweep")
+        compiled_matches, compiled_seconds = timed_pass("compiled")
+        return {
+            "events": len(sequence),
+            "matches": compiled_matches,
+            "identical_to_sweep": compiled_matches == sweep_matches,
+            "sweep_seconds": sweep_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup_vs_sweep": (
+                sweep_seconds / compiled_seconds if compiled_seconds else 0.0
+            ),
+        }
+
+    return _Workload(run)
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "X1": _x1,
     "X2": _x2,
@@ -497,6 +642,8 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "X10": _x10,
     "X11": _x11,
     "X12": _x12,
+    "X13": _x13,
+    "X14": _x14,
 }
 
 EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
@@ -514,7 +661,7 @@ def run_suite(
     """Run the suite and return the ``BENCH_*.json`` payload.
 
     ``experiments`` restricts the run to a subset of names (e.g.
-    ``["X1", "X4"]``); the default runs all twelve.
+    ``["X1", "X4"]``); the default runs all fourteen.
     """
     if profile not in PROFILES:
         raise ValueError(

@@ -7,9 +7,10 @@ Usage (also available as ``python -m repro.cli``)::
     repro replay PATTERN.json EVENTS.csv  # streaming (online) detection
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
-    repro bench --output BENCH.json       # X1-X12 regression harness
+    repro bench --output BENCH.json       # X1-X14 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
+    repro gran info TYPE                  # compiled periodic normal form
 
 ``check`` and ``mine`` accept ``--engine auto|python|numpy|fallback``
 to pick the propagation engine (a pure performance knob; see
@@ -361,6 +362,54 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_gran_info(args) -> int:
+    from .granularity.normalform import (
+        NormalFormError,
+        compile_normal_form,
+        resolve_backend,
+    )
+
+    system = standard_system()
+    try:
+        ttype = parse_type(args.type, system)
+    except GranularityParseError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        backend = resolve_backend()
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print("granularity: %s" % ttype.label)
+    try:
+        form = compile_normal_form(ttype)
+    except NormalFormError as exc:
+        print("normal form: none (%s)" % exc)
+        print("backend: sweep (type does not lower; window-sweep "
+              "reference table)")
+        return 0
+    info = form.describe()
+    print("normal form: %s" % info["source"])
+    print("  period: %d ticks / %d seconds" % (
+        info["period_ticks"], info["period_seconds"]))
+    print("  phases: %d boundary offsets per period" % info["period_ticks"])
+    print("  instants per period: %d covered, %d in gaps (%d gap runs)" % (
+        info["period_instants"], info["gap_seconds"], info["gap_runs"]))
+    print("  aperiodic prefix: %d ticks" % info["prefix_ticks"])
+    print("  exactness: minsize/maxsize/mingap exact for every k "
+          "(sweep tables are exact only within their horizon)")
+    print("  exact instant cover: %s%s" % (
+        "yes" if info["exact_cover"] else "no",
+        "" if info["exact_cover"]
+        else " (size queries only; tick_of stays on the type)",
+    ))
+    print("backend: %s (REPRO_SIZETABLE=%s)" % (
+        "compiled" if backend != "sweep" else "sweep",
+        os.environ.get("REPRO_SIZETABLE", "") or "auto",
+    ))
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from .constraints.analysis import find_disjunctions, tightness_report
     from .granularity.gregorian import SECONDS_PER_DAY
@@ -557,7 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the X1-X12 regression harness (see docs/PERFORMANCE.md)",
+        help="run the X1-X14 regression harness (see docs/PERFORMANCE.md)",
     )
     _add_engine_option(bench)
     bench.add_argument(
@@ -570,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         default="",
         metavar="NAMES",
-        help="comma-separated subset (e.g. X1,X4); default: all twelve",
+        help="comma-separated subset (e.g. X1,X4); default: all fourteen",
     )
     bench.add_argument(
         "--output",
@@ -663,8 +712,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.set_defaults(func=_cmd_obs)
 
+    gran = sub.add_parser(
+        "gran", help="granularity tools (compiled normal forms)"
+    )
+    gran_sub = gran.add_subparsers(dest="gran_command", required=True)
+    gran_info = gran_sub.add_parser(
+        "info",
+        help="print a granularity's compiled periodic normal form",
+    )
+    gran_info.add_argument(
+        "type", help="granularity label or expression (e.g. 'b-day', "
+        "'group(minute,15)')",
+    )
+    gran_info.set_defaults(func=_cmd_gran_info)
+
     for subparser in (check, match, replay, mine, bench, generate,
-                      convert, analyze, dot, obs):
+                      convert, analyze, dot, obs, gran_info):
         _add_obs_options(subparser)
     return parser
 

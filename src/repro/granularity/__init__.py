@@ -41,6 +41,14 @@ from .customcal import (
     thirteen_period_calendar,
 )
 from .intersection import IntersectionType, business_hours
+from .normalform import (
+    CompiledSizeTable,
+    NormalFormError,
+    PeriodicNormalForm,
+    build_size_table,
+    compile_normal_form,
+    resolve_backend,
+)
 from .parser import GranularityParseError, parse_type
 from .periodic import PeriodicPatternType, shifts, weekly_slots
 from .registry import GranularitySystem, standard_system
@@ -59,6 +67,12 @@ __all__ = [
     "GroupedType",
     "FilteredType",
     "SizeTable",
+    "CompiledSizeTable",
+    "PeriodicNormalForm",
+    "NormalFormError",
+    "compile_normal_form",
+    "build_size_table",
+    "resolve_backend",
     "ConversionOutcome",
     "ConversionCache",
     "global_conversion_cache",

@@ -1,0 +1,708 @@
+"""Minimal periodic normal forms and the compiled size-table backend.
+
+Every (eventually) periodic temporal type admits a *minimal periodic
+representation* from which the appendix A.1 table quantities have
+closed forms (Bettini & Mascetti; Franceschet & Montanari make the same
+compact-representation move for automata over granularities - see
+PAPERS.md).  This module implements that lowering:
+
+* :func:`compile_normal_form` lowers a :class:`~repro.granularity.base.
+  TemporalType` into a :class:`PeriodicNormalForm` - an aperiodic
+  prefix of explicit tick bounds followed by one period of ``P`` tick
+  boundary offsets repeating every ``S`` seconds.  Uniform and
+  :class:`~repro.granularity.periodic.PeriodicPatternType` types lower
+  *structurally* (no boundary scan at all); every other type declaring
+  ``period_info()`` is lowered by scanning a single period and
+  verifying the declared recurrence, two-thirds less scanning than the
+  sweep table's ``3 * period + 2`` horizon.  Types without a declared
+  period (Gregorian months/years, holiday-laden business types,
+  filtered/intersection combinators) do not compile; the window-sweep
+  :class:`~repro.granularity.sizes.SizeTable` remains their backend
+  and the differential reference for everything else.
+
+* :class:`CompiledSizeTable` answers ``minsize``/``maxsize``/``mingap``
+  from per-phase extrema over the doubled boundary arrays:
+  ``k = q * P + r`` decomposes every query into ``q * S`` plus a
+  per-residue extremum, so values are *exact for every k* (the sweep
+  backend extrapolates beyond its horizon) at O(P) for the first
+  probe of a residue and O(1) from the bounded memo afterwards.  The
+  ``min_k_*`` searches stay the exponential-then-binary probes of the
+  sweep backend, O(log cap) probes each.
+
+* :meth:`PeriodicNormalForm.tick_of_instant` /
+  :meth:`~PeriodicNormalForm.instant_of_tick` convert between instants
+  and tick indices by bisection over one period of boundary offsets -
+  O(log P) for *any* instant, replacing the linear scans several
+  calendar types perform per ``tick_of`` call.  TAG clock evaluation
+  (:mod:`repro.automata.clocks`, the matcher and the streaming layer)
+  routes through :func:`clock_tick_of`/:func:`clock_distance`, which
+  use the compiled form when the type certifies exact instant coverage
+  and fall back to the type's own ``tick_of`` otherwise.
+
+Backend selection follows the repository's environment-knob idiom:
+``REPRO_SIZETABLE=auto|compiled|sweep`` (``auto``, the default, uses
+the compiled backend for every type that lowers and the sweep
+otherwise; ``sweep`` forces the reference backend everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..obs import counter, span
+from .base import TemporalType, UniformType
+from .periodic import PeriodicPatternType
+from .sizes import DEFAULT_MEMO_ENTRIES, BoundedMemo, SizeTable
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    if os.environ.get("REPRO_NO_NUMPY"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in dev envs
+    _np = None
+
+#: Backend names accepted by :func:`resolve_backend` (and the env knob).
+BACKENDS = ("auto", "compiled", "sweep")
+
+#: Environment variable selecting the size-table backend.
+ENV_VAR = "REPRO_SIZETABLE"
+
+#: Refuse to compile periods larger than this (a scan that long is as
+#: bad as the sweep it replaces; nothing in the repertoire comes close).
+MAX_PERIOD_TICKS = 1 << 20
+
+_PROBES_COMPILED = counter(
+    "repro_sizetable_probes_total",
+    "Size-table lookups (minsize/maxsize/mingap), by backend",
+    labels={"backend": "compiled"},
+)
+_COMPILED_HITS = counter(
+    "repro_sizetable_compiled_hits_total",
+    "Size-table probes answered in closed form by the compiled backend",
+)
+_COMPILES = counter(
+    "repro_sizetable_compiles_total", "Normal-form compilations performed"
+)
+
+
+class NormalFormError(ValueError):
+    """The type does not lower to a periodic normal form."""
+
+
+def resolve_backend(override: Optional[str] = None) -> str:
+    """Normalise a backend name; None reads ``REPRO_SIZETABLE``.
+
+    Raises ValueError on names outside :data:`BACKENDS` (including a
+    malformed environment variable, surfaced early rather than being
+    silently treated as a default).
+    """
+    value = override if override is not None else os.environ.get(ENV_VAR)
+    if value is None or value == "":
+        return "auto"
+    if value not in BACKENDS:
+        raise ValueError(
+            "unknown size-table backend %r (expected one of %r)"
+            % (value, BACKENDS)
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class PeriodicNormalForm:
+    """One type's minimal periodic representation.
+
+    ``prefix_firsts``/``prefix_lasts`` are the bounds of the leading
+    aperiodic ticks (empty for every type the compiler currently
+    emits - kept in the form because conversion outputs and hand-built
+    forms may carry one); from tick ``len(prefix_firsts)`` on, tick
+    ``prefix + q * period_ticks + r`` spans
+    ``(firsts[r] + q * period_seconds, lasts[r] + q * period_seconds)``.
+
+    ``exact_cover`` certifies that every instant inside a tick's bounds
+    belongs to that tick (no interior gaps): only then may
+    :meth:`tick_of_instant` replace the type's own ``tick_of``.  Size
+    queries need bounds only and are valid either way.
+    """
+
+    label: str
+    period_ticks: int
+    period_seconds: int
+    firsts: Tuple[int, ...]
+    lasts: Tuple[int, ...]
+    prefix_firsts: Tuple[int, ...] = ()
+    prefix_lasts: Tuple[int, ...] = ()
+    exact_cover: bool = False
+    source: str = "scanned"
+    #: Covered instants per period (exact under ``exact_cover``, an
+    #: upper bound otherwise - interior tick gaps are invisible to a
+    #: boundary representation).
+    period_instants: int = field(init=False)
+    #: Uncovered runs between consecutive ticks of one period, as
+    #: ``(offset_from_firsts[0], length)`` pairs including the wrap to
+    #: the next period's first tick.
+    gap_runs: Tuple[Tuple[int, int], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        P, S = self.period_ticks, self.period_seconds
+        if P < 1 or S < 1:
+            raise NormalFormError("period must be at least one tick/second")
+        if len(self.firsts) != P or len(self.lasts) != P:
+            raise NormalFormError("boundary arrays must cover one period")
+        if len(self.prefix_firsts) != len(self.prefix_lasts):
+            raise NormalFormError("prefix arrays must have equal length")
+        bounds = list(zip(self.prefix_firsts, self.prefix_lasts))
+        bounds += list(zip(self.firsts, self.lasts))
+        previous_last = None
+        for first, last in bounds:
+            if first > last:
+                raise NormalFormError("a tick has inverted bounds")
+            if previous_last is not None and first <= previous_last:
+                raise NormalFormError("ticks are not strictly ordered")
+            previous_last = last
+        if self.prefix_lasts and self.prefix_lasts[-1] >= self.firsts[0]:
+            raise NormalFormError("prefix overlaps the periodic part")
+        if self.lasts[-1] - self.firsts[0] >= S:
+            raise NormalFormError("one period of ticks exceeds the period")
+        object.__setattr__(
+            self,
+            "period_instants",
+            sum(l - f + 1 for f, l in zip(self.firsts, self.lasts)),
+        )
+        runs = []
+        for r in range(P):
+            gap_from = self.lasts[r] + 1
+            gap_to = self.firsts[r + 1] if r + 1 < P else self.firsts[0] + S
+            if gap_to > gap_from:
+                runs.append((gap_from - self.firsts[0], gap_to - gap_from))
+        object.__setattr__(self, "gap_runs", tuple(runs))
+
+    # ------------------------------------------------------------------
+    # Tick/instant conversion (O(log P) bisection)
+    # ------------------------------------------------------------------
+    @property
+    def prefix_ticks(self) -> int:
+        return len(self.prefix_firsts)
+
+    def instant_of_tick(self, index: int) -> Tuple[int, int]:
+        """Exact ``(first, last)`` bounds of any tick index, O(1)."""
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        B = len(self.prefix_firsts)
+        if index < B:
+            return self.prefix_firsts[index], self.prefix_lasts[index]
+        q, r = divmod(index - B, self.period_ticks)
+        shift = q * self.period_seconds
+        return self.firsts[r] + shift, self.lasts[r] + shift
+
+    def tick_of_instant(self, second: int) -> Optional[int]:
+        """Tick index covering ``second``, or None in a gap.
+
+        Only meaningful as a ``tick_of`` replacement under
+        ``exact_cover``; without it, an instant inside a tick's bounds
+        may still be a gap of the underlying type.
+        """
+        if second < self.firsts[0]:
+            if not self.prefix_firsts or second < self.prefix_firsts[0]:
+                return None
+            slot = bisect_right(self.prefix_firsts, second) - 1
+            if second > self.prefix_lasts[slot]:
+                return None
+            return slot
+        q, w = divmod(second - self.firsts[0], self.period_seconds)
+        w += self.firsts[0]
+        slot = bisect_right(self.firsts, w) - 1
+        if w > self.lasts[slot]:
+            return None
+        return len(self.prefix_firsts) + q * self.period_ticks + slot
+
+    def distance(self, t1: int, t2: int) -> Optional[int]:
+        """Tick distance ``tick_of(t2) - tick_of(t1)``, or None."""
+        z1 = self.tick_of_instant(t1)
+        if z1 is None:
+            return None
+        z2 = self.tick_of_instant(t2)
+        if z2 is None:
+            return None
+        return z2 - z1
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (the ``repro gran info`` payload)."""
+        return {
+            "label": self.label,
+            "source": self.source,
+            "period_ticks": self.period_ticks,
+            "period_seconds": self.period_seconds,
+            "period_instants": self.period_instants,
+            "prefix_ticks": self.prefix_ticks,
+            "gap_runs": len(self.gap_runs),
+            "gap_seconds": sum(length for _, length in self.gap_runs),
+            "exact_cover": self.exact_cover,
+        }
+
+
+# ----------------------------------------------------------------------
+# The compiler
+# ----------------------------------------------------------------------
+def _structural_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
+    """Lower types whose representation *is* the normal form, scan-free."""
+    if isinstance(ttype, UniformType):
+        return PeriodicNormalForm(
+            label=ttype.label,
+            period_ticks=1,
+            period_seconds=ttype.seconds_per_tick,
+            firsts=(ttype.phase,),
+            lasts=(ttype.phase + ttype.seconds_per_tick - 1,),
+            exact_cover=True,
+            source="structural",
+        )
+    if isinstance(ttype, PeriodicPatternType):
+        firsts = tuple(ttype.phase + o for o, _ in ttype.segments)
+        lasts = tuple(
+            ttype.phase + o + length - 1 for o, length in ttype.segments
+        )
+        return PeriodicNormalForm(
+            label=ttype.label,
+            period_ticks=len(ttype.segments),
+            period_seconds=ttype.cycle_seconds,
+            firsts=firsts,
+            lasts=lasts,
+            exact_cover=True,
+            source="structural",
+        )
+    return None
+
+
+def _covers_whole_bounds(ttype: TemporalType) -> bool:
+    """Does every instant inside a tick's bounds belong to that tick?
+
+    Structural knowledge only - never answered by scanning: a total
+    type has no gaps at all, and day-based types whose ticks are single
+    days (business days) or contiguous day runs of a total calendar are
+    handled by their own classes' guarantees via ``total``.  Everything
+    else conservatively answers False, keeping ``tick_of`` fallbacks
+    exact.
+    """
+    if ttype.total:
+        return True
+    from .business import BusinessDayType
+
+    if isinstance(ttype, BusinessDayType):
+        # Each tick is exactly one day - contiguous by construction
+        # (holidays would make the type non-compilable anyway).
+        return True
+    return False
+
+
+def compile_normal_form(ttype: TemporalType) -> PeriodicNormalForm:
+    """Lower a temporal type to its minimal periodic normal form.
+
+    Raises :class:`NormalFormError` when the type declares no exact
+    period, the declared recurrence fails verification, or the period
+    is too large to be worth compiling.  The compilation is recorded
+    under a ``sizetable.compile`` span and counts into
+    ``repro_sizetable_compiles_total``.
+    """
+    with span("sizetable.compile", label=ttype.label) as compile_span:
+        _COMPILES.inc()
+        form = _structural_form(ttype)
+        if form is not None:
+            compile_span.set(source=form.source, period=form.period_ticks)
+            return form
+        period_info = getattr(ttype, "period_info", None)
+        info = period_info() if callable(period_info) else None
+        if info is None:
+            raise NormalFormError(
+                "type %r declares no exact period" % (ttype.label,)
+            )
+        P, S = int(info[0]), int(info[1])
+        if P < 1 or S < 1:
+            raise NormalFormError(
+                "type %r declares a degenerate period" % (ttype.label,)
+            )
+        if P > MAX_PERIOD_TICKS:
+            raise NormalFormError(
+                "period of %r too large to compile (%d ticks)"
+                % (ttype.label, P)
+            )
+        bounds = []
+        try:
+            for index in range(P + 1):
+                bounds.append(ttype.tick_bounds(index))
+        except ValueError as exc:
+            raise NormalFormError(
+                "type %r ran out of ticks inside one period" % (ttype.label,)
+            ) from exc
+        first0, last0 = bounds[0]
+        if bounds[P] != (first0 + S, last0 + S):
+            raise NormalFormError(
+                "declared period of %r fails verification: tick %d is %r, "
+                "expected %r"
+                % (ttype.label, P, bounds[P], (first0 + S, last0 + S))
+            )
+        form = PeriodicNormalForm(
+            label=ttype.label,
+            period_ticks=P,
+            period_seconds=S,
+            firsts=tuple(first for first, _ in bounds[:P]),
+            lasts=tuple(last for _, last in bounds[:P]),
+            exact_cover=_covers_whole_bounds(ttype),
+            source="scanned",
+        )
+        compile_span.set(source=form.source, period=form.period_ticks)
+        return form
+
+
+_FORM_CACHE_ATTR = "_normal_form_cache"
+
+
+def cached_normal_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
+    """Compile once per type instance; None when the type doesn't lower.
+
+    The form (or the negative answer) is cached on the instance, so
+    repeated table construction, clock evaluation and fork-inherited
+    worker state all share a single compilation.
+    """
+    cached = ttype.__dict__.get(_FORM_CACHE_ATTR, False)
+    if cached is not False:
+        return cached
+    try:
+        form: Optional[PeriodicNormalForm] = compile_normal_form(ttype)
+    except NormalFormError:
+        form = None
+    try:
+        setattr(ttype, _FORM_CACHE_ATTR, form)
+    except AttributeError:  # pragma: no cover - slotted third-party type
+        pass
+    return form
+
+
+# ----------------------------------------------------------------------
+# The compiled size-table backend
+# ----------------------------------------------------------------------
+class CompiledSizeTable:
+    """Closed-form size table over a periodic normal form.
+
+    Drop-in compatible with :class:`~repro.granularity.sizes.SizeTable`
+    (``minsize``/``maxsize``/``mingap``, the ``min_k_*`` searches,
+    ``bounds``/``scanned_ticks``/``probe_stats`` and the
+    ``probes``/``probe_hits`` counters) but *exact for every k*: a
+    query decomposes into whole periods plus a per-residue extremum
+    over the doubled boundary arrays, O(period) for the first probe of
+    a residue and O(1) from the bounded memo afterwards.
+
+    ``bounds``/``scanned_ticks`` mirror the sweep backend's virtual
+    horizon (``max(horizon, 3 * period + 2)``) so the direct
+    boundary-scan conversion visits the identical index range and both
+    backends produce bit-identical conversion outcomes.
+    """
+
+    backend = "compiled"
+
+    def __init__(
+        self,
+        ttype: TemporalType,
+        form: Optional[PeriodicNormalForm] = None,
+        horizon: int = 512,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+    ):
+        if form is None:
+            form = compile_normal_form(ttype)
+        self.ttype = ttype
+        self.form = form
+        P = form.period_ticks
+        S = form.period_seconds
+        self._P = P
+        self._S = S
+        self._B = form.prefix_ticks
+        self._firsts = form.firsts
+        self._lasts = form.lasts
+        # Doubled arrays: index j in [0, 2P) is tick j of the periodic
+        # part, second copy shifted one period - every window of up to
+        # one period starting anywhere in a period stays in range.
+        self._firsts_ext = form.firsts + tuple(f + S for f in form.firsts)
+        self._lasts_ext = form.lasts + tuple(l + S for l in form.lasts)
+        if _np is not None and self._lasts_ext[-1] < 2 ** 62:
+            # int64 subtraction and extrema are exact, so the
+            # vectorized residue probe stays bit-identical to python.
+            self._np_firsts = _np.asarray(self._firsts, dtype=_np.int64)
+            self._np_lasts = _np.asarray(self._lasts, dtype=_np.int64)
+            self._np_firsts_ext = _np.asarray(
+                self._firsts_ext, dtype=_np.int64
+            )
+            self._np_lasts_ext = _np.asarray(self._lasts_ext, dtype=_np.int64)
+        else:
+            self._np_firsts = None
+        self.horizon = max(horizon, 3 * P + 2)
+        self._min_base = BoundedMemo(memo_entries)
+        self._max_base = BoundedMemo(memo_entries)
+        self._gap_base = BoundedMemo(memo_entries)
+        self.probes = 0
+        self.probe_hits = 0
+        #: Probes answered in closed form (everything the memo did not).
+        self.compiled_hits = 0
+
+    # ------------------------------------------------------------------
+    # SizeTable-compatible boundary access
+    # ------------------------------------------------------------------
+    def bounds(self, index: int):
+        """Exact ``tick_bounds``; None beyond the virtual horizon.
+
+        The None cut-off mirrors the sweep backend's horizon so both
+        backends expose the identical scan range to the direct
+        conversion (the closed form itself has no horizon).
+        """
+        if index < 0:
+            raise ValueError("tick index must be non-negative")
+        if index >= self.horizon:
+            return None
+        return self.form.instant_of_tick(index)
+
+    def scanned_ticks(self) -> int:
+        """Ticks with exactly-known boundaries (the virtual horizon)."""
+        return self.horizon
+
+    @property
+    def memo_evictions(self) -> int:
+        """Entries the LRU bound evicted across the residue memos."""
+        return (
+            self._min_base.evictions
+            + self._max_base.evictions
+            + self._gap_base.evictions
+        )
+
+    def probe_stats(self) -> dict:
+        """JSON-friendly counters of table probes and memo hits."""
+        return {
+            "backend": self.backend,
+            "probes": self.probes,
+            "memo_hits": self.probe_hits,
+            "scanned_ticks": self._B + self._P,
+            "memo_evictions": self.memo_evictions,
+            "compiled_hits": self.compiled_hits,
+        }
+
+    # ------------------------------------------------------------------
+    # Per-residue extrema (the per-phase arrays behind the closed forms)
+    # ------------------------------------------------------------------
+    def _min_span_base(self, r: int) -> int:
+        """``min`` span of ``r`` consecutive periodic ticks, r in [1, P].
+
+        The window end for phase ``a`` is tick ``a + r - 1`` of the
+        doubled array, so one pass over an aligned slice visits every
+        phase - this is the hot loop of a residue's first probe
+        (vectorized when numpy is importable, zip over tuple slices
+        otherwise; int64 arithmetic keeps both paths bit-identical).
+        """
+        if self._np_firsts is not None:
+            ends = self._np_lasts_ext[r - 1 : r - 1 + self._P]
+            return int((ends - self._np_firsts).min()) + 1
+        ends = self._lasts_ext[r - 1 : r - 1 + self._P]
+        return min(e - f for e, f in zip(ends, self._firsts)) + 1
+
+    def _max_span_base(self, r: int) -> int:
+        if self._np_firsts is not None:
+            ends = self._np_lasts_ext[r - 1 : r - 1 + self._P]
+            return int((ends - self._np_firsts).max()) + 1
+        ends = self._lasts_ext[r - 1 : r - 1 + self._P]
+        return max(e - f for e, f in zip(ends, self._firsts)) + 1
+
+    def _gap_base_value(self, r: int) -> int:
+        """``min first(a + r) - last(a)`` over periodic phases, r in [0, P)."""
+        if self._np_firsts is not None:
+            starts = self._np_firsts_ext[r : r + self._P]
+            return int((starts - self._np_lasts).min())
+        starts = self._firsts_ext[r : r + self._P]
+        return min(f - l for f, l in zip(starts, self._lasts))
+
+    def _prefix_spans(self, k: int):
+        """Spans of the k-windows starting inside the aperiodic prefix."""
+        form = self.form
+        for a in range(self._B):
+            first, _ = form.instant_of_tick(a)
+            _, last = form.instant_of_tick(a + k - 1)
+            yield last - first + 1
+
+    # ------------------------------------------------------------------
+    # Table entries (exact for every k)
+    # ------------------------------------------------------------------
+    def minsize(self, k: int) -> int:
+        """Minimum span (in seconds) of ``k`` consecutive ticks; exact."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return 0
+        self.probes += 1
+        _PROBES_COMPILED.inc()
+        q, r = divmod(k - 1, self._P)
+        r += 1
+        base = self._min_base.get(r)
+        if base is not None:
+            self.probe_hits += 1
+        else:
+            base = self._min_span_base(r)
+            self._min_base.put(r, base)
+            self.compiled_hits += 1
+            _COMPILED_HITS.inc()
+        value = q * self._S + base
+        if self._B:
+            value = min(value, min(self._prefix_spans(k)))
+        return value
+
+    def maxsize(self, k: int) -> int:
+        """Maximum span (in seconds) of ``k`` consecutive ticks; exact."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return 0
+        self.probes += 1
+        _PROBES_COMPILED.inc()
+        q, r = divmod(k - 1, self._P)
+        r += 1
+        base = self._max_base.get(r)
+        if base is not None:
+            self.probe_hits += 1
+        else:
+            base = self._max_span_base(r)
+            self._max_base.put(r, base)
+            self.compiled_hits += 1
+            _COMPILED_HITS.inc()
+        value = q * self._S + base
+        if self._B:
+            value = max(value, max(self._prefix_spans(k)))
+        return value
+
+    def mingap(self, k: int) -> int:
+        """Minimum of ``first(i + k) - last(i)`` over all ``i``; exact."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.probes += 1
+        _PROBES_COMPILED.inc()
+        q, r = divmod(k, self._P)
+        base = self._gap_base.get(r)
+        if base is not None:
+            self.probe_hits += 1
+        else:
+            base = self._gap_base_value(r)
+            self._gap_base.put(r, base)
+            self.compiled_hits += 1
+            _COMPILED_HITS.inc()
+        value = q * self._S + base
+        if self._B:
+            form = self.form
+            for a in range(self._B):
+                _, last = form.instant_of_tick(a)
+                first, _ = form.instant_of_tick(a + k)
+                value = min(value, first - last)
+        return value
+
+    # ------------------------------------------------------------------
+    # Searches used by the conversion algorithm
+    # ------------------------------------------------------------------
+    def min_k_with_minsize_at_least(
+        self, target: int, cap: int = 1 << 24
+    ) -> Optional[int]:
+        """Smallest ``k`` with ``minsize(k) >= target``, or None past cap."""
+        if target <= 0:
+            return 0
+        hi = 1
+        while self.minsize(hi) < target:
+            hi *= 2
+            if hi > cap:
+                return None
+        lo = hi // 2
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.minsize(mid) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def min_k_with_maxsize_greater(
+        self, target: int, cap: int = 1 << 24
+    ) -> Optional[int]:
+        """Smallest ``k`` with ``maxsize(k) > target``, or None past cap."""
+        if self.maxsize(0) > target:
+            return 0
+        hi = 1
+        while self.maxsize(hi) <= target:
+            hi *= 2
+            if hi > cap:
+                return None
+        lo = hi // 2
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.maxsize(mid) > target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+
+# ----------------------------------------------------------------------
+# Backend-aware construction and the fast clock path
+# ----------------------------------------------------------------------
+def build_size_table(
+    ttype: TemporalType,
+    horizon: int = 512,
+    backend: Optional[str] = None,
+    form: Optional[PeriodicNormalForm] = None,
+):
+    """Construct the size table the selected backend dictates.
+
+    ``auto`` compiles when the type lowers and sweeps otherwise;
+    ``compiled`` raises :class:`NormalFormError` for types that do not
+    lower (an explicit request must not silently degrade); ``sweep``
+    always builds the reference table.  ``form`` short-circuits
+    compilation with a pre-compiled normal form (the conversion cache
+    ships forms to fork-pool workers this way).
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "sweep":
+        return SizeTable(ttype, horizon=horizon)
+    if form is None:
+        form = cached_normal_form(ttype)
+    if form is None:
+        if resolved == "compiled":
+            raise NormalFormError(
+                "REPRO_SIZETABLE=compiled but type %r does not lower to "
+                "a periodic normal form" % (ttype.label,)
+            )
+        return SizeTable(ttype, horizon=horizon)
+    return CompiledSizeTable(ttype, form=form, horizon=horizon)
+
+
+def clock_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
+    """The normal form backing fast clock evaluation, or None.
+
+    None whenever the backend is ``sweep`` (the reference path must
+    exercise the types' own ``tick_of``), the type does not lower, or
+    the form cannot certify exact instant coverage (a boundary-only
+    form must not decide coverage questions).
+    """
+    if resolve_backend() == "sweep":
+        return None
+    form = cached_normal_form(ttype)
+    if form is None or not form.exact_cover:
+        return None
+    return form
+
+
+def clock_tick_of(ttype: TemporalType, second: int) -> Optional[int]:
+    """``tick_of`` via O(log P) bisection when the type lowers."""
+    form = clock_form(ttype)
+    if form is not None:
+        return form.tick_of_instant(second)
+    return ttype.tick_of(second)
+
+
+def clock_distance(ttype: TemporalType, t1: int, t2: int) -> Optional[int]:
+    """``distance`` via O(log P) bisection when the type lowers."""
+    form = clock_form(ttype)
+    if form is not None:
+        return form.distance(t1, t2)
+    return ttype.distance(t1, t2)

@@ -21,6 +21,7 @@ from .conversion import (
     direct_convert_interval,
 )
 from .convcache import ConversionCache, global_conversion_cache, new_namespace
+from .normalform import build_size_table, cached_normal_form, resolve_backend
 from .sizes import SizeTable
 
 #: Conversion strategies: "direct" scans actual boundary positions
@@ -38,6 +39,7 @@ class GranularitySystem:
         horizon: int = 512,
         conversion_mode: str = "direct",
         cache: Optional[ConversionCache] = None,
+        sizetable_backend: Optional[str] = None,
     ):
         if conversion_mode not in CONVERSION_MODES:
             raise ValueError(
@@ -45,6 +47,9 @@ class GranularitySystem:
             )
         self.horizon = horizon
         self.conversion_mode = conversion_mode
+        # None defers to REPRO_SIZETABLE (resolved when each table is
+        # built, so env changes between table constructions are seen).
+        self.sizetable_backend = sizetable_backend
         self._types: Dict[str, TemporalType] = {}
         self._tables: Dict[str, SizeTable] = {}
         self._covers: Dict[Tuple[str, str], bool] = {}
@@ -117,11 +122,32 @@ class GranularitySystem:
     # Tables and conversions
     # ------------------------------------------------------------------
     def table(self, ttype_or_label) -> SizeTable:
-        """The (cached) size table of a registered type."""
+        """The (cached) size table of a registered type.
+
+        The backend follows ``sizetable_backend`` (or the
+        ``REPRO_SIZETABLE`` environment knob when unset): ``compiled``
+        tables are built from the type's periodic normal form, fetched
+        from the conversion cache when a warmed worker already holds it
+        and cached there otherwise so the parallel engine can export it.
+        """
         ttype = self.resolve(ttype_or_label)
         tab = self._tables.get(ttype.label)
         if tab is None:
-            tab = SizeTable(ttype, horizon=self.horizon)
+            backend = resolve_backend(self.sizetable_backend)
+            form = None
+            if backend != "sweep":
+                form = self._cache.get_normal_form(
+                    self._cache_namespace, ttype.label
+                )
+                if form is None:
+                    form = cached_normal_form(ttype)
+                    if form is not None:
+                        self._cache.put_normal_form(
+                            self._cache_namespace, ttype.label, form
+                        )
+            tab = build_size_table(
+                ttype, horizon=self.horizon, backend=backend, form=form
+            )
             self._tables[ttype.label] = tab
         return tab
 
@@ -208,6 +234,7 @@ def standard_system(
     horizon: int = 512,
     conversion_mode: str = "direct",
     cache: Optional[ConversionCache] = None,
+    sizetable_backend: Optional[str] = None,
 ) -> GranularitySystem:
     """The paper's working granularity system.
 
@@ -233,5 +260,6 @@ def standard_system(
         horizon=horizon,
         conversion_mode=conversion_mode,
         cache=cache,
+        sizetable_backend=sizetable_backend,
     )
     return system

@@ -29,9 +29,68 @@ conversion requires.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional
 
+from ..obs import counter
 from .base import TemporalType
+
+#: Default bound on each memo dict of a size table.  Streaming matchers
+#: keep tables alive for the life of the process and probe them with
+#: ever-new ``k`` values, so the memos must not grow without limit.
+DEFAULT_MEMO_ENTRIES = 4096
+
+# Process-wide table traffic, by backend (docs/OBSERVABILITY.md
+# catalog).  The per-instance ``probes``/``probe_hits`` ints stay the
+# per-table views the benchmark harness records.
+_PROBES_SWEEP = counter(
+    "repro_sizetable_probes_total",
+    "Size-table lookups (minsize/maxsize/mingap), by backend",
+    labels={"backend": "sweep"},
+)
+_EVICTIONS = counter(
+    "repro_sizetable_evictions_total",
+    "Size-table memo entries evicted by the LRU bound",
+)
+
+
+class BoundedMemo:
+    """An LRU-bounded memo dict for size-table values.
+
+    ``get`` refreshes recency; ``put`` beyond the bound evicts the
+    least-recently-used entry and counts it (per instance and into
+    ``repro_sizetable_evictions_total``).  Values are never None, so
+    ``get`` returning None always means a miss.
+    """
+
+    __slots__ = ("cap", "_data", "evictions")
+
+    def __init__(self, cap: int = DEFAULT_MEMO_ENTRIES):
+        if cap < 1:
+            raise ValueError("memo cap must be >= 1")
+        self.cap = cap
+        self._data: "OrderedDict" = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return
+        if len(self._data) >= self.cap:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            _EVICTIONS.inc()
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class SizeTable:
@@ -48,9 +107,22 @@ class SizeTable:
         e.g. 42 years of months or 512 years outright, far more than one
         leap cycle of everything except bare ``year`` (which is uniform
         enough at this scale for the extrapolation to stay sound).
+    memo_entries:
+        LRU bound on each of the three memo dicts (see
+        :class:`BoundedMemo`); long-lived processes keep probing tables
+        with fresh ``k`` values, so the memos must stay bounded.
     """
 
-    def __init__(self, ttype: TemporalType, horizon: int = 512):
+    #: Backend tag surfaced by :meth:`probe_stats` (the compiled
+    #: counterpart reports ``"compiled"``).
+    backend = "sweep"
+
+    def __init__(
+        self,
+        ttype: TemporalType,
+        horizon: int = 512,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+    ):
         if horizon < 8:
             raise ValueError("horizon too small to be useful")
         self.ttype = ttype
@@ -68,20 +140,32 @@ class SizeTable:
         self._first: List[int] = []
         self._last: List[int] = []
         self._exhausted = False  # the type ran out of ticks before horizon
-        self._minsize_cache: dict = {}
-        self._maxsize_cache: dict = {}
-        self._mingap_cache: dict = {}
+        self._minsize_cache = BoundedMemo(memo_entries)
+        self._maxsize_cache = BoundedMemo(memo_entries)
+        self._mingap_cache = BoundedMemo(memo_entries)
+        self._max_step_cache: Optional[int] = None
         #: Probe counters: total table lookups vs. the ones answered
         #: from the memo dicts (surfaced by the benchmark harness).
         self.probes = 0
         self.probe_hits = 0
 
+    @property
+    def memo_evictions(self) -> int:
+        """Entries the LRU bound evicted across the three memos."""
+        return (
+            self._minsize_cache.evictions
+            + self._maxsize_cache.evictions
+            + self._mingap_cache.evictions
+        )
+
     def probe_stats(self) -> dict:
         """JSON-friendly counters of table probes and memo hits."""
         return {
+            "backend": self.backend,
             "probes": self.probes,
             "memo_hits": self.probe_hits,
             "scanned_ticks": len(self._first),
+            "memo_evictions": self.memo_evictions,
         }
 
     # ------------------------------------------------------------------
@@ -158,6 +242,7 @@ class SizeTable:
         if k == 0:
             return 0
         self.probes += 1
+        _PROBES_SWEEP.inc()
         cached = self._minsize_cache.get(k)
         if cached is not None:
             self.probe_hits += 1
@@ -179,7 +264,7 @@ class SizeTable:
             value = q * self.minsize(exact_limit) + (
                 self.minsize(r) if r else 0
             )
-        self._minsize_cache[k] = value
+        self._minsize_cache.put(k, value)
         return value
 
     def maxsize(self, k: int) -> int:
@@ -194,6 +279,7 @@ class SizeTable:
         if k == 0:
             return 0
         self.probes += 1
+        _PROBES_SWEEP.inc()
         cached = self._maxsize_cache.get(k)
         if cached is not None:
             self.probe_hits += 1
@@ -211,7 +297,7 @@ class SizeTable:
             value = self.maxsize(exact_limit) + (
                 k - exact_limit
             ) * self._max_step()
-        self._maxsize_cache[k] = value
+        self._maxsize_cache.put(k, value)
         return value
 
     def mingap(self, k: int) -> int:
@@ -225,6 +311,7 @@ class SizeTable:
         if k < 0:
             raise ValueError("k must be non-negative")
         self.probes += 1
+        _PROBES_SWEEP.inc()
         cached = self._mingap_cache.get(k)
         if cached is not None:
             self.probe_hits += 1
@@ -251,13 +338,13 @@ class SizeTable:
                 raise AssertionError("remainder exceeds exact limit")
             bridge = self.minsize(1) - 1
             value = q * (self.mingap(chunk) + bridge) + self.mingap(r)
-        self._mingap_cache[k] = value
+        self._mingap_cache.put(k, value)
         return value
+
     def _max_step(self) -> int:
         """Largest observed advance of the tick *end* between neighbours."""
-        cached = self._maxsize_cache.get("step")
-        if cached is not None:
-            return cached
+        if self._max_step_cache is not None:
+            return self._max_step_cache
         n = self._scanned()
         if n < 2:
             raise ValueError(
@@ -265,7 +352,7 @@ class SizeTable:
                 % (self.ttype,)
             )
         value = max(self._last[i + 1] - self._last[i] for i in range(n - 1))
-        self._maxsize_cache["step"] = value
+        self._max_step_cache = value
         return value
 
     # ------------------------------------------------------------------

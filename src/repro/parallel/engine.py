@@ -214,17 +214,22 @@ def _scan_shard(
     return hits, len(viable)
 
 
-def _warm_worker(namespace: int, entries) -> None:
+def _warm_worker(namespace: int, entries, forms=()) -> None:
     """Pool initializer: install the exported conversion-cache entries.
 
     Redundant under fork (the entries arrived with the address space)
     but load-bearing for any start method that builds workers fresh -
     either way no worker recomputes a conversion the parent already
-    paid for.  Preloading counts neither hits nor misses.
+    paid for.  Preloading counts neither hits nor misses.  Compiled
+    periodic normal forms ride along so a fresh worker builds its
+    compiled size tables without re-lowering (no boundary scans).
     """
     ctx = _CTX
     if ctx is not None:
-        ctx.system.conversion_cache.preload(namespace, entries)
+        cache = ctx.system.conversion_cache
+        cache.preload(namespace, entries)
+        if forms:
+            cache.preload_normal_forms(namespace, forms)
 
 
 def _pool_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
@@ -404,11 +409,12 @@ def parallel_scan(
         if mode == "pool":
             namespace = system.cache_namespace
             entries = system.conversion_cache.export_entries(namespace)
+            forms = system.conversion_cache.export_normal_forms(namespace)
             with ProcessPoolExecutor(
                 max_workers=workers_used,
                 mp_context=multiprocessing.get_context("fork"),
                 initializer=_warm_worker,
-                initargs=(namespace, entries),
+                initargs=(namespace, entries, forms),
             ) as pool:
                 raw = list(pool.map(_pool_batch, batches))
         else:

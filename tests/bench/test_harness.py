@@ -61,9 +61,9 @@ class TestRunSuite:
         with pytest.raises(ValueError):
             run_suite(experiments=["X1", "X99"])
 
-    def test_all_twelve_experiments_registered(self):
+    def test_all_fourteen_experiments_registered(self):
         assert EXPERIMENT_NAMES == tuple(
-            "X%d" % i for i in range(1, 13)
+            "X%d" % i for i in range(1, 15)
         )
 
 

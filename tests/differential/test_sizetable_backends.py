@@ -1,0 +1,270 @@
+"""Differential oracle: compiled size tables vs the window sweep.
+
+The compiled backend (periodic normal forms, closed-form
+minsize/maxsize/mingap, bisection tick conversion) is only allowed to
+exist because it is *exactly* equal to the sweep reference wherever
+the sweep is exact - same table values, same search answers, same
+conversion outcomes.  The sweep reference here is built with a horizon
+of at least ``4 * period + 8`` so its exact region covers every probed
+``k`` (up to three periods); the compiled backend is exact for every
+``k`` by construction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.granularity import (
+    CompiledSizeTable,
+    ConversionCache,
+    SizeTable,
+    compile_normal_form,
+    convert_interval,
+    standard_system,
+)
+from repro.granularity.base import UniformType
+from repro.granularity.normalform import build_size_table, cached_normal_form
+from repro.granularity.periodic import PeriodicPatternType
+
+BACKENDS = ["compiled", "auto"]
+
+
+# ----------------------------------------------------------------------
+# Generated periodic types
+# ----------------------------------------------------------------------
+@st.composite
+def periodic_types(draw):
+    """Small random periodic pattern types (P <= 6 ticks per cycle)."""
+    nseg = draw(st.integers(min_value=1, max_value=6))
+    # 2*nseg distinct cut points make nseg disjoint ordered segments.
+    cycle = draw(st.integers(min_value=2 * nseg, max_value=96))
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=cycle),
+            min_size=2 * nseg,
+            max_size=2 * nseg,
+            unique=True,
+        )
+    )
+    cuts.sort()
+    segments = [
+        (cuts[2 * i], cuts[2 * i + 1] - cuts[2 * i]) for i in range(nseg)
+    ]
+    phase = draw(st.integers(min_value=0, max_value=30))
+    return PeriodicPatternType("gen", cycle, segments, phase=phase)
+
+
+@st.composite
+def uniform_types(draw):
+    seconds = draw(st.integers(min_value=1, max_value=90))
+    phase = draw(st.integers(min_value=0, max_value=45))
+    return UniformType("genu", seconds, phase=phase)
+
+
+def sweep_reference(ttype):
+    """A sweep table whose exact region covers every probed k.
+
+    The sweep extrapolates (soundly but inexactly) beyond
+    ``horizon - period + 1``; probing k up to three periods plus the
+    conversion bounds (k <= n + 1 <= 25 here) therefore needs
+    ``horizon >= max(4P + 8, 32 + P)``.
+    """
+    period_ticks, _ = ttype.period_info()
+    return SizeTable(
+        ttype, horizon=max(4 * period_ticks + 8, 32 + period_ticks)
+    )
+
+
+# ----------------------------------------------------------------------
+# Table-value identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTablesExactlyEqual:
+    @given(ttype=periodic_types(), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_periodic_values_identical(self, backend, ttype, data):
+        period_ticks, _ = ttype.period_info()
+        reference = sweep_reference(ttype)
+        compiled = build_size_table(ttype, backend=backend)
+        assert compiled.backend == "compiled"
+        k = data.draw(
+            st.integers(min_value=1, max_value=3 * period_ticks),
+            label="k",
+        )
+        assert compiled.minsize(k) == reference.minsize(k)
+        assert compiled.maxsize(k) == reference.maxsize(k)
+        assert compiled.mingap(k) == reference.mingap(k)
+
+    @given(ttype=uniform_types(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_values_identical(self, backend, ttype, data):
+        reference = sweep_reference(ttype)
+        compiled = build_size_table(ttype, backend=backend)
+        k = data.draw(st.integers(min_value=1, max_value=12), label="k")
+        assert compiled.minsize(k) == reference.minsize(k)
+        assert compiled.maxsize(k) == reference.maxsize(k)
+        assert compiled.mingap(k) == reference.mingap(k)
+
+    @given(ttype=periodic_types(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_searches_identical(self, backend, ttype, data):
+        period_ticks, period_seconds = ttype.period_info()
+        reference = sweep_reference(ttype)
+        compiled = build_size_table(ttype, backend=backend)
+        # Targets small enough that both searches resolve inside the
+        # sweep's exact region (answers stay below ~3 periods of ticks).
+        target = data.draw(
+            st.integers(min_value=1, max_value=2 * period_seconds),
+            label="target",
+        )
+        assert compiled.min_k_with_minsize_at_least(
+            target
+        ) == reference.min_k_with_minsize_at_least(target)
+        assert compiled.min_k_with_maxsize_greater(
+            target
+        ) == reference.min_k_with_maxsize_greater(target)
+
+
+# ----------------------------------------------------------------------
+# Conversion identity (Figure 3 and the direct boundary scan)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestConversionsExactlyEqual:
+    @given(
+        ttype=periodic_types(),
+        m=st.integers(min_value=0, max_value=12),
+        span=st.integers(min_value=0, max_value=12),
+        target_seconds=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_figure3_identical(self, backend, ttype, m, span, target_seconds):
+        target = UniformType("tgt", target_seconds)
+        src_sweep = sweep_reference(ttype)
+        tgt_sweep = sweep_reference(target)
+        src_fast = build_size_table(ttype, backend=backend)
+        tgt_fast = build_size_table(target, backend=backend)
+        expected = convert_interval(m, m + span, src_sweep, tgt_sweep)
+        actual = convert_interval(m, m + span, src_fast, tgt_fast)
+        assert actual == expected
+
+    @given(
+        ttype=periodic_types(),
+        m=st.integers(min_value=0, max_value=8),
+        span=st.integers(min_value=0, max_value=8),
+        mode=st.sampled_from(["direct", "figure3"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_system_convert_identical(self, backend, ttype, m, span, mode):
+        sweep_sys = standard_system(
+            cache=ConversionCache(), sizetable_backend="sweep"
+        )
+        fast_sys = standard_system(
+            cache=ConversionCache(), sizetable_backend=backend
+        )
+        for system in (sweep_sys, fast_sys):
+            system.register(ttype)
+        for source, target in (
+            (ttype.label, "minute"),
+            ("minute", ttype.label),
+            (ttype.label, "hour"),
+        ):
+            expected = sweep_sys.convert(m, m + span, source, target, mode)
+            actual = fast_sys.convert(m, m + span, source, target, mode)
+            assert actual == expected, (source, target, mode)
+
+
+# ----------------------------------------------------------------------
+# tick_of / instant_of identity on exact-cover forms
+# ----------------------------------------------------------------------
+@given(ttype=periodic_types(), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_tick_conversion_identical(ttype, data):
+    form = compile_normal_form(ttype)
+    assert form.exact_cover
+    _, period_seconds = ttype.period_info()
+    second = data.draw(
+        st.integers(min_value=0, max_value=4 * period_seconds + 60),
+        label="second",
+    )
+    assert form.tick_of_instant(second) == ttype.tick_of(second)
+    index = data.draw(st.integers(min_value=0, max_value=40), label="index")
+    assert form.instant_of_tick(index) == ttype.tick_bounds(index)
+    t1 = data.draw(
+        st.integers(min_value=0, max_value=2 * period_seconds), label="t1"
+    )
+    t2 = data.draw(
+        st.integers(min_value=0, max_value=2 * period_seconds), label="t2"
+    )
+    assert form.distance(t1, t2) == ttype.distance(t1, t2)
+
+
+# ----------------------------------------------------------------------
+# Exhaustive checks for the stock Gregorian/business types
+# ----------------------------------------------------------------------
+STOCK_EXPECTATIONS = {
+    "second": True,
+    "minute": True,
+    "hour": True,
+    "day": True,
+    "week": True,
+    "month": False,
+    "year": False,
+    "b-day": True,
+    "b-week": False,
+    "business-month": False,
+}
+
+
+def test_stock_types_lower_exactly_as_expected():
+    system = standard_system(cache=ConversionCache())
+    for label, lowers in STOCK_EXPECTATIONS.items():
+        form = cached_normal_form(system.get(label))
+        assert (form is not None) == lowers, label
+
+
+@pytest.mark.parametrize(
+    "label", [name for name, ok in STOCK_EXPECTATIONS.items() if ok]
+)
+def test_stock_types_exhaustively_identical(label):
+    system = standard_system(cache=ConversionCache())
+    ttype = system.get(label)
+    period_ticks, _ = ttype.period_info()
+    reference = sweep_reference(ttype)
+    compiled = CompiledSizeTable(ttype)
+    for k in range(1, 3 * period_ticks + 2):
+        assert compiled.minsize(k) == reference.minsize(k), (label, k)
+        assert compiled.maxsize(k) == reference.maxsize(k), (label, k)
+        assert compiled.mingap(k) == reference.mingap(k), (label, k)
+    form = compiled.form
+    step = max(1, form.period_seconds // 97)
+    for second in range(0, 2 * form.period_seconds, step):
+        assert form.tick_of_instant(second) == ttype.tick_of(second), (
+            label,
+            second,
+        )
+
+
+def test_standard_system_conversions_identical_across_backends():
+    """Every stock pair, both modes, a spread of intervals.
+
+    Horizon 2600 keeps every search probe (worst case: years converted
+    onto business days, ~2048 ticks) inside the sweep's exact region -
+    beyond it the sweep *extrapolates* and the exact compiled values
+    may legitimately produce tighter (still sound) intervals.
+    """
+    sweep_sys = standard_system(
+        cache=ConversionCache(), sizetable_backend="sweep", horizon=2600
+    )
+    fast_sys = standard_system(
+        cache=ConversionCache(), sizetable_backend="auto", horizon=2600
+    )
+    labels = sweep_sys.labels()
+    for source in labels:
+        for target in labels:
+            if source == target:
+                continue
+            for m, n in ((0, 1), (1, 3), (2, 2)):
+                for mode in ("direct", "figure3"):
+                    expected = sweep_sys.convert(m, n, source, target, mode)
+                    actual = fast_sys.convert(m, n, source, target, mode)
+                    assert actual == expected, (source, target, m, n, mode)

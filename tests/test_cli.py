@@ -256,3 +256,43 @@ class TestDot:
     def test_pattern_structure_dot(self, pattern_file, capsys):
         assert main(["dot", pattern_file]) == 0
         assert '"A"' in capsys.readouterr().out
+
+
+class TestGranInfo:
+    def test_compiled_type_prints_normal_form(self, capsys):
+        assert main(["gran", "info", "b-day"]) == 0
+        out = capsys.readouterr().out
+        assert "granularity: b-day" in out
+        assert "normal form: scanned" in out
+        assert "period: 5 ticks / 604800 seconds" in out
+        assert "exact instant cover: yes" in out
+
+    def test_structural_type(self, capsys):
+        assert main(["gran", "info", "group(minute,15)"]) == 0
+        out = capsys.readouterr().out
+        assert "normal form: scanned" in out or "structural" in out
+        assert "period:" in out
+
+    def test_non_lowering_type_reports_sweep(self, capsys):
+        assert main(["gran", "info", "month"]) == 0
+        out = capsys.readouterr().out
+        assert "normal form: none" in out
+        assert "backend: sweep" in out
+
+    def test_backend_env_is_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIZETABLE", "compiled")
+        assert main(["gran", "info", "second"]) == 0
+        assert "REPRO_SIZETABLE=compiled" in capsys.readouterr().out
+
+    def test_parse_error_exits_2(self, capsys):
+        assert main(["gran", "info", "lunar(3)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_backend_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIZETABLE", "turbo")
+        assert main(["gran", "info", "second"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["gran"])
