@@ -19,6 +19,9 @@ Layers (each importable on its own):
 * :mod:`repro.resilience` - reorder buffers with watermarks,
   degradation policies, quarantine channels and fault injection that
   keep the streaming path alive under dirty real-world feeds;
+* :mod:`repro.service` - the multi-tenant streaming detection service:
+  per-tenant circuit breakers, bounded ingress queues with shedding,
+  and checkpoint-backed LRU session eviction with crash recovery;
 * :mod:`repro.core` - a small facade for the common path.
 """
 
@@ -46,6 +49,12 @@ from .resilience import (
     Quarantine,
     ReorderBuffer,
     StreamFeedError,
+)
+from .service import (
+    DetectionService,
+    ServiceConfig,
+    ServiceDetection,
+    serve_events,
 )
 
 __version__ = "1.0.0"
@@ -78,4 +87,8 @@ __all__ = [
     "Quarantine",
     "ReorderBuffer",
     "FaultInjector",
+    "DetectionService",
+    "ServiceConfig",
+    "ServiceDetection",
+    "serve_events",
 ]

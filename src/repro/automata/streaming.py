@@ -196,6 +196,7 @@ class StreamingMatcher:
             "late_events_dropped": self.late_events_dropped,
             "pending_reordered": self.pending_reordered,
             "watermark": self.watermark,
+            "watermark_lag": self.watermark_lag,
         }
 
     # ------------------------------------------------------------------

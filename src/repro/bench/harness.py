@@ -1,4 +1,4 @@
-"""The X1-X14 regression harness behind ``repro bench``.
+"""The X1-X15 regression harness behind ``repro bench``.
 
 Unlike the pytest-benchmark suites in ``benchmarks/`` (which exist to
 *regenerate paper artifacts* with statistical care), this module is a
@@ -629,6 +629,69 @@ def _x14(system, engine, scale) -> _Workload:
     return _Workload(run)
 
 
+def _x15(system, engine, scale) -> _Workload:
+    """Multi-tenant service throughput under eviction churn.
+
+    ``500 * scale`` tenants (1k at the full profile) round-robin one
+    three-event chain each through the detection service with only 32
+    resident sessions, so nearly every event lands on an evicted
+    session: the workload measures the checkpoint / rehydrate cycle
+    end to end against the in-memory store.  Every tenant must finish
+    with exactly one detection - the bit-identity contract holds at
+    fleet scale, not just in the unit tests.
+    """
+    from ..automata.builder import build_tag
+    from ..service import (
+        MemoryCheckpointStore,
+        ServiceConfig,
+        serve_events,
+    )
+
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["A", "B", "C"],
+        {
+            ("A", "B"): [TCG(0, 2, hour)],
+            ("B", "C"): [TCG(0, 2, hour)],
+        },
+    )
+    cet = ComplexEventType(structure, {"A": "a", "B": "b", "C": "c"})
+    tenants = 500 * scale
+    chain = [("a", 0), ("b", 3600), ("c", 7200)]
+    records = [
+        ("tenant-%04d" % index, "k", etype, event_time)
+        for etype, event_time in chain
+        for index in range(tenants)
+    ]
+    build = build_tag(cet, system=system)
+
+    def run():
+        store = MemoryCheckpointStore()
+        start = time.perf_counter()
+        service = serve_events(
+            build,
+            records,
+            ServiceConfig(enabled=True, max_resident_sessions=32),
+            store,
+            system=system,
+        )
+        elapsed = time.perf_counter() - start
+        detected = {sd.tenant for sd in service.detections}
+        return {
+            "tenants": tenants,
+            "events": len(records),
+            "detections": len(service.detections),
+            "evictions": service.registry.evictions,
+            "rehydrations": service.registry.rehydrations,
+            "events_per_second": (
+                len(records) / elapsed if elapsed else 0.0
+            ),
+            "all_tenants_detected": len(detected) == tenants,
+        }
+
+    return _Workload(run)
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "X1": _x1,
     "X2": _x2,
@@ -644,6 +707,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "X12": _x12,
     "X13": _x13,
     "X14": _x14,
+    "X15": _x15,
 }
 
 EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
@@ -661,7 +725,7 @@ def run_suite(
     """Run the suite and return the ``BENCH_*.json`` payload.
 
     ``experiments`` restricts the run to a subset of names (e.g.
-    ``["X1", "X4"]``); the default runs all fourteen.
+    ``["X1", "X4"]``); the default runs all fifteen.
     """
     if profile not in PROFILES:
         raise ValueError(

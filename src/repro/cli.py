@@ -5,9 +5,10 @@ Usage (also available as ``python -m repro.cli``)::
     repro check STRUCTURE.json            # Theorem 2 consistency filter
     repro match PATTERN.json EVENTS.csv   # anchored TAG matching
     repro replay PATTERN.json EVENTS.csv  # streaming (online) detection
+    repro serve PATTERN.json TENANTS.csv  # multi-tenant detection service
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
-    repro bench --output BENCH.json       # X1-X14 regression harness
+    repro bench --output BENCH.json       # X1-X15 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
     repro gran info TYPE                  # compiled periodic normal form
@@ -195,6 +196,71 @@ def _cmd_replay(args) -> int:
             stats["live_anchors"],
             stats["late_events_dropped"],
             stats["anchors_shed"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .io.csvlog import read_tenant_events
+    from .resilience import Quarantine
+    from .service import ServiceConfig, ServiceDisabledError, serve_events
+
+    system = standard_system()
+    cet = complex_event_type_from_dict(load_json(args.pattern), system)
+    quarantine = None
+    if args.skip_bad_rows:
+        quarantine = Quarantine(source=args.events)
+    records = read_tenant_events(args.events, quarantine=quarantine)
+    if quarantine:
+        print(quarantine.summary(), file=sys.stderr)
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        max_resident_sessions=args.max_resident,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        max_lateness=args.max_lateness,
+        horizon_seconds=args.horizon,
+        max_live_anchors=args.max_live_anchors,
+        overflow_policy=args.overflow_policy,
+    )
+    try:
+        service = serve_events(
+            build_tag(cet, system=system), records,
+            config=config, system=system,
+        )
+    except ServiceDisabledError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    for found in service.detections:
+        detection = found.detection
+        print(
+            "%s/%s#%d%s: detected anchor t=%d at t=%d: %s"
+            % (
+                found.tenant,
+                found.key,
+                found.seq,
+                " (replayed)" if found.replayed else "",
+                detection.anchor_time,
+                detection.detected_at,
+                json.dumps(detection.bindings, sort_keys=True),
+            )
+        )
+    stats = service.stats()
+    tenants = stats["tenants"]
+    print(
+        "# tenants %d, events %d, detections %d, quarantined %d, "
+        "shed %d, evictions %d, rehydrations %d"
+        % (
+            len(tenants),
+            sum(t["submitted"] for t in tenants.values()),
+            stats["detections"],
+            stats["quarantined"],
+            sum(t["shed"] for t in tenants.values()),
+            stats["sessions"]["evictions"],
+            stats["sessions"]["rehydrations"],
         ),
         file=sys.stderr,
     )
@@ -562,6 +628,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.set_defaults(func=_cmd_replay)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a multi-tenant log through the detection service",
+    )
+    serve.add_argument("pattern", help="complex-event-type JSON file")
+    serve.add_argument(
+        "events",
+        help="CSV log of 'tenant,event_type,timestamp[,sequence_key]' rows",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        help="per-tenant ingress queue bound",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        choices=("raise", "shed-oldest", "shed-newest", "sample"),
+        default="raise",
+        help="what to do when a tenant's queue overflows",
+    )
+    serve.add_argument(
+        "--max-resident",
+        type=int,
+        default=64,
+        help="resident sessions before LRU eviction to checkpoints",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="durable checkpoint store (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=256,
+        help="events between periodic session checkpoints",
+    )
+    serve.add_argument(
+        "--max-lateness",
+        type=int,
+        default=None,
+        metavar="SECONDS",
+        help="per-session reorder-buffer lateness bound",
+    )
+    serve.add_argument(
+        "--overflow-policy",
+        choices=("raise", "shed-oldest", "shed-newest", "sample"),
+        default="raise",
+        help="per-session anchor-overflow policy",
+    )
+    serve.add_argument("--max-live-anchors", type=int, default=10_000)
+    serve.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="SECONDS",
+        help="override the propagation-derived anchor horizon",
+    )
+    serve.add_argument(
+        "--skip-bad-rows",
+        action="store_true",
+        help="quarantine malformed CSV rows instead of aborting",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     mine = sub.add_parser(
         "mine",
         aliases=["discover"],
@@ -606,7 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the X1-X14 regression harness (see docs/PERFORMANCE.md)",
+        help="run the X1-X15 regression harness (see docs/PERFORMANCE.md)",
     )
     _add_engine_option(bench)
     bench.add_argument(
@@ -619,7 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         default="",
         metavar="NAMES",
-        help="comma-separated subset (e.g. X1,X4); default: all fourteen",
+        help="comma-separated subset (e.g. X1,X4); default: all fifteen",
     )
     bench.add_argument(
         "--output",
@@ -726,7 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gran_info.set_defaults(func=_cmd_gran_info)
 
-    for subparser in (check, match, replay, mine, bench, generate,
+    for subparser in (check, match, replay, serve, mine, bench, generate,
                       convert, analyze, dot, obs, gran_info):
         _add_obs_options(subparser)
     return parser

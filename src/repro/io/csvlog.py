@@ -126,6 +126,70 @@ def read_events(
     return EventSequence(events)
 
 
+def read_tenant_events(
+    source: Union[str, IO],
+    has_header: bool = None,
+    quarantine: Optional[Quarantine] = None,
+    default_key: str = "default",
+) -> List[Tuple[str, str, str, int]]:
+    """Read a multi-tenant event stream from CSV.
+
+    Rows are ``tenant,event_type,timestamp`` with an optional fourth
+    ``sequence_key`` column (missing or empty -> ``default_key``).
+    Timestamps accept the same forms as :func:`read_events`.  Returns
+    ``(tenant, key, event_type, time)`` tuples in file order - the
+    submission format of
+    :func:`repro.service.serve_events` and ``repro serve``.
+
+    Header auto-detection and quarantine semantics mirror
+    :func:`read_events`: strict without a quarantine, dead-letter with
+    one.
+    """
+    if isinstance(source, str):
+        with open(source, newline="") as handle:
+            return read_tenant_events(
+                handle,
+                has_header=has_header,
+                quarantine=quarantine,
+                default_key=default_key,
+            )
+    rows = list(csv.reader(source))
+    records: List[Tuple[str, str, str, int]] = []
+    start = 0
+    if rows and has_header is None:
+        try:
+            if len(rows[0]) < 3:
+                raise CsvFormatError("short row")
+            parse_timestamp(rows[0][2])
+        except CsvFormatError:
+            start = 1
+    elif has_header:
+        start = 1
+    for number, row in enumerate(rows[start:], start=start + 1):
+        if not row or (len(row) == 1 and not row[0].strip()):
+            continue  # blank line
+        try:
+            if len(row) < 3:
+                raise CsvFormatError(
+                    "line %d: expected 'tenant,event_type,timestamp"
+                    "[,sequence_key]', got %r" % (number, row)
+                )
+            tenant = row[0].strip()
+            etype = row[1].strip()
+            if not tenant:
+                raise CsvFormatError("line %d: empty tenant" % number)
+            if not etype:
+                raise CsvFormatError("line %d: empty event type" % number)
+            key = row[3].strip() if len(row) > 3 and row[3].strip() \
+                else default_key
+            records.append((tenant, key, etype, parse_timestamp(row[2])))
+        except CsvFormatError as exc:
+            if quarantine is None:
+                raise
+            quarantine.add(str(exc), raw=list(row), line=number)
+    return records
+
+
 def _require_two(row: List[str], line: int = 1) -> None:
     if len(row) < 2:
         raise CsvFormatError(

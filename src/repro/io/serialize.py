@@ -378,6 +378,7 @@ def streaming_checkpoint_to_dict(matcher) -> Dict[str, Any]:
         "max_live_anchors": matcher.max_live_anchors,
         "overflow_policy": matcher.overflow_policy,
         "last_time": matcher._last_time,
+        "max_time_seen": matcher._max_time_seen,
         "counters": {
             "events_received": matcher.events_received,
             "events_processed": matcher.events_processed,
@@ -434,6 +435,8 @@ def streaming_matcher_from_checkpoint(
         )
         last_time = payload.get("last_time")
         matcher._last_time = int(last_time) if last_time is not None else None
+        max_seen = payload.get("max_time_seen", last_time)
+        matcher._max_time_seen = int(max_seen) if max_seen is not None else None
         counters = payload.get("counters", {})
         matcher.events_received = int(counters.get("events_received", 0))
         matcher.events_processed = int(counters.get("events_processed", 0))

@@ -1,0 +1,60 @@
+"""repro.service: the multi-tenant streaming detection service.
+
+A production front for the streaming layer: many tenants' event feeds
+multiplexed over one process, with per-tenant fault isolation (circuit
+breakers + the dead-letter quarantine), bounded ingress queues whose
+shedding reuses the anchor-overflow policies, and checkpoint-backed
+LRU eviction of idle sessions with crash recovery by WAL replay.
+
+The whole layer sits *on top of* the existing modules - nothing
+outside this package imports it - and is guarded by the
+``REPRO_SERVICE`` kill switch (see :mod:`repro.service.runtime`).
+See docs/RESILIENCE.md ("Service layer") for the operational guide.
+"""
+
+from .breaker import BREAKER_STATES, CircuitBreaker
+from .checkpoints import (
+    CheckpointStoreBase,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+    SESSION_CHECKPOINT_VERSION,
+    open_store,
+)
+from .errors import (
+    CheckpointCorruptError,
+    ServiceClosedError,
+    ServiceDisabledError,
+    ServiceError,
+    TenantOverloadError,
+)
+from .registry import Session, SessionRegistry
+from .runtime import resolve_enabled, service_enabled
+from .service import (
+    DetectionService,
+    ServiceConfig,
+    ServiceDetection,
+    serve_events,
+)
+
+__all__ = [
+    "DetectionService",
+    "ServiceConfig",
+    "ServiceDetection",
+    "serve_events",
+    "CircuitBreaker",
+    "BREAKER_STATES",
+    "SessionRegistry",
+    "Session",
+    "CheckpointStoreBase",
+    "MemoryCheckpointStore",
+    "DirectoryCheckpointStore",
+    "SESSION_CHECKPOINT_VERSION",
+    "open_store",
+    "ServiceError",
+    "ServiceDisabledError",
+    "ServiceClosedError",
+    "TenantOverloadError",
+    "CheckpointCorruptError",
+    "service_enabled",
+    "resolve_enabled",
+]

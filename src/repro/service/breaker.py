@@ -1,0 +1,140 @@
+"""A per-tenant circuit breaker (closed / open / half-open).
+
+A tenant whose feed keeps producing malformed events should stop
+costing the service work: after ``failure_threshold`` *consecutive*
+failures the breaker opens and the tenant's events are parked instead
+of processed.  After ``reset_seconds`` of cooldown the breaker goes
+half-open and admits ``half_open_probes`` probe events; if they all
+succeed it closes (and the parked backlog drains, oldest first, so no
+valid event is ever lost to a trip), if any fails it re-opens and the
+cooldown restarts.
+
+Time is injected as a ``clock`` callable (monotonic seconds) so tests
+and the deterministic differential suite can drive the state machine
+without sleeping.  The breaker itself never sleeps or schedules - it
+is a pure state machine consulted by the service's tenant workers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: The breaker states, in documentation order.
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover through probes.
+
+    ``failure_threshold`` consecutive failures open the breaker;
+    ``reset_seconds`` later it transitions half-open on the next
+    :meth:`allow` call and admits up to ``half_open_probes`` events.
+    All probes succeeding closes it; any probe failing re-opens it.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_seconds < 0:
+            raise ValueError("reset_seconds must be non-negative")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock if clock is not None else time.monotonic
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The current state, advancing open -> half-open on cooldown."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May the next event be processed right now?
+
+        Consumes a probe slot in the half-open state, so callers must
+        follow every ``True`` with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probes_in_flight < self.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """One event processed cleanly."""
+        if self._state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_probes:
+                self._close()
+            return
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """One event failed; may trip the breaker."""
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.trips += 1
+
+    def _close(self) -> None:
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Operational view for :meth:`DetectionService.stats`."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CircuitBreaker(state=%r, trips=%d)" % (self.state, self.trips)

@@ -1,0 +1,36 @@
+"""The service-layer kill switch (``REPRO_SERVICE``).
+
+The multi-tenant detection service is a new product surface on top of
+battle-tested layers; operators get one environment variable to turn
+it off wholesale.  Set ``REPRO_SERVICE=off`` (also ``0``, ``false``,
+``no``, ``disabled``) and every :class:`~repro.service.DetectionService`
+construction raises :class:`~repro.service.ServiceDisabledError`
+unless the caller explicitly forces ``ServiceConfig(enabled=True)``
+(the override the test suite uses so the rest of the system can be
+exercised under the kill switch).
+
+Nothing outside :mod:`repro.service` consults this flag, so the switch
+cannot change the behaviour of existing code paths - the CI ``service``
+job runs the whole tier-1 suite under ``REPRO_SERVICE=off`` to prove
+it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_OFF_VALUES = ("off", "0", "false", "no", "disabled")
+
+
+def service_enabled() -> bool:
+    """Is the service layer allowed to start (``REPRO_SERVICE``)?"""
+    value = os.environ.get("REPRO_SERVICE", "on").strip().lower()
+    return value not in _OFF_VALUES
+
+
+def resolve_enabled(enabled: Optional[bool]) -> bool:
+    """An explicit setting wins; ``None`` defers to the environment."""
+    if enabled is None:
+        return service_enabled()
+    return bool(enabled)

@@ -61,10 +61,22 @@ class TestRunSuite:
         with pytest.raises(ValueError):
             run_suite(experiments=["X1", "X99"])
 
-    def test_all_fourteen_experiments_registered(self):
+    def test_all_fifteen_experiments_registered(self):
         assert EXPERIMENT_NAMES == tuple(
-            "X%d" % i for i in range(1, 15)
+            "X%d" % i for i in range(1, 16)
         )
+
+    def test_x15_service_churn_counters(self):
+        payload = run_suite(experiments=["X15"])
+        counters = payload["experiments"]["X15"]["counters"]
+        assert counters["tenants"] == 500
+        assert counters["events"] == 1500
+        assert counters["all_tenants_detected"]
+        assert counters["detections"] == counters["tenants"]
+        # 500 sessions through 32 resident slots: constant churn.
+        assert counters["evictions"] > counters["tenants"]
+        assert counters["rehydrations"] > counters["tenants"]
+        assert counters["events_per_second"] > 0
 
 
 class TestComparePayloads:
@@ -214,3 +226,14 @@ class TestPayloadIO:
         payload = load_payload(os.path.join(root, "BENCH_pr2.json"))
         counters = payload["experiments"]["X4"]["counters"]
         assert counters["speedup_vs_reference"] >= 1.0
+
+    def test_checked_in_pr6_payload_covers_the_service(self):
+        """BENCH_pr6.json carries the X15 eviction-churn run and its
+        fleet-scale bit-identity verdict."""
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        payload = load_payload(os.path.join(root, "BENCH_pr6.json"))
+        counters = payload["experiments"]["X15"]["counters"]
+        assert counters["all_tenants_detected"]
+        assert counters["evictions"] > counters["tenants"] == 500
+        rows = compare_payloads(payload, payload)
+        assert not any(row["regressed"] for row in rows)

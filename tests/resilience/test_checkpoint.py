@@ -209,6 +209,111 @@ class TestCheckpointRoundTripProperty:
         assert detections_as_json(collected) == detections_as_json(full)
         assert resumed.stats() == uninterrupted.stats()
 
+@st.composite
+def shedding_scenarios(draw):
+    """A jittered, anchor-heavy stream plus a tiny anchor budget and a
+    shedding policy: the stressed configuration of ISSUE 6, where a
+    mid-stream checkpoint must carry the reorder buffer, the shed
+    counters and the high-water timestamp."""
+    count = draw(st.integers(min_value=0, max_value=40))
+    max_lateness = draw(st.integers(min_value=0, max_value=2 * H))
+    monotone = draw(st.integers(min_value=2 * H, max_value=4 * H))
+    events = []
+    for _ in range(count):
+        # Weighted toward roots so max_live_anchors overflows often.
+        symbol = draw(st.sampled_from(["a", "a", "a", "b", "c", "noise"]))
+        monotone += draw(st.integers(min_value=0, max_value=H))
+        jitter = draw(st.integers(min_value=0, max_value=3 * H))
+        events.append((symbol, max(0, monotone - jitter)))
+    cut = draw(st.integers(min_value=0, max_value=count))
+    policy = draw(st.sampled_from(["shed-oldest", "shed-newest", "sample"]))
+    max_live = draw(st.integers(min_value=1, max_value=3))
+    return events, cut, max_lateness, policy, max_live
+
+
+class TestShedCheckpointProperty:
+    """Hypothesis (ISSUE 6 satellite): a matcher checkpointed
+    mid-stream while *shedding* - anchors over budget, events in the
+    reorder buffer, late drops counted - restores to the same
+    detection set and the same counters as never crashing."""
+
+    @given(scenario=shedding_scenarios())
+    @settings(max_examples=150, deadline=None)
+    def test_resume_under_shedding_equals_uninterrupted(self, scenario):
+        events, cut, max_lateness, policy, max_live = scenario
+
+        def fresh():
+            return StreamingMatcher(
+                build_tag(CHAIN_CET, system=SYSTEM),
+                max_lateness=max_lateness,
+                overflow_policy=policy,
+                max_live_anchors=max_live,
+            )
+
+        uninterrupted = fresh()
+        full = [d for e, t in events for d in uninterrupted.feed(e, t)]
+        full.extend(uninterrupted.flush())
+
+        first = fresh()
+        collected = [d for e, t in events[:cut] for d in first.feed(e, t)]
+        mid_stats = first.stats()
+        payload = json.loads(json.dumps(first.checkpoint()))
+        resumed = streaming_matcher_from_checkpoint(payload, SYSTEM)
+        # Everything operational survives the crash: pending reordered
+        # events, shed/late counters, and the watermark lag.
+        assert resumed.stats() == mid_stats
+        collected += [d for e, t in events[cut:] for d in resumed.feed(e, t)]
+        collected.extend(resumed.flush())
+
+        assert detections_as_json(collected) == detections_as_json(full)
+        assert resumed.stats() == uninterrupted.stats()
+
+
+class TestWatermarkLagCheckpoint:
+    def test_max_time_seen_round_trips(self, system, chain_cet):
+        matcher = StreamingMatcher(build_tag(chain_cet), max_lateness=4 * H)
+        matcher.feed("a", 10 * H)
+        matcher.feed("b", 7 * H)  # late but within bounds
+        assert matcher.watermark_lag > 0
+        restored = StreamingMatcher.from_checkpoint(
+            matcher.checkpoint(), system
+        )
+        assert restored.watermark_lag == matcher.watermark_lag
+        assert restored._max_time_seen == matcher._max_time_seen
+
+    def test_legacy_payload_falls_back_to_last_time(
+        self, system, chain_cet
+    ):
+        """Checkpoints written before ``max_time_seen`` existed still
+        restore; the lag resets to zero until the next event."""
+        matcher = StreamingMatcher(build_tag(chain_cet))
+        matcher.feed("a", 5 * H)
+        payload = matcher.checkpoint()
+        del payload["max_time_seen"]
+        restored = streaming_matcher_from_checkpoint(payload, system)
+        assert restored._max_time_seen == restored._last_time == 5 * H
+        assert restored.watermark_lag == 0
+
+    def test_shed_counters_round_trip(self, system, chain_cet):
+        matcher = StreamingMatcher(
+            build_tag(chain_cet),
+            max_live_anchors=2,
+            overflow_policy="shed-oldest",
+            max_lateness=0,
+        )
+        for index in range(6):
+            matcher.feed("a", index * H)
+        matcher.feed("b", 2 * H)  # below the watermark: dropped
+        assert matcher.anchors_shed > 0
+        assert matcher.late_events_dropped > 0
+        restored = StreamingMatcher.from_checkpoint(
+            matcher.checkpoint(), system
+        )
+        assert restored.anchors_shed == matcher.anchors_shed
+        assert restored.late_events_dropped == matcher.late_events_dropped
+
+
+class TestCheckpointStability:
     @given(scenario=checkpoint_scenarios())
     @settings(max_examples=50, deadline=None)
     def test_checkpoint_of_restored_matcher_is_stable(self, scenario):

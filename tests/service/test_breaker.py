@@ -1,0 +1,109 @@
+"""The circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.service import BREAKER_STATES, CircuitBreaker
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+def make(clock, threshold=3, reset=30.0, probes=1):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        reset_seconds=reset,
+        half_open_probes=probes,
+        clock=clock,
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_sporadic_failures_do_not_trip(self, clock):
+        breaker = make(clock, threshold=3)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()  # resets the consecutive count
+        assert breaker.state == CLOSED
+        assert breaker.trips == 0
+
+    def test_consecutive_failures_trip(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+
+class TestOpen:
+    def test_open_rejects_until_cooldown(self, clock):
+        breaker = make(clock, threshold=1, reset=30.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(29.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+
+class TestHalfOpen:
+    def test_probe_success_closes(self, clock):
+        breaker = make(clock, threshold=1)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = make(clock, threshold=1, reset=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.advance(29.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_probe_budget_is_enforced(self, clock):
+        breaker = make(clock, threshold=1, probes=2)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots in flight
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one probe still out
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestSurface:
+    def test_snapshot_shape(self, clock):
+        breaker = make(clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] in BREAKER_STATES
+        assert snap["consecutive_failures"] == 1
+        assert snap["trips"] == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"reset_seconds": -1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

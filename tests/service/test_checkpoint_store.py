@@ -1,0 +1,156 @@
+"""Generational checkpoint stores: durability, fallback, WAL."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    CheckpointCorruptError,
+    DirectoryCheckpointStore,
+    MemoryCheckpointStore,
+    open_store,
+)
+
+
+@pytest.fixture(params=["memory", "directory"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryCheckpointStore()
+    return DirectoryCheckpointStore(str(tmp_path / "ckpt"))
+
+
+def corrupt_latest(store, tenant, key):
+    """Truncate the newest generation, whatever the backend."""
+    if isinstance(store, MemoryCheckpointStore):
+        store.corrupt_latest(tenant, key)
+        return
+    gen = store._generations(tenant, key)[-1]
+    path = store._gen_path(tenant, key, gen)
+    text = open(path).read()
+    with open(path, "w") as handle:
+        handle.write(text[: len(text) // 2])
+
+
+MATCHER = {"fake": "matcher-state"}
+
+
+class TestRoundTrip:
+    def test_save_load(self, store):
+        store.save("t", "k", 5, MATCHER)
+        payload = store.load("t", "k")
+        assert payload["seq"] == 5
+        assert payload["matcher"] == MATCHER
+        assert payload["tenant"] == "t" and payload["key"] == "k"
+
+    def test_missing_session_loads_none(self, store):
+        assert store.load("t", "nope") is None
+        assert not store.has("t", "nope")
+
+    def test_generations_pruned_to_keep(self, store):
+        for seq in range(1, 6):
+            store.save("t", "k", seq, MATCHER)
+        assert len(store._generations("t", "k")) == store.keep_generations
+        assert store.load("t", "k")["seq"] == 5
+
+    def test_discard_forgets_everything(self, store):
+        store.save("t", "k", 1, MATCHER)
+        store.append_wal("t", "k", 2, "a", 100)
+        store.discard("t", "k")
+        assert store.load("t", "k") is None
+        assert store.wal_suffix("t", "k", 0) == []
+
+    def test_sessions_enumerates_coordinates(self, store):
+        store.save("t1", "k1", 1, MATCHER)
+        store.save("t2", "k2", 1, MATCHER)
+        assert store.sessions() == [("t1", "k1"), ("t2", "k2")]
+
+
+class TestWal:
+    def test_append_and_suffix(self, store):
+        for seq in range(1, 5):
+            store.append_wal("t", "k", seq, "a", seq * 100)
+        assert store.wal_suffix("t", "k", 2) == [
+            (3, "a", 300), (4, "a", 400),
+        ]
+
+    def test_save_truncates_through_oldest_retained(self, store):
+        for seq in range(1, 4):
+            store.append_wal("t", "k", seq, "a", seq * 100)
+        store.save("t", "k", 3, MATCHER)
+        for seq in range(4, 7):
+            store.append_wal("t", "k", seq, "b", seq * 100)
+        store.save("t", "k", 6, MATCHER)
+        # Two generations retained (seq 3 and 6): the WAL must keep
+        # everything after seq 3 so a fallback to the older generation
+        # can still replay to the present.
+        assert store.wal_suffix("t", "k", 3) == [
+            (4, "b", 400), (5, "b", 500), (6, "b", 600),
+        ]
+        # A third save drops the seq-3 generation and its WAL prefix.
+        store.save("t", "k", 6, MATCHER)
+        assert store.wal_suffix("t", "k", 3) == []
+
+
+class TestCorruption:
+    def test_fallback_to_previous_generation(self, store):
+        store.save("t", "k", 3, MATCHER)
+        store.save("t", "k", 6, {"newer": True})
+        corrupt_latest(store, "t", "k")
+        payload = store.load("t", "k")
+        assert payload["seq"] == 3
+        assert payload["matcher"] == MATCHER
+
+    def test_all_generations_corrupt_raises(self, store):
+        store.save("t", "k", 3, MATCHER)
+        corrupt_latest(store, "t", "k")
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            store.load("t", "k")
+        assert excinfo.value.tenant == "t"
+        assert excinfo.value.key == "k"
+
+    def test_wrong_shape_json_is_treated_as_corrupt(self, store):
+        store.save("t", "k", 3, MATCHER)
+        store.save("t", "k", 6, MATCHER)
+        if isinstance(store, MemoryCheckpointStore):
+            gen = store._generations("t", "k")[-1]
+            store._data[("t", "k")][gen] = json.dumps(["not", "a", "dict"])
+        else:
+            gen = store._generations("t", "k")[-1]
+            with open(store._gen_path("t", "k", gen), "w") as handle:
+                json.dump(["not", "a", "dict"], handle)
+        assert store.load("t", "k")["seq"] == 3
+
+
+class TestDirectoryStore:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path / "ckpt"))
+        store.save("t", "k", 1, MATCHER)
+        session_dir = store._session_dir("t", "k")
+        assert not [
+            name for name in os.listdir(session_dir)
+            if name.endswith(".tmp")
+        ]
+
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "ckpt")
+        first = DirectoryCheckpointStore(root)
+        first.save("t", "k", 2, MATCHER)
+        first.append_wal("t", "k", 3, "a", 100)
+        reopened = DirectoryCheckpointStore(root)
+        assert reopened.load("t", "k")["seq"] == 2
+        assert reopened.wal_suffix("t", "k", 2) == [(3, "a", 100)]
+        assert reopened.sessions() == [("t", "k")]
+
+    def test_torn_wal_tail_is_skipped(self, tmp_path):
+        store = DirectoryCheckpointStore(str(tmp_path / "ckpt"))
+        store.append_wal("t", "k", 1, "a", 100)
+        with open(store._wal_path("t", "k"), "a") as handle:
+            handle.write('[2, "b"')  # crash mid-append
+        assert store.wal_suffix("t", "k", 0) == [(1, "a", 100)]
+
+    def test_open_store_picks_backend(self, tmp_path):
+        assert isinstance(open_store(None), MemoryCheckpointStore)
+        assert isinstance(
+            open_store(str(tmp_path / "d")), DirectoryCheckpointStore
+        )

@@ -1,0 +1,134 @@
+"""LRU residency, spill, rehydration and WAL replay."""
+
+import pytest
+
+from repro.automata import StreamingMatcher
+from repro.service import MemoryCheckpointStore, SessionRegistry
+
+H = 3600
+EVENTS = [("a", 0), ("b", H), ("c", 2 * H)]
+
+
+@pytest.fixture
+def registry(chain_build, system):
+    return SessionRegistry(
+        MemoryCheckpointStore(),
+        lambda: StreamingMatcher(chain_build),
+        max_resident=2,
+        system=system,
+    )
+
+
+def feed(registry, tenant, key, events):
+    """Feed events the way the service does: WAL first, then matcher."""
+    detections = []
+    for etype, time in events:
+        session, replayed = registry.acquire(tenant, key)
+        assert not replayed
+        session.seq += 1
+        registry.store.append_wal(tenant, key, session.seq, etype, time)
+        detections.extend(session.matcher.feed(etype, time))
+    return detections
+
+
+class TestResidency:
+    def test_lru_eviction_order(self, registry):
+        registry.acquire("t", "k1")
+        registry.acquire("t", "k2")
+        registry.acquire("t", "k1")  # k2 is now least recently used
+        registry.acquire("t", "k3")  # forces one eviction
+        assert registry.is_resident("t", "k1")
+        assert not registry.is_resident("t", "k2")
+        assert registry.is_resident("t", "k3")
+        assert registry.evictions == 1
+
+    def test_eviction_checkpoints_state(self, registry):
+        feed(registry, "t", "k1", EVENTS[:2])
+        registry.acquire("t", "k2")
+        registry.acquire("t", "k3")  # evicts k1
+        assert registry.store.has("t", "k1")
+        assert not registry.is_resident("t", "k1")
+
+    def test_rehydration_restores_detection_state(self, registry):
+        feed(registry, "t", "k1", EVENTS[:2])  # a, b fed
+        registry.acquire("t", "k2")
+        registry.acquire("t", "k3")  # evicts k1
+        # The chain completes across the eviction boundary.
+        detections = feed(registry, "t", "k1", EVENTS[2:])
+        assert len(detections) == 1
+        assert detections[0].anchor_time == 0
+        assert registry.rehydrations == 1
+
+    def test_acquire_same_session_is_stable(self, registry):
+        first, _ = registry.acquire("t", "k")
+        second, _ = registry.acquire("t", "k")
+        assert first is second
+
+
+class TestReplay:
+    def test_wal_replay_reemits_detections_after_crash(
+        self, chain_build, system
+    ):
+        store = MemoryCheckpointStore()
+
+        def factory():
+            return StreamingMatcher(chain_build)
+
+        crashed = SessionRegistry(store, factory, system=system)
+        session, _ = crashed.acquire("t", "k")
+        for etype, time in EVENTS:
+            session.seq += 1
+            store.append_wal("t", "k", session.seq, etype, time)
+            session.matcher.feed(etype, time)
+        # Checkpoint covered only the first event; the crash loses the
+        # in-memory matcher but the WAL carries events 2 and 3.
+        checkpointed = SessionRegistry(store, factory, system=system)
+        early, _ = checkpointed.acquire("t2", "k")  # unrelated session
+        store.save("t", "k", 1, _matcher_after(chain_build, EVENTS[:1]))
+
+        fresh = SessionRegistry(store, factory, system=system)
+        session, replayed = fresh.acquire("t", "k")
+        assert session.seq == 3
+        assert [seq for seq, _, _ in replayed] == [3]
+        assert replayed[0][2].anchor_time == 0
+
+    def test_wal_only_session_replays_from_scratch(
+        self, chain_build, system
+    ):
+        store = MemoryCheckpointStore()
+        for seq, (etype, time) in enumerate(EVENTS, start=1):
+            store.append_wal("t", "k", seq, etype, time)
+        registry = SessionRegistry(
+            store, lambda: StreamingMatcher(chain_build), system=system
+        )
+        session, replayed = registry.acquire("t", "k")
+        assert session.seq == 3
+        assert len(replayed) == 1
+
+    def test_maybe_checkpoint_respects_interval(self, registry):
+        session, _ = registry.acquire("t", "k")
+        session.seq = 5
+        registry.maybe_checkpoint(session, interval=10)
+        assert not registry.store.has("t", "k")
+        session.seq = 10
+        registry.maybe_checkpoint(session, interval=10)
+        assert registry.store.has("t", "k")
+        assert session.checkpointed_seq == 10
+
+
+def _matcher_after(build, events):
+    matcher = StreamingMatcher(build)
+    for etype, time in events:
+        matcher.feed(etype, time)
+    return matcher.checkpoint()
+
+
+class TestStats:
+    def test_stats_counts(self, registry):
+        registry.acquire("t", "k1")
+        registry.acquire("t", "k2")
+        registry.acquire("t", "k3")
+        stats = registry.stats()
+        assert stats["resident"] == 2
+        assert stats["evicted"] == 1
+        assert stats["evictions"] == 1

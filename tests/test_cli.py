@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -296,3 +297,83 @@ class TestGranInfo:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main(["gran"])
+
+
+@pytest.fixture
+def tenant_events_file(tmp_path):
+    path = str(tmp_path / "tenants.csv")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "tenant,event_type,timestamp,sequence_key\n"
+            "acme,login,%d,web\n"
+            "beta,login,%d,web\n"
+            "acme,logout,%d,web\n"
+            "beta,logout,%d,web\n"
+            % (8 * H, 9 * H, 20 * H, D + H)
+        )
+    return path
+
+
+class TestServe:
+    @pytest.fixture(autouse=True)
+    def _service_on(self, monkeypatch):
+        # The CLI honours the kill switch, so pin the layer on; the
+        # kill-switch test below overrides this per-test.
+        monkeypatch.setenv("REPRO_SERVICE", "on")
+
+    def test_routes_per_tenant(
+        self, pattern_file, tenant_events_file, capsys
+    ):
+        assert main(["serve", pattern_file, tenant_events_file]) == 0
+        captured = capsys.readouterr()
+        # acme's pair lands on the same day; beta's crosses midnight.
+        assert "acme/web#2: detected anchor t=%d" % (8 * H) in captured.out
+        assert "beta" not in captured.out
+        assert "tenants 2" in captured.err
+        assert "detections 1" in captured.err
+
+    def test_bad_row_exits_2_without_skip(
+        self, pattern_file, tmp_path, capsys
+    ):
+        path = str(tmp_path / "tenants.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("acme,login,%d\ngarbage-row\n" % (8 * H))
+        assert main(["serve", pattern_file, path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_skip_bad_rows_quarantines(
+        self, pattern_file, tmp_path, capsys
+    ):
+        path = str(tmp_path / "tenants.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                "acme,login,%d\ngarbage-row\nacme,logout,%d\n"
+                % (8 * H, 20 * H)
+            )
+        assert main(
+            ["serve", pattern_file, path, "--skip-bad-rows"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "acme/default#2: detected" in captured.out
+        assert "quarantined 1 record(s)" in captured.err
+
+    def test_kill_switch_exits_2(
+        self, pattern_file, tenant_events_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVICE", "off")
+        assert main(["serve", pattern_file, tenant_events_file]) == 2
+        assert "REPRO_SERVICE" in capsys.readouterr().err
+
+    def test_checkpoint_dir_persists_sessions(
+        self, pattern_file, tenant_events_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            [
+                "serve", pattern_file, tenant_events_file,
+                "--checkpoint-dir", ckpt, "--max-resident", "1",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "acme/web#2: detected" in captured.out
+        assert os.path.isdir(ckpt) and os.listdir(ckpt)
