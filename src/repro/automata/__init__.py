@@ -7,6 +7,7 @@ construction.
 """
 
 from .builder import TagBuild, build_tag, clock_name
+from .dense import DenseRuntime, DenseTAG, compile_dense
 from .clocks import (
     And,
     Atom,
@@ -40,6 +41,9 @@ __all__ = [
     "TagBuild",
     "build_tag",
     "clock_name",
+    "compile_dense",
+    "DenseTAG",
+    "DenseRuntime",
     "TagMatcher",
     "MatchResult",
     "StreamingMatcher",

@@ -1,0 +1,684 @@
+"""Dense TAG compilation and the columnar batch-matching runtime.
+
+Franceschet & Montanari's automaton view of granularity matching says a
+TAG is just a transition table; this module compiles the object graph of
+:class:`~repro.automata.tag.TAG` into exactly that - integer state ids,
+integer symbol ids, integer clock ids, per-state transition lists, and
+guards lowered to threshold programs over clock indexes - and then runs
+that table over the int64 columns of a
+:class:`~repro.store.columnar.ColumnarEventStore`.
+
+Three layers:
+
+``compile_dense(tag)``
+    the pure compilation step.  :meth:`DenseTAG.step` mirrors
+    :meth:`repro.automata.tag.TAG.step` configuration for
+    configuration (the property suite replays both state-by-state).
+
+``ColumnPlan``
+    one (dense TAG, columnar store) pairing: the store's alphabet
+    events gathered into contiguous position/time/symbol columns, with
+    per-clock *tick columns* precomputed through the PR-5 O(log period)
+    bisection, so every clock guard in the scan is an integer
+    subtraction instead of a granularity conversion.
+
+``DenseRuntime``
+    the batched anchored matcher: vectorized anchor screening over the
+    whole anchor column, then a dense NFA sweep per surviving anchor
+    over only the plan's events.  Its match decisions and bindings are
+    bit-identical to :class:`~repro.automata.matching.TagMatcher`'s
+    object path, which stays the differential reference and the
+    ``REPRO_COLUMNAR=off`` kill switch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..granularity.normalform import clock_distance, clock_tick_of
+from ..obs import counter, span
+from .clocks import And, Atom, Not, Or, TrueConstraint
+from .tag import ANY, TAG
+
+#: Symbol id of the ANY pseudo-symbol in dense transition tables.
+ANY_ID = -1
+
+# The same metric families the object matcher reports (the registry
+# get-or-creates by name, so both paths share one counter).
+_RUNS = counter("repro_tag_runs_total", "Anchored TAG runs started")
+_MATCHES = counter("repro_tag_matches_total", "Anchored runs that matched")
+_EVENTS_SCANNED = counter(
+    "repro_tag_events_scanned_total", "Events scanned by anchored runs"
+)
+_TRANSITIONS = counter(
+    "repro_tag_transitions_total", "Non-skip transitions taken"
+)
+_SKIPS = counter(
+    "repro_tag_skips_total", "ANY self-loop survivals (skipped events)"
+)
+_GUARD_REJECTIONS = counter(
+    "repro_tag_guard_rejections_total",
+    "Transitions rejected by a clock guard",
+)
+_BATCHES = counter(
+    "repro_tag_batch_runs_total", "Batched (columnar) root sweeps"
+)
+
+
+class DenseGuard:
+    """A clock guard lowered to threshold checks over clock indexes.
+
+    The builder only emits conjunctions of interval atoms, which
+    compile to a flat ``atoms`` tuple evaluated with early exit; the
+    general boolean closure (Or/Not, the paper's full Phi(C)) compiles
+    to a small node tree.  ``None`` clock values falsify atoms exactly
+    as :meth:`repro.automata.clocks.Atom.evaluate` does.
+    """
+
+    __slots__ = ("atoms", "tree", "clock_ids")
+
+    def __init__(self, constraint, clock_index: Dict[str, int]):
+        self.atoms = _flatten_conjunction(constraint, clock_index)
+        self.tree = (
+            None
+            if self.atoms is not None
+            else _compile_node(constraint, clock_index)
+        )
+        self.clock_ids = tuple(
+            sorted(clock_index[name] for name in constraint.clocks())
+        )
+
+    def evaluate(self, values: Sequence[Optional[int]]) -> bool:
+        """Truth under a dense valuation (one entry per clock id)."""
+        if self.atoms is not None:
+            for cidx, is_le, k in self.atoms:
+                value = values[cidx]
+                if value is None:
+                    return False
+                if is_le:
+                    if value > k:
+                        return False
+                elif value < k:
+                    return False
+            return True
+        return _eval_node(self.tree, values)
+
+
+def _flatten_conjunction(constraint, clock_index):
+    """``((clock_id, is_le, k), ...)`` when the guard is a pure
+    conjunction of atoms (or trivially true), else None."""
+    if isinstance(constraint, TrueConstraint):
+        return ()
+    if isinstance(constraint, Atom):
+        return (
+            (clock_index[constraint.clock], constraint.op == "le",
+             constraint.k),
+        )
+    if isinstance(constraint, And):
+        atoms: List[Tuple[int, bool, int]] = []
+        for part in constraint.parts:
+            flat = _flatten_conjunction(part, clock_index)
+            if flat is None:
+                return None
+            atoms.extend(flat)
+        return tuple(atoms)
+    return None
+
+
+def _compile_node(constraint, clock_index):
+    if isinstance(constraint, TrueConstraint):
+        return ("true",)
+    if isinstance(constraint, Atom):
+        return (
+            "atom",
+            clock_index[constraint.clock],
+            constraint.op == "le",
+            constraint.k,
+        )
+    if isinstance(constraint, And):
+        return (
+            "and",
+            tuple(_compile_node(p, clock_index) for p in constraint.parts),
+        )
+    if isinstance(constraint, Or):
+        return (
+            "or",
+            tuple(_compile_node(p, clock_index) for p in constraint.parts),
+        )
+    if isinstance(constraint, Not):
+        return ("not", _compile_node(constraint.part, clock_index))
+    raise TypeError(
+        "cannot compile clock constraint %r" % (constraint,)
+    )
+
+
+def _eval_node(node, values) -> bool:
+    kind = node[0]
+    if kind == "true":
+        return True
+    if kind == "atom":
+        _, cidx, is_le, k = node
+        value = values[cidx]
+        if value is None:
+            return False
+        return value <= k if is_le else value >= k
+    if kind == "and":
+        return all(_eval_node(part, values) for part in node[1])
+    if kind == "or":
+        return any(_eval_node(part, values) for part in node[1])
+    return not _eval_node(node[1], values)
+
+
+class DenseTransition:
+    """One compiled transition: integer target/symbol, reset clock ids,
+    compiled guard, and the variables it binds."""
+
+    __slots__ = ("target", "symbol_id", "resets", "guard", "variables")
+
+    def __init__(self, target, symbol_id, resets, guard, variables):
+        self.target = target
+        self.symbol_id = symbol_id
+        self.resets = resets
+        self.guard = guard
+        self.variables = variables
+
+
+class DenseTAG:
+    """The transition-table form of a TAG.
+
+    States, symbols and clocks are renumbered to dense integer ids;
+    transition lists preserve the source TAG's per-state order, so a
+    replay takes transitions in exactly the order the interpreted
+    automaton does (bindings and dedup survivors come out identical).
+    """
+
+    __slots__ = (
+        "tag",
+        "states",
+        "state_index",
+        "symbols",
+        "symbol_index",
+        "clock_names",
+        "clock_types",
+        "start",
+        "accepting",
+        "by_source",
+        "consuming_by_source",
+    )
+
+    def __init__(self, tag: TAG):
+        self.tag = tag
+        self.states: Tuple[object, ...] = tuple(tag.states)
+        self.state_index: Dict[object, int] = {
+            state: index for index, state in enumerate(self.states)
+        }
+        self.symbols: Tuple[str, ...] = tuple(sorted(tag.alphabet))
+        self.symbol_index: Dict[str, int] = {
+            symbol: index for index, symbol in enumerate(self.symbols)
+        }
+        self.clock_names: Tuple[str, ...] = tuple(sorted(tag.clocks))
+        clock_index = {
+            name: index for index, name in enumerate(self.clock_names)
+        }
+        self.clock_types = tuple(
+            tag.clocks[name].granularity for name in self.clock_names
+        )
+        # match_from anchors at next(iter(start_states)); replicate the
+        # exact same choice so multi-start TAGs stay bit-identical.
+        self.start = self.state_index[next(iter(tag.start_states))]
+        self.accepting = frozenset(
+            self.state_index[state] for state in tag.accepting
+        )
+        by_source: List[List[DenseTransition]] = [
+            [] for _ in self.states
+        ]
+        consuming: List[List[DenseTransition]] = [[] for _ in self.states]
+        for state_id, state in enumerate(self.states):
+            for transition in tag.transitions_from(state):
+                dense = DenseTransition(
+                    self.state_index[transition.target],
+                    ANY_ID
+                    if transition.symbol == ANY
+                    else self.symbol_index[transition.symbol],
+                    tuple(
+                        clock_index[name]
+                        for name in sorted(transition.resets)
+                    ),
+                    DenseGuard(transition.guard, clock_index),
+                    transition.variables,
+                )
+                by_source[state_id].append(dense)
+                if dense.symbol_id != ANY_ID:
+                    consuming[state_id].append(dense)
+        self.by_source = tuple(tuple(ts) for ts in by_source)
+        self.consuming_by_source = tuple(tuple(ts) for ts in consuming)
+
+    @property
+    def n_clocks(self) -> int:
+        return len(self.clock_names)
+
+    def symbol_id(self, symbol: str) -> Optional[int]:
+        return self.symbol_index.get(symbol)
+
+    # ------------------------------------------------------------------
+    # Definition-level replay (the property-test surface)
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        state: int,
+        reset_times: Tuple[int, ...],
+        symbol: str,
+        timestamp: int,
+        strict: bool = False,
+    ) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Dense mirror of :meth:`repro.automata.tag.TAG.step`.
+
+        Takes and returns ``(state_id, per-clock reset times)``
+        configurations; the property suite replays this against the
+        interpreted automaton state-by-state (catching off-by-one guard
+        evaluation, not just final matches).
+        """
+        if strict:
+            for ttype in self.clock_types:
+                if clock_tick_of(ttype, timestamp) is None:
+                    return []
+        values = [
+            _clock_value(ttype, reset_times[index], timestamp)
+            for index, ttype in enumerate(self.clock_types)
+        ]
+        symbol_id = self.symbol_index.get(symbol)
+        successors: List[Tuple[int, Tuple[int, ...]]] = []
+        for transition in self.by_source[state]:
+            if (
+                transition.symbol_id != ANY_ID
+                and transition.symbol_id != symbol_id
+            ):
+                continue
+            if not transition.guard.evaluate(values):
+                continue
+            resets = list(reset_times)
+            for cidx in transition.resets:
+                resets[cidx] = timestamp
+            successors.append((transition.target, tuple(resets)))
+        return successors
+
+
+def _clock_value(ttype, reset_time: int, now: int) -> Optional[int]:
+    return clock_distance(ttype, reset_time, now)
+
+
+def compile_dense(tag: TAG) -> DenseTAG:
+    """Compile a TAG's object graph to dense transition tables."""
+    return DenseTAG(tag)
+
+
+class ColumnPlan:
+    """Alphabet events of one columnar store gathered for one dense TAG.
+
+    ``positions``/``times``/``symbol_ids`` hold only the events whose
+    type is in the TAG's alphabet (everything else can only take the
+    ANY self-loop, which leaves configurations unchanged), and
+    ``ticks[c][j]`` caches ``tick_of(times[j])`` per clock - computed
+    once per (store, granularity) via the compiled normal form's
+    bisection.  ``strict_bad`` lists the *global* positions (over the
+    full store) whose timestamp some clock granularity does not cover;
+    a strict run is truncated at the first such position after its
+    anchor, exactly where the object path kills every configuration.
+    """
+
+    __slots__ = (
+        "dense",
+        "positions",
+        "times",
+        "symbol_ids",
+        "ticks",
+        "strict_bad",
+    )
+
+    def __init__(self, dense: DenseTAG, store, strict: bool):
+        with span(
+            "columnar.scan",
+            events=len(store),
+            alphabet=len(dense.symbols),
+        ) as scan_span:
+            merged: List[Tuple[int, int, int]] = []
+            for sid, symbol in enumerate(dense.symbols):
+                positions, times = store.postings(symbol)
+                merged.extend(
+                    (position, times[k], sid)
+                    for k, position in enumerate(positions)
+                )
+            merged.sort()
+            self.dense = dense
+            self.positions = [m[0] for m in merged]
+            self.times = [m[1] for m in merged]
+            self.symbol_ids = [m[2] for m in merged]
+            self.ticks: List[List[Optional[int]]] = []
+            for ttype in dense.clock_types:
+                memo: Dict[int, Optional[int]] = {}
+                column: List[Optional[int]] = []
+                for t in self.times:
+                    if t in memo:
+                        column.append(memo[t])
+                    else:
+                        z = clock_tick_of(ttype, t)
+                        memo[t] = z
+                        column.append(z)
+                self.ticks.append(column)
+            self.strict_bad: Optional[List[int]] = None
+            if strict and dense.clock_types:
+                bad: List[int] = []
+                memo_all: Dict[int, bool] = {}
+                for position in range(len(store)):
+                    t = store.time_at(position)
+                    covered = memo_all.get(t)
+                    if covered is None:
+                        covered = all(
+                            clock_tick_of(ttype, t) is not None
+                            for ttype in dense.clock_types
+                        )
+                        memo_all[t] = covered
+                    if not covered:
+                        bad.append(position)
+                self.strict_bad = bad
+            scan_span.set(plan_events=len(self.positions))
+
+    def plan_index_of(self, global_position: int) -> Optional[int]:
+        """Plan offset of a global store position (None when the event
+        at that position is not an alphabet event)."""
+        index = bisect_left(self.positions, global_position)
+        if (
+            index < len(self.positions)
+            and self.positions[index] == global_position
+        ):
+            return index
+        return None
+
+
+def _plan_for(dense: DenseTAG, store, strict: bool) -> ColumnPlan:
+    cache = store.plan_cache()
+    key = (id(dense), bool(strict))
+    entry = cache.get(key)
+    if entry is not None and entry[0] is dense:
+        return entry[1]
+    plan = ColumnPlan(dense, store, strict)
+    # The strong reference to ``dense`` keeps the id key stable.
+    cache[key] = (dense, plan)
+    return plan
+
+
+class DenseRuntime:
+    """Anchored batch matching of one dense TAG over one columnar store.
+
+    Mirrors :meth:`repro.automata.matching.TagMatcher.match_from` /
+    ``_scan`` decision for decision: same anchor step, same
+    configuration dedup by (state, reset times), same transition order,
+    same early accept, same horizon and strict-kill cuts - over integer
+    columns instead of Python objects.
+    """
+
+    __slots__ = (
+        "dense",
+        "store",
+        "plan",
+        "strict",
+        "horizon_seconds",
+        "max_configurations",
+        "root_symbol",
+        "root_variable",
+        "_root_symbol_id",
+    )
+
+    def __init__(
+        self,
+        dense: DenseTAG,
+        store,
+        root_symbol: str,
+        root_variable: str,
+        strict: bool = False,
+        horizon_seconds: Optional[int] = None,
+        max_configurations: int = 100_000,
+    ):
+        self.dense = dense
+        self.store = store
+        self.plan = _plan_for(dense, store, strict)
+        self.strict = strict
+        self.horizon_seconds = horizon_seconds
+        self.max_configurations = max_configurations
+        self.root_symbol = root_symbol
+        self.root_variable = root_variable
+        self._root_symbol_id = dense.symbol_id(root_symbol)
+
+    # ------------------------------------------------------------------
+    # Anchor enumeration (vectorized screen)
+    # ------------------------------------------------------------------
+    def viable_roots(
+        self, requirements: Sequence[Tuple[str, int, int]]
+    ) -> List[int]:
+        """Global positions of root-symbol events surviving the anchor
+        screen, computed over the whole anchor column in one sweep."""
+        positions, times = self.store.postings(self.root_symbol)
+        if not requirements:
+            return list(positions)
+        mask = self.store.screen_anchors(times, requirements)
+        return [
+            position
+            for position, keep in zip(positions, mask)
+            if keep
+        ]
+
+    # ------------------------------------------------------------------
+    # The batched anchored run
+    # ------------------------------------------------------------------
+    def match(
+        self, root_position: int
+    ) -> Tuple[bool, Optional[Dict[str, int]]]:
+        """(matched, bindings) for one anchored run - bit-identical to
+        the object path's :class:`MatchResult` fields."""
+        store = self.store
+        if store.type_at(root_position) != self.root_symbol:
+            return False, None
+        _RUNS.inc()
+        root_time = store.time_at(root_position)
+        dense = self.dense
+        plan = self.plan
+        root_plan = plan.plan_index_of(root_position)
+        if root_plan is None:  # pragma: no cover - root is in alphabet
+            return False, None
+        ticks = plan.ticks
+        n_clocks = dense.n_clocks
+        root_ticks = [ticks[c][root_plan] for c in range(n_clocks)]
+        if self.strict and any(z is None for z in root_ticks):
+            # The anchor step dies: some clock granularity does not
+            # cover the root timestamp (TAG.step's strict clause).
+            _EVENTS_SCANNED.inc()
+            return False, None
+        # Anchor step: all clocks reset at the root; a clock value is
+        # tick(now) - tick(reset) with now == reset == root.
+        values = [
+            0 if root_ticks[c] is not None else None
+            for c in range(n_clocks)
+        ]
+        reset0 = tuple([root_time] * n_clocks)
+        tick0 = tuple(root_ticks)
+        configs: List[Tuple[int, Tuple[int, ...], Tuple[Optional[int], ...],
+                            Tuple[Tuple[str, int], ...]]] = []
+        for transition in dense.by_source[dense.start]:
+            if transition.symbol_id != self._root_symbol_id:
+                continue
+            if not (
+                transition.variables
+                and transition.variables[0] == self.root_variable
+            ):
+                continue
+            if not transition.guard.evaluate(values):
+                continue
+            bindings = tuple(
+                (variable, root_time)
+                for variable in transition.variables
+            )
+            configs.append((transition.target, reset0, tick0, bindings))
+        if not configs:
+            _EVENTS_SCANNED.inc()
+            return False, None
+        matched, bindings, scanned = self._scan(
+            root_position, root_plan, root_time, configs
+        )
+        _EVENTS_SCANNED.add(scanned)
+        if matched:
+            _MATCHES.inc()
+        return matched, bindings
+
+    def occurs_at(self, root_position: int) -> bool:
+        return self.match(root_position)[0]
+
+    def _scan(self, root_position, root_plan, root_time, configs):
+        dense = self.dense
+        plan = self.plan
+        accepting = dense.accepting
+        for config in configs:
+            if config[0] in accepting:
+                return True, dict(config[3]), 1
+        times = plan.times
+        end = len(times)
+        deadline = (
+            root_time + self.horizon_seconds
+            if self.horizon_seconds is not None
+            else None
+        )
+        if deadline is not None:
+            end = bisect_right(times, deadline)
+        if plan.strict_bad is not None:
+            bad = plan.strict_bad
+            k = bisect_right(bad, root_position)
+            if k < len(bad):
+                bad_position = bad[k]
+                if deadline is None or (
+                    self.store.time_at(bad_position) <= deadline
+                ):
+                    # The run dies at the uncovered event; no plan
+                    # event at or past that global position can fire.
+                    end = min(
+                        end, bisect_left(plan.positions, bad_position)
+                    )
+        scanned = 1
+        transitions_taken = 0
+        skips = 0
+        guard_rejections = 0
+        consuming = dense.consuming_by_source
+        ticks = plan.ticks
+        symbol_ids = plan.symbol_ids
+        n_clocks = dense.n_clocks
+        accepted = None
+        max_configurations = self.max_configurations
+        for j in range(root_plan + 1, end):
+            scanned += 1
+            symbol_id = symbol_ids[j]
+            now = times[j]
+            seen = set()
+            next_configs = []
+            for config in configs:
+                state, resets, rticks, bindings = config
+                key = (state, resets)
+                if key not in seen:
+                    seen.add(key)
+                    next_configs.append(config)
+                    skips += 1
+                values = None
+                for transition in consuming[state]:
+                    if transition.symbol_id != symbol_id:
+                        continue
+                    if values is None:
+                        values = [None] * n_clocks
+                        for cidx in transition.guard.clock_ids:
+                            reset_tick = rticks[cidx]
+                            now_tick = ticks[cidx][j]
+                            if (
+                                reset_tick is not None
+                                and now_tick is not None
+                            ):
+                                values[cidx] = now_tick - reset_tick
+                    else:
+                        for cidx in transition.guard.clock_ids:
+                            if values[cidx] is None:
+                                reset_tick = rticks[cidx]
+                                now_tick = ticks[cidx][j]
+                                if (
+                                    reset_tick is not None
+                                    and now_tick is not None
+                                ):
+                                    values[cidx] = (
+                                        now_tick - reset_tick
+                                    )
+                    if not transition.guard.evaluate(values):
+                        guard_rejections += 1
+                        continue
+                    transitions_taken += 1
+                    if transition.resets:
+                        new_resets = list(resets)
+                        new_ticks = list(rticks)
+                        for cidx in transition.resets:
+                            new_resets[cidx] = now
+                            new_ticks[cidx] = ticks[cidx][j]
+                        new_resets = tuple(new_resets)
+                        new_ticks = tuple(new_ticks)
+                    else:
+                        new_resets = resets
+                        new_ticks = rticks
+                    new_bindings = bindings + tuple(
+                        (variable, now)
+                        for variable in transition.variables
+                    )
+                    successor = (
+                        transition.target,
+                        new_resets,
+                        new_ticks,
+                        new_bindings,
+                    )
+                    if transition.target in accepting:
+                        accepted = successor
+                        break
+                    key = (transition.target, new_resets)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    next_configs.append(successor)
+                if accepted is not None:
+                    break
+            if accepted is not None:
+                break
+            configs = next_configs
+            if len(configs) > max_configurations:
+                raise RuntimeError(
+                    "configuration set exceeded %d; tighten the horizon"
+                    % max_configurations
+                )
+            if not configs:
+                break
+        _TRANSITIONS.add(transitions_taken)
+        _SKIPS.add(skips)
+        _GUARD_REJECTIONS.add(guard_rejections)
+        if accepted is not None:
+            return True, dict(accepted[3]), scanned
+        return False, None, scanned
+
+    # ------------------------------------------------------------------
+    # Whole-store sweeps
+    # ------------------------------------------------------------------
+    def matching_roots(
+        self, requirements: Sequence[Tuple[str, int, int]] = ()
+    ) -> List[int]:
+        """Global positions of root occurrences anchoring a match."""
+        _BATCHES.inc()
+        with span(
+            "tag.batch", roots=self.store.count(self.root_symbol)
+        ) as batch_span:
+            viable = self.viable_roots(requirements)
+            hits = [
+                position
+                for position in viable
+                if self.occurs_at(position)
+            ]
+            batch_span.set(starts=len(viable), hits=len(hits))
+        return hits

@@ -20,6 +20,7 @@ are covered by every clock granularity.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -33,6 +34,7 @@ from typing import (
 
 from ..obs import counter
 from .builder import TagBuild
+from .dense import DenseRuntime, compile_dense
 from .tag import ANY, Configuration
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -141,6 +143,8 @@ class TagMatcher:
             tuple(anchor_requirements) if anchor_requirements else ()
         )
         self.max_configurations = max_configurations
+        self._dense = None
+        self._runtimes = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     # Anchored matching (the mining primitive)
@@ -301,10 +305,51 @@ class TagMatcher:
         return None
 
     # ------------------------------------------------------------------
+    # Columnar batch routing (REPRO_COLUMNAR backend taxonomy)
+    # ------------------------------------------------------------------
+    def _columnar_runtime(
+        self, sequence: "EventSequence"
+    ) -> Optional[DenseRuntime]:
+        """The dense batch runtime for a sequence, or None.
+
+        None routes the caller to the object path - the kill switch
+        (``REPRO_COLUMNAR=off``) and the fallback for inputs without a
+        columnar view.  Runtimes are memoised per view (weakly, so a
+        matcher outliving its sequences leaks nothing); the dense
+        transition tables compile once per matcher.
+        """
+        from ..store.columnar import columnar_active
+
+        if not columnar_active():
+            return None
+        view_of = getattr(sequence, "columnar", None)
+        if view_of is None:
+            return None
+        view = view_of()
+        runtime = self._runtimes.get(view)
+        if runtime is None:
+            if self._dense is None:
+                self._dense = compile_dense(self.tag)
+            runtime = DenseRuntime(
+                self._dense,
+                view,
+                self.build.root_symbol,
+                self.build.structure.root,
+                strict=self.strict,
+                horizon_seconds=self.horizon_seconds,
+                max_configurations=self.max_configurations,
+            )
+            self._runtimes[view] = runtime
+        return runtime
+
+    # ------------------------------------------------------------------
     # Whole-sequence helpers
     # ------------------------------------------------------------------
     def occurs_at(self, sequence: "EventSequence", root_index: int) -> bool:
         """Does the complex event type occur anchored at this index?"""
+        runtime = self._columnar_runtime(sequence)
+        if runtime is not None:
+            return runtime.occurs_at(root_index)
         return self.match_from(sequence, root_index).matched
 
     def matching_roots(self, sequence: "EventSequence") -> Iterator[int]:
@@ -315,6 +360,10 @@ class TagMatcher:
         an automaton run (the screen is a sound over-approximation, so
         the yielded set is unchanged).
         """
+        runtime = self._columnar_runtime(sequence)
+        if runtime is not None:
+            yield from runtime.matching_roots(self.anchor_requirements)
+            return
         anchors = sequence.occurrence_indices(self.build.root_symbol)
         if self.anchor_requirements:
             index = sequence.anchor_index()

@@ -193,6 +193,21 @@ class TAG:
         """Is the configuration's state accepting?"""
         return config.state in self.accepting
 
+    def compile_dense(self):
+        """The dense transition-table form of this TAG.
+
+        States, symbols and clocks become integer ids and per-state
+        transition tuples - the representation the columnar batch
+        matcher (:mod:`repro.automata.dense`) advances over whole event
+        columns.  :meth:`DenseTAG.step <repro.automata.dense.DenseTAG.
+        step>` replays :meth:`step` configuration for configuration;
+        the property suite in ``tests/automata/test_dense_compile.py``
+        holds the two trajectories equal.
+        """
+        from .dense import compile_dense
+
+        return compile_dense(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<TAG states=%d clocks=%d transitions=%d>" % (
             len(self.states),

@@ -1,4 +1,4 @@
-"""The X1-X15 regression harness behind ``repro bench``.
+"""The X1-X16 regression harness behind ``repro bench``.
 
 Unlike the pytest-benchmark suites in ``benchmarks/`` (which exist to
 *regenerate paper artifacts* with statistical care), this module is a
@@ -692,6 +692,94 @@ def _x15(system, engine, scale) -> _Workload:
     return _Workload(run)
 
 
+def _x16(system, engine, scale) -> _Workload:
+    """Columnar batch matching vs the object path at 10^6 events.
+
+    One million (x scale) events - a planted hour-granularity chain
+    drowned in background noise - matched twice through the *same*
+    :class:`~repro.automata.matching.TagMatcher`: once with
+    ``REPRO_COLUMNAR=off`` (the per-event object loop, the reference)
+    and once with ``REPRO_COLUMNAR=on`` (the dense transition table
+    advancing over the store's typed columns, which never touches a
+    noise event).  Both index structures are prebuilt so the passes
+    time matching, not index construction, and the run reports whether
+    the two root sets are bit-identical - the differential contract at
+    bench scale, not just under Hypothesis.
+    """
+    import os
+
+    from ..core.api import compile_pattern
+    from ..mining.events import EventSequence
+
+    hour = system.get("hour")
+    structure = EventStructure(
+        ["X0", "X1", "X2"],
+        {
+            ("X0", "X1"): [TCG(1, 2, hour)],
+            ("X1", "X2"): [TCG(0, 3, hour)],
+        },
+    )
+    rng = random.Random(16)
+    n_roots = 3000 * scale
+    n_events = 1_000_000 * scale
+    span_seconds = n_roots * 7200
+    events = []
+    for index in range(n_roots):
+        t = index * 7200
+        events.append(("EV-A", t))
+        if rng.random() < 0.7:
+            events.append(("EV-B", t + 3600 + rng.randrange(0, 3600)))
+            events.append(("EV-C", t + 7200 + rng.randrange(0, 7200)))
+    noise_types = ["BG1", "BG2", "BG3", "BG4", "BG5"]
+    while len(events) < n_events:
+        events.append(
+            (rng.choice(noise_types), rng.randrange(0, span_seconds))
+        )
+    sequence = EventSequence(sorted(events, key=lambda event: event[1]))
+    matcher = compile_pattern(
+        structure,
+        {"X0": "EV-A", "X1": "EV-B", "X2": "EV-C"},
+        system=system,
+        engine=engine,
+    )
+    # Prebuild both sides' indexes: the posting-list anchor index the
+    # object path screens with and the columnar view the dense runtime
+    # scans, so the timed passes compare matching work only.
+    sequence.anchor_index()
+    sequence.columnar()
+
+    def timed_pass(mode):
+        previous = os.environ.get("REPRO_COLUMNAR")
+        os.environ["REPRO_COLUMNAR"] = mode
+        try:
+            start = time.perf_counter()
+            roots = list(matcher.matching_roots(sequence))
+            return roots, time.perf_counter() - start
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_COLUMNAR", None)
+            else:
+                os.environ["REPRO_COLUMNAR"] = previous
+
+    def run():
+        object_roots, object_seconds = timed_pass("off")
+        columnar_roots, columnar_seconds = timed_pass("on")
+        return {
+            "events": len(sequence),
+            "matches": len(columnar_roots),
+            "identical_to_reference": columnar_roots == object_roots,
+            "object_seconds": object_seconds,
+            "columnar_seconds": columnar_seconds,
+            "speedup": (
+                object_seconds / columnar_seconds
+                if columnar_seconds
+                else 0.0
+            ),
+        }
+
+    return _Workload(run)
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "X1": _x1,
     "X2": _x2,
@@ -708,6 +796,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "X13": _x13,
     "X14": _x14,
     "X15": _x15,
+    "X16": _x16,
 }
 
 EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
@@ -725,7 +814,7 @@ def run_suite(
     """Run the suite and return the ``BENCH_*.json`` payload.
 
     ``experiments`` restricts the run to a subset of names (e.g.
-    ``["X1", "X4"]``); the default runs all fifteen.
+    ``["X1", "X4"]``); the default runs all sixteen.
     """
     if profile not in PROFILES:
         raise ValueError(

@@ -8,7 +8,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro serve PATTERN.json TENANTS.csv  # multi-tenant detection service
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
-    repro bench --output BENCH.json       # X1-X15 regression harness
+    repro bench --output BENCH.json       # X1-X16 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
     repro gran info TYPE                  # compiled periodic normal form
@@ -340,9 +340,19 @@ def _cmd_bench(args) -> int:
         if args.experiments
         else None
     )
-    payload = run_suite(
-        engine=args.engine, profile=args.profile, experiments=experiments
-    )
+    previous_columnar = os.environ.get("REPRO_COLUMNAR")
+    if args.columnar:
+        os.environ["REPRO_COLUMNAR"] = args.columnar
+    try:
+        payload = run_suite(
+            engine=args.engine, profile=args.profile, experiments=experiments
+        )
+    finally:
+        if args.columnar:
+            if previous_columnar is None:
+                os.environ.pop("REPRO_COLUMNAR", None)
+            else:
+                os.environ["REPRO_COLUMNAR"] = previous_columnar
     summary = {
         name: dict(
             {"median_seconds": "%.4f" % record["median_seconds"]},
@@ -739,9 +749,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the X1-X15 regression harness (see docs/PERFORMANCE.md)",
+        help="run the X1-X16 regression harness (see docs/PERFORMANCE.md)",
     )
     _add_engine_option(bench)
+    bench.add_argument(
+        "--columnar",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="force the columnar store backend for this run (sets "
+        "REPRO_COLUMNAR for the suite, restored afterwards; "
+        "default: inherit the environment)",
+    )
     bench.add_argument(
         "--profile",
         choices=sorted(PROFILES),
@@ -752,7 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         default="",
         metavar="NAMES",
-        help="comma-separated subset (e.g. X1,X4); default: all fifteen",
+        help="comma-separated subset (e.g. X1,X4); default: all sixteen",
     )
     bench.add_argument(
         "--output",

@@ -502,7 +502,19 @@ def _discover(
                     outcome.frequencies[cet] = frequency
             scan_span.set(candidates=outcome.candidates_evaluated)
             return outcome
-        index = reduced.anchor_index() if anchor_screen and windows else None
+        view = None
+        index = None
+        if anchor_screen and windows:
+            from ..store.columnar import columnar_active
+
+            if columnar_active():
+                # Batched screen: one searchsorted sweep per requirement
+                # over the whole anchor column (same viable set as the
+                # per-anchor posting-list probes).
+                view = reduced.columnar()
+                root_times = [reduced[root].time for root in roots]
+            else:
+                index = reduced.anchor_index()
         for assignment in candidate_assignments(
             problem, reduced, survivors=survivors, allowed_pairs=allowed_pairs
         ):
@@ -524,7 +536,17 @@ def _discover(
                 # for *this* assignment (the parallel engine applies the
                 # identical filter, keeping the two bit-identical).
                 viable = roots
-                if index is not None:
+                if view is not None:
+                    mask = view.screen_anchors(
+                        root_times,
+                        candidate_requirements(
+                            assignment, windows, structure.root
+                        ),
+                    )
+                    viable = [
+                        root for root, ok in zip(roots, mask) if ok
+                    ]
+                elif index is not None:
                     viable = index.viable_anchors(
                         [(root, reduced[root].time) for root in roots],
                         candidate_requirements(

@@ -46,6 +46,7 @@ class EventSequence:
                 event.time
             )
         self._anchor_index = None
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -131,6 +132,20 @@ class EventSequence:
                 (e.etype, e.time) for e in self._events
             )
         return self._anchor_index
+
+    def columnar(self) -> "ColumnarEventStore":
+        """The cached columnar view of this sequence.
+
+        Positions in the view equal positions in the sequence (both are
+        time-sorted with ties in insertion order), so the dense batch
+        matcher and the object matcher agree index for index.  Built
+        once and cached - the sequence is immutable.
+        """
+        if self._columnar is None:
+            from ..store.columnar import ColumnarEventStore
+
+            self._columnar = ColumnarEventStore.from_sequence(self)
+        return self._columnar
 
     def slice_positions(self, lo: int, hi: int) -> "EventSequence":
         """A new sequence holding positions ``[lo, hi)`` of this one.

@@ -391,6 +391,14 @@ def parallel_scan(
     _TASKS_TOTAL.add(len(tasks))
     _WORKERS_GAUGE.set(workers_used)
 
+    from ..store.columnar import columnar_active
+
+    if columnar_active():
+        # Build the columnar view (and its posting columns) once in the
+        # parent so every forked worker inherits it through the address
+        # space instead of rebuilding it per process.
+        sequence.columnar()
+
     ctx = ScanContext(
         sequence=sequence,
         system=system,

@@ -31,7 +31,7 @@ from typing import (
 
 from ..mining.events import Event, EventSequence
 from ..obs import obs_debug
-from ..resilience.errors import validate_event
+from ..resilience.errors import EventValidationError, validate_event
 from ..resilience.quarantine import Quarantine
 from .anchorindex import AnchorIndex, _pick_shift
 
@@ -85,6 +85,7 @@ class EventStore:
         self._by_id: Dict[int, EventRecord] = {}
         self._indexed = True
         self._anchor_index: Optional[AnchorIndex] = None
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # Writes
@@ -109,6 +110,7 @@ class EventStore:
             self._indexed = False
         self._records.append(record)
         self._anchor_index = None
+        self._columnar = None
         if self._indexed:
             position = len(self._records) - 1
             self._times.append(time)
@@ -119,17 +121,43 @@ class EventStore:
                 self._check_index_invariants()
         return record
 
-    def extend(self, events: Iterable[Union[Event, Tuple[str, int]]]) -> int:
+    def extend(
+        self,
+        events: Iterable[Union[Event, Tuple[str, int]]],
+        quarantine: Optional[Quarantine] = None,
+    ) -> int:
         """Bulk-append (type, time) pairs; returns the count added.
 
-        Each event is validated at the edge
-        (:class:`~repro.resilience.EventValidationError` on the first
-        malformed one; events before it stay appended).
+        Each event is validated at the edge.  Without a ``quarantine``
+        the first malformed event aborts the batch with
+        :class:`~repro.resilience.EventValidationError` (events before
+        it stay appended, and the id map and cached views stay
+        consistent with exactly those - the failed event never touches
+        the indexes).  With one, every malformed event is recorded
+        there - reason, raw payload, batch offset - and the batch
+        continues (dead-letter semantics, shared with
+        :meth:`load_jsonl` and :func:`repro.io.csvlog.read_events`).
         """
         count = 0
-        for event in events:
-            etype, time = event[0], event[1]
-            self.append(etype, time)
+        for offset, event in enumerate(events):
+            try:
+                etype, time = event[0], event[1]
+            except (IndexError, KeyError, TypeError) as exc:
+                if quarantine is None:
+                    raise
+                quarantine.add(
+                    "not a (type, time) pair: %s" % exc,
+                    raw=repr(event),
+                    line=offset,
+                )
+                continue
+            try:
+                self.append(etype, time)
+            except EventValidationError as exc:
+                if quarantine is None:
+                    raise
+                quarantine.add(str(exc), raw=repr(event), line=offset)
+                continue
             count += 1
         return count
 
@@ -152,6 +180,7 @@ class EventStore:
             self._by_id[record.record_id] = record
         self._indexed = True
         self._anchor_index = None
+        self._columnar = None
         if obs_debug():
             self._check_index_invariants()
 
@@ -203,6 +232,22 @@ class EventStore:
                 _pick_shift(span, len(self._records)),
             )
         return self._anchor_index
+
+    def columnar(self):
+        """The cached columnar snapshot of current contents.
+
+        Positions in the snapshot are offsets into the time-sorted
+        records (identical to :meth:`snapshot`'s sequence positions);
+        record ids and attributes are carried along dictionary-encoded.
+        Any write - including a failed one mid-batch - invalidates the
+        cache, so a view is never stale relative to :meth:`get`.
+        """
+        self._ensure_index()
+        if self._columnar is None:
+            from .columnar import ColumnarEventStore
+
+            self._columnar = ColumnarEventStore.from_store(self)
+        return self._columnar
 
     # ------------------------------------------------------------------
     # Reads

@@ -61,9 +61,9 @@ class TestRunSuite:
         with pytest.raises(ValueError):
             run_suite(experiments=["X1", "X99"])
 
-    def test_all_fifteen_experiments_registered(self):
+    def test_all_sixteen_experiments_registered(self):
         assert EXPERIMENT_NAMES == tuple(
-            "X%d" % i for i in range(1, 16)
+            "X%d" % i for i in range(1, 17)
         )
 
     def test_x15_service_churn_counters(self):
@@ -235,5 +235,18 @@ class TestPayloadIO:
         counters = payload["experiments"]["X15"]["counters"]
         assert counters["all_tenants_detected"]
         assert counters["evictions"] > counters["tenants"] == 500
+        rows = compare_payloads(payload, payload)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_checked_in_pr7_payload_covers_columnar_matching(self):
+        """BENCH_pr7.json carries the X16 columnar batch-matching run:
+        a 10^6-event store matched bit-identically through both paths
+        with at least the 5x speedup the acceptance gate requires."""
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        payload = load_payload(os.path.join(root, "BENCH_pr7.json"))
+        counters = payload["experiments"]["X16"]["counters"]
+        assert counters["identical_to_reference"]
+        assert counters["events"] == 1_000_000
+        assert counters["speedup"] >= 5.0
         rows = compare_payloads(payload, payload)
         assert not any(row["regressed"] for row in rows)

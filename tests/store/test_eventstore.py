@@ -141,3 +141,90 @@ class TestPersistence:
         restored = EventStore.load_jsonl(path)
         record = restored.append("new", 999)
         assert record.record_id == 4  # ids continue past the loaded max
+
+
+class TestExtendQuarantineRegression:
+    """Regression: id-map consistency across failed/quarantined batches.
+
+    ``extend()`` used to have no dead-letter path at all, so a batch
+    with one malformed event aborted mid-way; the fix threads a
+    ``Quarantine`` through (like ``load_jsonl``) and guarantees the
+    O(1) id map and the cached columnar view stay consistent with
+    exactly the records that were appended - after clean batches,
+    aborted batches, and quarantined batches alike.
+    """
+
+    def test_quarantined_batch_then_lookup_by_id(self):
+        from repro.resilience import Quarantine
+
+        store = EventStore()
+        store.append("seed", 1)
+        quarantine = Quarantine()
+        added = store.extend(
+            [
+                ("good", 5),
+                ("", 6),          # invalid type -> quarantined
+                ("bad-time", -2),  # invalid time -> quarantined
+                ("also-good", 7),
+                ("short",),        # not a pair -> quarantined
+            ],
+            quarantine=quarantine,
+        )
+        assert added == 2
+        assert len(quarantine) == 3
+        assert len(store) == 3
+        # The O(1) id map answers for every appended record...
+        assert store.get(0).etype == "seed"
+        assert store.get(1).etype == "good"
+        assert store.get(2).etype == "also-good"
+        # ...and for nothing else.
+        with pytest.raises(KeyError):
+            store.get(3)
+
+    def test_failed_validation_mid_batch_without_quarantine(self):
+        from repro.resilience import EventValidationError
+
+        store = EventStore()
+        store.append("seed", 1)
+        store.get(0)  # force the index warm so append stays incremental
+        with pytest.raises(EventValidationError):
+            store.extend([("ok", 2), ("", 3), ("never", 4)])
+        # Events before the malformed one stay; the id map agrees.
+        assert len(store) == 2
+        assert store.get(1).etype == "ok"
+        with pytest.raises(KeyError):
+            store.get(2)
+        # The next id is not burned by the failed append.
+        assert store.append("after", 9).record_id == 2
+
+    def test_columnar_view_invalidated_by_partial_batches(self):
+        from repro.resilience import Quarantine
+
+        store = EventStore()
+        store.append("a", 1)
+        stale = store.columnar()
+        quarantine = Quarantine()
+        store.extend([("b", 2), ("", 3)], quarantine=quarantine)
+        fresh = store.columnar()
+        assert fresh is not stale
+        assert len(fresh) == 2
+        assert [fresh.type_at(i) for i in range(2)] == ["a", "b"]
+        assert fresh.record_id_at(1) == store.get(1).record_id
+
+    def test_quarantined_load_then_extend_then_get(self, tmp_path):
+        from repro.resilience import Quarantine
+
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"id": 0, "etype": "a", "time": 4}\n')
+            handle.write("not json\n")
+            handle.write('{"id": 2, "etype": "b", "time": 9}\n')
+        quarantine = Quarantine()
+        store = EventStore.load_jsonl(path, quarantine=quarantine)
+        assert len(quarantine) == 1
+        store.extend([("c", 11), ("", 0)], quarantine=quarantine)
+        assert len(quarantine) == 2
+        assert store.get(0).etype == "a"
+        assert store.get(2).etype == "b"
+        assert store.get(3).etype == "c"
+        assert len(store) == 3
