@@ -18,6 +18,7 @@ the *same* machine rather than a checked-in timing.
 from __future__ import annotations
 
 import json
+import os
 import random
 import statistics
 import time
@@ -32,7 +33,14 @@ from ..constraints import (
 )
 from ..constraints.propagation import resolve_engine
 from ..granularity import GranularitySystem, standard_system
-from ..obs import counter_deltas, metrics_snapshot
+from ..obs import (
+    Tracer,
+    activate_tracer,
+    counter_deltas,
+    metrics_snapshot,
+    span,
+    write_trace,
+)
 
 #: Payload format version (bump when the JSON layout changes).
 SCHEMA_VERSION = 1
@@ -805,16 +813,51 @@ EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
 # ----------------------------------------------------------------------
 # Running and comparing
 # ----------------------------------------------------------------------
+def slowest_spans(
+    trace_payload: Dict[str, object], limit: int = 5
+) -> List[Dict[str, object]]:
+    """The ``limit`` longest spans of a trace payload, for the BENCH
+    record's ``slowest_spans`` table (ties broken by name for stable
+    output)."""
+    flat: List[Dict[str, object]] = []
+    stack = list(trace_payload.get("spans") or [])
+    while stack:
+        span_ = stack.pop()
+        flat.append(span_)
+        stack.extend(span_.get("children") or ())
+    ranked = sorted(
+        flat,
+        key=lambda s: (-int(s.get("duration_ns") or 0), s.get("name", "")),
+    )
+    return [
+        {
+            "name": span_.get("name"),
+            "duration_ms": round(
+                int(span_.get("duration_ns") or 0) / 1e6, 3
+            ),
+            "span_id": span_.get("span_id"),
+            "trace_id": span_.get("trace_id"),
+        }
+        for span_ in ranked[:limit]
+    ]
+
+
 def run_suite(
     engine: str = "auto",
     profile: str = "quick",
     experiments: Optional[Sequence[str]] = None,
     system: Optional[GranularitySystem] = None,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the suite and return the ``BENCH_*.json`` payload.
 
     ``experiments`` restricts the run to a subset of names (e.g.
-    ``["X1", "X4"]``); the default runs all sixteen.
+    ``["X1", "X4"]``); the default runs all sixteen.  ``trace_dir``
+    additionally records one trace file per experiment (every repeat
+    runs under a ``bench.<name>`` span in a dedicated tracer) and adds
+    ``trace_file`` plus a ``slowest_spans`` table to each experiment
+    record; tracing adds its own overhead, so traced medians are not
+    comparable with untraced baselines.
     """
     if profile not in PROFILES:
         raise ValueError(
@@ -838,16 +881,26 @@ def run_suite(
         "repeats": repeats,
         "experiments": {},
     }
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     for name in chosen:
         workload = _EXPERIMENTS[name](system, resolved_engine, scale)
         times = []
         counters: Dict[str, object] = {}
+        tracer = Tracer() if trace_dir is not None else None
         before_metrics = metrics_snapshot()
-        for _ in range(repeats):
-            start = time.perf_counter()
-            counters = workload.run()
-            times.append(time.perf_counter() - start)
-        payload["experiments"][name] = {
+        for index in range(repeats):
+            if tracer is not None:
+                with activate_tracer(tracer):
+                    with span("bench.%s" % name, repeat=index):
+                        start = time.perf_counter()
+                        counters = workload.run()
+                        times.append(time.perf_counter() - start)
+            else:
+                start = time.perf_counter()
+                counters = workload.run()
+                times.append(time.perf_counter() - start)
+        record: Dict[str, object] = {
             "median_seconds": statistics.median(times),
             "repeats": repeats,
             "counters": counters,
@@ -857,6 +910,12 @@ def run_suite(
                 before_metrics, metrics_snapshot()
             ),
         }
+        if tracer is not None:
+            trace_file = os.path.join(trace_dir, "%s.json" % name)
+            write_trace(tracer, trace_file)
+            record["trace_file"] = trace_file
+            record["slowest_spans"] = slowest_spans(tracer.to_dict())
+        payload["experiments"][name] = record
     payload["conversion_cache"] = system.conversion_cache.stats()
     payload["size_tables"] = system.size_table_stats()
     payload["metrics"] = metrics_snapshot()

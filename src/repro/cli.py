@@ -11,6 +11,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro bench --output BENCH.json       # X1-X16 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
+    repro obs flame TRACE.json            # render an embedded profile
     repro gran info TYPE                  # compiled periodic normal form
 
 ``check`` and ``mine`` accept ``--engine auto|python|numpy|fallback``
@@ -22,9 +23,11 @@ engine; ``REPRO_PARALLEL=off`` is the environment kill switch).
 
 Every command accepts ``--trace FILE`` (write the span tree of the run
 as JSON; inspect with ``repro obs``), ``--metrics`` (print the metrics
-registry in Prometheus text format after the command) and
-``--metrics-out FILE``; the flags work both before and after the
-subcommand name.  See docs/OBSERVABILITY.md.
+registry in Prometheus text format after the command),
+``--metrics-out FILE`` and ``--profile-stacks`` (run the sampling
+wall-clock profiler and embed its folded stacks into the trace/bench
+payload; render with ``repro obs flame``); the flags work both before
+and after the subcommand name.  See docs/OBSERVABILITY.md.
 
 Structures/patterns/problems are the JSON payloads of
 :mod:`repro.io.serialize`; event logs are two-column CSV
@@ -86,6 +89,14 @@ def _add_obs_options(subparser) -> None:
         metavar="FILE",
         default=argparse.SUPPRESS,
         help="write the metrics dump to FILE",
+    )
+    subparser.add_argument(
+        "--profile-stacks",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="sample the command with the wall-clock profiler and embed "
+        "folded stacks into the --trace / bench payload "
+        "(render with 'repro obs flame FILE')",
     )
 
 
@@ -345,7 +356,8 @@ def _cmd_bench(args) -> int:
         os.environ["REPRO_COLUMNAR"] = args.columnar
     try:
         payload = run_suite(
-            engine=args.engine, profile=args.profile, experiments=experiments
+            engine=args.engine, profile=args.profile, experiments=experiments,
+            trace_dir=args.trace_dir,
         )
     finally:
         if args.columnar:
@@ -353,6 +365,11 @@ def _cmd_bench(args) -> int:
                 os.environ.pop("REPRO_COLUMNAR", None)
             else:
                 os.environ["REPRO_COLUMNAR"] = previous_columnar
+    profiler = getattr(args, "profiler", None)
+    if profiler is not None:
+        # Snapshot the still-running profiler into the payload (main()
+        # owns its lifecycle and stops it after the command returns).
+        payload["profile_stacks"] = profiler.to_dict()
     summary = {
         name: dict(
             {"median_seconds": "%.4f" % record["median_seconds"]},
@@ -362,6 +379,20 @@ def _cmd_bench(args) -> int:
     }
     print(format_tree(summary, title="bench (%s, %s engine)"
                       % (args.profile, payload["engine"])))
+    if args.trace_dir:
+        slowest = {
+            name: {
+                row["name"]: "%sms" % row["duration_ms"]
+                for row in record.get("slowest_spans", ())
+            }
+            for name, record in payload["experiments"].items()
+            if record.get("slowest_spans")
+        }
+        if slowest:
+            print(format_tree(
+                slowest, title="slowest spans (traces in %s)"
+                % args.trace_dir,
+            ))
     if args.output:
         save_payload(payload, args.output)
         print("wrote %s" % args.output, file=sys.stderr)
@@ -522,8 +553,40 @@ def _cmd_analyze(args) -> int:
 def _cmd_obs(args) -> int:
     from .obs import format_span_tree, load_trace
 
+    if args.trace_file == "flame":
+        if not args.flame_file:
+            print(
+                "error: 'repro obs flame' needs a trace or bench JSON "
+                "file with an embedded profile",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_obs_flame(args.flame_file)
     payload = load_trace(args.trace_file)
     print(format_span_tree(payload, max_children=args.max_children))
+    return 0
+
+
+def _cmd_obs_flame(path: str) -> int:
+    """Render the ``"profile"`` payload of a trace or bench JSON file
+    as collapsed stacks (pipeable into flamegraph.pl / speedscope)."""
+    from .obs import format_flame, format_flame_summary
+
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    profile = payload.get("profile_stacks")
+    if not isinstance(profile, dict):
+        profile = {}
+    samples = profile.get("samples") or {}
+    if not samples:
+        print(
+            "error: no profile samples in %s (record one with "
+            "--profile-stacks)" % path,
+            file=sys.stderr,
+        )
+        return 1
+    print(format_flame_summary(samples), file=sys.stderr)
+    print(format_flame(samples))
     return 0
 
 
@@ -568,6 +631,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the metrics dump to FILE",
+    )
+    parser.add_argument(
+        "--profile-stacks",
+        action="store_true",
+        default=False,
+        help="sample the command with the wall-clock profiler and embed "
+        "folded stacks into the --trace / bench payload "
+        "(render with 'repro obs flame FILE')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -778,6 +849,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run as a BENCH_*.json payload",
     )
     bench.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="trace every experiment into DIR/<name>.json and add a "
+        "slowest_spans table to the payload",
+    )
+    bench.add_argument(
         "--baseline",
         metavar="FILE",
         help="compare against a previous BENCH_*.json; exit 1 on regression",
@@ -850,10 +928,18 @@ def build_parser() -> argparse.ArgumentParser:
     dot.set_defaults(func=_cmd_dot)
 
     obs = sub.add_parser(
-        "obs", help="pretty-print a --trace JSON file as a span tree"
+        "obs",
+        help="pretty-print a --trace JSON file as a span tree "
+        "('obs flame FILE' renders an embedded profile instead)",
     )
     obs.add_argument(
-        "trace_file", help="trace JSON written by --trace FILE"
+        "trace_file",
+        help="trace JSON written by --trace FILE, or the literal word "
+        "'flame' followed by a trace/bench JSON with an embedded "
+        "--profile-stacks profile",
+    )
+    obs.add_argument(
+        "flame_file", nargs="?", default=None, help=argparse.SUPPRESS
     )
     obs.add_argument(
         "--max-children",
@@ -893,6 +979,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .io.csvlog import CsvFormatError
     from .io.serialize import SerializationError
     from .obs import (
+        SamplingProfiler,
         Tracer,
         activate_tracer,
         prometheus_text,
@@ -904,6 +991,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
     tracer = Tracer() if trace_path else None
+    profiler = None
+    if getattr(args, "profile_stacks", False):
+        profiler = SamplingProfiler()
+        profiler.start()
+        # Commands that write their own payload (bench) embed a
+        # snapshot; main() embeds the final profile into --trace output.
+        args.profiler = profiler
     try:
         if tracer is not None:
             with activate_tracer(tracer):
@@ -929,8 +1023,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         # Trace and metrics flush even when the command failed - a trace
         # of a failed run shows where it failed.
+        if profiler is not None:
+            profiler.stop()
         if tracer is not None:
-            write_trace(tracer, trace_path)
+            payload = tracer.to_dict()
+            if profiler is not None:
+                payload["profile_stacks"] = profiler.to_dict()
+            write_trace(payload, trace_path)
             print(
                 "trace written to %s (%d spans)"
                 % (trace_path, tracer.total_spans()),

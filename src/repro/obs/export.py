@@ -26,6 +26,10 @@ from .metrics import (
 )
 from .trace import TRACE_SCHEMA_VERSION, Tracer
 
+#: Trace schemas load_trace accepts: v1 predates span ids (the fields
+#: read back as absent/None); v2 is what write_trace emits today.
+SUPPORTED_TRACE_SCHEMAS = (1, TRACE_SCHEMA_VERSION)
+
 # ----------------------------------------------------------------------
 # Trace files
 # ----------------------------------------------------------------------
@@ -45,10 +49,14 @@ def load_trace(path: str) -> Dict:
     """Read a ``--trace`` payload back (validating the schema field)."""
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if payload.get("schema") != TRACE_SCHEMA_VERSION:
+    if payload.get("schema") not in SUPPORTED_TRACE_SCHEMAS:
         raise ValueError(
-            "unsupported trace schema %r in %s (expected %d)"
-            % (payload.get("schema"), path, TRACE_SCHEMA_VERSION)
+            "unsupported trace schema %r in %s (expected one of %s)"
+            % (
+                payload.get("schema"),
+                path,
+                ", ".join(str(v) for v in SUPPORTED_TRACE_SCHEMAS),
+            )
         )
     return payload
 
@@ -244,9 +252,21 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
                     "%s_sum%s %s"
                     % (name, suffix_labels, _fmt_sample_value(metric.sum))
                 )
-                lines.append(
-                    "%s_count%s %s" % (name, suffix_labels, metric.count)
+                count_line = "%s_count%s %s" % (
+                    name, suffix_labels, metric.count
                 )
+                exemplar = metric.exemplar
+                if exemplar is not None:
+                    trace_id, span_id, value = exemplar
+                    count_line += (
+                        ' # {trace_id="%s",span_id="%s"} %s'
+                        % (
+                            _escape_label_value(trace_id),
+                            _escape_label_value(span_id),
+                            _fmt_sample_value(value),
+                        )
+                    )
+                lines.append(count_line)
             else:
                 lines.append(
                     "%s%s %s"
@@ -272,6 +292,11 @@ _LABELS_RE = re.compile(
 )
 _SAMPLE_RE = re.compile(
     r"^(%s)(\{[^}]*\})? ([^ ]+)( [0-9]+)?$" % _METRIC_NAME
+)
+# OpenMetrics exemplar suffix: `sample # {labels} value [timestamp]`.
+_EXEMPLAR_RE = re.compile(
+    r"^(?P<sample>.+?) # (?P<labels>\{[^}]*\})"
+    r" (?P<value>[^ ]+)(?P<timestamp> [0-9]+(?:\.[0-9]+)?)?$"
 )
 
 
@@ -315,7 +340,28 @@ def lint_prometheus_text(text: str) -> List[str]:
                 "or '# TYPE name kind'): %r" % (number, line)
             )
             continue
-        match = _SAMPLE_RE.match(line)
+        sample_line = line
+        match = _SAMPLE_RE.match(sample_line)
+        if not match and " # " in line:
+            # Not a bare sample: try the OpenMetrics exemplar form.
+            exemplar = _EXEMPLAR_RE.match(line)
+            if not exemplar:
+                errors.append(
+                    "line %d: malformed exemplar: %r" % (number, line)
+                )
+                continue
+            if not _LABELS_RE.match(exemplar.group("labels")):
+                errors.append(
+                    "line %d: malformed exemplar labels %r"
+                    % (number, exemplar.group("labels"))
+                )
+            if not _valid_sample_value(exemplar.group("value")):
+                errors.append(
+                    "line %d: invalid exemplar value %r"
+                    % (number, exemplar.group("value"))
+                )
+            sample_line = exemplar.group("sample")
+            match = _SAMPLE_RE.match(sample_line)
         if not match:
             errors.append("line %d: malformed sample: %r" % (number, line))
             continue
@@ -339,6 +385,37 @@ def lint_prometheus_text(text: str) -> List[str]:
                 % (number, name)
             )
     return errors
+
+
+# ----------------------------------------------------------------------
+# Folded-stack (flamegraph) rendering
+# ----------------------------------------------------------------------
+def format_flame(
+    samples: Mapping[str, int], max_rows: Optional[int] = None
+) -> str:
+    """Render profiler folded stacks in collapsed flamegraph format.
+
+    One line per distinct stack - ``frame;frame;leaf count`` - hottest
+    first (ties break alphabetically, so output is deterministic).
+    The text pipes straight into ``flamegraph.pl`` or speedscope;
+    ``repro obs flame TRACE.json`` prints it for the profile embedded
+    in a trace or bench payload.
+    """
+    rows = sorted(samples.items(), key=lambda kv: (-kv[1], kv[0]))
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    return "\n".join("%s %d" % (stack, count) for stack, count in rows)
+
+
+def format_flame_summary(samples: Mapping[str, int]) -> str:
+    """One human line: total samples and distinct stacks."""
+    total = sum(samples.values())
+    return "profile: %d sample%s across %d distinct stack%s" % (
+        total,
+        "" if total == 1 else "s",
+        len(samples),
+        "" if len(samples) == 1 else "s",
+    )
 
 
 def metrics_snapshot(

@@ -38,6 +38,7 @@ from typing import (
 )
 
 from .runtime import STATE
+from .trace import current_context
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -197,7 +198,8 @@ class Histogram(Metric):
 
     kind = "histogram"
 
-    __slots__ = ("_count", "_sum", "_min", "_max", "_window", "max_window")
+    __slots__ = ("_count", "_sum", "_min", "_max", "_window", "max_window",
+                 "_exemplar")
 
     def __init__(self, name, help="", labels=(), max_window: int = 1024):
         super().__init__(name, help, labels)
@@ -209,10 +211,12 @@ class Histogram(Metric):
         self._min: Optional[Number] = None
         self._max: Optional[Number] = None
         self._window: List[Number] = []
+        self._exemplar: Optional[Tuple[str, str, float]] = None
 
     def observe(self, value: Number) -> None:
         if not STATE.enabled:
             return
+        context = current_context()
         with self._lock:
             self._count += 1
             self._sum += value
@@ -223,6 +227,17 @@ class Histogram(Metric):
             self._window.append(value)
             if len(self._window) > self.max_window:
                 del self._window[0]
+            if context is not None:
+                self._exemplar = (
+                    context.trace_id, context.span_id, float(value)
+                )
+
+    @property
+    def exemplar(self) -> Optional[Tuple[str, str, float]]:
+        """``(trace_id, span_id, value)`` of the latest traced
+        observation - the OpenMetrics exemplar the text exporter
+        appends to ``_count``, linking a fat bucket to its trace."""
+        return self._exemplar
 
     @property
     def count(self) -> int:
@@ -272,6 +287,7 @@ class Histogram(Metric):
             self._min = None
             self._max = None
             self._window = []
+            self._exemplar = None
 
 
 class CallbackMetric(Metric):

@@ -49,10 +49,12 @@ from ..granularity.registry import GranularitySystem
 from ..mining.events import EventSequence
 from ..obs import (
     Span,
+    TraceContext,
     Tracer,
     activate_tracer,
     counter,
     counter_deltas,
+    current_context,
     current_tracer,
     gauge,
     global_metrics,
@@ -164,6 +166,10 @@ class ScanContext:
     horizon: Optional[int]
     strict: bool
     trace: bool
+    #: Identity of the parent's open ``mine.scan`` span: workers build
+    #: their tracer from it, so merged spans carry the originating
+    #: trace_id and re-parent under the exact span that forked them.
+    trace_context: Optional[TraceContext] = None
 
 
 _CTX: Optional[ScanContext] = None
@@ -249,7 +255,7 @@ def _pool_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
     before = registry.snapshot()
     cache = ctx.system.conversion_cache
     cache_before = cache.snapshot()
-    tracer = Tracer() if ctx.trace else None
+    tracer = Tracer(parent=ctx.trace_context) if ctx.trace else None
     results: List[Tuple[int, int, int, int]] = []
 
     def run_tasks() -> None:
@@ -409,6 +415,7 @@ def parallel_scan(
         horizon=horizon,
         strict=strict,
         trace=current_tracer() is not None,
+        trace_context=current_context(),
     )
     batches = _plan_batches(tasks, workers_used)
     _CTX = ctx

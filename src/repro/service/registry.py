@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..automata.streaming import Detection, StreamingMatcher
-from ..obs import counter, gauge, span
+from ..obs import TraceContext, counter, gauge, linked_span
 from .checkpoints import CheckpointStoreBase
 
 _EVICTIONS = counter(
@@ -81,12 +81,20 @@ class SessionRegistry:
         matcher_factory: Callable[[], StreamingMatcher],
         max_resident: int = 64,
         system=None,
+        context_for: Optional[
+            Callable[[str], Optional[TraceContext]]
+        ] = None,
     ):
         if max_resident < 1:
             raise ValueError("max_resident must be >= 1")
         self.store = store
         self.matcher_factory = matcher_factory
         self.max_resident = max_resident
+        #: Maps a tenant to the span identity its rehydrate spans
+        #: should parent under (the service wires the tenant's
+        #: originating-submit context in) - None falls back to stack
+        #: nesting.
+        self.context_for = context_for
         self.system = system
         self._resident: Dict[Tuple[str, str], Session] = {}
         self._evicted_keys: set = set()
@@ -124,7 +132,10 @@ class SessionRegistry:
     def _rehydrate(
         self, tenant: str, key: str
     ) -> Tuple[Session, List[Tuple[int, int, Detection]]]:
-        with span("service.rehydrate", tenant=tenant, key=key):
+        parent = self.context_for(tenant) if self.context_for else None
+        with linked_span(
+            "service.rehydrate", parent, tenant=tenant, key=key
+        ):
             payload = self.store.load(tenant, key)
             if payload is None:
                 # WAL with no checkpoint yet: replay from a fresh matcher.

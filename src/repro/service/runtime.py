@@ -34,3 +34,20 @@ def resolve_enabled(enabled: Optional[bool]) -> bool:
     if enabled is None:
         return service_enabled()
     return bool(enabled)
+
+
+def tenant_label_limit() -> int:
+    """Cardinality bound for per-tenant metric labels.
+
+    ``REPRO_OBS_TENANT_LABELS=N`` lets the N highest-volume tenants
+    carry ``{tenant="..."}`` children on the hottest ``repro_service_*``
+    counters; unset, ``0`` or any off-value disables the labels (the
+    default - aggregate families are always exported either way).
+    """
+    value = os.environ.get("REPRO_OBS_TENANT_LABELS", "").strip().lower()
+    if not value or value in _OFF_VALUES:
+        return 0
+    try:
+        return max(0, int(value))
+    except ValueError:
+        return 0

@@ -43,6 +43,8 @@ forced evictions and breaker trips).
 from __future__ import annotations
 
 import asyncio
+import os
+import re
 from collections import deque
 from dataclasses import dataclass
 from typing import (
@@ -58,7 +60,15 @@ from typing import (
 
 from ..automata.builder import TagBuild
 from ..automata.streaming import Detection, StreamingMatcher
-from ..obs import counter, gauge, span
+from ..obs import (
+    Counter,
+    TraceContext,
+    counter,
+    current_context,
+    gauge,
+    global_recorder,
+    linked_span,
+)
 from ..resilience import Quarantine, apply_overflow, validate_event
 from ..resilience.policies import normalize_overflow_policy
 from .breaker import BREAKER_STATES, OPEN, CircuitBreaker
@@ -69,7 +79,7 @@ from .errors import (
     TenantOverloadError,
 )
 from .registry import SessionRegistry
-from .runtime import resolve_enabled
+from .runtime import resolve_enabled, tenant_label_limit
 
 _EVENTS = counter(
     "repro_service_events_total", "Events submitted to the service"
@@ -127,6 +137,12 @@ class ServiceConfig:
     max_live_anchors: int = 10_000
     max_lateness: Optional[int] = None
     overflow_policy: str = "raise"
+    # Observability.  ``recorder_dir`` (or ``REPRO_OBS_RECORDER_DIR``)
+    # receives a flight-recorder dump whenever a breaker trips;
+    # ``tenant_labels`` overrides ``REPRO_OBS_TENANT_LABELS`` (top-N
+    # tenants by submitted volume get labelled counter children).
+    recorder_dir: Optional[str] = None
+    tenant_labels: Optional[int] = None
     # Kill switch.
     enabled: Optional[bool] = None
 
@@ -160,12 +176,74 @@ class ServiceDetection:
         )
 
 
+class _TenantCounters:
+    """Bounded-cardinality ``{tenant="..."}`` children of the hottest
+    service counters (received / detections / shed).
+
+    The aggregate families keep counting regardless; only the ``limit``
+    highest-volume tenants (by submitted events) additionally carry a
+    labelled child.  When a newcomer outgrows the coldest labelled
+    tenant it takes the slot; the demoted tenant's children stay
+    registered at their last value (Prometheus counters are
+    monotonic), they just stop advancing - so scrape cardinality grows
+    only on promotion, never per tenant.
+    """
+
+    __slots__ = ("limit", "_volumes", "_members")
+
+    _FAMILIES = (
+        ("received", "repro_service_events_total"),
+        ("detections", "repro_service_detections_total"),
+        ("shed", "repro_service_queue_shed_total"),
+    )
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(0, limit)
+        self._volumes: Dict[str, int] = {}
+        self._members: Dict[str, Dict[str, Counter]] = {}
+
+    def _family(self, tenant: str) -> Dict[str, Counter]:
+        return {
+            short: counter(name, labels={"tenant": tenant})
+            for short, name in self._FAMILIES
+        }
+
+    def record(self, tenant: str, received: int = 0,
+               detections: int = 0, shed: int = 0) -> None:
+        if not self.limit:
+            return
+        volume = self._volumes.get(tenant, 0) + received
+        self._volumes[tenant] = volume
+        members = self._members
+        family = members.get(tenant)
+        if family is None:
+            if len(members) < self.limit:
+                family = members[tenant] = self._family(tenant)
+            else:
+                coldest = min(
+                    members, key=lambda t: self._volumes.get(t, 0)
+                )
+                if volume <= self._volumes.get(coldest, 0):
+                    return
+                del members[coldest]
+                family = members[tenant] = self._family(tenant)
+        if received:
+            family["received"].add(received)
+        if detections:
+            family["detections"].add(detections)
+        if shed:
+            family["shed"].add(shed)
+
+    def labelled_tenants(self) -> List[str]:
+        return sorted(self._members)
+
+
 class _TenantState:
     """Everything the service keeps per tenant."""
 
     __slots__ = (
         "pending", "breaker", "worker", "wake", "stop",
-        "submitted", "processed", "quarantined", "shed",
+        "submitted", "processed", "quarantined", "shed", "context",
     )
 
     def __init__(self, breaker: CircuitBreaker):
@@ -178,6 +256,10 @@ class _TenantState:
         self.processed = 0
         self.quarantined = 0
         self.shed = 0
+        #: Identity of the span that first submitted this tenant's
+        #: events: later drains (which run from the event loop, outside
+        #: the submitting span) re-parent ``service.route`` under it.
+        self.context: Optional[TraceContext] = None
 
 
 class DetectionService:
@@ -212,11 +294,21 @@ class DetectionService:
             self._new_matcher,
             max_resident=config.max_resident_sessions,
             system=system,
+            context_for=self._tenant_context,
         )
         self.quarantine = Quarantine(source="service")
         self.detections: List[ServiceDetection] = []
         self._tenants: Dict[str, _TenantState] = {}
+        self._tenant_counters = _TenantCounters(
+            tenant_label_limit() if config.tenant_labels is None
+            else config.tenant_labels
+        )
         self._closed = False
+
+    def _tenant_context(self, tenant: str) -> Optional[TraceContext]:
+        """The span identity this tenant's work re-parents under."""
+        state = self._tenants.get(tenant)
+        return state.context if state is not None else None
 
     def _new_matcher(self) -> StreamingMatcher:
         cfg = self.config
@@ -290,13 +382,17 @@ class DetectionService:
         if self._closed:
             raise ServiceClosedError("the service is closed")
         state = self._tenant(tenant)
+        if state.context is None:
+            state.context = current_context()
         state.submitted += 1
         _EVENTS.inc()
+        self._tenant_counters.record(tenant, received=1)
         capacity = self.effective_capacity(tenant)
         if len(state.pending) >= capacity:
             if self.shed_policy == "raise":
                 _SHED.inc()
                 state.shed += 1
+                self._tenant_counters.record(tenant, shed=1)
                 raise TenantOverloadError(tenant, capacity)
             items = list(state.pending)
             items.append((key, etype, time))
@@ -304,6 +400,7 @@ class DetectionService:
             state.pending = deque(kept)
             state.shed += shed
             _SHED.add(shed)
+            self._tenant_counters.record(tenant, shed=shed)
         else:
             state.pending.append((key, etype, time))
         self._ensure_worker(state, tenant)
@@ -330,8 +427,9 @@ class DetectionService:
         """
         if not state.pending:
             return
-        with span(
-            "service.route", tenant=tenant, batch=len(state.pending)
+        with linked_span(
+            "service.route", state.context,
+            tenant=tenant, batch=len(state.pending),
         ):
             while state.pending:
                 if not state.breaker.allow():
@@ -374,6 +472,7 @@ class DetectionService:
             for offset, detection in enumerate(found)
         )
         _DETECTIONS.add(len(found))
+        self._tenant_counters.record(tenant, detections=len(found))
         self.registry.maybe_checkpoint(
             session, self.config.checkpoint_interval
         )
@@ -382,14 +481,49 @@ class DetectionService:
         self, tenant: str, state: _TenantState,
         key: str, etype: Any, time: Any, exc: Exception,
     ) -> None:
+        reason = "%s: %s" % (type(exc).__name__, exc)
         self.quarantine.add(
-            reason="%s: %s" % (type(exc).__name__, exc),
+            reason=reason,
             raw={"tenant": tenant, "key": key,
                  "etype": etype, "time": time},
         )
         state.quarantined += 1
         _QUARANTINED.inc()
+        # Leave evidence in the black box even when nobody is tracing:
+        # an error-status note hits the recorder's capture trigger.
+        global_recorder().note(
+            "service.reject", status="error",
+            tenant=tenant, key=key, reason=reason,
+        )
+        trips_before = state.breaker.trips
         state.breaker.record_failure()
+        if state.breaker.trips > trips_before:
+            self._on_breaker_trip(tenant, state)
+
+    def _on_breaker_trip(self, tenant: str, state: _TenantState) -> None:
+        """Persist a flight-recorder dump when a breaker opens.
+
+        The dump lands in ``config.recorder_dir`` (falling back to
+        ``REPRO_OBS_RECORDER_DIR``); with neither set the trip is still
+        noted in the ring but nothing is written.
+        """
+        directory = self.config.recorder_dir or os.environ.get(
+            "REPRO_OBS_RECORDER_DIR", ""
+        ).strip()
+        recorder = global_recorder()
+        recorder.note(
+            "service.breaker_trip", status="error",
+            tenant=tenant, trips=state.breaker.trips,
+        )
+        if not directory or not recorder.active:
+            return
+        os.makedirs(directory, exist_ok=True)
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", tenant) or "tenant"
+        path = os.path.join(
+            directory,
+            "flightrec-%s-%03d.json" % (safe, state.breaker.trips),
+        )
+        recorder.dump(path, reason="breaker-trip tenant=%s" % tenant)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -518,6 +652,7 @@ class DetectionService:
             "sessions": self.registry.stats(),
             "detections": len(self.detections),
             "quarantined": len(self.quarantine),
+            "labelled_tenants": self._tenant_counters.labelled_tenants(),
             "closed": self._closed,
         }
 

@@ -79,6 +79,67 @@ class TestRunSuite:
         assert counters["events_per_second"] > 0
 
 
+class TestTraceDir:
+    def test_trace_dir_writes_one_trace_per_experiment(self, tmp_path):
+        from repro.obs import configure, load_trace, obs_enabled
+
+        trace_dir = str(tmp_path / "traces")
+        previous = obs_enabled()
+        configure(True)
+        try:
+            payload = run_suite(
+                engine="fallback", experiments=["X1", "X5"],
+                trace_dir=trace_dir,
+            )
+        finally:
+            configure(previous)
+        for name in ["X1", "X5"]:
+            record = payload["experiments"][name]
+            trace = load_trace(record["trace_file"])
+            assert os.path.basename(record["trace_file"]) == (
+                "%s.json" % name
+            )
+            # One bench.<name> root per repeat, all one trace.
+            roots = trace["spans"]
+            assert len(roots) == record["repeats"]
+            assert all(r["name"] == "bench.%s" % name for r in roots)
+            assert all(
+                r["trace_id"] == trace["trace_id"] for r in roots
+            )
+            slowest = record["slowest_spans"]
+            assert 0 < len(slowest) <= 5
+            durations = [row["duration_ms"] for row in slowest]
+            assert durations == sorted(durations, reverse=True)
+            assert slowest[0]["trace_id"] == trace["trace_id"]
+            assert all(row["span_id"] for row in slowest)
+
+    def test_without_trace_dir_records_are_unchanged(self):
+        payload = run_suite(engine="fallback", experiments=["X1"])
+        record = payload["experiments"]["X1"]
+        assert "trace_file" not in record
+        assert "slowest_spans" not in record
+
+
+class TestSlowestSpans:
+    def test_ranks_across_nesting(self):
+        from repro.bench.harness import slowest_spans
+
+        trace = {
+            "trace_id": "t",
+            "spans": [{
+                "name": "root", "span_id": "r", "trace_id": "t",
+                "duration_ns": 5_000_000,
+                "children": [
+                    {"name": "deep", "span_id": "d", "trace_id": "t",
+                     "duration_ns": 9_000_000, "children": []},
+                ],
+            }],
+        }
+        rows = slowest_spans(trace, limit=2)
+        assert [row["name"] for row in rows] == ["deep", "root"]
+        assert rows[0]["duration_ms"] == 9.0
+
+
 class TestComparePayloads:
     def test_equal_payloads_never_regress(self):
         payload = _payload({"X1": 0.5, "X4": 2.0})

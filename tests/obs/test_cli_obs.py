@@ -140,6 +140,57 @@ class TestObsSubcommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestProfileStacks:
+    def test_traced_run_embeds_profile(self, obs_on, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        assert main(
+            ["discover", PROBLEM, EVENTS, "--trace", trace_path,
+             "--profile-stacks"]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(Path(trace_path).read_text())
+        profile = payload["profile_stacks"]
+        assert profile["schema"] == 1
+        assert profile["sample_count"] == sum(
+            profile["samples"].values()
+        )
+
+    def test_obs_flame_renders_folded_stacks(
+        self, obs_on, tmp_path, capsys
+    ):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({
+            "schema": 2,
+            "trace_id": "0" * 32,
+            "spans": [],
+            "profile_stacks": {
+                "schema": 1,
+                "hz": 97,
+                "sample_count": 5,
+                "samples": {"span:mine;a:b;a:c": 3, "a:b": 2},
+            },
+        }))
+        assert main(["obs", "flame", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == [
+            "span:mine;a:b;a:c 3",
+            "a:b 2",
+        ]
+        assert "5 samples" in captured.err
+
+    def test_obs_flame_without_profile_errors(self, tmp_path, capsys):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({
+            "schema": 2, "trace_id": "0" * 32, "spans": [],
+        }))
+        assert main(["obs", "flame", str(path)]) == 1
+        assert "no profile samples" in capsys.readouterr().err
+
+    def test_obs_flame_requires_a_file(self, capsys):
+        assert main(["obs", "flame"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestObsOff:
     def test_discover_output_is_identical_with_obs_off(
         self, obs_on, capsys

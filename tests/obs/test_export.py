@@ -88,6 +88,55 @@ class TestPrometheusText:
         assert lint_prometheus_text(text) == []
 
 
+class TestExemplars:
+    def test_histogram_count_carries_exemplar(self, obs_on):
+        from repro.obs import Tracer, activate_tracer, span
+
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_seconds", "Latency")
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("request") as request:
+                h.observe(0.5)
+        text = prometheus_text(registry)
+        expected = (
+            'latency_seconds_count 1 # {trace_id="%s",span_id="%s"} 0.5\n'
+            % (tracer.trace_id, request.span_id)
+        )
+        assert expected in text
+        assert lint_prometheus_text(text) == []
+
+    def test_no_span_means_no_exemplar(self, obs_on):
+        registry = MetricsRegistry()
+        registry.histogram("latency_seconds").observe(0.5)
+        text = prometheus_text(registry)
+        assert "#" not in text.split("latency_seconds_count")[1]
+
+    def test_last_observation_wins(self, obs_on):
+        from repro.obs import Tracer, activate_tracer, span
+
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_seconds")
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("first"):
+                h.observe(1.0)
+            with span("second") as second:
+                h.observe(2.0)
+        assert h.exemplar == (tracer.trace_id, second.span_id, 2.0)
+
+    def test_reset_clears_exemplar(self, obs_on):
+        from repro.obs import Tracer, activate_tracer, span
+
+        registry = MetricsRegistry()
+        h = registry.histogram("latency_seconds")
+        with activate_tracer(Tracer()):
+            with span("s"):
+                h.observe(1.0)
+        registry.reset()
+        assert h.exemplar is None
+
+
 class TestLinter:
     def test_accepts_well_formed(self):
         text = (
@@ -129,6 +178,55 @@ class TestLinter:
             "lat_count 2\n"
         )
         assert lint_prometheus_text(text) == []
+
+    def test_accepts_openmetrics_exemplar(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat_count 3 # {trace_id="ab12",span_id="cd34"} 0.25\n'
+        )
+        assert lint_prometheus_text(text) == []
+
+    def test_accepts_exemplar_with_timestamp(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat_count 3 # {trace_id="ab12"} 0.25 1700000000.5\n'
+        )
+        assert lint_prometheus_text(text) == []
+
+    def test_rejects_exemplar_with_bad_labels(self):
+        text = "# TYPE lat summary\nlat_count 3 # {trace_id=ab12} 0.25\n"
+        errors = lint_prometheus_text(text)
+        assert any("exemplar" in error for error in errors)
+
+    def test_rejects_exemplar_with_bad_value(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat_count 3 # {trace_id="ab12"} fast\n'
+        )
+        errors = lint_prometheus_text(text)
+        assert any("invalid exemplar value" in error for error in errors)
+
+    def test_rejects_exemplar_without_labels(self):
+        text = "# TYPE lat summary\nlat_count 3 # 0.25\n"
+        errors = lint_prometheus_text(text)
+        assert any("exemplar" in error for error in errors)
+
+    def test_hash_inside_label_value_is_not_an_exemplar(self):
+        # " # " inside a quoted label value must not trip the parser.
+        text = '# TYPE a counter\na{path="x # y"} 1\n'
+        assert lint_prometheus_text(text) == []
+
+
+class TestFlameExport:
+    def test_format_flame_and_summary(self):
+        from repro.obs import format_flame, format_flame_summary
+
+        samples = {"span:x;a:b": 2, "a:c": 5}
+        assert format_flame(samples).splitlines() == [
+            "a:c 5",
+            "span:x;a:b 2",
+        ]
+        assert "7 samples" in format_flame_summary(samples)
 
 
 class TestFormatTree:

@@ -1,0 +1,140 @@
+"""Sampling profiler: folding, span attribution, lifecycle."""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    SamplingProfiler,
+    Tracer,
+    activate_tracer,
+    format_flame,
+    format_flame_summary,
+    span,
+)
+from repro.obs.profile import PROFILE_SCHEMA_VERSION, _fold_stack
+
+
+def _busy_wait(seconds):
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+class TestFolding:
+    def test_fold_stack_is_root_first(self):
+        frame = sys._getframe()
+        folded = _fold_stack(frame, None)
+        frames = folded.split(";")
+        # The leaf (this function) is last; the interpreter entry first.
+        assert frames[-1].endswith(":test_fold_stack_is_root_first")
+        assert all(":" in name for name in frames)
+
+    def test_span_prefix(self):
+        folded = _fold_stack(sys._getframe(), "bench.X4")
+        assert folded.startswith("span:bench.X4;")
+
+
+class TestSampling:
+    def test_profiler_samples_own_calling_thread(self, obs_on):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.2)
+        assert profiler.sample_count > 0
+        assert any(
+            "_busy_wait" in stack for stack in profiler.folded()
+        )
+
+    def test_samples_attribute_to_the_open_span(self, obs_on):
+        tracer = Tracer()
+        profiler = SamplingProfiler(hz=500)
+        with activate_tracer(tracer):
+            with profiler:
+                with span("hot.loop"):
+                    _busy_wait(0.2)
+        prefixed = [
+            stack for stack in profiler.folded()
+            if stack.startswith("span:hot.loop;")
+        ]
+        assert prefixed, profiler.folded()
+
+    def test_explicit_thread_targets(self, obs_on):
+        stop = threading.Event()
+
+        def victim():
+            while not stop.is_set():
+                _busy_wait(0.01)
+
+        worker = threading.Thread(target=victim, daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(hz=500, thread_ids=[worker.ident])
+        with profiler:
+            time.sleep(0.2)
+        stop.set()
+        worker.join(timeout=5)
+        assert profiler.sample_count > 0
+        assert any("victim" in stack for stack in profiler.folded())
+
+    def test_profiler_never_samples_itself(self, obs_on):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.1)
+        assert not any(
+            "_sample_once" in stack for stack in profiler.folded()
+        )
+
+
+class TestLifecycle:
+    def test_hz_bounds(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=5000)
+
+    def test_double_start_is_an_error(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+        assert not profiler.running
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.stop()  # never started
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_to_dict_payload(self, obs_on):
+        profiler = SamplingProfiler(hz=200)
+        with profiler:
+            _busy_wait(0.05)
+        payload = profiler.to_dict()
+        assert payload["schema"] == PROFILE_SCHEMA_VERSION
+        assert payload["hz"] == 200
+        assert payload["sample_count"] == sum(
+            payload["samples"].values()
+        )
+
+
+class TestFlameRendering:
+    def test_format_flame_orders_by_count(self):
+        samples = {"a;b": 3, "a;c": 7, "a;d": 3}
+        lines = format_flame(samples).splitlines()
+        assert lines[0] == "a;c 7"
+        assert lines[1:] == ["a;b 3", "a;d 3"]  # ties by stack
+
+    def test_format_flame_respects_max_rows(self):
+        samples = {"s%d" % index: index + 1 for index in range(10)}
+        assert len(format_flame(samples, max_rows=4).splitlines()) == 4
+
+    def test_summary_counts(self):
+        text = format_flame_summary({"a;b": 3, "c": 1})
+        assert "4 samples" in text
+        assert "2 distinct stacks" in text

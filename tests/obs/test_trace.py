@@ -1,19 +1,30 @@
-"""Spans: nesting, exception safety, activation, no-op fast path."""
+"""Spans: nesting, exception safety, activation, identity, no-op
+fast path."""
 
 import threading
 
 import pytest
 
 from repro.obs import (
+    Span,
+    TraceContext,
     Tracer,
     activate_tracer,
+    current_context,
     current_tracer,
     format_span_tree,
+    linked_span,
     load_trace,
     span,
     write_trace,
 )
-from repro.obs.trace import TRACE_SCHEMA_VERSION, _NOOP
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    _NOOP,
+    active_tracer_for,
+    new_span_id,
+    new_trace_id,
+)
 
 
 class TestNesting:
@@ -173,3 +184,131 @@ class TestSerialization:
         assert "child19" not in text
         assert "more spans collapsed" in text
         assert text.startswith("trace: 21 spans")
+
+
+class TestIdentity:
+    def test_hex_id_generators(self):
+        trace_id, span_id = new_trace_id(), new_span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert len(span_id) == 16 and int(span_id, 16) >= 0
+        assert new_trace_id() != trace_id
+
+    def test_spans_carry_resolvable_identity(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("outer"):
+                with span("inner"):
+                    pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.trace_id == inner.trace_id == tracer.trace_id
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.span_id != inner.span_id
+
+    def test_context_round_trips_dict_and_header(self):
+        context = TraceContext(new_trace_id(), new_span_id())
+        assert TraceContext.from_dict(context.to_dict()) == context
+        assert TraceContext.from_header(context.to_header()) == context
+
+    @pytest.mark.parametrize("header", [
+        "", "repro1", "repro2-%s-%s" % ("0" * 32, "0" * 16),
+        "repro1-%s-%s" % ("g" * 32, "0" * 16),
+        "repro1-%s-%s" % ("0" * 31, "0" * 16),
+    ])
+    def test_malformed_headers_are_rejected(self, header):
+        with pytest.raises(ValueError):
+            TraceContext.from_header(header)
+
+    def test_current_context_names_the_open_span(self, obs_on):
+        assert current_context() is None
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            assert current_context() is None  # nothing open yet
+            with span("work") as work:
+                context = current_context()
+                assert context == TraceContext(
+                    tracer.trace_id, work.span_id
+                )
+        assert current_context() is None
+
+    def test_child_tracer_inherits_remote_parent(self, obs_on):
+        parent = TraceContext(new_trace_id(), new_span_id())
+        tracer = Tracer(parent=parent)
+        with activate_tracer(tracer):
+            with span("worker.root"):
+                pass
+        root = tracer.roots[0]
+        assert tracer.trace_id == parent.trace_id
+        assert root.trace_id == parent.trace_id
+        assert root.parent_id == parent.span_id
+
+    def test_linked_span_files_under_the_named_span(self, obs_on):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            with span("request") as request:
+                anchor = request.context()
+            # The request span is closed; a plain span would become a
+            # new root, but the link pulls it back under the request.
+            with linked_span("drain", anchor, tenant="t0"):
+                pass
+        assert [root.name for root in tracer.roots] == ["request"]
+        drain = tracer.roots[0].children[0]
+        assert drain.parent_id == tracer.roots[0].span_id
+        assert drain.attributes == {"tenant": "t0"}
+
+    def test_linked_span_with_foreign_context_degrades(self, obs_on):
+        tracer = Tracer()
+        foreign = TraceContext(new_trace_id(), new_span_id())
+        with activate_tracer(tracer):
+            with linked_span("drain", foreign):
+                pass
+        assert [root.name for root in tracer.roots] == ["drain"]
+        assert tracer.roots[0].trace_id == tracer.trace_id
+
+    def test_attach_reparents_worker_tree_by_id(self, obs_on):
+        parent_tracer = Tracer()
+        with activate_tracer(parent_tracer):
+            with span("mine.scan") as scan:
+                context = scan.context()
+                # Simulate a fork worker: fresh tracer seeded with the
+                # scan span's context, serialised and shipped back.
+                worker = Tracer(parent=context)
+                with activate_tracer(worker):
+                    with span("mine.worker", shard=0):
+                        with span("mine.batch"):
+                            pass
+                shipped = worker.to_dict()["spans"][0]
+                parent_tracer.attach(Span.from_dict(shipped))
+        scan_span = parent_tracer.roots[0]
+        attached = scan_span.children[0]
+        assert attached.name == "mine.worker"
+        assert attached.trace_id == parent_tracer.trace_id
+        assert attached.parent_id == scan_span.span_id
+        assert attached.children[0].parent_id == attached.span_id
+
+    def test_attach_adopts_legacy_idless_spans(self, obs_on):
+        tracer = Tracer()
+        legacy = Span.from_dict({
+            "name": "old.worker",
+            "duration_ns": 5,
+            "children": [{"name": "old.child", "duration_ns": 1}],
+        })
+        with activate_tracer(tracer):
+            with span("scan"):
+                tracer.attach(legacy)
+        attached = tracer.roots[0].children[0]
+        assert attached.trace_id == tracer.trace_id
+        assert attached.span_id is not None
+        assert attached.children[0].parent_id == attached.span_id
+
+    def test_active_tracer_registry_follows_activation(self, obs_on):
+        ident = threading.get_ident()
+        outer, inner = Tracer(), Tracer()
+        assert active_tracer_for(ident) is None
+        with activate_tracer(outer):
+            assert active_tracer_for(ident) is outer
+            with activate_tracer(inner):
+                assert active_tracer_for(ident) is inner
+            assert active_tracer_for(ident) is outer
+        assert active_tracer_for(ident) is None

@@ -1,0 +1,137 @@
+"""Property test: traces survive export -> parse -> render.
+
+Random span forests - deep nesting, error statuses, non-ASCII
+attribute keys and values - are built on a live tracer, written with
+:func:`write_trace`, read back with :func:`load_trace`, and rendered
+with :func:`format_span_tree`.  The round trip must preserve the
+structure byte-for-byte (modulo the file), every span must carry the
+tracer's ``trace_id``, and every ``parent_id`` must resolve to a
+``span_id`` inside the same file.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Tracer,
+    activate_tracer,
+    configure,
+    format_span_tree,
+    load_trace,
+    obs_enabled,
+    span,
+    write_trace,
+)
+
+# Attribute text: printable ASCII plus a non-ASCII alphabet slice
+# (accents, CJK, emoji) - values land in JSON and in the tree render.
+_TEXT = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P", "S", "Zs"),
+        min_codepoint=32,
+        max_codepoint=0x1F600,
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz.é中",
+    min_size=1,
+    max_size=10,
+)
+
+
+@st.composite
+def span_trees(draw, depth=0):
+    """A recursive spec: (name, attributes, error?, children)."""
+    children = []
+    if depth < 4:
+        children = draw(st.lists(
+            span_trees(depth=depth + 1), min_size=0,
+            max_size=3 if depth < 2 else 1,
+        ))
+    return (
+        draw(_NAMES),
+        draw(st.dictionaries(_TEXT, _TEXT, max_size=2)),
+        draw(st.booleans()),
+        children,
+    )
+
+
+def _build(spec):
+    name, attributes, error, children = spec
+    if error:
+        with pytest.raises(ZeroDivisionError):
+            with span(name) as current:
+                current.attributes.update(attributes)
+                for child in children:
+                    _build(child)
+                raise ZeroDivisionError
+    else:
+        with span(name) as current:
+            current.attributes.update(attributes)
+            for child in children:
+                _build(child)
+
+
+def _walk(payload_span):
+    yield payload_span
+    for child in payload_span.get("children") or ():
+        yield from _walk(child)
+
+
+@settings(max_examples=30, deadline=None)
+@given(forest=st.lists(span_trees(), min_size=1, max_size=3))
+def test_export_parse_render_round_trip(forest, tmp_path_factory):
+    previous = obs_enabled()
+    configure(True)
+    try:
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            for spec in forest:
+                _build(spec)
+        path = str(tmp_path_factory.mktemp("prop") / "trace.json")
+        write_trace(tracer, path)
+        payload = load_trace(path)
+
+        # Byte-identical to the in-memory payload.
+        assert payload == tracer.to_dict()
+
+        flat = [
+            span_
+            for root in payload["spans"]
+            for span_ in _walk(root)
+        ]
+        assert len(flat) == tracer.total_spans()
+        ids = {span_["span_id"] for span_ in flat}
+        assert len(ids) == len(flat)  # unique span ids
+        for span_ in flat:
+            assert span_["trace_id"] == payload["trace_id"]
+            assert span_["duration_ns"] is not None
+            # Every parent link resolves inside the file (roots have
+            # no parent - this tracer has no remote parent).
+            if span_["parent_id"] is not None:
+                assert span_["parent_id"] in ids
+        root_ids = {span_["span_id"] for span_ in payload["spans"]}
+        for span_ in flat:
+            if span_["parent_id"] is None:
+                assert span_["span_id"] in root_ids
+
+        # Error statuses survive the trip.
+        error_count = sum(
+            1 for span_ in flat if span_["status"] == "error"
+        )
+        assert error_count == sum(
+            1 for span_ in flat
+            if span_["attributes"].get("exception") == "ZeroDivisionError"
+        )
+
+        # The renderer handles whatever the generator produced.
+        text = format_span_tree(payload, max_children=50)
+        # "1 span" vs "n spans" - match up to the count only.
+        assert text.startswith("trace: %d span" % len(flat))
+        assert payload["spans"][0]["name"] in text
+    finally:
+        configure(previous)
