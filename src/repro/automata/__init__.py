@@ -7,7 +7,16 @@ construction.
 """
 
 from .builder import TagBuild, build_tag, clock_name
-from .dense import DenseRuntime, DenseTAG, compile_dense
+from .dense import (
+    BatchRuntime,
+    DenseBatch,
+    DenseRuntime,
+    DenseTAG,
+    batch_active,
+    compile_dense,
+    compile_dense_batch,
+    resolve_batch,
+)
 from .clocks import (
     And,
     Atom,
@@ -19,7 +28,7 @@ from .clocks import (
     evaluate_clocks,
     within,
 )
-from .matching import MatchResult, TagMatcher
+from .matching import MatchResult, TagMatcher, batch_matching_roots
 from .streaming import Detection, StreamingMatcher
 from .structmatch import count_occurrences, find_occurrence, occurs_at
 from .tag import ANY, TAG, Configuration, Transition
@@ -42,8 +51,14 @@ __all__ = [
     "build_tag",
     "clock_name",
     "compile_dense",
+    "compile_dense_batch",
     "DenseTAG",
+    "DenseBatch",
     "DenseRuntime",
+    "BatchRuntime",
+    "batch_active",
+    "resolve_batch",
+    "batch_matching_roots",
     "TagMatcher",
     "MatchResult",
     "StreamingMatcher",

@@ -33,8 +33,9 @@ Three layers:
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..granularity.normalform import clock_distance, clock_tick_of
 from ..obs import counter, span
@@ -64,6 +65,45 @@ _GUARD_REJECTIONS = counter(
 _BATCHES = counter(
     "repro_tag_batch_runs_total", "Batched (columnar) root sweeps"
 )
+_BATCH_CANDIDATES = counter(
+    "repro_batch_candidates_total",
+    "Candidates evaluated through batched frontier scans",
+)
+
+#: Recognised values of ``REPRO_BATCH``.
+BATCH_MODES = ("auto", "on", "off")
+
+#: Shared miss entry for :meth:`BatchRuntime.match_many` results.
+_NO_MATCH: Tuple[bool, None] = (False, None)
+
+
+def resolve_batch(mode: Optional[str] = None) -> str:
+    """Effective multi-candidate batching mode: ``on`` or ``off``.
+
+    ``REPRO_BATCH`` follows the same taxonomy as ``REPRO_COLUMNAR``:
+    ``auto`` (the default) resolves to ``on``; ``off`` is the kill
+    switch and the differential reference the batch-vs-single suite
+    holds the banked scan against.
+    """
+    value = mode if mode is not None else os.environ.get(
+        "REPRO_BATCH", "auto"
+    )
+    value = value.strip().lower() or "auto"
+    if value not in BATCH_MODES:
+        raise ValueError(
+            "REPRO_BATCH must be one of %s, got %r"
+            % ("|".join(BATCH_MODES), value)
+        )
+    return "off" if value == "off" else "on"
+
+
+def batch_active() -> bool:
+    """True when candidate frontiers should scan through one
+    :class:`BatchRuntime` traversal.  Batching rides on the columnar
+    plan, so it is only effective when the columnar backend is too."""
+    from ..store.columnar import columnar_active
+
+    return resolve_batch() == "on" and columnar_active()
 
 
 class DenseGuard:
@@ -681,4 +721,527 @@ class DenseRuntime:
                 if self.occurs_at(position)
             ]
             batch_span.set(starts=len(viable), hits=len(hits))
+        return hits
+
+
+# ----------------------------------------------------------------------
+# Multi-candidate batching: one traversal for a whole frontier
+# ----------------------------------------------------------------------
+class DenseBatch:
+    """A bank of dense TAGs sharing one clock space, scanned together.
+
+    The members' alphabets are merged into one sorted union alphabet,
+    and every member's consuming transitions are rebanked by *union*
+    symbol id (``banks[m][state][union_sid]`` -> the member's
+    transitions in original order).  Because all members share the same
+    clock names and granularities, one :class:`ColumnPlan` over the
+    union alphabet serves the whole bank: tick columns, horizon cuts
+    and strict-kill positions are computed once per event instead of
+    once per candidate.  ``keysets[m][state]`` is the set of union
+    symbol ids state ``state`` of member ``m`` can consume - the
+    routing table :class:`BatchRuntime` uses to skip members with no
+    transition on the current event's symbol.
+    """
+
+    __slots__ = (
+        "members",
+        "symbols",
+        "symbol_index",
+        "clock_names",
+        "clock_types",
+        "banks",
+        "keysets",
+    )
+
+    def __init__(self, members: Sequence[DenseTAG]):
+        if not members:
+            raise ValueError("a DenseBatch needs at least one member")
+        first = members[0]
+        for member in members[1:]:
+            if member.clock_names != first.clock_names or len(
+                member.clock_types
+            ) != len(first.clock_types) or any(
+                a is not b
+                for a, b in zip(member.clock_types, first.clock_types)
+            ):
+                raise ValueError(
+                    "batch members must share clock names and "
+                    "granularities"
+                )
+        self.members: Tuple[DenseTAG, ...] = tuple(members)
+        self.clock_names = first.clock_names
+        self.clock_types = first.clock_types
+        union: Set[str] = set()
+        for member in self.members:
+            union.update(member.symbols)
+        self.symbols: Tuple[str, ...] = tuple(sorted(union))
+        self.symbol_index: Dict[str, int] = {
+            symbol: index for index, symbol in enumerate(self.symbols)
+        }
+        banks = []
+        keysets = []
+        for member in self.members:
+            state_banks = []
+            state_keys = []
+            for state_id in range(len(member.states)):
+                by_sid: Dict[int, List[DenseTransition]] = {}
+                for transition in member.consuming_by_source[state_id]:
+                    sid = self.symbol_index[
+                        member.symbols[transition.symbol_id]
+                    ]
+                    by_sid.setdefault(sid, []).append(transition)
+                state_banks.append(
+                    {sid: tuple(ts) for sid, ts in by_sid.items()}
+                )
+                state_keys.append(frozenset(by_sid))
+            banks.append(tuple(state_banks))
+            keysets.append(tuple(state_keys))
+        self.banks = tuple(banks)
+        self.keysets = tuple(keysets)
+
+    @property
+    def n_clocks(self) -> int:
+        return len(self.clock_names)
+
+
+def compile_dense_batch(tags):
+    """Group TAGs (or pre-compiled :class:`DenseTAG`\\ s) into banks.
+
+    Members land in the same :class:`DenseBatch` exactly when they
+    share clock names and clock granularities (the precondition for
+    sharing tick columns and strict cuts).  Returns
+    ``[(member_positions, batch), ...]`` in first-seen order, where
+    ``member_positions`` are indexes into the input sequence - the
+    caller uses them to split per-candidate results back out.
+    """
+    denses = [
+        tag if isinstance(tag, DenseTAG) else compile_dense(tag)
+        for tag in tags
+    ]
+    groups: Dict[tuple, List[int]] = {}
+    order: List[tuple] = []
+    for position, dense in enumerate(denses):
+        key = (
+            dense.clock_names,
+            tuple(id(ttype) for ttype in dense.clock_types),
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(position)
+    return [
+        (
+            tuple(groups[key]),
+            DenseBatch([denses[p] for p in groups[key]]),
+        )
+        for key in order
+    ]
+
+
+class BatchRuntime:
+    """Anchored matching of a whole candidate frontier in one traversal.
+
+    Per member, every decision mirrors :class:`DenseRuntime` exactly -
+    same anchor step, same configuration dedup, same transition order,
+    same early accept, horizon and strict cuts - so per-candidate match
+    sets and bindings are bit-identical to the per-candidate path (the
+    batch-vs-single differential suite holds this).  What the batch
+    amortizes is the traversal itself: the union plan's positions,
+    times, tick columns and cut bisections are computed once per root,
+    and the static consumer index means an event only touches the
+    members whose current states can consume its symbol.  A member
+    waiting on a rare symbol pays nothing while dense noise streams by.
+    """
+
+    __slots__ = (
+        "batch",
+        "store",
+        "plan",
+        "strict",
+        "horizon_seconds",
+        "max_configurations",
+        "root_symbol",
+        "root_variable",
+        "_root_symbol_ids",
+        "_consumers",
+        "_want_cache",
+        "_anchor_memo",
+    )
+
+    def __init__(
+        self,
+        batch: DenseBatch,
+        store,
+        root_symbol: str,
+        root_variable: str,
+        strict: bool = False,
+        horizon_seconds: Optional[int] = None,
+        max_configurations: int = 100_000,
+    ):
+        self.batch = batch
+        self.store = store
+        # ColumnPlan only reads .symbols/.clock_types, so the union
+        # bank slots straight into the per-store plan cache.
+        self.plan = _plan_for(batch, store, strict)
+        self.strict = strict
+        self.horizon_seconds = horizon_seconds
+        self.max_configurations = max_configurations
+        self.root_symbol = root_symbol
+        self.root_variable = root_variable
+        self._root_symbol_ids = tuple(
+            member.symbol_id(root_symbol) for member in batch.members
+        )
+        # Static routing: consumers[sid] = members that can *ever*
+        # consume union symbol sid, in member order.  Per sweep, a
+        # member processes an event only when sid is additionally in
+        # its current ``wanted`` set, so wake-up semantics equal a
+        # per-state index without any per-sweep index construction.
+        consumers: Dict[int, List[int]] = {}
+        for m, keys in enumerate(batch.keysets):
+            union: Set[int] = set()
+            for state_keys in keys:
+                union |= state_keys
+            for sid in union:
+                consumers.setdefault(sid, []).append(m)
+        self._consumers = {
+            sid: tuple(members) for sid, members in consumers.items()
+        }
+        #: (member, frozenset of states) -> frozenset of consumable
+        #: sids; state sets recur across roots, so the union is paid
+        #: once per distinct set.
+        self._want_cache: Dict[tuple, frozenset] = {}
+        #: (member, clock-coverage pattern) -> anchor-step survivors
+        #: as (target, variables) pairs; the anchor valuation depends
+        #: only on which clocks cover the root timestamp.
+        self._anchor_memo: Dict[tuple, tuple] = {}
+
+    def match_many(
+        self,
+        root_position: int,
+        member_ids: Optional[Sequence[int]] = None,
+    ) -> Dict[int, Tuple[bool, Optional[Dict[str, int]]]]:
+        """``{member_id: (matched, bindings)}`` for one anchored root,
+        advancing every requested member through one event sweep."""
+        batch = self.batch
+        if member_ids is None:
+            member_ids = range(len(batch.members))
+        results: Dict[int, Tuple[bool, Optional[Dict[str, int]]]] = (
+            dict.fromkeys(member_ids, _NO_MATCH)
+        )
+        store = self.store
+        if store.type_at(root_position) != self.root_symbol:
+            return results
+        root_time = store.time_at(root_position)
+        plan = self.plan
+        root_plan = plan.plan_index_of(root_position)
+        if root_plan is None:  # pragma: no cover - root is in alphabet
+            return results
+        ticks = plan.ticks
+        n_clocks = batch.n_clocks
+        root_ticks = [ticks[c][root_plan] for c in range(n_clocks)]
+        strict_dead = self.strict and any(
+            z is None for z in root_ticks
+        )
+        anchor_values = [
+            0 if root_ticks[c] is not None else None
+            for c in range(n_clocks)
+        ]
+        reset0 = tuple([root_time] * n_clocks)
+        tick0 = tuple(root_ticks)
+        # Anchor step per member (shared clock valuation, shared
+        # resets: all clocks reset at the root for every member).
+        # Which anchor transitions survive depends only on the clock
+        # coverage pattern at the root, so the symbol/variable/guard
+        # filtering is memoized per (member, coverage).
+        cov = tuple(z is not None for z in root_ticks)
+        anchor_memo = self._anchor_memo
+        frontier: Dict[int, list] = {}
+        runs = 0
+        extra_scanned = 0
+        matches = 0
+        wanted: Dict[int, frozenset] = {}
+        keysets = batch.keysets
+        for m in member_ids:
+            runs += 1
+            if strict_dead:
+                extra_scanned += 1
+                continue
+            memo = anchor_memo.get((m, cov))
+            if memo is None:
+                member = batch.members[m]
+                root_sid = self._root_symbol_ids[m]
+                collected = []
+                for transition in member.by_source[member.start]:
+                    if transition.symbol_id != root_sid:
+                        continue
+                    if not (
+                        transition.variables
+                        and transition.variables[0] == self.root_variable
+                    ):
+                        continue
+                    if not transition.guard.evaluate(anchor_values):
+                        continue
+                    collected.append(
+                        (transition.target, transition.variables)
+                    )
+                survivors = tuple(collected)
+                # The initial wanted set is a pure function of the
+                # surviving anchor targets, so it is memoized with
+                # them (saves one frozenset build per member sweep).
+                keys = keysets[m]
+                union: Set[int] = set()
+                for target, _variables in survivors:
+                    union |= keys[target]
+                memo = (survivors, frozenset(union))
+                anchor_memo[(m, cov)] = memo
+            survivors, want0 = memo
+            if not survivors:
+                extra_scanned += 1
+                continue
+            configs = [
+                (
+                    target,
+                    reset0,
+                    tick0,
+                    tuple(
+                        (variable, root_time) for variable in variables
+                    ),
+                )
+                for target, variables in survivors
+            ]
+            accepting = batch.members[m].accepting
+            accepted = None
+            for config in configs:
+                if config[0] in accepting:
+                    accepted = config
+                    break
+            if accepted is not None:
+                results[m] = (True, dict(accepted[3]))
+                matches += 1
+                extra_scanned += 1
+                continue
+            frontier[m] = configs
+            wanted[m] = want0
+        if not frontier:
+            _RUNS.add(runs)
+            if matches:
+                _MATCHES.add(matches)
+            if extra_scanned:
+                _EVENTS_SCANNED.add(extra_scanned)
+            return results
+        # Shared cuts: one horizon bisection and one strict-kill
+        # bisection serve every member (identical clock space).
+        times = plan.times
+        end = len(times)
+        deadline = (
+            root_time + self.horizon_seconds
+            if self.horizon_seconds is not None
+            else None
+        )
+        if deadline is not None:
+            end = bisect_right(times, deadline)
+        if plan.strict_bad is not None:
+            bad = plan.strict_bad
+            k = bisect_right(bad, root_position)
+            if k < len(bad):
+                bad_position = bad[k]
+                if deadline is None or (
+                    store.time_at(bad_position) <= deadline
+                ):
+                    end = min(
+                        end, bisect_left(plan.positions, bad_position)
+                    )
+        # Routing: the static consumer list (who could *ever* consume
+        # sid) filtered by the member's current ``wanted`` set (who can
+        # consume it *now*).  An event whose symbol nobody consumes
+        # costs one dict probe for the whole frontier.  ``wanted`` is
+        # memoized per (member, state set) and recomputed only when a
+        # transition fired - when nothing fires, a carried-over
+        # frontier has the same states (dedup can only drop a config
+        # whose state survives in the kept copy).
+        consumers = self._consumers
+        want_cache = self._want_cache
+        scanned = 1
+        transitions_taken = 0
+        skips = 0
+        guard_rejections = 0
+        symbol_ids = plan.symbol_ids
+        members_list = batch.members
+        banks = batch.banks
+        max_configurations = self.max_configurations
+        for j in range(root_plan + 1, end):
+            scanned += 1
+            sid = symbol_ids[j]
+            group = consumers.get(sid)
+            if group is None:
+                continue
+            now = times[j]
+            for m in group:
+                want = wanted.get(m)
+                if want is None or sid not in want:
+                    continue
+                bank = banks[m]
+                accepting = members_list[m].accepting
+                configs = frontier[m]
+                # The frontier rebuild is lazy: ``next_configs`` is
+                # materialised only once a guard actually passes.  A
+                # wake where every transition misses or is rejected
+                # leaves the (already deduplicated) frontier object
+                # untouched, which is the common case on busy sweeps.
+                seen = None
+                next_configs = None
+                accepted = None
+                for idx, config in enumerate(configs):
+                    state, resets, rticks, bindings = config
+                    if next_configs is not None:
+                        key = (state, resets)
+                        if key not in seen:
+                            seen.add(key)
+                            next_configs.append(config)
+                            skips += 1
+                    values = None
+                    for transition in bank[state].get(sid, ()):
+                        if values is None:
+                            values = [None] * n_clocks
+                            for cidx in transition.guard.clock_ids:
+                                reset_tick = rticks[cidx]
+                                now_tick = ticks[cidx][j]
+                                if (
+                                    reset_tick is not None
+                                    and now_tick is not None
+                                ):
+                                    values[cidx] = (
+                                        now_tick - reset_tick
+                                    )
+                        else:
+                            for cidx in transition.guard.clock_ids:
+                                if values[cidx] is None:
+                                    reset_tick = rticks[cidx]
+                                    now_tick = ticks[cidx][j]
+                                    if (
+                                        reset_tick is not None
+                                        and now_tick is not None
+                                    ):
+                                        values[cidx] = (
+                                            now_tick - reset_tick
+                                        )
+                        if not transition.guard.evaluate(values):
+                            guard_rejections += 1
+                            continue
+                        transitions_taken += 1
+                        if next_configs is None:
+                            # First fired transition of this wake:
+                            # replay the carry dedup over the configs
+                            # already visited so the rebuilt list is
+                            # exactly what the eager path produced.
+                            seen = set()
+                            next_configs = []
+                            for prev in configs[: idx + 1]:
+                                pkey = (prev[0], prev[1])
+                                if pkey not in seen:
+                                    seen.add(pkey)
+                                    next_configs.append(prev)
+                                    skips += 1
+                        if transition.resets:
+                            new_resets = list(resets)
+                            new_ticks = list(rticks)
+                            for cidx in transition.resets:
+                                new_resets[cidx] = now
+                                new_ticks[cidx] = ticks[cidx][j]
+                            new_resets = tuple(new_resets)
+                            new_ticks = tuple(new_ticks)
+                        else:
+                            new_resets = resets
+                            new_ticks = rticks
+                        new_bindings = bindings + tuple(
+                            (variable, now)
+                            for variable in transition.variables
+                        )
+                        successor = (
+                            transition.target,
+                            new_resets,
+                            new_ticks,
+                            new_bindings,
+                        )
+                        if transition.target in accepting:
+                            accepted = successor
+                            break
+                        key = (transition.target, new_resets)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        next_configs.append(successor)
+                    if accepted is not None:
+                        break
+                if accepted is not None:
+                    results[m] = (True, dict(accepted[3]))
+                    matches += 1
+                    del frontier[m]
+                    del wanted[m]
+                    continue
+                if next_configs is None:
+                    # Nothing fired: frontier and wanted set carry
+                    # over unchanged.
+                    continue
+                if len(next_configs) > max_configurations:
+                    raise RuntimeError(
+                        "configuration set exceeded %d; tighten the "
+                        "horizon" % max_configurations
+                    )
+                frontier[m] = next_configs
+                sig = frozenset(
+                    config[0] for config in next_configs
+                )
+                want = want_cache.get((m, sig))
+                if want is None:
+                    keys = keysets[m]
+                    union = set()
+                    for state in sig:
+                        union |= keys[state]
+                    want = frozenset(union)
+                    want_cache[(m, sig)] = want
+                wanted[m] = want
+            if not frontier:
+                break
+        _RUNS.add(runs)
+        if matches:
+            _MATCHES.add(matches)
+        # The traversal is shared: count each event once per sweep,
+        # not once per member (documented in OBSERVABILITY.md).
+        _EVENTS_SCANNED.add(scanned + extra_scanned)
+        _TRANSITIONS.add(transitions_taken)
+        _SKIPS.add(skips)
+        _GUARD_REJECTIONS.add(guard_rejections)
+        return results
+
+    def scan_roots(
+        self, viable_lists: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Matched root positions per member, sharing one sweep per
+        root across all members for which it is viable.
+
+        ``viable_lists[m]`` are the (ascending) screened root
+        positions of member ``m``; the return value is the exact list
+        :meth:`DenseRuntime.matching_roots` would produce per member.
+        """
+        batch = self.batch
+        n_members = len(batch.members)
+        by_root: Dict[int, List[int]] = {}
+        for m, roots in enumerate(viable_lists):
+            for root in roots:
+                by_root.setdefault(root, []).append(m)
+        hits: List[List[int]] = [[] for _ in range(n_members)]
+        _BATCHES.inc()
+        _BATCH_CANDIDATES.add(n_members)
+        with span(
+            "tag.batch_scan",
+            candidates=n_members,
+            roots=len(by_root),
+        ) as scan_span:
+            for root in sorted(by_root):
+                outcomes = self.match_many(root, by_root[root])
+                for m in by_root[root]:
+                    if outcomes[m][0]:
+                        hits[m].append(root)
+            scan_span.set(hits=sum(len(h) for h in hits))
         return hits

@@ -379,6 +379,30 @@ class TagMatcher:
         """Paper-style count: matched root occurrences (each counted once)."""
         return sum(1 for _ in self.matching_roots(sequence))
 
+    def viable_root_positions(
+        self, sequence: "EventSequence"
+    ) -> List[int]:
+        """Root occurrences surviving the anchor screen, as positions.
+
+        The same enumeration :meth:`matching_roots` starts from, split
+        out so frontier-level callers (``batch_matching_roots``, the
+        mining loop) can feed it to a shared :class:`BatchRuntime`.
+        """
+        runtime = self._columnar_runtime(sequence)
+        if runtime is not None:
+            return runtime.viable_roots(self.anchor_requirements)
+        anchors = sequence.occurrence_indices(self.build.root_symbol)
+        if self.anchor_requirements:
+            index = sequence.anchor_index()
+            anchors = index.viable_anchors(
+                [
+                    (position, sequence[position].time)
+                    for position in anchors
+                ],
+                self.anchor_requirements,
+            )
+        return list(anchors)
+
     def accepts(self, sequence: "EventSequence") -> bool:
         """Unanchored acceptance: some suffix anchors an occurrence.
 
@@ -387,3 +411,79 @@ class TagMatcher:
         skip any prefix via the start state's self-loop).
         """
         return any(True for _ in self.matching_roots(sequence))
+
+
+# ----------------------------------------------------------------------
+# Frontier-level routing (REPRO_BATCH taxonomy)
+# ----------------------------------------------------------------------
+def batch_matching_roots(
+    matchers: Sequence[TagMatcher], sequence: "EventSequence"
+) -> List[List[int]]:
+    """Per-matcher matching-root lists for a whole candidate frontier.
+
+    When ``REPRO_BATCH`` and the columnar backend are active, matchers
+    that share root symbol/variable, semantics (strict, horizon,
+    configuration cap) and clock space are merged into one
+    :class:`~repro.automata.dense.DenseBatch` and scanned in a single
+    :class:`~repro.automata.dense.BatchRuntime` traversal per root;
+    everything else falls back to the per-matcher path.  Either way the
+    result is bit-identical to ``[list(m.matching_roots(sequence)) for
+    m in matchers]`` - ``REPRO_BATCH=off`` is the differential
+    reference the batch-vs-single suite replays.
+    """
+    from .dense import BatchRuntime, batch_active, compile_dense_batch
+
+    results: List[Optional[List[int]]] = [None] * len(matchers)
+
+    def _fallback(indexes):
+        for i in indexes:
+            results[i] = list(matchers[i].matching_roots(sequence))
+
+    if (
+        len(matchers) < 2
+        or not batch_active()
+        or getattr(sequence, "columnar", None) is None
+    ):
+        _fallback(range(len(matchers)))
+        return [r for r in results]
+    store = sequence.columnar()
+    groups: Dict[tuple, List[int]] = {}
+    for i, matcher in enumerate(matchers):
+        key = (
+            matcher.build.root_symbol,
+            matcher.build.structure.root,
+            matcher.strict,
+            matcher.horizon_seconds,
+            matcher.max_configurations,
+        )
+        groups.setdefault(key, []).append(i)
+    for key, indexes in groups.items():
+        if len(indexes) < 2:
+            _fallback(indexes)
+            continue
+        for matcher in (matchers[i] for i in indexes):
+            if matcher._dense is None:
+                matcher._dense = compile_dense(matcher.tag)
+        banks = compile_dense_batch(
+            [matchers[i]._dense for i in indexes]
+        )
+        root_symbol, root_variable, strict, horizon, cap = key
+        for positions, batch in banks:
+            member_indexes = [indexes[p] for p in positions]
+            runtime = BatchRuntime(
+                batch,
+                store,
+                root_symbol,
+                root_variable,
+                strict=strict,
+                horizon_seconds=horizon,
+                max_configurations=cap,
+            )
+            viable = [
+                matchers[i].viable_root_positions(sequence)
+                for i in member_indexes
+            ]
+            hits = runtime.scan_roots(viable)
+            for k, i in enumerate(member_indexes):
+                results[i] = hits[k]
+    return [r for r in results]

@@ -8,7 +8,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro serve PATTERN.json TENANTS.csv  # multi-tenant detection service
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
-    repro bench --output BENCH.json       # X1-X16 regression harness
+    repro bench --output BENCH.json       # X1-X17 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
     repro obs flame TRACE.json            # render an embedded profile
@@ -294,15 +294,25 @@ def _cmd_mine(args) -> int:
     system = standard_system()
     problem = problem_from_dict(load_json(args.problem), system)
     sequence = _load_events(args)
-    outcome = discover(
-        problem,
-        sequence,
-        system,
-        screen_depth=args.screen_depth,
-        engine=args.engine,
-        parallel=_parse_count(args.parallel, "--parallel"),
-        shard_size=_parse_count(args.shard_size, "--shard-size"),
-    )
+    previous_batch = os.environ.get("REPRO_BATCH")
+    if args.batch_candidates:
+        os.environ["REPRO_BATCH"] = args.batch_candidates
+    try:
+        outcome = discover(
+            problem,
+            sequence,
+            system,
+            screen_depth=args.screen_depth,
+            engine=args.engine,
+            parallel=_parse_count(args.parallel, "--parallel"),
+            shard_size=_parse_count(args.shard_size, "--shard-size"),
+        )
+    finally:
+        if args.batch_candidates:
+            if previous_batch is None:
+                os.environ.pop("REPRO_BATCH", None)
+            else:
+                os.environ["REPRO_BATCH"] = previous_batch
     if not outcome.stats.consistent:
         print("structure is inconsistent; nothing to mine")
         return 1
@@ -806,6 +816,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: auto-sized from the worker count)",
     )
     mine.add_argument(
+        "--batch-candidates",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="batched multi-candidate frontier scanning (sets "
+        "REPRO_BATCH for this run, restored afterwards; 'off' is the "
+        "per-candidate differential reference; default: inherit the "
+        "environment). Output is identical in every mode.",
+    )
+    mine.add_argument(
         "--report",
         action="store_true",
         help="print a formatted report instead of raw solution lines",
@@ -820,7 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the X1-X16 regression harness (see docs/PERFORMANCE.md)",
+        help="run the X1-X17 regression harness (see docs/PERFORMANCE.md)",
     )
     _add_engine_option(bench)
     bench.add_argument(

@@ -226,6 +226,95 @@ def candidate_assignments(
         yield assignment
 
 
+def _batched_scan(
+    problem: EventDiscoveryProblem,
+    outcome: DiscoveryOutcome,
+    reduced: EventSequence,
+    system: GranularitySystem,
+    candidates: List[Dict[str, str]],
+    windows,
+    roots: List[int],
+    total: int,
+    horizon: Optional[int],
+    strict: bool,
+    anchor_screen: bool,
+) -> None:
+    """Step 5 via the banked multi-candidate engine (``REPRO_BATCH``).
+
+    Per-candidate anchor screening is unchanged (the identical viable
+    root sets the per-candidate path computes); what is shared is the
+    traversal - one :class:`~repro.automata.dense.BatchRuntime` sweep
+    per root advances every candidate for which that root is viable.
+    Per-candidate hits and starts split back exactly, so solutions,
+    frequencies and ``automaton_starts`` are bit-identical to the
+    ``REPRO_BATCH=off`` reference (held by the differential suite).
+    """
+    from ..automata.dense import BatchRuntime, compile_dense_batch
+    from ..mining.evaluation import frontier_frequencies
+    from ..parallel.engine import candidate_requirements
+
+    structure = problem.structure
+    view = reduced.columnar()
+    root_times = [reduced[root].time for root in roots]
+    builds = [
+        build_tag(ComplexEventType(structure, assignment), system=system)
+        for assignment in candidates
+    ]
+    hit_counts = [0] * len(candidates)
+    start_counts = [0] * len(candidates)
+    for positions, batch in compile_dense_batch(
+        [build.tag for build in builds]
+    ):
+        viable_lists = []
+        for position in positions:
+            requirements = (
+                candidate_requirements(
+                    candidates[position], windows, structure.root
+                )
+                if anchor_screen and windows
+                else ()
+            )
+            if requirements:
+                mask = view.screen_anchors(root_times, requirements)
+                viable = [
+                    root for root, ok in zip(roots, mask) if ok
+                ]
+            else:
+                viable = list(roots)
+            viable_lists.append(viable)
+        runtime = BatchRuntime(
+            batch,
+            view,
+            builds[positions[0]].root_symbol,
+            structure.root,
+            strict=strict,
+            horizon_seconds=horizon,
+        )
+        matched = runtime.scan_roots(viable_lists)
+        for k, position in enumerate(positions):
+            hit_counts[position] = len(matched[k])
+            start_counts[position] = len(viable_lists[k])
+    frequencies = frontier_frequencies(hit_counts, total)
+    for position, assignment in enumerate(candidates):
+        cet = ComplexEventType(structure, assignment)
+        outcome.candidates_evaluated += 1
+        outcome.automaton_starts += start_counts[position]
+        frequency = frequencies[position]
+        frequent = frequency > problem.min_confidence
+        with span(
+            "mine.candidate",
+            assignment=" ".join(
+                "%s=%s" % item for item in sorted(assignment.items())
+            ),
+        ) as candidate_span:
+            candidate_span.set(
+                frequency=round(frequency, 6), frequent=frequent
+            )
+        if frequent:
+            outcome.solutions.append(cet)
+            outcome.frequencies[cet] = frequency
+
+
 def _frequency(
     matcher: TagMatcher,
     sequence: EventSequence,
@@ -502,6 +591,35 @@ def _discover(
                     outcome.frequencies[cet] = frequency
             scan_span.set(candidates=outcome.candidates_evaluated)
             return outcome
+        from ..automata.dense import batch_active
+
+        if batch_active():
+            candidates = list(
+                candidate_assignments(
+                    problem,
+                    reduced,
+                    survivors=survivors,
+                    allowed_pairs=allowed_pairs,
+                )
+            )
+            if len(candidates) > 1:
+                _batched_scan(
+                    problem,
+                    outcome,
+                    reduced,
+                    system,
+                    candidates,
+                    windows,
+                    roots,
+                    total,
+                    horizon,
+                    strict,
+                    anchor_screen,
+                )
+                scan_span.set(candidates=outcome.candidates_evaluated)
+                return outcome
+            # A frontier of one gains nothing from banking; fall
+            # through to the per-candidate path below.
         view = None
         index = None
         if anchor_screen and windows:

@@ -64,6 +64,24 @@ class Evaluation:
         )
 
 
+def frontier_frequencies(
+    hit_counts: Iterable[int], total_roots: int
+) -> Tuple[float, ...]:
+    """Per-candidate frequencies from batched hit counters.
+
+    The batched scan engine (``REPRO_BATCH=on``) counts hits per
+    candidate while sharing one traversal across the whole frontier;
+    the split back to per-candidate support is exact - each counter is
+    incremented only for its own candidate's accepting runs - so the
+    frequency definition is unchanged from the per-candidate path:
+    ``hits / total_roots``, with the empty-sequence convention of 0.0
+    when there are no reference occurrences.
+    """
+    if total_roots <= 0:
+        return tuple(0.0 for _ in hit_counts)
+    return tuple(hits / total_roots for hits in hit_counts)
+
+
 def evaluate_anchors(
     truth: Mapping[int, bool],
     predict: Callable[[int], bool],

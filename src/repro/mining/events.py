@@ -147,6 +147,24 @@ class EventSequence:
             self._columnar = ColumnarEventStore.from_sequence(self)
         return self._columnar
 
+    def adopt_columnar(self, store: "ColumnarEventStore") -> None:
+        """Install an externally built columnar view for this sequence.
+
+        The parallel engine's workers attach to the parent's columns
+        over shared memory (:meth:`~repro.store.columnar.
+        ColumnarEventStore.to_shared`) and adopt the attached store
+        here instead of rebuilding it.  The store must hold exactly
+        this sequence's events in order - positions are the contract
+        every consumer relies on - so only the event count is cheap
+        enough to verify eagerly.
+        """
+        if len(store) != len(self._events):
+            raise ValueError(
+                "columnar view holds %d events, sequence holds %d"
+                % (len(store), len(self._events))
+            )
+        self._columnar = store
+
     def slice_positions(self, lo: int, hi: int) -> "EventSequence":
         """A new sequence holding positions ``[lo, hi)`` of this one.
 

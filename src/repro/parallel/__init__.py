@@ -23,11 +23,13 @@ from .shards import (
     plan_shards,
     resolve_shard_size,
 )
+from .stealing import StealScheduler
 
 __all__ = [
     "CandidateResult",
     "ScanContext",
     "Shard",
+    "StealScheduler",
     "candidate_requirements",
     "check_shard_invariants",
     "fork_available",

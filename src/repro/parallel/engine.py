@@ -22,12 +22,25 @@ past ``t0 + H``).  This module exploits both:
   counters via :meth:`~repro.obs.metrics.MetricsRegistry.
   merge_counter_deltas`, cache traffic via :meth:`~repro.granularity.
   convcache.ConversionCache.merge_counts`, spans by grafting under the
-  open ``mine.scan`` span - so process-wide accounting stays exact.
+  open ``mine.scan`` span - so process-wide accounting stays exact;
+* when the columnar store is active the parent exports its int64
+  columns once over :class:`~repro.store.columnar.SharedColumns`
+  (POSIX shared memory, mmap-file fallback) and each worker *attaches*
+  zero-copy instead of relying on copy-on-write fork pages - the pool
+  initializer adopts the attached view into the inherited sequence;
+* with ``REPRO_BATCH`` on, candidates sharing a clock signature are
+  compiled into one :class:`~repro.automata.dense.DenseBatch` in the
+  parent; a pool task then scans one *group* of candidates over one
+  shard in a single banked traversal and returns per-member counts.
 
-Results merge deterministically: ``pool.map`` preserves task order and
-hits are summed per candidate in shard order, so a parallel run's
-solutions, frequencies and work counters equal the serial run's
-exactly, for any worker count or shard size.
+Units (contiguous slices of the task grid) are dispatched through a
+:class:`~repro.parallel.stealing.StealScheduler`: one in-flight unit
+per lane, idle lanes steal the tail half of the richest deque.  Results
+merge deterministically regardless of which lane ran what: every unit
+result lands at its planned index and hits are summed per candidate in
+unit order, so a parallel run's solutions, frequencies and work
+counters equal the serial run's exactly, for any worker count, shard
+size or steal interleaving.
 
 ``REPRO_PARALLEL=off`` (or a platform without fork) degrades to the
 inline executor: the same task grid runs in-process, still
@@ -38,8 +51,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..automata.builder import build_tag
@@ -63,6 +76,7 @@ from ..obs import (
 )
 from ..store.anchorindex import Requirement
 from .shards import Shard, check_shard_invariants, plan_shards
+from .stealing import StealScheduler
 
 _SHARDS_TOTAL = counter(
     "repro_mine_shards_total",
@@ -166,6 +180,13 @@ class ScanContext:
     horizon: Optional[int]
     strict: bool
     trace: bool
+    #: Banked candidate groups when ``REPRO_BATCH`` is on: each entry is
+    #: ``(candidate positions, DenseBatch, root symbol)`` and tasks
+    #: index groups instead of single candidates.  Empty = per-candidate
+    #: tasks (the reference path).
+    batch_groups: List[Tuple[Tuple[int, ...], object, str]] = field(
+        default_factory=list
+    )
     #: Identity of the parent's open ``mine.scan`` span: workers build
     #: their tracer from it, so merged spans carry the originating
     #: trace_id and re-parent under the exact span that forked them.
@@ -178,6 +199,11 @@ _CTX: Optional[ScanContext] = None
 #: touches, however many shards of that candidate it scans (the
 #: per-worker dedup of construction work).
 _MATCHERS: Dict[int, TagMatcher] = {}
+
+#: Per-worker batch-runtime memo (one per candidate group touched).
+#: The banked tables themselves arrive through fork; only the thin
+#: runtime wrapper (plan lookup, routing index seeds) is per-worker.
+_RUNTIMES: Dict[int, object] = {}
 
 
 def _matcher_for(ctx: ScanContext, candidate_index: int) -> TagMatcher:
@@ -220,15 +246,71 @@ def _scan_shard(
     return hits, len(viable)
 
 
-def _warm_worker(namespace: int, entries, forms=()) -> None:
+def _batch_runtime_for(ctx: ScanContext, group_index: int):
+    runtime = _RUNTIMES.get(group_index)
+    if runtime is None:
+        from ..automata.dense import BatchRuntime
+
+        _positions, batch, root_symbol = ctx.batch_groups[group_index]
+        runtime = BatchRuntime(
+            batch,
+            ctx.sequence.columnar(),
+            root_symbol,
+            ctx.structure.root,
+            strict=ctx.strict,
+            horizon_seconds=ctx.horizon,
+        )
+        _RUNTIMES[group_index] = runtime
+    return runtime
+
+
+def _scan_shard_batch(
+    ctx: ScanContext, group_index: int, shard_index: int
+) -> List[Tuple[int, int, int]]:
+    """One batched task: scan one shard for one candidate *group*.
+
+    The anchor screen runs per member exactly as the per-candidate path
+    would (same :meth:`~repro.store.anchorindex.AnchorIndex.
+    viable_anchors` calls on the shard's owned roots); the automaton
+    traversal is shared across the group.  Returns
+    ``(candidate_index, hits, starts)`` per member, so per-candidate
+    merging is unchanged from the reference path.
+    """
+    positions, _batch, _root_symbol = ctx.batch_groups[group_index]
+    shard = ctx.shards[shard_index]
+    index = ctx.sequence.anchor_index()
+    root_pairs = [
+        (root, ctx.sequence[root].time) for root in shard.roots
+    ]
+    viable_lists = [
+        index.viable_anchors(root_pairs, ctx.requirements[candidate])
+        for candidate in positions
+    ]
+    runtime = _batch_runtime_for(ctx, group_index)
+    matched = runtime.scan_roots(viable_lists)
+    return [
+        (candidate, len(matched[member]), len(viable_lists[member]))
+        for member, candidate in enumerate(positions)
+    ]
+
+
+def _warm_worker(namespace: int, entries, forms=(), shm_handle=None) -> None:
     """Pool initializer: install the exported conversion-cache entries.
 
     Redundant under fork (the entries arrived with the address space)
     but load-bearing for any start method that builds workers fresh -
     either way no worker recomputes a conversion the parent already
     paid for.  Preloading counts neither hits nor misses.  Compiled
-    periodic normal forms ride along so a fresh worker builds its
-    compiled size tables without re-lowering (no boundary scans).
+    periodic normal forms ride along so a fresh worker builds
+    its compiled size tables without re-lowering (no boundary scans).
+
+    ``shm_handle`` is the parent's :class:`~repro.store.columnar.
+    SharedColumns` handle: when present the worker attaches to the
+    parent's int64 columns zero-copy and adopts the attached store into
+    the inherited sequence, replacing the copy-on-write fork pages with
+    a genuinely shared mapping.  Attach failure is non-fatal - the
+    worker falls back to the fork-inherited (or rebuilt) view, which is
+    bit-identical by construction.
     """
     ctx = _CTX
     if ctx is not None:
@@ -236,6 +318,36 @@ def _warm_worker(namespace: int, entries, forms=()) -> None:
         cache.preload(namespace, entries)
         if forms:
             cache.preload_normal_forms(namespace, forms)
+        if shm_handle is not None:
+            from ..store.columnar import attach_shared
+
+            store = attach_shared(shm_handle)
+            if store is not None:
+                try:
+                    ctx.sequence.adopt_columnar(store)
+                except ValueError:
+                    pass  # count mismatch: keep the inherited view
+
+
+def _execute_task(
+    ctx: ScanContext, first: int, second: int
+) -> List[Tuple[int, int, int, int]]:
+    """Run one grid task, per-candidate or batched.
+
+    With batch groups installed, ``first`` indexes a group and the
+    return value carries one ``(candidate, shard, hits, starts)`` entry
+    per member; otherwise ``first`` is a candidate index and exactly one
+    entry comes back.  Either way the merge loop sums per candidate.
+    """
+    if ctx.batch_groups:
+        return [
+            (candidate, second, hits, starts)
+            for candidate, hits, starts in _scan_shard_batch(
+                ctx, first, second
+            )
+        ]
+    hits, starts = _scan_shard(ctx, first, second)
+    return [(first, second, hits, starts)]
 
 
 def _pool_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
@@ -257,18 +369,22 @@ def _pool_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
     cache_before = cache.snapshot()
     tracer = Tracer(parent=ctx.trace_context) if ctx.trace else None
     results: List[Tuple[int, int, int, int]] = []
+    label = "group" if ctx.batch_groups else "candidate"
 
     def run_tasks() -> None:
-        for candidate_index, shard_index in batch:
+        for first, second in batch:
             with span(
                 "mine.worker",
                 pid=os.getpid(),
-                candidate=candidate_index,
-                shard=shard_index,
+                shard=second,
+                **{label: first},
             ) as worker_span:
-                hits, starts = _scan_shard(ctx, candidate_index, shard_index)
-                worker_span.set(hits=hits, starts=starts)
-            results.append((candidate_index, shard_index, hits, starts))
+                entries = _execute_task(ctx, first, second)
+                worker_span.set(
+                    hits=sum(entry[2] for entry in entries),
+                    starts=sum(entry[3] for entry in entries),
+                )
+            results.extend(entries)
 
     if tracer is not None:
         with activate_tracer(tracer):
@@ -295,17 +411,21 @@ def _inline_batch(batch: Sequence[Tuple[int, int]]) -> Dict[str, object]:
     already-active tracer, so nothing is captured for merging.
     """
     results: List[Tuple[int, int, int, int]] = []
-    for candidate_index, shard_index in batch:
+    label = "group" if _CTX.batch_groups else "candidate"
+    for first, second in batch:
         with span(
             "mine.worker",
             pid=os.getpid(),
-            candidate=candidate_index,
-            shard=shard_index,
+            shard=second,
             inline=True,
+            **{label: first},
         ) as worker_span:
-            hits, starts = _scan_shard(_CTX, candidate_index, shard_index)
-            worker_span.set(hits=hits, starts=starts)
-        results.append((candidate_index, shard_index, hits, starts))
+            entries = _execute_task(_CTX, first, second)
+            worker_span.set(
+                hits=sum(entry[2] for entry in entries),
+                starts=sum(entry[3] for entry in entries),
+            )
+        results.extend(entries)
     return {
         "results": results,
         "counter_deltas": {},
@@ -363,7 +483,7 @@ def parallel_scan(
     ``executor`` is ``"auto"`` (pool when it would help and fork
     exists), ``"pool"`` or ``"inline"`` (the test hook).
     """
-    global _CTX, _MATCHERS
+    global _CTX, _MATCHERS, _RUNTIMES
     requirements = [
         candidate_requirements(assignment, windows, structure.root)
         if anchor_screen
@@ -381,11 +501,44 @@ def parallel_scan(
     )
     if obs_debug():
         check_shard_invariants(shards, sequence, list(roots), horizon)
-    tasks = [
-        (candidate_index, shard.index)
-        for candidate_index in range(len(candidates))
-        for shard in shards
-    ]
+
+    from ..automata.dense import batch_active
+    from ..store.columnar import columnar_active
+
+    batch_groups: List[Tuple[Tuple[int, ...], object, str]] = []
+    if batch_active() and len(candidates) > 1:
+        # Compile the frontier into banked tables once, in the parent;
+        # workers inherit the compiled groups through fork and share
+        # one traversal per (group, shard) task.  Grouping by root
+        # symbol first keeps every group anchored on one event type.
+        from ..automata.dense import compile_dense_batch
+
+        builds = [
+            build_tag(ComplexEventType(structure, assignment), system=system)
+            for assignment in candidates
+        ]
+        by_symbol: Dict[str, List[int]] = {}
+        for position, build in enumerate(builds):
+            by_symbol.setdefault(build.root_symbol, []).append(position)
+        for symbol, members in by_symbol.items():
+            for relative, bank in compile_dense_batch(
+                [builds[member].tag for member in members]
+            ):
+                batch_groups.append(
+                    (tuple(members[r] for r in relative), bank, symbol)
+                )
+    if batch_groups:
+        tasks = [
+            (group_index, shard.index)
+            for group_index in range(len(batch_groups))
+            for shard in shards
+        ]
+    else:
+        tasks = [
+            (candidate_index, shard.index)
+            for candidate_index in range(len(candidates))
+            for shard in shards
+        ]
     mode = executor
     if mode == "auto":
         mode = "pool" if workers > 1 and len(tasks) > 1 else "inline"
@@ -397,13 +550,17 @@ def parallel_scan(
     _TASKS_TOTAL.add(len(tasks))
     _WORKERS_GAUGE.set(workers_used)
 
-    from ..store.columnar import columnar_active
-
+    shm_owner = None
     if columnar_active():
         # Build the columnar view (and its posting columns) once in the
-        # parent so every forked worker inherits it through the address
-        # space instead of rebuilding it per process.
-        sequence.columnar()
+        # parent; pool workers then *attach* to the int64 columns over
+        # shared memory instead of faulting copy-on-write fork pages.
+        view = sequence.columnar()
+        if mode == "pool":
+            try:
+                shm_owner = view.to_shared()
+            except OSError:
+                shm_owner = None  # fork inheritance still works
 
     ctx = ScanContext(
         sequence=sequence,
@@ -416,27 +573,61 @@ def parallel_scan(
         strict=strict,
         trace=current_tracer() is not None,
         trace_context=current_context(),
+        batch_groups=batch_groups,
     )
     batches = _plan_batches(tasks, workers_used)
+    scheduler: Optional[StealScheduler] = None
     _CTX = ctx
     _MATCHERS = {}
+    _RUNTIMES = {}
     try:
         if mode == "pool":
             namespace = system.cache_namespace
             entries = system.conversion_cache.export_entries(namespace)
             forms = system.conversion_cache.export_normal_forms(namespace)
+            handle = shm_owner.handle() if shm_owner is not None else None
+            # Work stealing: one in-flight unit per lane; an idle lane
+            # steals the tail half of the richest deque.  Each result
+            # lands at its planned unit index, so the merge below is
+            # independent of the steal interleaving.
+            raw = [None] * len(batches)
+            scheduler = StealScheduler(batches, workers_used)
             with ProcessPoolExecutor(
                 max_workers=workers_used,
                 mp_context=multiprocessing.get_context("fork"),
                 initializer=_warm_worker,
-                initargs=(namespace, entries, forms),
+                initargs=(namespace, entries, forms, handle),
             ) as pool:
-                raw = list(pool.map(_pool_batch, batches))
+                inflight = {}
+                for lane in range(workers_used):
+                    item = scheduler.next_for(lane)
+                    if item is None:
+                        break
+                    unit_index, unit = item
+                    future = pool.submit(_pool_batch, unit)
+                    inflight[future] = (lane, unit_index)
+                while inflight:
+                    done, _pending = wait(
+                        list(inflight), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        lane, unit_index = inflight.pop(future)
+                        raw[unit_index] = future.result()
+                        item = scheduler.next_for(lane)
+                        if item is not None:
+                            unit_index, unit = item
+                            future = pool.submit(_pool_batch, unit)
+                            inflight[future] = (lane, unit_index)
         else:
             raw = [_inline_batch(batch) for batch in batches]
     finally:
         _CTX = None
         _MATCHERS = {}
+        _RUNTIMES = {}
+        if shm_owner is not None:
+            # Unlink even on worker crash: attached segments die with
+            # their processes, the owner's close releases the name.
+            shm_owner.close()
 
     results = [
         CandidateResult(assignment=assignment) for assignment in candidates
@@ -444,7 +635,7 @@ def parallel_scan(
     merged_counters: Dict[str, float] = {}
     cache_hits = cache_misses = cache_evictions = 0
     tracer = current_tracer()
-    for record in raw:  # pool.map preserves submission order
+    for record in raw:  # planned unit order, whoever ran the unit
         for candidate_index, _shard, hits, starts in record["results"]:
             result = results[candidate_index]
             result.hits += hits
@@ -469,5 +660,8 @@ def parallel_scan(
         "shards": len(shards),
         "tasks": len(tasks),
         "executor": mode,
+        "batch_groups": len(batch_groups),
+        "steals": scheduler.steals if scheduler is not None else 0,
+        "shm": shm_owner.kind if shm_owner is not None else None,
     }
     return results, report

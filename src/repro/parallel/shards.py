@@ -89,6 +89,25 @@ def plan_shards(
                 end_time=sequence[len(sequence) - 1].time,
             )
         ]
+    last_event_time = sequence[len(sequence) - 1].time
+    if sequence[roots[0]].time + horizon >= last_event_time:
+        # Degenerate horizon: the window of even the *first* root
+        # already reaches the end of the sequence, so every chunk's
+        # overlap would cover the whole suffix and time-sharding buys
+        # nothing.  Short-circuit to one shard instead of planning N
+        # fully-overlapping shards (or one shard dressed with a bogus
+        # overlap computation past the last event).
+        first = roots[0]
+        return [
+            Shard(
+                index=0,
+                roots=tuple(roots),
+                event_lo=first,
+                event_hi=len(sequence),
+                start_time=sequence[first].time,
+                end_time=sequence[roots[-1]].time + horizon,
+            )
+        ]
     size = resolve_shard_size(shard_size, len(roots), workers)
     shards: List[Shard] = []
     for start in range(0, len(roots), size):

@@ -1,0 +1,104 @@
+"""Work-stealing unit scheduler for the parallel mining pool.
+
+The static grid (``pool.map`` over pre-planned contiguous batches)
+wastes wall-clock whenever shard cost is skewed: a worker that drew the
+dense region finishes last while the rest idle.  This scheduler keeps
+the *plan* static - units are still contiguous slices of the task grid,
+assigned to per-lane deques so each lane stays on few distinct
+candidates - but lets an idle lane steal the tail half of the richest
+deque instead of waiting.
+
+Determinism is by construction, not by scheduling: every unit carries
+its index in the original plan, the caller stores each result at that
+index, and the merge runs in index order.  Which lane executed a unit
+(and whether it was stolen) affects only wall-clock and the
+``repro_parallel_steals_total`` counter, never the merged hit counts -
+the bit-identity contract with the serial engine survives any
+interleaving.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from ..obs import counter, span
+
+_STEALS_TOTAL = counter(
+    "repro_parallel_steals_total",
+    "Unit batches stolen from another lane's deque by an idle lane",
+)
+
+T = TypeVar("T")
+
+
+class StealScheduler(Generic[T]):
+    """Per-lane deques of (unit_index, unit) with steal-half on idle.
+
+    ``units`` is the planned unit list; unit ``i`` initially lands on
+    lane ``i // ceil(n / lanes)`` (contiguous blocks, so a lane's own
+    work shares candidates and its matcher/runtime memo stays hot).
+    ``next_for(lane)`` pops the lane's own deque first; an empty lane
+    steals the tail half of the fullest deque (ties broken toward the
+    lowest lane index, so victim choice is deterministic for a given
+    deque state).  Returns None only when every deque is drained.
+    """
+
+    def __init__(self, units: Sequence[T], lanes: int):
+        self.lanes = max(1, int(lanes))
+        self._deques: List[Deque[Tuple[int, T]]] = [
+            deque() for _ in range(self.lanes)
+        ]
+        self.steals = 0
+        if units:
+            block = -(-len(units) // self.lanes)
+            for index, unit in enumerate(units):
+                lane = min(index // block, self.lanes - 1)
+                self._deques[lane].append((index, unit))
+
+    def __len__(self) -> int:
+        return sum(len(dq) for dq in self._deques)
+
+    def pending(self, lane: int) -> int:
+        """Units currently queued on one lane (test/inspection hook)."""
+        return len(self._deques[lane])
+
+    def next_for(self, lane: int) -> Optional[Tuple[int, T]]:
+        """The next unit for a lane: own deque first, then steal-half."""
+        dq = self._deques[lane]
+        if dq:
+            return dq.popleft()
+        victim = self._richest(lane)
+        if victim is None:
+            return None
+        moved = self._steal_half(victim, lane)
+        self.steals += 1
+        _STEALS_TOTAL.inc()
+        with span(
+            "parallel.steal", lane=lane, victim=victim, moved=moved
+        ):
+            pass
+        return dq.popleft()
+
+    def _richest(self, thief: int) -> Optional[int]:
+        victim = None
+        best = 0
+        for lane, dq in enumerate(self._deques):
+            if lane != thief and len(dq) > best:
+                victim = lane
+                best = len(dq)
+        return victim
+
+    def _steal_half(self, victim: int, thief: int) -> int:
+        """Move the tail half (rounded up) of ``victim`` to ``thief``.
+
+        Stealing from the tail leaves the victim the head of its own
+        contiguous block (its memo stays hot) and hands the thief a
+        contiguous tail run; relative unit order is preserved on both
+        sides.
+        """
+        source = self._deques[victim]
+        count = (len(source) + 1) // 2
+        tail = [source.pop() for _ in range(count)]
+        self._deques[thief].extend(reversed(tail))
+        return count

@@ -4,6 +4,8 @@ from .anchorindex import AnchorIndex
 from .columnar import (
     ColumnarEventStore,
     ColumnarFormatError,
+    SharedColumns,
+    attach_shared,
     columnar_active,
     columnar_kernel,
     load_columnar,
@@ -17,6 +19,8 @@ __all__ = [
     "AnchorIndex",
     "ColumnarEventStore",
     "ColumnarFormatError",
+    "SharedColumns",
+    "attach_shared",
     "columnar_active",
     "columnar_kernel",
     "load_columnar",

@@ -82,6 +82,10 @@ _BATCH_SCREENS = counter(
     "repro_columnar_screens_total",
     "Batched anchor-viability screens over whole columns",
 )
+_SHM_ATTACHES = counter(
+    "repro_shm_attach_total",
+    "Shared-memory column attaches by pool workers",
+)
 
 
 class ColumnarFormatError(ValueError):
@@ -161,6 +165,7 @@ class ColumnarEventStore:
         "_shift",
         "_tick_cache",
         "_plan_cache",
+        "_shared",
         "kernel",
     )
 
@@ -248,6 +253,9 @@ class ColumnarEventStore:
                 )
         self._tick_cache: Dict[int, Tuple[object, object]] = {}
         self._plan_cache: Dict[object, object] = {}
+        # Keeps an attached SharedMemory mapping alive for stores built
+        # by :meth:`from_shared` (the columns are views into its buffer).
+        self._shared = None
         _BUILDS.inc()
         _EVENTS.add(n)
 
@@ -561,6 +569,76 @@ class ColumnarEventStore:
         return store
 
     # ------------------------------------------------------------------
+    # Zero-copy worker transfer (multiprocessing.shared_memory)
+    # ------------------------------------------------------------------
+    def to_shared(self) -> "SharedColumns":
+        """Export the four int64 columns for zero-copy worker attach.
+
+        Returns a :class:`SharedColumns` owner whose :meth:`~
+        SharedColumns.handle` is a small picklable descriptor workers
+        pass to :meth:`from_shared` (or :func:`attach_shared`).  The
+        parent owns the OS resources: :meth:`SharedColumns.close` on
+        pool shutdown unlinks them (refcounted, so nested exports can
+        share one segment), which is what keeps a worker crash
+        mid-scan from leaking ``/dev/shm`` segments - the chaos suite
+        kills workers and asserts exactly that.
+        """
+        return SharedColumns(self)
+
+    @classmethod
+    def from_shared(cls, handle) -> "ColumnarEventStore":
+        """Attach to columns exported by :meth:`to_shared`.
+
+        Under the numpy kernel the four columns are views straight
+        into the shared buffer - no copy, no re-encode; the store keeps
+        the mapping alive for its own lifetime.  The ``array`` fallback
+        kernel copies the bytes (``array('q')`` cannot view a foreign
+        buffer) but still skips re-encoding from Python objects.  The
+        mmap-file fallback handle reopens the :meth:`save` format
+        memory-mapped.
+        """
+        kind, ref, header = handle
+        if kind == "file":
+            store = cls.load(ref, mmap=True)
+            _SHM_ATTACHES.inc()
+            return store
+        shm = _open_attached_segment(ref)
+        n = int(header["events"])
+        if _np is not None:
+            base = _np.frombuffer(shm.buf, dtype="<i8", count=4 * n)
+            columns = [base[i * n:(i + 1) * n] for i in range(4)]
+        else:
+            from array import array
+
+            raw = bytes(shm.buf[: 4 * 8 * n])
+            columns = []
+            for i in range(4):
+                column = array("q")
+                column.frombytes(raw[i * 8 * n:(i + 1) * 8 * n])
+                if sys.byteorder != "little":  # pragma: no cover
+                    column.byteswap()
+                columns.append(column)
+        store = cls(
+            columns[0],
+            columns[1],
+            header.get("type_vocab", []),
+            columns[2],
+            header.get("attr_vocab", [""]),
+            columns[3],
+        )
+        if _np is not None:
+            store._shared = shm
+        else:
+            # The fallback copied the payload out; release the local
+            # mapping immediately (the parent still owns the segment).
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - platform specific
+                pass
+        _SHM_ATTACHES.inc()
+        return store
+
+    # ------------------------------------------------------------------
     # Persistence (memory-mappable binary columns)
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
@@ -691,6 +769,173 @@ def _read_columns(handle, path, offset, n, use_mmap):
             column.byteswap()
         columns.append(column)
     return columns
+
+
+class SharedColumns:
+    """Parent-side owner of one store's columns in OS shared memory.
+
+    The payload is the four little-endian int64 columns back to back in
+    one ``multiprocessing.shared_memory`` segment; the vocabularies and
+    event count travel in the (small, picklable) handle.  When
+    shared_memory is unavailable or segment creation fails, the export
+    falls back to a temporary file in the :meth:`ColumnarEventStore.
+    save` format, which workers reopen memory-mapped - same zero-copy
+    contract, different transport.
+
+    Lifecycle is refcounted: the creator holds one reference,
+    :meth:`acquire` adds more, and the :meth:`close` that drops the
+    count to zero unlinks the segment (or deletes the file).  Attaching
+    workers never unlink - :meth:`ColumnarEventStore.from_shared`
+    opens the segment through :func:`_open_attached_segment`, whose
+    only divergence from stock ``SharedMemory`` is teardown tolerance;
+    under fork the attach's duplicate resource-tracker registration is
+    cleared by the owner's single unlink, so a crashing worker can
+    never reap a segment the parent still owns.
+    """
+
+    __slots__ = ("_handle", "_shm", "_path", "_refs")
+
+    def __init__(self, store: ColumnarEventStore) -> None:
+        self._refs = 1
+        self._shm = None
+        self._path: Optional[str] = None
+        header = {
+            "events": len(store),
+            "type_vocab": list(store._type_vocab),
+            "attr_vocab": list(store._attr_vocab),
+        }
+        payload = b"".join(
+            _column_bytes(column)
+            for column in (
+                store._times,
+                store._type_ids,
+                store._attr_codes,
+                store._record_ids,
+            )
+        )
+        shm = None
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+        except (ImportError, OSError):
+            shm = None
+        if shm is not None:
+            shm.buf[: len(payload)] = payload
+            self._shm = shm
+            self._handle = ("shm", shm.name, header)
+        else:  # pragma: no cover - exercised via the forced-file tests
+            import tempfile
+
+            fd, path = tempfile.mkstemp(
+                prefix="repro-columns-", suffix=".rpcol"
+            )
+            os.close(fd)
+            store.save(path)
+            self._path = path
+            self._handle = ("file", path, header)
+
+    @property
+    def kind(self) -> str:
+        """``shm`` or ``file`` (the fallback transport)."""
+        return self._handle[0]
+
+    @property
+    def name(self) -> str:
+        """Segment name (or file path) of the export."""
+        return self._handle[1]
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    def handle(self):
+        """The picklable descriptor workers attach with."""
+        return self._handle
+
+    def acquire(self) -> "SharedColumns":
+        """Add one owner reference (for nested pool lifetimes)."""
+        if self._refs <= 0:
+            raise RuntimeError("SharedColumns already closed")
+        self._refs += 1
+        return self
+
+    def close(self) -> None:
+        """Release one reference; the last release unlinks the OS
+        resources.  Idempotent once fully closed."""
+        if self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs:
+            return
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except OSError:  # pragma: no cover - platform specific
+                pass
+            try:
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+            self._shm = None
+        if self._path is not None:
+            try:
+                os.remove(self._path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self._path = None
+
+    def __enter__(self) -> "SharedColumns":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _open_attached_segment(name):
+    """Attach to a named segment, tolerating live column views.
+
+    Two platform sharp edges live here.  First, numpy views into
+    ``shm.buf`` can outlive the wrapper object during interpreter
+    teardown, and the stock ``SharedMemory.__del__`` then raises
+    ``BufferError`` from ``mmap.close``; the subclass swallows it - the
+    mapping is released when the last view dies (``mmap`` closes on
+    deallocation), so nothing leaks.  Second, CPython 3.8-3.12
+    registers *attaches* with the resource tracker too (bpo-39959);
+    under the fork start method the pool uses, a worker's registration
+    lands in the parent's tracker cache as a duplicate set-add, and the
+    owner's single unlink clears it - so we deliberately do *not*
+    unregister here (doing so would remove the creator's entry and make
+    the owner's unlink warn).
+    """
+    from multiprocessing import shared_memory
+
+    class _AttachedSegment(shared_memory.SharedMemory):
+        def close(self):
+            try:
+                super().close()
+            except BufferError:
+                # Views into .buf still exported; the OS mapping is
+                # freed when they are collected.
+                pass
+
+    return _AttachedSegment(name=name)
+
+
+def attach_shared(handle) -> Optional[ColumnarEventStore]:
+    """Attach to a :class:`SharedColumns` handle, or None on failure.
+
+    The None return routes the worker to its inherited (or rebuilt)
+    view instead - a degraded-performance path, never a correctness
+    one - and counts a ``repro_columnar_fallback_total``.
+    """
+    try:
+        return ColumnarEventStore.from_shared(handle)
+    except (OSError, ColumnarFormatError, KeyError, ValueError):
+        _FALLBACKS.inc()
+        return None
 
 
 def load_columnar(

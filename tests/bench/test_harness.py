@@ -61,9 +61,9 @@ class TestRunSuite:
         with pytest.raises(ValueError):
             run_suite(experiments=["X1", "X99"])
 
-    def test_all_sixteen_experiments_registered(self):
+    def test_all_seventeen_experiments_registered(self):
         assert EXPERIMENT_NAMES == tuple(
-            "X%d" % i for i in range(1, 17)
+            "X%d" % i for i in range(1, 18)
         )
 
     def test_x15_service_churn_counters(self):
@@ -174,6 +174,31 @@ class TestComparePayloads:
             min_delta_seconds=0.0,
         )
         assert rows[0]["regressed"]
+
+    def test_sub_floor_experiments_are_informational_only(self):
+        """Both medians under the jitter floor: the row is reported
+        for the record but can neither pass nor fail the gate."""
+        rows = compare_payloads(
+            _payload({"X3": 0.004}), _payload({"X3": 0.001})
+        )
+        (row,) = rows
+        assert row["informational"]
+        assert not row["regressed"]
+        assert "info (under jitter floor)" in format_comparison(rows)
+        # One median above the floor: a real measurement, pass/fail
+        # semantics apply again.
+        rows = compare_payloads(
+            _payload({"X3": 0.048}), _payload({"X3": 0.04})
+        )
+        (row,) = rows
+        assert not row["informational"]
+        assert not row["regressed"]  # within tolerance
+        rows = compare_payloads(
+            _payload({"X3": 0.2}), _payload({"X3": 0.04})
+        )
+        (row,) = rows
+        assert not row["informational"]
+        assert row["regressed"]
 
     def test_missing_experiments_never_regress(self):
         rows = compare_payloads(
@@ -309,5 +334,19 @@ class TestPayloadIO:
         assert counters["identical_to_reference"]
         assert counters["events"] == 1_000_000
         assert counters["speedup"] >= 5.0
+        rows = compare_payloads(payload, payload)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_checked_in_pr9_payload_covers_batched_frontier(self):
+        """BENCH_pr9.json carries the X17 batched frontier run: a
+        64-candidate frontier scanned through the object, single-dense
+        and batched paths with identical match sets and at least the
+        3x speedup the acceptance gate requires."""
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        payload = load_payload(os.path.join(root, "BENCH_pr9.json"))
+        counters = payload["experiments"]["X17"]["counters"]
+        assert counters["identical_to_reference"]
+        assert counters["candidates"] == 64
+        assert counters["speedup_batched_vs_single_dense"] >= 3.0
         rows = compare_payloads(payload, payload)
         assert not any(row["regressed"] for row in rows)

@@ -148,7 +148,11 @@ class TestParallelScan:
         )
         assert [result.hits for result in results] == expected
         assert report["executor"] == "inline"
-        assert report["tasks"] == len(candidates) * report["shards"]
+        # With REPRO_BATCH active the grid is groups x shards (both
+        # candidates share a clock signature -> one group), otherwise
+        # candidates x shards.
+        grain = report["batch_groups"] or len(candidates)
+        assert report["tasks"] == grain * report["shards"]
 
     def test_anchor_screen_reduces_starts_without_changing_hits(
         self, system

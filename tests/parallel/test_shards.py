@@ -83,6 +83,29 @@ class TestPlanShards:
         assert shard.event_hi >= 3
         check_shard_invariants(shards, sequence, [0, 1, 3], 100)
 
+    def test_covering_horizon_short_circuits_to_one_shard(self):
+        """When the first root's horizon already reaches the last
+        event, every shard's slice would span the whole tail anyway:
+        the planner short-circuits to one full-coverage shard instead
+        of slicing near-identical overlapping windows."""
+        sequence = _sequence([0, 100, 200, 300])
+        roots = [0, 1, 2, 3]
+        shards = plan_shards(sequence, roots, horizon=300, shard_size=1)
+        assert len(shards) == 1
+        shard = shards[0]
+        assert shard.roots == tuple(roots)
+        assert shard.event_lo == 0
+        assert shard.event_hi == len(sequence)
+        assert shard.end_time == 300 + 300
+        check_shard_invariants(shards, sequence, roots, 300)
+
+    def test_non_covering_horizon_still_slices(self):
+        sequence = _sequence([0, 100, 200, 300])
+        roots = [0, 1, 2, 3]
+        shards = plan_shards(sequence, roots, horizon=150, shard_size=1)
+        assert len(shards) > 1
+        check_shard_invariants(shards, sequence, roots, 150)
+
     def test_invariant_check_catches_a_truncated_slice(self):
         sequence = _sequence([0, 100, 200, 300])
         roots = [0, 1, 2, 3]

@@ -1,0 +1,109 @@
+"""Unit tests for the work-stealing scheduler."""
+
+import pytest
+
+from repro.obs import counter_deltas, metrics_snapshot
+from repro.parallel.stealing import StealScheduler
+
+
+def _drain(scheduler, lane):
+    out = []
+    while True:
+        item = scheduler.next_for(lane)
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestInitialPlan:
+    def test_contiguous_blocks_per_lane(self):
+        scheduler = StealScheduler(list("abcdefg"), lanes=3)
+        assert len(scheduler) == 7
+        # ceil(7/3) = 3: blocks abc / def / g.
+        assert scheduler.pending(0) == 3
+        assert scheduler.pending(1) == 3
+        assert scheduler.pending(2) == 1
+
+    def test_more_lanes_than_units(self):
+        scheduler = StealScheduler(["only"], lanes=4)
+        assert scheduler.pending(0) == 1
+        assert all(scheduler.pending(lane) == 0 for lane in (1, 2, 3))
+        assert scheduler.next_for(0) == (0, "only")
+        assert scheduler.next_for(0) is None
+
+    def test_empty_plan(self):
+        scheduler = StealScheduler([], lanes=2)
+        assert len(scheduler) == 0
+        assert scheduler.next_for(0) is None
+        assert scheduler.next_for(1) is None
+        assert scheduler.steals == 0
+
+    def test_lane_floor_is_one(self):
+        scheduler = StealScheduler(["a", "b"], lanes=0)
+        assert scheduler.lanes == 1
+        assert _drain(scheduler, 0) == [(0, "a"), (1, "b")]
+
+
+class TestStealing:
+    def test_own_deque_first_in_plan_order(self):
+        scheduler = StealScheduler(list("abcd"), lanes=2)
+        assert scheduler.next_for(0) == (0, "a")
+        assert scheduler.next_for(1) == (2, "c")
+        assert scheduler.steals == 0
+
+    def test_idle_lane_steals_tail_half(self):
+        scheduler = StealScheduler(list("abcdef"), lanes=2)
+        # Lane 1 drains its own block (def)...
+        assert [scheduler.next_for(1) for _ in range(3)] == [
+            (3, "d"), (4, "e"), (5, "f"),
+        ]
+        # ...then steals the tail half of lane 0's untouched block
+        # (abc): tail half rounded up = (b, c), served in plan order.
+        assert scheduler.next_for(1) == (1, "b")
+        assert scheduler.steals == 1
+        assert scheduler.pending(1) == 1
+        # The victim keeps the head of its own block.
+        assert scheduler.next_for(0) == (0, "a")
+        assert scheduler.next_for(1) == (2, "c")
+
+    def test_richest_victim_ties_break_low(self):
+        scheduler = StealScheduler(list("abcdef"), lanes=3)
+        # Lanes 0 and 1 both hold 2 units; lane 2 drains then steals.
+        assert _drain_n(scheduler, 2, 2) == [(4, "e"), (5, "f")]
+        item = scheduler.next_for(2)
+        # Tie between lanes 0 and 1 breaks toward lane 0: its tail
+        # unit (index 1) moves.
+        assert item == (1, "b")
+        assert scheduler.pending(0) == 1
+        assert scheduler.pending(1) == 2
+
+    def test_steals_counter_and_metric(self, obs_on):
+        before = metrics_snapshot()
+        scheduler = StealScheduler(list("abcd"), lanes=2)
+        _drain(scheduler, 0)  # drains own block then steals lane 1's
+        deltas = counter_deltas(before, metrics_snapshot())
+        assert scheduler.steals >= 1
+        assert (
+            deltas.get("repro_parallel_steals_total", 0)
+            == scheduler.steals
+        )
+
+    def test_all_units_served_exactly_once_any_interleaving(self):
+        """Alternating greedy lanes: every unit index appears exactly
+        once across lanes regardless of steal pattern."""
+        units = list(range(23))
+        scheduler = StealScheduler(units, lanes=4)
+        served = []
+        lane = 0
+        while True:
+            item = scheduler.next_for(lane % 4)
+            lane += 3  # stride the lanes to provoke steals
+            if item is None and len(served) == len(units):
+                break
+            if item is not None:
+                served.append(item[0])
+        assert sorted(served) == units
+
+
+def _drain_n(scheduler, lane, n):
+    return [scheduler.next_for(lane) for _ in range(n)]
