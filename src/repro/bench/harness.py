@@ -1,4 +1,4 @@
-"""The X1-X17 regression harness behind ``repro bench``.
+"""The X1-X18 regression harness behind ``repro bench``.
 
 Unlike the pytest-benchmark suites in ``benchmarks/`` (which exist to
 *regenerate paper artifacts* with statistical care), this module is a
@@ -896,6 +896,119 @@ def _x17(system, engine, scale) -> _Workload:
     return _Workload(run)
 
 
+def _x18(system, engine, scale) -> _Workload:
+    """Calendar-algebra clocks: Gregorian and business granularities.
+
+    PR 10 teaches the compiler the types the period scan cannot reach
+    (months and years via the 400-year cycle, business calendars as
+    weekly overlays, grouped quarters via the operator algebra); this
+    experiment exercises them on both production paths:
+
+    * **TCG propagation** over month / quarter / business-month
+      constraint granularities, compiled backend vs the sweep
+      reference, derived interval groups asserted equal;
+    * **batched clock matching**: one month-tick column over a pinned
+      40-year event spread, the vectorized
+      ``PeriodicNormalForm.ticks_of_instants`` kernel (the columnar
+      ``tick_columns`` path) vs the per-event ``tick_of`` loop the
+      sweep backend uses, outputs asserted bit-identical.
+
+    Forms are pre-compiled outside the timed region (production
+    pre-warms them through the conversion cache / parallel engine);
+    the timed compiled pass is the steady-state per-batch cost.
+    """
+    from ..granularity.combinators import GroupedType
+    from ..granularity.convcache import ConversionCache
+    from ..granularity.normalform import cached_normal_form, clock_ticks_of
+
+    def build_structure(bench_system):
+        month = bench_system.get("month")
+        bmonth = bench_system.get("business-month")
+        quarter = bench_system.register(
+            GroupedType(month, 3, label="quarter")
+        )
+        return EventStructure(
+            ["X0", "X1", "X2", "X3"],
+            {
+                ("X0", "X1"): [TCG(1, 6, month)],
+                ("X1", "X2"): [TCG(0, 2, quarter)],
+                ("X0", "X2"): [TCG(1, 9, bmonth)],
+                ("X2", "X3"): [TCG(2, 11, month)],
+            },
+        )
+
+    def propagation_pass(backend):
+        bench_system = standard_system(
+            cache=ConversionCache(), sizetable_backend=backend
+        )
+        structure = build_structure(bench_system)
+        start = time.perf_counter()
+        result = propagate(structure, bench_system, engine=engine)
+        return result, time.perf_counter() - start
+
+    rng = random.Random(18)
+    horizon_seconds = 40 * 366 * 86400
+    times = sorted(
+        rng.randrange(0, horizon_seconds) for _ in range(20_000 * scale)
+    )
+
+    def clock_pass(backend):
+        previous = os.environ.get("REPRO_SIZETABLE")
+        os.environ["REPRO_SIZETABLE"] = backend
+        try:
+            bench_system = standard_system(
+                cache=ConversionCache(), sizetable_backend=backend
+            )
+            month = bench_system.get("month")
+            if backend != "sweep":
+                cached_normal_form(month)
+            start = time.perf_counter()
+            ticks, defined = clock_ticks_of(month, times)
+            elapsed = time.perf_counter() - start
+            return [int(v) for v in ticks], [int(v) for v in defined], elapsed
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SIZETABLE", None)
+            else:
+                os.environ["REPRO_SIZETABLE"] = previous
+
+    def run():
+        sweep_result, sweep_prop_seconds = propagation_pass("sweep")
+        fast_result, fast_prop_seconds = propagation_pass("compiled")
+        propagation_identical = (
+            sweep_result.consistent == fast_result.consistent
+            and sweep_result.groups == fast_result.groups
+        )
+        sweep_ticks, sweep_defined, sweep_clock_seconds = clock_pass("sweep")
+        fast_ticks, fast_defined, fast_clock_seconds = clock_pass("compiled")
+        return {
+            "events": len(times),
+            "iterations": fast_result.iterations,
+            "propagation_identical_to_sweep": propagation_identical,
+            "identical_to_sweep": (
+                propagation_identical
+                and sweep_ticks == fast_ticks
+                and sweep_defined == fast_defined
+            ),
+            "sweep_propagation_seconds": sweep_prop_seconds,
+            "compiled_propagation_seconds": fast_prop_seconds,
+            "sweep_clock_seconds": sweep_clock_seconds,
+            "compiled_clock_seconds": fast_clock_seconds,
+            "speedup_clock_vs_sweep": (
+                sweep_clock_seconds / fast_clock_seconds
+                if fast_clock_seconds
+                else 0.0
+            ),
+            "speedup_propagation_vs_sweep": (
+                sweep_prop_seconds / fast_prop_seconds
+                if fast_prop_seconds
+                else 0.0
+            ),
+        }
+
+    return _Workload(run)
+
+
 _EXPERIMENTS: Dict[str, Callable] = {
     "X1": _x1,
     "X2": _x2,
@@ -914,6 +1027,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "X15": _x15,
     "X16": _x16,
     "X17": _x17,
+    "X18": _x18,
 }
 
 EXPERIMENT_NAMES: Tuple[str, ...] = tuple(_EXPERIMENTS)
@@ -961,7 +1075,7 @@ def run_suite(
     """Run the suite and return the ``BENCH_*.json`` payload.
 
     ``experiments`` restricts the run to a subset of names (e.g.
-    ``["X1", "X4"]``); the default runs all sixteen.  ``trace_dir``
+    ``["X1", "X4"]``); the default runs all eighteen.  ``trace_dir``
     additionally records one trace file per experiment (every repeat
     runs under a ``bench.<name>`` span in a dedicated tracer) and adds
     ``trace_file`` plus a ``slowest_spans`` table to each experiment

@@ -8,7 +8,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro serve PATTERN.json TENANTS.csv  # multi-tenant detection service
     repro mine PROBLEM.json EVENTS.csv    # optimised discovery pipeline
     repro convert M N SRC DST             # implied-interval conversion
-    repro bench --output BENCH.json       # X1-X17 regression harness
+    repro bench --output BENCH.json       # X1-X18 regression harness
     repro dot STRUCTURE.json              # Graphviz export
     repro obs TRACE.json                  # pretty-print a --trace file
     repro obs flame TRACE.json            # render an embedded profile
@@ -481,8 +481,7 @@ def _cmd_convert(args) -> int:
 
 def _cmd_gran_info(args) -> int:
     from .granularity.normalform import (
-        NormalFormError,
-        compile_normal_form,
+        explain_normal_form,
         resolve_backend,
     )
 
@@ -498,21 +497,26 @@ def _cmd_gran_info(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     print("granularity: %s" % ttype.label)
-    try:
-        form = compile_normal_form(ttype)
-    except NormalFormError as exc:
-        print("normal form: none (%s)" % exc)
+    info = explain_normal_form(ttype)
+    if not info["compiles"]:
+        print("normal form: none")
+        print("  reason: %s (%s)" % (info["reason"], info["detail"]))
         print("backend: sweep (type does not lower; window-sweep "
               "reference table)")
         return 0
-    info = form.describe()
     print("normal form: %s" % info["source"])
+    print("  compiled by: %s" % info["rule"])
     print("  period: %d ticks / %d seconds" % (
         info["period_ticks"], info["period_seconds"]))
     print("  phases: %d boundary offsets per period" % info["period_ticks"])
     print("  instants per period: %d covered, %d in gaps (%d gap runs)" % (
         info["period_instants"], info["gap_seconds"], info["gap_runs"]))
     print("  aperiodic prefix: %d ticks" % info["prefix_ticks"])
+    if "minimized_from_period" in info:
+        print("  minimized: from %d-tick period / %d-tick prefix" % (
+            info["minimized_from_period"], info["minimized_from_prefix"]))
+    else:
+        print("  minimized: already minimal as compiled")
     print("  exactness: minsize/maxsize/mingap exact for every k "
           "(sweep tables are exact only within their horizon)")
     print("  exact instant cover: %s%s" % (
@@ -860,7 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments",
         default="",
         metavar="NAMES",
-        help="comma-separated subset (e.g. X1,X4); default: all sixteen",
+        help="comma-separated subset (e.g. X1,X4); default: all eighteen",
     )
     bench.add_argument(
         "--output",

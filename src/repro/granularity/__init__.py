@@ -26,7 +26,24 @@ from .calendar import (
     week,
     year,
 )
-from .combinators import FilteredType, GroupedType
+from .algebra import (
+    FormBackedType,
+    eventually_periodic_form,
+    minimize_form,
+    nf_group,
+    nf_intersect,
+    nf_nth_within,
+    nf_select,
+    nf_shift,
+    nf_union,
+)
+from .combinators import (
+    FilteredType,
+    GroupedType,
+    NthSubgranuleType,
+    ShiftedType,
+    UnionType,
+)
 from .convcache import (
     ConversionCache,
     global_conversion_cache,
@@ -46,7 +63,10 @@ from .normalform import (
     NormalFormError,
     PeriodicNormalForm,
     build_size_table,
+    clock_ticks_of,
     compile_normal_form,
+    explain_normal_form,
+    nf_max_period,
     resolve_backend,
 )
 from .parser import GranularityParseError, parse_type
@@ -66,6 +86,21 @@ __all__ = [
     "BusinessMonthType",
     "GroupedType",
     "FilteredType",
+    "ShiftedType",
+    "UnionType",
+    "NthSubgranuleType",
+    "FormBackedType",
+    "nf_group",
+    "nf_select",
+    "nf_shift",
+    "nf_union",
+    "nf_intersect",
+    "nf_nth_within",
+    "minimize_form",
+    "eventually_periodic_form",
+    "clock_ticks_of",
+    "explain_normal_form",
+    "nf_max_period",
     "SizeTable",
     "CompiledSizeTable",
     "PeriodicNormalForm",

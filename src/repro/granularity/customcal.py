@@ -97,6 +97,28 @@ class CustomCalendar:
         start = self._year_starts[year_index]
         return start, start + self.days_in_year(year_index) - 1
 
+    def detect_period_years(self, max_years: int = 400) -> Optional[int]:
+        """Infer the leap-cycle length when none was declared.
+
+        Returns the smallest candidate period ``p`` (in years) such
+        that the per-year day counts repeat with period ``p`` across a
+        four-cycle verification window, or None when no period at or
+        below ``max_years`` fits.  Used by the calendar-algebra
+        compiler to lower calendars built without ``period_years``;
+        the compiler re-verifies the inferred period against actual
+        tick bounds before trusting it.
+        """
+        if self.period_years is not None:
+            return self.period_years
+        lengths = [self.days_in_year(y) for y in range(4 * max_years)]
+        for p in range(1, max_years + 1):
+            if all(
+                lengths[y] == lengths[y + p]
+                for y in range(len(lengths) - p)
+            ):
+                return p
+        return None
+
     def month_of_day(self, day_index: int) -> int:
         """Absolute month index (year * months_per_year + month)."""
         year = self.year_of_day(day_index)

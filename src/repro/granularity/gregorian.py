@@ -38,7 +38,14 @@ DAYS_PER_100_YEARS = 36524
 #: Days in a leap-every-4 4-year sub-cycle.
 DAYS_PER_4_YEARS = 1461
 
-_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+#: Months in a full 400-year Gregorian cycle.
+MONTHS_PER_400_YEARS = 4800
+
+#: Days in each month of a non-leap year (public: the calendar-algebra
+#: boundary generator vectorizes over this table).
+DAYS_IN_MONTH_COMMON = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+_DAYS_IN_MONTH = DAYS_IN_MONTH_COMMON
 
 # Cumulative days before each month in a non-leap year.
 _CUM_DAYS = (0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
@@ -149,3 +156,41 @@ def year_bounds(year_index: int) -> Tuple[int, int]:
     year = EPOCH_YEAR + year_index
     first = ymd_to_day(year, 1, 1)
     return first, first + days_in_year(year) - 1
+
+
+# ----------------------------------------------------------------------
+# 400-year-cycle length tables (the calendar-algebra lowering source)
+# ----------------------------------------------------------------------
+# The epoch year 2000 is divisible by 400, so day 0 starts a full
+# Gregorian cycle: months and years are exactly periodic with period
+# MONTHS_PER_400_YEARS / 400 ticks over DAYS_PER_400_YEARS days, with
+# no aperiodic prefix.  These pure-python generators are the reference
+# the numpy-vectorized boundary generator in
+# :mod:`repro.granularity.algebra` is checked against.
+
+_CYCLE_CACHE: dict = {}
+
+
+def cycle_month_lengths() -> Tuple[int, ...]:
+    """Day lengths of the 4800 months of one cycle from the epoch."""
+    cached = _CYCLE_CACHE.get("months")
+    if cached is None:
+        cached = tuple(
+            days_in_month(year, month)
+            for year in range(EPOCH_YEAR, EPOCH_YEAR + 400)
+            for month in range(1, 13)
+        )
+        _CYCLE_CACHE["months"] = cached
+    return cached
+
+
+def cycle_year_lengths() -> Tuple[int, ...]:
+    """Day lengths of the 400 years of one cycle from the epoch."""
+    cached = _CYCLE_CACHE.get("years")
+    if cached is None:
+        cached = tuple(
+            days_in_year(year)
+            for year in range(EPOCH_YEAR, EPOCH_YEAR + 400)
+        )
+        _CYCLE_CACHE["years"] = cached
+    return cached

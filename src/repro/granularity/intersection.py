@@ -54,6 +54,50 @@ class IntersectionType(TemporalType):
         self._next_a = 0
         self._next_b = 0
         self._exhausted = False
+        self._period_info_cache = False  # False = not computed yet
+
+    #: Overlap streams wider than this per lcm window get no declared
+    #: period (the bounded scan would be as bad as the sweep).
+    _PERIOD_SCAN_BOUND = 1 << 20
+
+    def period_info(self):
+        """Exact period when both operands declare one.
+
+        The joint boundary configuration repeats every ``lcm(Sa, Sb)``
+        seconds, and because each operand is periodic from *its* tick
+        0, the overlap stream is periodic from tick 0 too (instants
+        before both operands start contain no overlaps at all).  The
+        tick count per lcm window is counted by one bounded merge scan
+        and cached; None when an operand declares no period, the
+        estimated scan exceeds the bound, or the operands exhaust
+        before one full window.
+        """
+        if self._period_info_cache is not False:
+            return self._period_info_cache
+        info = None
+        info_a = getattr(self.a, "period_info", None)
+        info_a = info_a() if callable(info_a) else None
+        info_b = getattr(self.b, "period_info", None)
+        info_b = info_b() if callable(info_b) else None
+        if info_a is not None and info_b is not None:
+            ticks_a, seconds_a = info_a
+            ticks_b, seconds_b = info_b
+            window = seconds_a * seconds_b // _gcd(seconds_a, seconds_b)
+            estimate = ticks_a * (window // seconds_a) + ticks_b * (
+                window // seconds_b
+            )
+            if 0 < estimate <= min(self._PERIOD_SCAN_BOUND, self.max_ticks):
+                try:
+                    first0 = self.tick_bounds(0)[0]
+                except ValueError:
+                    first0 = None
+                if first0 is not None:
+                    self._ensure_time(first0 + window)
+                    if self._lasts and self._lasts[-1] >= first0 + window:
+                        count = bisect_right(self._firsts, first0 + window - 1)
+                        info = (count, window)
+        self._period_info_cache = info
+        return info
 
     # ------------------------------------------------------------------
     # Scanning

@@ -14,10 +14,17 @@ PAPERS.md).  This module implements that lowering:
   *structurally* (no boundary scan at all); every other type declaring
   ``period_info()`` is lowered by scanning a single period and
   verifying the declared recurrence, two-thirds less scanning than the
-  sweep table's ``3 * period + 2`` horizon.  Types without a declared
-  period (Gregorian months/years, holiday-laden business types,
-  filtered/intersection combinators) do not compile; the window-sweep
-  :class:`~repro.granularity.sizes.SizeTable` remains their backend
+  sweep table's ``3 * period + 2`` horizon.  Types beyond the scan -
+  Gregorian months/years, holiday-laden business types, the
+  filtered/grouped/intersection combinators, custom calendars with an
+  undeclared leap cycle - are lowered by the calendar algebra
+  (:mod:`repro.granularity.algebra`): direct cycle rules plus closed
+  operators on compiled operand forms, every result minimized to the
+  smallest period divisor and shortest aperiodic prefix.  A type can
+  still refuse (period over the ``REPRO_NF_MAX_PERIOD`` budget, or
+  genuinely aperiodic): the window-sweep
+  :class:`~repro.granularity.sizes.SizeTable` remains the fallback
+  backend - counted by ``repro_sizetable_fallback_total{reason}`` -
   and the differential reference for everything else.
 
 * :class:`CompiledSizeTable` answers ``minsize``/``maxsize``/``mingap``
@@ -37,7 +44,11 @@ PAPERS.md).  This module implements that lowering:
   (:mod:`repro.automata.clocks`, the matcher and the streaming layer)
   routes through :func:`clock_tick_of`/:func:`clock_distance`, which
   use the compiled form when the type certifies exact instant coverage
-  and fall back to the type's own ``tick_of`` otherwise.
+  and fall back to the type's own ``tick_of`` otherwise;
+  :func:`clock_ticks_of` converts whole timestamp columns at once
+  through :meth:`~PeriodicNormalForm.ticks_of_instants` (vectorized
+  under numpy, memoized per-element otherwise) for the columnar
+  matcher.
 
 Backend selection follows the repository's environment-knob idiom:
 ``REPRO_SIZETABLE=auto|compiled|sweep`` (``auto``, the default, uses
@@ -48,7 +59,7 @@ otherwise; ``sweep`` forces the reference backend everywhere).
 from __future__ import annotations
 
 import os
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -75,6 +86,33 @@ ENV_VAR = "REPRO_SIZETABLE"
 #: bad as the sweep it replaces; nothing in the repertoire comes close).
 MAX_PERIOD_TICKS = 1 << 20
 
+#: Environment variable bounding the compile-time budget: normal forms
+#: whose period (plus aperiodic prefix) would exceed this many ticks
+#: fall back to the sweep backend with a reason-labelled counter.
+ENV_MAX_PERIOD = "REPRO_NF_MAX_PERIOD"
+
+
+def nf_max_period() -> int:
+    """The compile budget in ticks (``REPRO_NF_MAX_PERIOD``).
+
+    Defaults to :data:`MAX_PERIOD_TICKS`; a malformed or non-positive
+    value is surfaced early rather than silently ignored.
+    """
+    raw = os.environ.get(ENV_MAX_PERIOD)
+    if raw is None or raw == "":
+        return MAX_PERIOD_TICKS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            "%s must be a positive integer, got %r" % (ENV_MAX_PERIOD, raw)
+        )
+    if value < 1:
+        raise ValueError(
+            "%s must be a positive integer, got %r" % (ENV_MAX_PERIOD, raw)
+        )
+    return value
+
 _PROBES_COMPILED = counter(
     "repro_sizetable_probes_total",
     "Size-table lookups (minsize/maxsize/mingap), by backend",
@@ -90,7 +128,30 @@ _COMPILES = counter(
 
 
 class NormalFormError(ValueError):
-    """The type does not lower to a periodic normal form."""
+    """The type does not lower to a periodic normal form.
+
+    ``reason`` is a small machine-readable vocabulary used by the
+    ``repro_sizetable_fallback_total{reason}`` counter and the
+    ``repro gran info`` provenance report:
+
+    ``no-period``
+        no lowering rule applies and the type declares no period.
+    ``degenerate`` / ``verification`` / ``exhausted`` / ``aperiodic``
+        a declared or derived recurrence is malformed or fails the
+        boundary-scan check.
+    ``over-budget``
+        the form would exceed the ``REPRO_NF_MAX_PERIOD`` budget.
+    ``operand``
+        an algebraic operand does not itself lower.
+    ``empty``
+        an operator result has an empty tick (no valid temporal type).
+    ``invalid``
+        operator arguments outside the operator's domain.
+    """
+
+    def __init__(self, message: str, reason: str = "no-period"):
+        super().__init__(message)
+        self.reason = reason
 
 
 def resolve_backend(override: Optional[str] = None) -> str:
@@ -137,6 +198,12 @@ class PeriodicNormalForm:
     prefix_lasts: Tuple[int, ...] = ()
     exact_cover: bool = False
     source: str = "scanned"
+    #: Which lowering rule produced the form (compile provenance shown
+    #: by ``repro gran info``); empty for hand-built forms.
+    rule: str = ""
+    #: ``(period_ticks, prefix_ticks)`` before minimization when the
+    #: minimization pass shrank the form, else None.
+    minimized_from: Optional[Tuple[int, int]] = None
     #: Covered instants per period (exact under ``exact_cover``, an
     #: upper bound otherwise - interior tick gaps are invisible to a
     #: boundary representation).
@@ -149,24 +216,38 @@ class PeriodicNormalForm:
     def __post_init__(self) -> None:
         P, S = self.period_ticks, self.period_seconds
         if P < 1 or S < 1:
-            raise NormalFormError("period must be at least one tick/second")
+            raise NormalFormError(
+                "period must be at least one tick/second", reason="invalid"
+            )
         if len(self.firsts) != P or len(self.lasts) != P:
-            raise NormalFormError("boundary arrays must cover one period")
+            raise NormalFormError(
+                "boundary arrays must cover one period", reason="invalid"
+            )
         if len(self.prefix_firsts) != len(self.prefix_lasts):
-            raise NormalFormError("prefix arrays must have equal length")
+            raise NormalFormError(
+                "prefix arrays must have equal length", reason="invalid"
+            )
         bounds = list(zip(self.prefix_firsts, self.prefix_lasts))
         bounds += list(zip(self.firsts, self.lasts))
         previous_last = None
         for first, last in bounds:
             if first > last:
-                raise NormalFormError("a tick has inverted bounds")
+                raise NormalFormError(
+                    "a tick has inverted bounds", reason="invalid"
+                )
             if previous_last is not None and first <= previous_last:
-                raise NormalFormError("ticks are not strictly ordered")
+                raise NormalFormError(
+                    "ticks are not strictly ordered", reason="invalid"
+                )
             previous_last = last
         if self.prefix_lasts and self.prefix_lasts[-1] >= self.firsts[0]:
-            raise NormalFormError("prefix overlaps the periodic part")
+            raise NormalFormError(
+                "prefix overlaps the periodic part", reason="invalid"
+            )
         if self.lasts[-1] - self.firsts[0] >= S:
-            raise NormalFormError("one period of ticks exceeds the period")
+            raise NormalFormError(
+                "one period of ticks exceeds the period", reason="invalid"
+            )
         object.__setattr__(
             self,
             "period_instants",
@@ -229,11 +310,107 @@ class PeriodicNormalForm:
             return None
         return z2 - z1
 
+    # ------------------------------------------------------------------
+    # Covered-instant bisection (the calendar-algebra building blocks)
+    # ------------------------------------------------------------------
+    def tick_starting_at_or_after(self, second: int) -> int:
+        """Index of the first tick whose *first* instant is >= second."""
+        B = len(self.prefix_firsts)
+        if self.prefix_firsts and second <= self.prefix_firsts[-1]:
+            return bisect_left(self.prefix_firsts, second)
+        f0 = self.firsts[0]
+        if second <= f0:
+            return B
+        q, w = divmod(second - f0, self.period_seconds)
+        slot = bisect_left(self.firsts, w + f0)
+        if slot == self.period_ticks:
+            q, slot = q + 1, 0
+        return B + q * self.period_ticks + slot
+
+    def first_covered_at_or_after(self, second: int) -> Optional[int]:
+        """First instant >= second inside some tick's bounds, or None.
+
+        A *bounds*-coverage question: only meaningful as an instant
+        query under ``exact_cover`` (the algebra operators require it
+        of their operands).  Never None for a periodic form - every
+        period has at least one tick ahead.
+        """
+        tick = self.tick_of_instant(second)
+        if tick is not None:
+            return second
+        index = self.tick_starting_at_or_after(second)
+        return self.instant_of_tick(index)[0]
+
+    def last_covered_at_or_before(self, second: int) -> Optional[int]:
+        """Last instant <= second inside some tick's bounds, or None."""
+        tick = self.tick_of_instant(second)
+        if tick is not None:
+            return second
+        index = self.tick_starting_at_or_after(second)
+        if index == 0:
+            return None
+        return self.instant_of_tick(index - 1)[1]
+
+    # ------------------------------------------------------------------
+    # Batched conversion (whole event columns in one numpy pass)
+    # ------------------------------------------------------------------
+    def ticks_of_instants(self, seconds):
+        """``tick_of_instant`` over a whole sequence.
+
+        Returns ``(ticks, defined)`` parallel lists: ``ticks[i]`` is the
+        covering tick index (0 where undefined) and ``defined[i]`` is
+        1/0 coverage.  The periodic part vectorizes to one divmod plus
+        one ``searchsorted`` over the period arrays (int64 arithmetic,
+        bit-identical to the scalar bisection); instants before the
+        periodic start fall back to the scalar path per element.
+        """
+        arrays = self._batch_arrays()
+        if arrays is None:
+            ticks, defined = [], []
+            for t in seconds:
+                z = self.tick_of_instant(int(t))
+                ticks.append(0 if z is None else z)
+                defined.append(0 if z is None else 1)
+            return ticks, defined
+        np_firsts, np_lasts = arrays
+        t = _np.asarray(seconds, dtype=_np.int64)
+        f0 = self.firsts[0]
+        B = len(self.prefix_firsts)
+        q, w = _np.divmod(t - f0, self.period_seconds)
+        slot = _np.searchsorted(np_firsts, w + f0, side="right") - 1
+        defined = (w + f0) <= np_lasts[slot]
+        ticks = B + q * self.period_ticks + slot
+        pre = t < f0
+        if bool(pre.any()):
+            for i in _np.flatnonzero(pre):
+                z = self.tick_of_instant(int(t[i]))
+                ticks[i] = 0 if z is None else z
+                defined[i] = z is not None
+        ticks = _np.where(defined, ticks, 0)
+        return ticks.tolist(), defined.astype(_np.int64).tolist()
+
+    def _batch_arrays(self):
+        """Cached int64 period arrays, or None when numpy can't apply."""
+        cached = getattr(self, "_batch_cache", False)
+        if cached is not False:
+            return cached
+        arrays = None
+        if _np is not None and -(2 ** 62) < self.firsts[0] and (
+            self.lasts[-1] + self.period_seconds < 2 ** 62
+        ):
+            arrays = (
+                _np.asarray(self.firsts, dtype=_np.int64),
+                _np.asarray(self.lasts, dtype=_np.int64),
+            )
+        object.__setattr__(self, "_batch_cache", arrays)
+        return arrays
+
     def describe(self) -> dict:
         """JSON-friendly summary (the ``repro gran info`` payload)."""
-        return {
+        info = {
             "label": self.label,
             "source": self.source,
+            "rule": self.rule or self.source,
             "period_ticks": self.period_ticks,
             "period_seconds": self.period_seconds,
             "period_instants": self.period_instants,
@@ -242,6 +419,10 @@ class PeriodicNormalForm:
             "gap_seconds": sum(length for _, length in self.gap_runs),
             "exact_cover": self.exact_cover,
         }
+        if self.minimized_from is not None:
+            info["minimized_from_period"] = self.minimized_from[0]
+            info["minimized_from_prefix"] = self.minimized_from[1]
+        return info
 
 
 # ----------------------------------------------------------------------
@@ -258,6 +439,7 @@ def _structural_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
             lasts=(ttype.phase + ttype.seconds_per_tick - 1,),
             exact_cover=True,
             source="structural",
+            rule="uniform",
         )
     if isinstance(ttype, PeriodicPatternType):
         firsts = tuple(ttype.phase + o for o, _ in ttype.segments)
@@ -272,6 +454,7 @@ def _structural_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
             lasts=lasts,
             exact_cover=True,
             source="structural",
+            rule="pattern",
         )
     return None
 
@@ -289,74 +472,173 @@ def _covers_whole_bounds(ttype: TemporalType) -> bool:
     if ttype.total:
         return True
     from .business import BusinessDayType
+    from .combinators import (
+        FilteredType,
+        NthSubgranuleType,
+        ShiftedType,
+        UnionType,
+    )
+    from .intersection import IntersectionType
 
     if isinstance(ttype, BusinessDayType):
         # Each tick is exactly one day - contiguous by construction
-        # (holidays would make the type non-compilable anyway).
+        # (a holiday set removes whole ticks, never interior instants).
         return True
+    if isinstance(ttype, IntersectionType):
+        # An instant inside an overlap window lies inside both operand
+        # ticks, hence inside the intersection tick, when both operands
+        # certify exact coverage themselves.
+        return _covers_whole_bounds(ttype.a) and _covers_whole_bounds(
+            ttype.b
+        )
+    if isinstance(ttype, UnionType):
+        # Ticks are maximal covered runs: no interior gap can survive
+        # when both operands cover their own bounds exactly.
+        return _covers_whole_bounds(ttype.a) and _covers_whole_bounds(
+            ttype.b
+        )
+    if isinstance(ttype, (FilteredType, ShiftedType)):
+        # Selection and shift keep each tick's instant set equal to one
+        # base tick's (shifted for ShiftedType).
+        return _covers_whole_bounds(ttype.base)
+    if isinstance(ttype, NthSubgranuleType):
+        # Each tick is exactly one fine tick's instant set.
+        return _covers_whole_bounds(ttype.fine)
     return False
 
 
 def compile_normal_form(ttype: TemporalType) -> PeriodicNormalForm:
     """Lower a temporal type to its minimal periodic normal form.
 
-    Raises :class:`NormalFormError` when the type declares no exact
-    period, the declared recurrence fails verification, or the period
-    is too large to be worth compiling.  The compilation is recorded
-    under a ``sizetable.compile`` span and counts into
-    ``repro_sizetable_compiles_total``.
+    Three lowering stages, first match wins, each followed by the
+    minimization pass of :mod:`repro.granularity.algebra`:
+
+    1. *structural* - uniform and periodic-pattern types whose
+       representation is the form;
+    2. *scanned* - types declaring ``period_info()``, lowered by
+       scanning one period and verifying the declared recurrence;
+    3. *algebraic* - the calendar-algebra rules (Gregorian 400-year
+       cycle, business overlays, combinator operators on the operands'
+       compiled forms).
+
+    Raises :class:`NormalFormError` (with a machine-readable
+    ``reason``) when no stage applies, a recurrence fails verification,
+    or the form would exceed the ``REPRO_NF_MAX_PERIOD`` budget.  The
+    compilation is recorded under a ``sizetable.compile`` span and
+    counts into ``repro_sizetable_compiles_total``.
     """
+    from .algebra import lower_algebraic, minimize_form
+
     with span("sizetable.compile", label=ttype.label) as compile_span:
         _COMPILES.inc()
         form = _structural_form(ttype)
-        if form is not None:
-            compile_span.set(source=form.source, period=form.period_ticks)
-            return form
-        period_info = getattr(ttype, "period_info", None)
-        info = period_info() if callable(period_info) else None
-        if info is None:
+        if form is None:
+            form = _scanned_form(ttype)
+        if form is None:
+            form = lower_algebraic(ttype)
+        if form is None:
             raise NormalFormError(
-                "type %r declares no exact period" % (ttype.label,)
+                "type %r declares no exact period and no algebra "
+                "lowering rule applies" % (ttype.label,)
             )
-        P, S = int(info[0]), int(info[1])
-        if P < 1 or S < 1:
-            raise NormalFormError(
-                "type %r declares a degenerate period" % (ttype.label,)
-            )
-        if P > MAX_PERIOD_TICKS:
-            raise NormalFormError(
-                "period of %r too large to compile (%d ticks)"
-                % (ttype.label, P)
-            )
-        bounds = []
-        try:
-            for index in range(P + 1):
-                bounds.append(ttype.tick_bounds(index))
-        except ValueError as exc:
-            raise NormalFormError(
-                "type %r ran out of ticks inside one period" % (ttype.label,)
-            ) from exc
-        first0, last0 = bounds[0]
-        if bounds[P] != (first0 + S, last0 + S):
-            raise NormalFormError(
-                "declared period of %r fails verification: tick %d is %r, "
-                "expected %r"
-                % (ttype.label, P, bounds[P], (first0 + S, last0 + S))
-            )
-        form = PeriodicNormalForm(
-            label=ttype.label,
-            period_ticks=P,
-            period_seconds=S,
-            firsts=tuple(first for first, _ in bounds[:P]),
-            lasts=tuple(last for _, last in bounds[:P]),
-            exact_cover=_covers_whole_bounds(ttype),
-            source="scanned",
+        form = minimize_form(form)
+        compile_span.set(
+            source=form.source, rule=form.rule, period=form.period_ticks
         )
-        compile_span.set(source=form.source, period=form.period_ticks)
         return form
 
 
+def _scanned_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
+    """Lower a type declaring ``period_info()`` by a one-period scan.
+
+    None when the type declares no period (the algebra rules get their
+    turn); raises on a malformed, over-budget or unverifiable
+    declaration (a declared period that fails its own recurrence is an
+    error, never a silent fallback to a different rule).
+    """
+    period_info = getattr(ttype, "period_info", None)
+    info = period_info() if callable(period_info) else None
+    if info is None:
+        return None
+    P, S = int(info[0]), int(info[1])
+    if P < 1 or S < 1:
+        raise NormalFormError(
+            "type %r declares a degenerate period" % (ttype.label,),
+            reason="degenerate",
+        )
+    if P > nf_max_period():
+        raise NormalFormError(
+            "period of %r too large to compile (%d ticks)" % (ttype.label, P),
+            reason="over-budget",
+        )
+    bounds = []
+    try:
+        for index in range(P + 1):
+            bounds.append(ttype.tick_bounds(index))
+    except ValueError as exc:
+        raise NormalFormError(
+            "type %r ran out of ticks inside one period" % (ttype.label,),
+            reason="exhausted",
+        ) from exc
+    first0, last0 = bounds[0]
+    if bounds[P] != (first0 + S, last0 + S):
+        raise NormalFormError(
+            "declared period of %r fails verification: tick %d is %r, "
+            "expected %r"
+            % (ttype.label, P, bounds[P], (first0 + S, last0 + S)),
+            reason="verification",
+        )
+    return PeriodicNormalForm(
+        label=ttype.label,
+        period_ticks=P,
+        period_seconds=S,
+        firsts=tuple(first for first, _ in bounds[:P]),
+        lasts=tuple(last for _, last in bounds[:P]),
+        exact_cover=_covers_whole_bounds(ttype),
+        source="scanned",
+        rule="period-scan",
+    )
+
+
+def explain_normal_form(ttype: TemporalType) -> dict:
+    """Compile provenance for ``repro gran info``.
+
+    On success, the form's :meth:`~PeriodicNormalForm.describe` payload
+    plus ``compiles: True``; on failure a structured
+    ``{compiles: False, reason, detail}`` record instead of a bare
+    exception.
+    """
+    try:
+        form = compile_normal_form(ttype)
+    except NormalFormError as exc:
+        return {
+            "compiles": False,
+            "label": ttype.label,
+            "reason": exc.reason,
+            "detail": str(exc),
+        }
+    info = form.describe()
+    info["compiles"] = True
+    return info
+
+
 _FORM_CACHE_ATTR = "_normal_form_cache"
+
+_FALLBACK_COUNTERS: dict = {}
+
+
+def _count_fallback(reason: str) -> None:
+    """Bump ``repro_sizetable_fallback_total{reason}`` (lazy registry)."""
+    fallback = _FALLBACK_COUNTERS.get(reason)
+    if fallback is None:
+        fallback = counter(
+            "repro_sizetable_fallback_total",
+            "Types that fell back to the sweep backend, by compile-failure "
+            "reason",
+            labels={"reason": reason},
+        )
+        _FALLBACK_COUNTERS[reason] = fallback
+    fallback.inc()
 
 
 def cached_normal_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
@@ -364,14 +646,16 @@ def cached_normal_form(ttype: TemporalType) -> Optional[PeriodicNormalForm]:
 
     The form (or the negative answer) is cached on the instance, so
     repeated table construction, clock evaluation and fork-inherited
-    worker state all share a single compilation.
+    worker state all share a single compilation.  Each negative answer
+    counts into ``repro_sizetable_fallback_total{reason}`` once.
     """
     cached = ttype.__dict__.get(_FORM_CACHE_ATTR, False)
     if cached is not False:
         return cached
     try:
         form: Optional[PeriodicNormalForm] = compile_normal_form(ttype)
-    except NormalFormError:
+    except NormalFormError as exc:
+        _count_fallback(exc.reason)
         form = None
     try:
         setattr(ttype, _FORM_CACHE_ATTR, form)
@@ -436,7 +720,19 @@ class CompiledSizeTable:
             self._np_lasts_ext = _np.asarray(self._lasts_ext, dtype=_np.int64)
         else:
             self._np_firsts = None
-        self.horizon = max(horizon, 3 * P + 2)
+        # Mirror the sweep backend's virtual horizon *exactly*: the
+        # sweep widens to 3 * declared-period + 2 only for types that
+        # declare period_info() themselves.  Algebra-lowered types
+        # (months, business overlays) declare none, so their sweep
+        # horizon - and hence the index range the direct boundary-scan
+        # conversion visits - stays at the caller's horizon; widening
+        # here would change conversion outcomes between backends.
+        declared = getattr(ttype, "period_info", None)
+        info = declared() if callable(declared) else None
+        if info is not None:
+            self.horizon = max(horizon, 3 * int(info[0]) + 2)
+        else:
+            self.horizon = horizon
         self._min_base = BoundedMemo(memo_entries)
         self._max_base = BoundedMemo(memo_entries)
         self._gap_base = BoundedMemo(memo_entries)
@@ -706,3 +1002,31 @@ def clock_distance(ttype: TemporalType, t1: int, t2: int) -> Optional[int]:
     if form is not None:
         return form.distance(t1, t2)
     return ttype.distance(t1, t2)
+
+
+def clock_ticks_of(ttype: TemporalType, seconds):
+    """Batched ``clock_tick_of`` over a whole timestamp column.
+
+    Returns ``(ticks, defined)`` parallel lists (tick 0 where
+    undefined).  With a compiled exact-cover form the whole column
+    reduces to one vectorized divmod + ``searchsorted`` pass
+    (:meth:`PeriodicNormalForm.ticks_of_instants`); under the sweep
+    backend, or for types that do not lower, each element goes through
+    the type's own ``tick_of`` with a per-value memo - the reference
+    path the vectorized kernel is differentially tested against.
+    """
+    form = clock_form(ttype)
+    if form is not None:
+        return form.ticks_of_instants(seconds)
+    ticks, defined = [], []
+    memo: dict = {}
+    for t in seconds:
+        t = int(t)
+        if t in memo:
+            z = memo[t]
+        else:
+            z = ttype.tick_of(t)
+            memo[t] = z
+        ticks.append(0 if z is None else z)
+        defined.append(0 if z is None else 1)
+    return ticks, defined

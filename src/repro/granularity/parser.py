@@ -22,6 +22,13 @@ Builtins::
     businessday(workday, ...)      BusinessDayType over the weekdays
     uniform(seconds [, phase])     UniformType
     intersect(a, b)                IntersectionType (pairwise overlaps)
+    union(a, b)                    UnionType (overlap-coalesced merge)
+    select(base, m, r, ...)        FilteredType keeping ticks with
+                                   index % m in {r, ...}
+    shift(base, delta)             ShiftedType - delta seconds (may be
+                                   negative: shift(day, -3600))
+    nth(fine, coarse, n)           NthSubgranuleType - e.g. the second
+                                   tuesday of each month
     businesshours(start, end [, b]) business_hours over b (default b-day)
 
 Plain names resolve against the supplied
@@ -37,7 +44,13 @@ from typing import List, Optional, Tuple, Union
 
 from .base import TemporalType, UniformType
 from .business import BusinessDayType
-from .combinators import GroupedType
+from .combinators import (
+    FilteredType,
+    GroupedType,
+    NthSubgranuleType,
+    ShiftedType,
+    UnionType,
+)
 from .periodic import PeriodicPatternType, shifts, weekly_slots
 from .registry import GranularitySystem
 
@@ -97,6 +110,9 @@ class _Parser:
     # ------------------------------------------------------------------
     def parse_expr(self) -> Union[TemporalType, int, Tuple[int, ...]]:
         kind, value = self.take()
+        if kind == "punct" and value == "-":
+            # Unary minus: negative integer literal (shift deltas).
+            return -int(self.take("int")[1])
         if kind == "int":
             first = int(value)
             # INT-INT ranges and INT:INT:INT triples.
@@ -202,6 +218,53 @@ class _Parser:
                 return business_hours(base, start, end)
             except ValueError as exc:
                 raise GranularityParseError(str(exc))
+        if name == "select":
+            if (
+                len(args) < 3
+                or not isinstance(args[0], TemporalType)
+                or not all(isinstance(a, int) for a in args[1:])
+            ):
+                raise GranularityParseError(
+                    "select(base, modulus, residue, ...) expected"
+                )
+            base, modulus = args[0], int(args[1])
+            residues = frozenset(int(a) % max(modulus, 1) for a in args[2:])
+            if modulus < 1:
+                raise GranularityParseError("select modulus must be >= 1")
+            label = "select-%s-%d-%s" % (
+                base.label,
+                modulus,
+                ".".join(str(r) for r in sorted(residues)),
+            )
+            return FilteredType(
+                base,
+                lambda index, m=modulus, rs=residues: index % m in rs,
+                label,
+                predicate_period=modulus,
+            )
+        if name == "shift":
+            if (
+                len(args) != 2
+                or not isinstance(args[0], TemporalType)
+                or not isinstance(args[1], int)
+            ):
+                raise GranularityParseError("shift(base, delta) expected")
+            return ShiftedType(args[0], args[1])
+        if name == "union":
+            if len(args) != 2 or not all(
+                isinstance(a, TemporalType) for a in args
+            ):
+                raise GranularityParseError("union(a, b) expected")
+            return UnionType(args[0], args[1])
+        if name == "nth":
+            if (
+                len(args) != 3
+                or not isinstance(args[0], TemporalType)
+                or not isinstance(args[1], TemporalType)
+                or not isinstance(args[2], int)
+            ):
+                raise GranularityParseError("nth(fine, coarse, n) expected")
+            return NthSubgranuleType(args[0], args[1], int(args[2]))
         if name == "businessday":
             workdays = []
             for arg in args:

@@ -497,33 +497,19 @@ class ColumnarEventStore:
 
         ``ticks[i]`` is ``tick_of(times[i])`` (0 where undefined) and
         ``defined[i]`` records coverage; computed once per granularity
-        through the compiled normal form's O(log period) bisection
-        (:func:`repro.granularity.normalform.clock_tick_of`) and cached
-        on the store, so clock guards over whole event batches reduce
-        to integer subtraction.
+        through the compiled normal form's batched conversion kernel
+        (:func:`repro.granularity.normalform.clock_ticks_of` - one
+        vectorized divmod + ``searchsorted`` pass over the whole
+        column) and cached on the store, so clock guards over whole
+        event batches reduce to integer subtraction.
         """
         key = id(granularity)
         cached = self._tick_cache.get(key)
         if cached is not None:
             return cached[1], cached[2]
-        from ..granularity.normalform import clock_tick_of
+        from ..granularity.normalform import clock_ticks_of
 
-        ticks: List[int] = []
-        defined: List[int] = []
-        memo: Dict[int, Optional[int]] = {}
-        for t in self._times:
-            t = int(t)
-            if t in memo:
-                z = memo[t]
-            else:
-                z = clock_tick_of(granularity, t)
-                memo[t] = z
-            if z is None:
-                ticks.append(0)
-                defined.append(0)
-            else:
-                ticks.append(z)
-                defined.append(1)
+        ticks, defined = clock_ticks_of(granularity, self._times)
         tick_col = _column(ticks)
         defined_col = _column(defined)
         # Keep a strong reference to the granularity so the id key

@@ -61,9 +61,9 @@ class TestRunSuite:
         with pytest.raises(ValueError):
             run_suite(experiments=["X1", "X99"])
 
-    def test_all_seventeen_experiments_registered(self):
+    def test_all_eighteen_experiments_registered(self):
         assert EXPERIMENT_NAMES == tuple(
-            "X%d" % i for i in range(1, 18)
+            "X%d" % i for i in range(1, 19)
         )
 
     def test_x15_service_churn_counters(self):
@@ -348,5 +348,20 @@ class TestPayloadIO:
         assert counters["identical_to_reference"]
         assert counters["candidates"] == 64
         assert counters["speedup_batched_vs_single_dense"] >= 3.0
+        rows = compare_payloads(payload, payload)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_checked_in_pr10_payload_covers_calendar_algebra(self):
+        """BENCH_pr10.json carries the X18 calendar-algebra run:
+        month/quarter/business-month TCG propagation and batched month
+        clock matching, compiled vs sweep, bit-identical with at least
+        the 5x clock-matching speedup the acceptance gate requires."""
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        payload = load_payload(os.path.join(root, "BENCH_pr10.json"))
+        counters = payload["experiments"]["X18"]["counters"]
+        assert counters["identical_to_sweep"]
+        assert counters["propagation_identical_to_sweep"]
+        assert counters["events"] == 20_000
+        assert counters["speedup_clock_vs_sweep"] >= 5.0
         rows = compare_payloads(payload, payload)
         assert not any(row["regressed"] for row in rows)

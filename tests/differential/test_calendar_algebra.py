@@ -1,0 +1,333 @@
+"""Differential oracle for the calendar-algebra compiler (PR 10).
+
+The algebra rules (Gregorian 400-year cycle, business-calendar
+overlays, and the closed operators) are only allowed to exist because
+their forms are **bit-identical** to the ground truth: the types' own
+``tick_of``/``tick_bounds`` and the sweep size tables wherever the
+sweep is exact.  Hypothesis drives random holidays, random instants,
+random ``k`` and random operator expressions through both paths; a
+second pass pins the pure-python batch kernel against the numpy one.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.granularity import (
+    BusinessDayType,
+    CompiledSizeTable,
+    ConversionCache,
+    SizeTable,
+    compile_normal_form,
+    standard_system,
+)
+from repro.granularity.combinators import (
+    FilteredType,
+    GroupedType,
+    NthSubgranuleType,
+    ShiftedType,
+    UnionType,
+)
+from repro.granularity.intersection import IntersectionType, business_hours
+from repro.granularity.calendar import day, month, year
+from repro.granularity.gregorian import (
+    DAYS_PER_400_YEARS,
+    MONTHS_PER_400_YEARS,
+    SECONDS_PER_DAY,
+)
+from repro.granularity.normalform import clock_ticks_of
+
+DAY = SECONDS_PER_DAY
+CYCLE_SECONDS = DAYS_PER_400_YEARS * DAY
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SIZETABLE") == "sweep",
+    reason="suite compiles forms; sweep mode disables the compiler",
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def fresh(label):
+    """A fresh stock type instance (no cross-example cached state)."""
+    return standard_system(cache=ConversionCache()).get(label)
+
+
+@st.composite
+def holiday_bdays(draw):
+    """Business days with a random (possibly empty) holiday set."""
+    days = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=120),
+            max_size=8,
+            unique=True,
+        )
+    )
+    return BusinessDayType(holidays=days)
+
+
+@st.composite
+def calendar_expressions(draw):
+    """Random compilable calendar expressions over small operands."""
+    kind = draw(
+        st.sampled_from(
+            ["group", "filter", "intersect", "union", "shift", "nth"]
+        )
+    )
+    if kind == "group":
+        n = draw(st.integers(min_value=2, max_value=9))
+        offset = draw(st.integers(min_value=0, max_value=5))
+        return GroupedType(day(), n, offset=offset)
+    if kind == "filter":
+        modulus = draw(st.integers(min_value=2, max_value=9))
+        residues = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=modulus - 1),
+                min_size=1,
+                max_size=modulus,
+            )
+        )
+        return FilteredType(
+            day(),
+            lambda i, m=modulus, rs=frozenset(residues): i % m in rs,
+            "f-%d" % modulus,
+            predicate_period=modulus,
+        )
+    if kind == "intersect":
+        start = draw(st.integers(min_value=0, max_value=11))
+        hours = draw(st.integers(min_value=1, max_value=12))
+        return business_hours(
+            draw(holiday_bdays()), start, start + hours
+        )
+    if kind == "union":
+        bday = draw(holiday_bdays())
+        weekend_day = draw(st.integers(min_value=5, max_value=6))
+        weekend = FilteredType(
+            day(),
+            lambda i, w=weekend_day: i % 7 == w,
+            "we-%d" % weekend_day,
+            predicate_period=7,
+        )
+        return UnionType(bday, weekend)
+    if kind == "shift":
+        delta = draw(
+            st.integers(min_value=-2 * DAY, max_value=2 * DAY).filter(
+                bool
+            )
+        )
+        return ShiftedType(day(), delta)
+    weekday = draw(st.integers(min_value=0, max_value=6))
+    n = draw(st.integers(min_value=1, max_value=4))
+    weekdays = FilteredType(
+        day(),
+        lambda i, w=weekday: i % 7 == w,
+        "wd-%d" % weekday,
+        predicate_period=7,
+    )
+    return NthSubgranuleType(weekdays, month(), n)
+
+
+# ----------------------------------------------------------------------
+# Gregorian cycle types: conversions bit-identical to the calendar
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", [month, year])
+@given(data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_gregorian_tick_conversions_identical(factory, data):
+    ttype = factory()
+    form = compile_normal_form(ttype)
+    second = data.draw(
+        st.integers(min_value=0, max_value=3 * CYCLE_SECONDS),
+        label="second",
+    )
+    assert form.tick_of_instant(second) == ttype.tick_of(second)
+    index = data.draw(
+        st.integers(min_value=0, max_value=3 * form.period_ticks),
+        label="index",
+    )
+    assert form.instant_of_tick(index) == ttype.tick_bounds(index)
+
+
+_SWEEP_REFERENCES = {}
+
+
+def full_cycle_sweep(label):
+    """A sweep whose horizon covers a whole Gregorian cycle.
+
+    The stock sweep horizon (512 ticks) never reaches a non-leap
+    century year, so its month/year minima are only minima *within the
+    window* - the compiled backend legitimately finds tighter (true)
+    extremes, e.g. 37-month windows spanning February 2100.  An exact
+    reference needs every cycle phase in view: horizon ``3P + 2`` with
+    exact region ``k <= P`` (``n // 2`` for undeclared types).
+    """
+    sweep = _SWEEP_REFERENCES.get(label)
+    if sweep is None:
+        ttype = fresh(label)
+        period = compile_normal_form(ttype).period_ticks
+        sweep = SizeTable(ttype, horizon=3 * period + 2)
+        _SWEEP_REFERENCES[label] = sweep
+    return sweep
+
+
+@pytest.mark.parametrize("label", ["month", "year"])
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_gregorian_size_tables_match_sweep(label, data):
+    """Sampled k: compiled values equal the full-cycle sweep's."""
+    sweep = full_cycle_sweep(label)
+    compiled = CompiledSizeTable(fresh(label))
+    k = data.draw(st.integers(min_value=1, max_value=256), label="k")
+    assert compiled.minsize(k) == sweep.minsize(k)
+    assert compiled.maxsize(k) == sweep.maxsize(k)
+    assert compiled.mingap(k) == sweep.mingap(k)
+    span = data.draw(
+        st.integers(min_value=1, max_value=sweep.minsize(200)),
+        label="span",
+    )
+    assert compiled.min_k_with_minsize_at_least(
+        span, cap=256
+    ) == sweep.min_k_with_minsize_at_least(span, cap=256)
+    assert compiled.min_k_with_maxsize_greater(
+        span, cap=256
+    ) == sweep.min_k_with_maxsize_greater(span, cap=256)
+
+
+# ----------------------------------------------------------------------
+# Business days with random holidays
+# ----------------------------------------------------------------------
+@given(bday=holiday_bdays(), data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_business_days_with_random_holidays(bday, data):
+    form = compile_normal_form(bday)
+    assert form.exact_cover
+    second = data.draw(
+        st.integers(min_value=0, max_value=300 * DAY), label="second"
+    )
+    assert form.tick_of_instant(second) == bday.tick_of(second)
+    index = data.draw(st.integers(min_value=0, max_value=200), label="index")
+    assert form.instant_of_tick(index) == bday.tick_bounds(index)
+    assert form.distance(second, second // 2) == bday.distance(
+        second, second // 2
+    )
+
+
+@given(bday=holiday_bdays(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_business_day_tables_match_sweep(bday, data):
+    sweep = SizeTable(bday)
+    compiled = CompiledSizeTable(bday)
+    limit = sweep._exact_limit(sweep.horizon)
+    k = data.draw(st.integers(min_value=1, max_value=limit), label="k")
+    assert compiled.minsize(k) == sweep.minsize(k)
+    assert compiled.maxsize(k) == sweep.maxsize(k)
+    assert compiled.mingap(k) == sweep.mingap(k)
+
+
+# ----------------------------------------------------------------------
+# Random operator expressions
+# ----------------------------------------------------------------------
+@given(ttype=calendar_expressions(), data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_random_expressions_compile_identically(ttype, data):
+    form = compile_normal_form(ttype)
+    index = data.draw(
+        st.integers(min_value=0, max_value=2 * form.period_ticks + 20),
+        label="index",
+    )
+    assert form.instant_of_tick(index) == ttype.tick_bounds(index)
+    horizon = form.instant_of_tick(form.prefix_ticks + form.period_ticks)[1]
+    second = data.draw(
+        st.integers(min_value=0, max_value=2 * horizon + 10), label="second"
+    )
+    if form.exact_cover:
+        assert form.tick_of_instant(second) == ttype.tick_of(second)
+
+
+# ----------------------------------------------------------------------
+# Batch kernel: numpy vs pure-python fallback, both vs scalar
+# ----------------------------------------------------------------------
+@given(
+    ttype=st.one_of(
+        holiday_bdays(),
+        st.builds(month),
+        calendar_expressions(),
+    ),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_batch_kernels_bit_identical(ttype, data):
+    form = compile_normal_form(ttype)
+    horizon = form.instant_of_tick(form.prefix_ticks + form.period_ticks)[1]
+    seconds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2 * horizon + 10),
+            max_size=40,
+        ),
+        label="seconds",
+    )
+    vec_ticks, vec_defined = form.ticks_of_instants(seconds)
+    # Scalar reference.
+    for second, tick, ok in zip(seconds, vec_ticks, vec_defined):
+        z = form.tick_of_instant(second)
+        assert int(ok) == (0 if z is None else 1)
+        assert int(tick) == (0 if z is None else z)
+    # Pure-python fallback kernel must agree exactly; _batch_arrays
+    # returning None routes ticks_of_instants down the scalar loop.
+    object.__setattr__(form, "_batch_cache", None)
+    try:
+        py_ticks, py_defined = form.ticks_of_instants(seconds)
+    finally:
+        object.__setattr__(form, "_batch_cache", False)
+    assert [int(v) for v in py_ticks] == [int(v) for v in vec_ticks]
+    assert [int(v) for v in py_defined] == [int(v) for v in vec_defined]
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_clock_ticks_of_matches_type_path(data):
+    """The routed batch API vs the per-element reference loop."""
+    ttype = fresh("month")
+    seconds = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2 * CYCLE_SECONDS),
+            max_size=30,
+        ),
+        label="seconds",
+    )
+    ticks, defined = clock_ticks_of(ttype, seconds)
+    assert [int(v) for v in defined] == [1] * len(seconds)
+    assert [int(v) for v in ticks] == [ttype.tick_of(s) for s in seconds]
+
+
+# ----------------------------------------------------------------------
+# The numpy cycle generator vs the pure-python reference
+# ----------------------------------------------------------------------
+def test_cycle_generator_matches_python_reference():
+    from repro.granularity import algebra
+    from repro.granularity.gregorian import (
+        cycle_month_lengths,
+        cycle_year_lengths,
+    )
+
+    months = [int(v) for v in algebra._cycle_lengths("months")]
+    years = [int(v) for v in algebra._cycle_lengths("years")]
+    assert months == list(cycle_month_lengths())
+    assert years == list(cycle_year_lengths())
+    assert sum(months) == DAYS_PER_400_YEARS
+    assert sum(years) == DAYS_PER_400_YEARS
+    assert len(months) == MONTHS_PER_400_YEARS
+
+
+def test_cycle_generator_fallback_matches(monkeypatch):
+    """Force the pure-python branch and compare the compiled form."""
+    from repro.granularity import algebra
+
+    reference = algebra._lower_month(month())
+    monkeypatch.setattr(algebra, "_np", None)
+    fallback = algebra._lower_month(month())
+    assert fallback.firsts == reference.firsts
+    assert fallback.lasts == reference.lasts

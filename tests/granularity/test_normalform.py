@@ -82,10 +82,22 @@ class TestCompiler:
         assert form.period_ticks == 5
         assert form.exact_cover
 
-    def test_month_does_not_lower(self):
+    def test_month_lowers_via_gregorian_cycle(self):
         system = standard_system(cache=ConversionCache())
-        with pytest.raises(NormalFormError):
-            compile_normal_form(system.get("month"))
+        form = compile_normal_form(system.get("month"))
+        assert form.source == "algebra"
+        assert form.rule == "gregorian-cycle"
+        assert form.period_ticks == 4800
+        assert form.period_seconds == 146097 * 86400
+        assert form.prefix_ticks == 0
+        assert form.exact_cover
+
+    def test_year_lowers_via_gregorian_cycle(self):
+        system = standard_system(cache=ConversionCache())
+        form = compile_normal_form(system.get("year"))
+        assert form.rule == "gregorian-cycle"
+        assert form.period_ticks == 400
+        assert form.exact_cover
 
     def test_filtered_type_does_not_lower(self):
         base = UniformType("u", 10)
@@ -105,8 +117,16 @@ class TestCompiler:
         assert cached_normal_form(ttype) is first
 
     def test_cached_normal_form_none_for_non_lowering(self):
+        base = UniformType("u", 10)
+        filtered = FilteredType(base, lambda index: index % 2 == 0, "even")
+        assert cached_normal_form(filtered) is None
+
+    def test_over_budget_type_does_not_compile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NF_MAX_PERIOD", "16")
         system = standard_system(cache=ConversionCache())
-        assert cached_normal_form(system.get("year")) is None
+        with pytest.raises(NormalFormError) as excinfo:
+            compile_normal_form(system.get("month"))
+        assert excinfo.value.reason == "over-budget"
 
     def test_forms_are_picklable(self):
         form = compile_normal_form(
@@ -226,12 +246,14 @@ class TestBuildSizeTable:
         assert isinstance(table, CompiledSizeTable)
         assert table.backend == "compiled"
 
-    def test_auto_falls_back_to_sweep(self):
+    def test_auto_falls_back_to_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NF_MAX_PERIOD", "16")
         system = standard_system(cache=ConversionCache())
         table = build_size_table(system.get("month"), backend="auto")
         assert isinstance(table, SizeTable)
 
-    def test_compiled_refuses_non_lowering(self):
+    def test_compiled_refuses_non_lowering(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NF_MAX_PERIOD", "16")
         system = standard_system(cache=ConversionCache())
         with pytest.raises(NormalFormError):
             build_size_table(system.get("month"), backend="compiled")
@@ -273,8 +295,10 @@ class TestMemoBounds:
         assert table.probe_stats()["memo_evictions"] == table.memo_evictions
 
     def test_compiled_table_memo_is_bounded(self):
+        # Varying segment lengths so the minimization pass cannot
+        # reduce the period below 10 ticks.
         ttype = PeriodicPatternType(
-            "p", 100, [(i * 10, 5) for i in range(10)]
+            "p", 100, [(i * 10, i % 3 + 1) for i in range(10)]
         )
         table = CompiledSizeTable(ttype, memo_entries=4)
         for k in range(1, 10):

@@ -1,0 +1,19 @@
+"""Shared fixtures for the store suite.
+
+``obs_on`` mirrors tests/obs/conftest.py: tests that assert the
+``repro_columnar_fallback_total`` counter force the observability
+runtime on (and restore it), so the suite passes under the CI job
+that sets ``REPRO_OBS=off``.
+"""
+
+import pytest
+
+from repro.obs import configure, obs_enabled
+
+
+@pytest.fixture
+def obs_on():
+    previous = obs_enabled()
+    configure(True)
+    yield
+    configure(previous)

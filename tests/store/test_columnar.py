@@ -222,7 +222,7 @@ class TestChaos:
         ColumnarEventStore.from_store(_sample_store()).save(path)
         return path
 
-    def test_truncated_file_falls_back(self, kernel, tmp_path):
+    def test_truncated_file_falls_back(self, kernel, tmp_path, obs_on):
         path = self._saved(tmp_path)
         size = os.path.getsize(path)
         for keep in (size - 1, size - 8, 20, len(b"RPCOL1\n") + 3, 0):
@@ -234,7 +234,7 @@ class TestChaos:
             # Restore for the next truncation point.
             ColumnarEventStore.from_store(_sample_store()).save(path)
 
-    def test_bad_magic_falls_back(self, kernel, tmp_path):
+    def test_bad_magic_falls_back(self, kernel, tmp_path, obs_on):
         path = self._saved(tmp_path)
         with open(path, "r+b") as handle:
             handle.write(b"GARBAGE")
@@ -242,7 +242,7 @@ class TestChaos:
         assert load_columnar(path) is None
         assert _fallback_delta(before) == 1
 
-    def test_corrupt_header_falls_back(self, kernel, tmp_path):
+    def test_corrupt_header_falls_back(self, kernel, tmp_path, obs_on):
         path = self._saved(tmp_path)
         with open(path, "r+b") as handle:
             handle.seek(len(b"RPCOL1\n") + 8)
@@ -251,7 +251,7 @@ class TestChaos:
         assert load_columnar(path) is None
         assert _fallback_delta(before) == 1
 
-    def test_appended_garbage_falls_back(self, kernel, tmp_path):
+    def test_appended_garbage_falls_back(self, kernel, tmp_path, obs_on):
         # Size mismatch in the other direction: extra trailing bytes.
         path = self._saved(tmp_path)
         with open(path, "ab") as handle:
@@ -260,7 +260,7 @@ class TestChaos:
         assert load_columnar(path) is None
         assert _fallback_delta(before) == 1
 
-    def test_missing_file_falls_back(self, kernel, tmp_path):
+    def test_missing_file_falls_back(self, kernel, tmp_path, obs_on):
         before = metrics_snapshot()
         assert load_columnar(str(tmp_path / "absent.col")) is None
         assert _fallback_delta(before) == 1

@@ -274,10 +274,20 @@ class TestGranInfo:
         assert "normal form: scanned" in out or "structural" in out
         assert "period:" in out
 
-    def test_non_lowering_type_reports_sweep(self, capsys):
+    def test_month_reports_gregorian_cycle(self, capsys):
+        assert main(["gran", "info", "month"]) == 0
+        out = capsys.readouterr().out
+        assert "normal form: algebra" in out
+        assert "compiled by: gregorian-cycle" in out
+        assert "period: 4800 ticks / 12622780800 seconds" in out
+        assert "exact instant cover: yes" in out
+
+    def test_non_lowering_type_reports_sweep(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NF_MAX_PERIOD", "16")
         assert main(["gran", "info", "month"]) == 0
         out = capsys.readouterr().out
         assert "normal form: none" in out
+        assert "reason: over-budget" in out
         assert "backend: sweep" in out
 
     def test_backend_env_is_reported(self, capsys, monkeypatch):
